@@ -1,0 +1,43 @@
+//! Section 5 (criterion form): cost of the block-processing kernels
+//! relative to plain BK when memory is plentiful (their overhead) — the
+//! tight-memory completion table is produced by `repro blocks`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzyjoin::{stage1, stage2, JoinConfig, Stage2Algo, TokenRouting};
+use fuzzyjoin_bench::{load_corpus, make_cluster};
+
+fn bench(c: &mut Criterion) {
+    let base = datagen::dblp(400, 42);
+    let mut g = c.benchmark_group("blocks_kernel");
+    g.sample_size(10);
+    let variants: Vec<(&str, Stage2Algo)> = vec![
+        ("bk_plain", Stage2Algo::Bk),
+        ("bk_map_blocks4", Stage2Algo::BkMapBlocks { blocks: 4 }),
+        ("bk_reduce_blocks4", Stage2Algo::BkReduceBlocks { blocks: 4 }),
+    ];
+    for (label, algo) in variants {
+        let config = JoinConfig {
+            stage2: algo,
+            routing: TokenRouting::Grouped { groups: 8 },
+            ..JoinConfig::recommended()
+        };
+        g.bench_with_input(BenchmarkId::new("stage2", label), &config, |b, config| {
+            b.iter_with_setup(
+                || {
+                    let cluster = make_cluster(4);
+                    load_corpus(&cluster, &base, 3, "/dblp");
+                    let (tokens, _) =
+                        stage1::run(&cluster, "/dblp", config, "/t").expect("stage1");
+                    (cluster, tokens)
+                },
+                |(cluster, tokens)| {
+                    stage2::run_self(&cluster, "/dblp", &tokens, config, "/w").expect("stage2")
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

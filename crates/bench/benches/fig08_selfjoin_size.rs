@@ -1,0 +1,27 @@
+//! Figure 8 (criterion form): self-join cost vs dataset-increase factor for
+//! the three end-to-end combinations, at bench scale. The full-size table is
+//! produced by `repro fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzyjoin_bench::{combos, run_self_join};
+
+fn bench(c: &mut Criterion) {
+    let base = datagen::dblp(300, 42);
+    let mut g = c.benchmark_group("fig08_selfjoin_size");
+    g.sample_size(10);
+    for factor in [2usize, 5] {
+        for (name, config) in combos() {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("x{factor}")),
+                &factor,
+                |b, &factor| {
+                    b.iter(|| run_self_join(&base, factor, 10, &config).expect("join"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

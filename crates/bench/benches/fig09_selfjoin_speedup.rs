@@ -1,0 +1,27 @@
+//! Figures 9/10 (criterion form): self-join as the simulated cluster grows.
+//! Wall time here reflects total work; the speedup *curves* come from the
+//! simulated makespan printed by `repro fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzyjoin_bench::{combos, run_self_join};
+
+fn bench(c: &mut Criterion) {
+    let base = datagen::dblp(300, 42);
+    let mut g = c.benchmark_group("fig09_selfjoin_speedup");
+    g.sample_size(10);
+    for nodes in [2usize, 4, 10] {
+        for (name, config) in combos() {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{nodes}nodes")),
+                &nodes,
+                |b, &nodes| {
+                    b.iter(|| run_self_join(&base, 4, nodes, &config).expect("join"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

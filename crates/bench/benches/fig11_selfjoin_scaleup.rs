@@ -1,0 +1,26 @@
+//! Figure 11 / Table 2 (criterion form): scaleup — nodes and data grow
+//! together. Perfect scaleup = flat per-point time in `repro fig11`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzyjoin_bench::{combos, run_self_join};
+
+fn bench(c: &mut Criterion) {
+    let base = datagen::dblp(250, 42);
+    let mut g = c.benchmark_group("fig11_selfjoin_scaleup");
+    g.sample_size(10);
+    for (nodes, factor) in [(2usize, 2usize), (4, 4), (8, 8)] {
+        for (name, config) in combos() {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{nodes}n_x{factor}")),
+                &(nodes, factor),
+                |b, &(nodes, factor)| {
+                    b.iter(|| run_self_join(&base, factor, nodes, &config).expect("join"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figures 12/13/14 (criterion form): R-S join DBLP×n ⋈ CITESEERX×n. The
+//! full sweeps are produced by `repro fig12|fig13|fig14`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzyjoin_bench::{combos, run_rs_join};
+
+fn bench(c: &mut Criterion) {
+    let dblp = datagen::dblp(250, 42);
+    let cite = datagen::citeseerx(250, 42);
+    let mut g = c.benchmark_group("fig12_rsjoin_size");
+    g.sample_size(10);
+    for factor in [2usize, 4] {
+        for (name, config) in combos() {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("x{factor}")),
+                &factor,
+                |b, &factor| {
+                    b.iter(|| run_rs_join(&dblp, &cite, factor, 10, &config).expect("join"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Section 6.1.1 (criterion form): PK kernel cost vs number of token
+//! groups. The paper's best setting is one group per token.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzyjoin::{stage1, stage2, JoinConfig, TokenRouting};
+use fuzzyjoin_bench::{load_corpus, make_cluster};
+
+fn bench(c: &mut Criterion) {
+    let base = datagen::dblp(400, 42);
+    let mut g = c.benchmark_group("groups_sweep");
+    g.sample_size(10);
+    let routings: Vec<(String, TokenRouting)> = vec![
+        ("g16".into(), TokenRouting::Grouped { groups: 16 }),
+        ("g256".into(), TokenRouting::Grouped { groups: 256 }),
+        ("per_token".into(), TokenRouting::Individual),
+    ];
+    for (label, routing) in routings {
+        let config = JoinConfig {
+            routing,
+            ..JoinConfig::recommended()
+        };
+        g.bench_with_input(BenchmarkId::new("stage2_pk", &label), &config, |b, config| {
+            b.iter_with_setup(
+                || {
+                    let cluster = make_cluster(4);
+                    load_corpus(&cluster, &base, 3, "/dblp");
+                    let (tokens, _) =
+                        stage1::run(&cluster, "/dblp", config, "/t").expect("stage1");
+                    (cluster, tokens)
+                },
+                |(cluster, tokens)| {
+                    stage2::run_self(&cluster, "/dblp", &tokens, config, "/w").expect("stage2")
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Microbenchmarks of the single-node kernels underneath stage 2: naive vs
+//! All-Pairs vs PPJoin vs PPJoin+, plus the verification and codec hot
+//! paths. These are the ablations DESIGN.md calls out for the filter stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setsim::{allpairs, naive, ppjoin, FilterConfig, Threshold, TokenOrder, Tokenizer, WordTokenizer};
+
+fn projected_corpus(n: usize) -> Vec<(u64, Vec<u32>)> {
+    let records = datagen::dblp(n, 7);
+    let tok = WordTokenizer::new();
+    let lists: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| tok.tokenize(&r.join_attribute()))
+        .collect();
+    let order = TokenOrder::from_corpus(&lists);
+    records
+        .iter()
+        .zip(&lists)
+        .map(|(r, l)| (r.rid, order.project(l)))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let sets = projected_corpus(800);
+    let t = Threshold::jaccard(0.8);
+    let mut g = c.benchmark_group("selfjoin_kernels");
+    g.sample_size(10);
+    g.bench_function("naive", |b| b.iter(|| naive::self_join(&sets, &t)));
+    g.bench_function("allpairs", |b| b.iter(|| allpairs::self_join(&sets, &t)));
+    g.bench_function("ppjoin", |b| {
+        b.iter(|| ppjoin::self_join(&sets, &t, FilterConfig::ppjoin()))
+    });
+    g.bench_function("ppjoin_plus", |b| {
+        b.iter(|| ppjoin::self_join(&sets, &t, FilterConfig::ppjoin_plus()))
+    });
+    g.bench_function("prefix_only", |b| {
+        b.iter(|| ppjoin::self_join(&sets, &t, FilterConfig::prefix_only()))
+    });
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let t = Threshold::jaccard(0.8);
+    let x: Vec<u32> = (0..200).map(|i| i * 3).collect();
+    let y: Vec<u32> = (0..200).map(|i| i * 3 + (i % 10 == 0) as u32).collect();
+    let mut g = c.benchmark_group("verify");
+    g.bench_function("verify_pair_200", |b| {
+        b.iter(|| setsim::verify_pair(&t, &x, &y))
+    });
+    g.bench_function("intersection_200", |b| {
+        b.iter(|| setsim::intersection_size(&x, &y))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use mapreduce::Codec;
+    let projection: (u64, Vec<u32>) = (123456, (0..40).collect());
+    let encoded = projection.to_bytes();
+    let mut g = c.benchmark_group("shuffle_codec");
+    g.bench_with_input(
+        BenchmarkId::new("encode_projection", encoded.len()),
+        &projection,
+        |b, p| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(128);
+                p.encode(&mut buf);
+                buf
+            })
+        },
+    );
+    g.bench_function("decode_projection", |b| {
+        b.iter(|| <(u64, Vec<u32>)>::from_bytes(&encoded).expect("decode"))
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    // Edit-distance join (footnote 1) and the LSH partial-answer
+    // alternative (related work), at matched corpus scale.
+    let records = datagen::dblp(400, 7);
+    let strings: Vec<String> = records.iter().map(|r| r.title.clone()).collect();
+    let sets = projected_corpus(400);
+    let t = Threshold::jaccard(0.8);
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("edit_join_d2_q3", |b| {
+        b.iter(|| setsim::edit_self_join(&strings, 3, 2))
+    });
+    g.bench_function("lsh_join_24x3", |b| {
+        b.iter(|| {
+            setsim::lsh_self_join(
+                &sets,
+                &t,
+                setsim::LshParams { bands: 24, rows: 3 },
+                11,
+            )
+        })
+    });
+    g.bench_function("exact_ppjoin_plus_same_corpus", |b| {
+        b.iter(|| ppjoin::self_join(&sets, &t, FilterConfig::ppjoin_plus()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_verify, bench_codec, bench_extensions);
+criterion_main!(benches);

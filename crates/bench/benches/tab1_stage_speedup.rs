@@ -1,0 +1,80 @@
+//! Table 1 (criterion form): the six stage alternatives (BTO, OPTO, BK, PK,
+//! BRJ, OPRJ) benchmarked in isolation. The per-node-count table is
+//! produced by `repro table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuzzyjoin::{stage1, stage2, stage3, JoinConfig, Stage1Algo, Stage2Algo, Stage3Algo};
+use fuzzyjoin_bench::{load_corpus, make_cluster};
+
+fn bench(c: &mut Criterion) {
+    let base = datagen::dblp(400, 42);
+    let mut g = c.benchmark_group("tab1_stage_alternatives");
+    g.sample_size(10);
+
+    let prepared = || {
+        let cluster = make_cluster(4);
+        load_corpus(&cluster, &base, 3, "/dblp");
+        cluster
+    };
+    let cfg = JoinConfig::recommended();
+
+    g.bench_function("stage1/BTO", |b| {
+        b.iter_with_setup(prepared, |cluster| {
+            stage1::run(&cluster, "/dblp", &cfg, "/w").expect("bto")
+        })
+    });
+    let cfg_opto = JoinConfig {
+        stage1: Stage1Algo::Opto,
+        ..cfg.clone()
+    };
+    g.bench_function("stage1/OPTO", |b| {
+        b.iter_with_setup(prepared, |cluster| {
+            stage1::run(&cluster, "/dblp", &cfg_opto, "/w").expect("opto")
+        })
+    });
+
+    // Stage 2/3 benches reuse a prepared cluster with stage-1 output.
+    let with_tokens = || {
+        let cluster = prepared();
+        let (tokens, _) = stage1::run(&cluster, "/dblp", &cfg, "/t").expect("stage1");
+        (cluster, tokens)
+    };
+    let cfg_bk = JoinConfig {
+        stage2: Stage2Algo::Bk,
+        ..cfg.clone()
+    };
+    g.bench_function("stage2/BK", |b| {
+        b.iter_with_setup(with_tokens, |(cluster, tokens)| {
+            stage2::run_self(&cluster, "/dblp", &tokens, &cfg_bk, "/w").expect("bk")
+        })
+    });
+    g.bench_function("stage2/PK", |b| {
+        b.iter_with_setup(with_tokens, |(cluster, tokens)| {
+            stage2::run_self(&cluster, "/dblp", &tokens, &cfg, "/w").expect("pk")
+        })
+    });
+
+    let with_pairs = || {
+        let (cluster, tokens) = with_tokens();
+        let (pairs, _) = stage2::run_self(&cluster, "/dblp", &tokens, &cfg, "/p").expect("pk");
+        (cluster, pairs)
+    };
+    g.bench_function("stage3/BRJ", |b| {
+        b.iter_with_setup(with_pairs, |(cluster, pairs)| {
+            stage3::run_self(&cluster, "/dblp", &pairs, &cfg, "/w").expect("brj")
+        })
+    });
+    let cfg_oprj = JoinConfig {
+        stage3: Stage3Algo::Oprj,
+        ..cfg.clone()
+    };
+    g.bench_function("stage3/OPRJ", |b| {
+        b.iter_with_setup(with_pairs, |(cluster, pairs)| {
+            stage3::run_self(&cluster, "/dblp", &pairs, &cfg_oprj, "/w").expect("oprj")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

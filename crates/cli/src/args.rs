@@ -1,0 +1,110 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The leading subcommand.
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name). The first argument is the
+    /// subcommand; the rest must be `--key value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut it = argv.iter();
+        let command = it.next().cloned().unwrap_or_default();
+        let mut options = HashMap::new();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} is missing its value"))?;
+            if options.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Raw option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    /// Reject unknown flags (catches typos).
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(&argv("selfjoin --input x.tsv --threshold 0.8")).unwrap();
+        assert_eq!(a.command, "selfjoin");
+        assert_eq!(a.get("input"), Some("x.tsv"));
+        assert_eq!(a.get_parsed::<f64>("threshold", 0.5).unwrap(), 0.8);
+        assert_eq!(a.get_parsed::<f64>("missing", 0.5).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(Args::parse(&argv("x notaflag v")).is_err());
+        assert!(Args::parse(&argv("x --k")).is_err());
+        assert!(Args::parse(&argv("x --k 1 --k 2")).is_err());
+    }
+
+    #[test]
+    fn require_and_known() {
+        let a = Args::parse(&argv("x --a 1")).unwrap();
+        assert!(a.require("a").is_ok());
+        assert!(a.require("b").is_err());
+        assert!(a.ensure_known(&["a"]).is_ok());
+        assert!(a.ensure_known(&["b"]).is_err());
+    }
+
+    #[test]
+    fn empty_argv() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

@@ -1,0 +1,493 @@
+//! `fuzzyjoin-cli` — parallel set-similarity joins over local text files.
+//!
+//! Wraps the [`fuzzyjoin`] pipeline for command-line use: input files are
+//! loaded into the simulated DFS, the three-stage join runs on a simulated
+//! cluster, and results are written back to local files.
+//!
+//! ```text
+//! fuzzyjoin-cli gen      --kind dblp --records 10000 --scale 5 --out dblp.tsv
+//! fuzzyjoin-cli selfjoin --input dblp.tsv --out pairs.tsv --threshold 0.8
+//! fuzzyjoin-cli rsjoin   --r dblp.tsv --s cite.tsv --out matches.tsv
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+
+use args::Args;
+use fuzzyjoin::{
+    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig,
+    JoinOutcome, RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
+    TokenRouting, TokenizerKind,
+};
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: fuzzyjoin-cli <command> [--flag value ...]
+
+commands:
+  gen       generate a synthetic corpus
+            --kind dblp|citeseerx|dna  --records N  --out FILE
+            [--scale F] [--seed S]
+  selfjoin  self-join one file
+            --input FILE  --out FILE
+            [--threshold T] [--measure jaccard|cosine|dice]
+            [--combo bto-pk-brj] [--nodes N] [--qgram Q]
+            [--rid-field I] [--join-fields 1,2] [--groups G] [--full yes]
+  rsjoin    join two files (stage 1 runs on --r; make it the smaller one)
+            --r FILE --s FILE --out FILE  [same options as selfjoin]
+";
+
+/// Entry point: parse and execute, returning the human-readable summary.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "selfjoin" => cmd_selfjoin(&args),
+        "rsjoin" => cmd_rsjoin(&args),
+        "" => Err("missing command".into()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gen
+// ---------------------------------------------------------------------------
+
+fn cmd_gen(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["kind", "records", "out", "scale", "seed"])?;
+    let kind = args.get("kind").unwrap_or("dblp");
+    let records: usize = args.get_parsed("records", 10_000)?;
+    let scale: usize = args.get_parsed("scale", 1)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let out = args.require("out")?;
+
+    let lines = match kind {
+        "dblp" => datagen::to_lines(&datagen::increase(&datagen::dblp(records, seed), scale)),
+        "citeseerx" => {
+            datagen::to_lines(&datagen::increase(&datagen::citeseerx(records, seed), scale))
+        }
+        "dna" => {
+            let config = datagen::DnaConfig {
+                records: records * scale,
+                seed,
+                ..Default::default()
+            };
+            datagen::dna_to_lines(&datagen::generate_dna(&config))
+        }
+        other => return Err(format!("unknown corpus kind {other:?}")),
+    };
+    write_lines(out, &lines)?;
+    Ok(format!(
+        "wrote {} {} records to {}\n",
+        lines.len(),
+        kind,
+        out
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// joins
+// ---------------------------------------------------------------------------
+
+const JOIN_FLAGS: &[&str] = &[
+    "input", "r", "s", "out", "threshold", "measure", "combo", "nodes", "qgram", "rid-field",
+    "join-fields", "groups", "full",
+];
+
+fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
+    let tau: f64 = args.get_parsed("threshold", 0.8)?;
+    let func = match args.get("measure").unwrap_or("jaccard") {
+        "jaccard" => SimFunction::Jaccard,
+        "cosine" => SimFunction::Cosine,
+        "dice" => SimFunction::Dice,
+        other => return Err(format!("unknown measure {other:?}")),
+    };
+    let threshold = Threshold::new(func, tau)?;
+
+    let combo = args.get("combo").unwrap_or("bto-pk-brj").to_lowercase();
+    let parts: Vec<&str> = combo.split('-').collect();
+    // Allow the "bto-r" stage-1 spelling, which contains a dash.
+    let (s1, s2, s3) = match parts.as_slice() {
+        [a, b, c] => (a.to_string(), b.to_string(), c.to_string()),
+        [a, r, b, c] if *r == "r" => (format!("{a}-r"), b.to_string(), c.to_string()),
+        _ => return Err(format!("bad --combo {combo:?} (expected like bto-pk-brj)")),
+    };
+    let stage1 = match s1.as_str() {
+        "bto" => Stage1Algo::Bto,
+        "opto" => Stage1Algo::Opto,
+        "bto-r" | "btor" => Stage1Algo::BtoRange,
+        other => return Err(format!("unknown stage-1 algorithm {other:?}")),
+    };
+    let stage2 = match s2.as_str() {
+        "bk" => Stage2Algo::Bk,
+        "pk" => Stage2Algo::Pk {
+            filters: FilterConfig::ppjoin_plus(),
+        },
+        other => return Err(format!("unknown stage-2 algorithm {other:?}")),
+    };
+    let stage3 = match s3.as_str() {
+        "brj" => Stage3Algo::Brj,
+        "oprj" => Stage3Algo::Oprj,
+        other => return Err(format!("unknown stage-3 algorithm {other:?}")),
+    };
+
+    let rid_field: usize = args.get_parsed("rid-field", 0)?;
+    let join_fields: Vec<usize> = match args.get("join-fields") {
+        None => vec![1, 2],
+        Some(spec) => spec
+            .split(',')
+            .map(|p| p.trim().parse::<usize>().map_err(|e| format!("bad --join-fields: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let tokenizer = match args.get("qgram") {
+        None => TokenizerKind::Word,
+        Some(q) => TokenizerKind::QGram(
+            q.parse::<usize>().map_err(|e| format!("bad --qgram: {e}"))?,
+        ),
+    };
+    let routing = match args.get("groups") {
+        None => TokenRouting::Individual,
+        Some(g) => TokenRouting::Grouped {
+            groups: g.parse::<u32>().map_err(|e| format!("bad --groups: {e}"))?,
+        },
+    };
+    let nodes: usize = args.get_parsed("nodes", 10)?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+
+    Ok((
+        JoinConfig {
+            threshold,
+            format: RecordFormat {
+                rid_field,
+                join_fields,
+            },
+            tokenizer,
+            stage1,
+            stage2,
+            routing,
+            stage3,
+            length_sub_routing: None,
+        },
+        nodes,
+    ))
+}
+
+fn cmd_selfjoin(args: &Args) -> Result<String, String> {
+    args.ensure_known(JOIN_FLAGS)?;
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let (config, nodes) = join_config(args)?;
+
+    let cluster = make_cluster(nodes)?;
+    let n = load_file(&cluster, input, "/input")?;
+    let outcome = self_join(&cluster, "/input", "/work", &config)
+        .map_err(|e| format!("join failed: {e}"))?;
+    let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
+    Ok(summary(
+        &format!("self-join of {n} records from {input}"),
+        &config,
+        nodes,
+        &outcome,
+        written,
+        out,
+    ))
+}
+
+fn cmd_rsjoin(args: &Args) -> Result<String, String> {
+    args.ensure_known(JOIN_FLAGS)?;
+    let r = args.require("r")?;
+    let s = args.require("s")?;
+    let out = args.require("out")?;
+    let (config, nodes) = join_config(args)?;
+
+    let cluster = make_cluster(nodes)?;
+    let nr = load_file(&cluster, r, "/r")?;
+    let ns = load_file(&cluster, s, "/s")?;
+    let outcome = rs_join(&cluster, "/r", "/s", "/work", &config)
+        .map_err(|e| format!("join failed: {e}"))?;
+    let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
+    Ok(summary(
+        &format!("R-S join of {nr} x {ns} records from {r} and {s}"),
+        &config,
+        nodes,
+        &outcome,
+        written,
+        out,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// plumbing
+// ---------------------------------------------------------------------------
+
+fn make_cluster(nodes: usize) -> Result<Cluster, String> {
+    Cluster::new(ClusterConfig::with_nodes(nodes), 4 << 20).map_err(|e| e.to_string())
+}
+
+fn load_file(cluster: &Cluster, path: &str, dfs_path: &str) -> Result<usize, String> {
+    let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut writer = cluster
+        .dfs()
+        .text_writer(dfs_path)
+        .map_err(|e| e.to_string())?;
+    let mut n = 0usize;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        if read == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if !trimmed.is_empty() {
+            writer.write_line(trimmed);
+            n += 1;
+        }
+    }
+    writer.close().map_err(|e| e.to_string())?;
+    Ok(n)
+}
+
+fn write_lines(path: &str, lines: &[String]) -> Result<(), String> {
+    let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    for line in lines {
+        writeln!(w, "{line}").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Write results: pairs mode (`rid1 \t rid2 \t sim`) or full mode with the
+/// complete record lines indented under each pair.
+fn write_results(
+    cluster: &Cluster,
+    outcome: &JoinOutcome,
+    path: &str,
+    full: bool,
+) -> Result<usize, String> {
+    let joined = read_joined(cluster, &outcome.joined_path).map_err(|e| e.to_string())?;
+    let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    for ((a, b), (line_a, line_b, sim)) in &joined {
+        if full {
+            writeln!(w, "# {a}\t{b}\t{sim}").and_then(|()| {
+                writeln!(w, "  {line_a}")?;
+                writeln!(w, "  {line_b}")
+            })
+        } else {
+            writeln!(w, "{a}\t{b}\t{sim}")
+        }
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(joined.len())
+}
+
+fn summary(
+    what: &str,
+    config: &JoinConfig,
+    nodes: usize,
+    outcome: &JoinOutcome,
+    pairs: usize,
+    out: &str,
+) -> String {
+    let (s1, s2, s3) = outcome.stage_sim_secs();
+    let mut s = String::new();
+    let _ = writeln!(s, "{what}");
+    let _ = writeln!(
+        s,
+        "combo {} on {} simulated nodes, threshold {:?} {}",
+        config.combo_name(),
+        nodes,
+        config.threshold.func(),
+        config.threshold.tau()
+    );
+    let _ = writeln!(s, "stage 1 (token ordering):  {s1:.3}s simulated");
+    let _ = writeln!(s, "stage 2 (RID-pair kernel): {s2:.3}s simulated");
+    let _ = writeln!(s, "stage 3 (record join):     {s3:.3}s simulated");
+    let _ = writeln!(
+        s,
+        "shuffled {} bytes; wall time {:.3}s",
+        outcome.shuffle_bytes(),
+        outcome.wall_secs()
+    );
+    let _ = writeln!(s, "{pairs} pairs written to {out}");
+    s
+}
+
+// Re-exported for integration tests.
+#[doc(hidden)]
+pub use args::Args as ParsedArgs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("fuzzyjoin-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_then_selfjoin_roundtrip() {
+        let corpus = tmp("corpus.tsv");
+        let pairs = tmp("pairs.tsv");
+        let msg = run(&argv(&format!(
+            "gen --kind dblp --records 300 --scale 2 --seed 5 --out {corpus}"
+        )))
+        .unwrap();
+        assert!(msg.contains("600 dblp records"));
+
+        let msg = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {pairs} --threshold 0.8 --nodes 4"
+        )))
+        .unwrap();
+        assert!(msg.contains("self-join of 600 records"), "{msg}");
+        assert!(msg.contains("BTO-PK-BRJ"));
+        let out = fs::read_to_string(&pairs).unwrap();
+        assert!(!out.is_empty(), "expected pairs");
+        for line in out.lines() {
+            let f: Vec<&str> = line.split('\t').collect();
+            assert_eq!(f.len(), 3);
+            let a: u64 = f[0].parse().unwrap();
+            let b: u64 = f[1].parse().unwrap();
+            assert!(a < b);
+            let sim: f64 = f[2].parse().unwrap();
+            assert!(sim + 1e-9 >= 0.8);
+        }
+    }
+
+    #[test]
+    fn rsjoin_and_full_output() {
+        let r = tmp("r.tsv");
+        let s = tmp("s.tsv");
+        let out = tmp("rs-out.txt");
+        run(&argv(&format!("gen --kind dblp --records 200 --seed 7 --out {r}"))).unwrap();
+        // S reuses R's file so matches are guaranteed.
+        fs::copy(&r, &s).unwrap();
+        let msg = run(&argv(&format!(
+            "rsjoin --r {r} --s {s} --out {out} --threshold 0.9 --nodes 2 --full yes"
+        )))
+        .unwrap();
+        assert!(msg.contains("R-S join of 200 x 200 records"), "{msg}");
+        let text = fs::read_to_string(&out).unwrap();
+        assert!(text.lines().next().unwrap().starts_with("# "));
+    }
+
+    #[test]
+    fn dna_gen_and_qgram_join() {
+        let corpus = tmp("dna.tsv");
+        let pairs = tmp("dna-pairs.tsv");
+        run(&argv(&format!(
+            "gen --kind dna --records 300 --seed 3 --out {corpus}"
+        )))
+        .unwrap();
+        let msg = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {pairs} --threshold 0.9 --qgram 4 \
+             --join-fields 1 --nodes 2 --combo bto-bk-brj"
+        )))
+        .unwrap();
+        assert!(msg.contains("BTO-BK-BRJ"));
+        assert!(fs::metadata(&pairs).unwrap().len() > 0);
+    }
+
+    #[test]
+    fn config_parsing_errors() {
+        assert!(run(&argv("bogus")).is_err());
+        assert!(run(&argv("")).is_err());
+        assert!(run(&argv("selfjoin --out x")).is_err(), "missing --input");
+        assert!(run(&argv("selfjoin --input a --out b --measure wrong")).is_err());
+        assert!(run(&argv("selfjoin --input a --out b --combo nope")).is_err());
+        assert!(run(&argv("selfjoin --input a --out b --typo 1")).is_err());
+        assert!(run(&argv("gen --kind marsian --out x")).is_err());
+    }
+
+    #[test]
+    fn combo_variants_parse() {
+        for combo in ["bto-pk-brj", "opto-bk-oprj", "bto-r-pk-brj"] {
+            let args = Args::parse(&argv(&format!(
+                "selfjoin --input a --out b --combo {combo}"
+            )))
+            .unwrap();
+            assert!(join_config(&args).is_ok(), "combo {combo}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("fuzzyjoin-cli-tests2");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn cosine_measure_and_bto_range_combo() {
+        let corpus = tmp("c.tsv");
+        let pairs = tmp("c-pairs.tsv");
+        run(&argv(&format!(
+            "gen --kind dblp --records 250 --seed 9 --out {corpus}"
+        )))
+        .unwrap();
+        let msg = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {pairs} --threshold 0.9 \
+             --measure cosine --combo bto-r-pk-brj --nodes 3"
+        )))
+        .unwrap();
+        assert!(msg.contains("BTO-R-PK-BRJ"), "{msg}");
+        assert!(msg.contains("Cosine"), "{msg}");
+    }
+
+    #[test]
+    fn grouped_routing_flag() {
+        let corpus = tmp("g.tsv");
+        let pairs = tmp("g-pairs.tsv");
+        run(&argv(&format!(
+            "gen --kind dblp --records 200 --seed 4 --out {corpus}"
+        )))
+        .unwrap();
+        // Grouped routing must produce the same pairs as individual.
+        let run_with = |extra: &str, out: &str| {
+            run(&argv(&format!(
+                "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 2 {extra}"
+            )))
+            .unwrap();
+            fs::read_to_string(out).unwrap()
+        };
+        let grouped = run_with("--groups 16", &pairs);
+        let individual = run_with("", &tmp("g-pairs2.tsv"));
+        assert_eq!(grouped, individual);
+    }
+
+    #[test]
+    fn missing_input_file_is_a_clean_error() {
+        let err = run(&argv(
+            "selfjoin --input /nonexistent/x.tsv --out /tmp/y.tsv",
+        ))
+        .unwrap_err();
+        assert!(err.contains("cannot open"), "{err}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Thin binary wrapper; all logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fuzzyjoin_cli::run(&args) {
+        Ok(summary) => print!("{summary}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", fuzzyjoin_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Join configuration: the algorithm choices of the paper's three stages.
+
+use setsim::{FilterConfig, Threshold};
+
+use mapreduce::{MrError, Result};
+
+/// How input lines are parsed into `(RID, join attribute)`.
+///
+/// The paper's preprocessed datasets are tab-separated lines whose first
+/// field is the RID; the join attribute is the concatenation of one or more
+/// fields (title + authors in the experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordFormat {
+    /// Index of the RID field.
+    pub rid_field: usize,
+    /// Indices of the fields concatenated into the join attribute.
+    pub join_fields: Vec<usize>,
+}
+
+impl RecordFormat {
+    /// The format of [`datagen`]-style records: RID in field 0, join
+    /// attribute = title (field 1) + authors (field 2).
+    pub fn bibliographic() -> Self {
+        RecordFormat {
+            rid_field: 0,
+            join_fields: vec![1, 2],
+        }
+    }
+
+    /// RID in field 0, join attribute in field 1.
+    pub fn two_column() -> Self {
+        RecordFormat {
+            rid_field: 0,
+            join_fields: vec![1],
+        }
+    }
+
+    /// Parse a line into `(rid, join attribute)`.
+    pub fn parse(&self, line: &str) -> Result<(u64, String)> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let rid_str = fields.get(self.rid_field).ok_or_else(|| {
+            MrError::TaskFailed(format!("record has no field {}: {line:?}", self.rid_field))
+        })?;
+        let rid = rid_str
+            .parse::<u64>()
+            .map_err(|e| MrError::TaskFailed(format!("bad RID {rid_str:?}: {e}")))?;
+        let mut attr = String::new();
+        for &f in &self.join_fields {
+            if let Some(v) = fields.get(f) {
+                if !attr.is_empty() {
+                    attr.push(' ');
+                }
+                attr.push_str(v);
+            }
+        }
+        Ok((rid, attr))
+    }
+}
+
+/// Tokenization applied to join attributes (must match between stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenizerKind {
+    /// Word tokens (the paper's experiments).
+    Word,
+    /// Overlapping q-grams.
+    QGram(usize),
+}
+
+impl TokenizerKind {
+    /// Instantiate the tokenizer.
+    pub fn build(&self) -> Box<dyn setsim::Tokenizer + Send> {
+        match self {
+            TokenizerKind::Word => Box::new(setsim::WordTokenizer::new()),
+            TokenizerKind::QGram(q) => Box::new(setsim::QGramTokenizer::new(*q)),
+        }
+    }
+}
+
+/// Stage-1 algorithm: how the global token order is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage1Algo {
+    /// Basic Token Ordering: two MapReduce jobs (count, then parallel sort
+    /// with a single reducer).
+    Bto,
+    /// One-Phase Token Ordering: one job; the single reducer accumulates
+    /// counts and sorts in its tear-down.
+    Opto,
+    /// Extension (not in the paper): BTO with a **range-partitioned**
+    /// parallel sort. The paper notes both BTO and OPTO bottleneck on a
+    /// single sort reducer ("this step's cost remained constant as the
+    /// number of nodes increased"); this variant samples `(count, token)`
+    /// boundaries from the count job's output and sorts with one reducer
+    /// per range, so reading the parts in order yields the same total
+    /// order without the serial step.
+    BtoRange,
+}
+
+/// How prefix tokens are mapped to routing keys in stage 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenRouting {
+    /// One key per prefix token ("Using Individual Tokens"). With PK this is
+    /// the paper's best configuration — "one group per token".
+    Individual,
+    /// Round-robin token groups ("Using Grouped Tokens"): token rank `r`
+    /// routes to group `r % groups`, balancing summed token frequencies.
+    Grouped {
+        /// Number of groups.
+        groups: u32,
+    },
+}
+
+impl TokenRouting {
+    /// Group id for a token rank.
+    pub fn group_of(&self, rank: u32) -> u32 {
+        match self {
+            TokenRouting::Individual => rank,
+            TokenRouting::Grouped { groups } => rank % (*groups).max(1),
+        }
+    }
+}
+
+/// Stage-2 algorithm: how RID pairs of similar records are found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage2Algo {
+    /// Basic Kernel: in-memory nested loops with the length filter.
+    Bk,
+    /// PPJoin+ Kernel: streaming indexed kernel with the configured filters,
+    /// exploiting the `(group, length)` composite-key sort.
+    Pk {
+        /// Which optional filters the kernel applies.
+        filters: FilterConfig,
+    },
+    /// Section 5, map-based block processing: the map function replicates
+    /// and interleaves sub-blocks so the reducer holds one block at a time.
+    BkMapBlocks {
+        /// Number of sub-blocks per reduce partition.
+        blocks: u32,
+    },
+    /// Section 5, reduce-based block processing: each block is sent once;
+    /// the reducer stores non-resident blocks on its local disk.
+    BkReduceBlocks {
+        /// Number of sub-blocks per reduce partition.
+        blocks: u32,
+    },
+}
+
+/// Stage-3 algorithm: how RID pairs are rejoined with their records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage3Algo {
+    /// Basic Record Join: two jobs (fill each half, then assemble).
+    Brj,
+    /// One-Phase Record Join: the RID-pair list is broadcast to every map
+    /// task — faster on small lists, runs out of memory on large ones.
+    Oprj,
+}
+
+/// Full configuration of an end-to-end join.
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// The join predicate.
+    pub threshold: Threshold,
+    /// Input line format.
+    pub format: RecordFormat,
+    /// Tokenization.
+    pub tokenizer: TokenizerKind,
+    /// Stage-1 variant.
+    pub stage1: Stage1Algo,
+    /// Stage-2 variant.
+    pub stage2: Stage2Algo,
+    /// Prefix-token routing.
+    pub routing: TokenRouting,
+    /// Stage-3 variant.
+    pub stage3: Stage3Algo,
+    /// Optional length-based secondary routing (Section 5): prefix keys are
+    /// additionally split into length buckets of this width, partitioning
+    /// reduce groups further at the cost of more replication.
+    pub length_sub_routing: Option<u32>,
+}
+
+impl JoinConfig {
+    /// The paper's recommended robust configuration: BTO-PK-BRJ with
+    /// individual-token routing and Jaccard 0.80.
+    pub fn recommended() -> Self {
+        JoinConfig {
+            threshold: Threshold::jaccard(0.80),
+            format: RecordFormat::bibliographic(),
+            tokenizer: TokenizerKind::Word,
+            stage1: Stage1Algo::Bto,
+            stage2: Stage2Algo::Pk {
+                filters: FilterConfig::ppjoin_plus(),
+            },
+            routing: TokenRouting::Individual,
+            stage3: Stage3Algo::Brj,
+            length_sub_routing: None,
+        }
+    }
+
+    /// The fastest combination in the paper's experiments: BTO-PK-OPRJ.
+    pub fn fastest() -> Self {
+        JoinConfig {
+            stage3: Stage3Algo::Oprj,
+            ..Self::recommended()
+        }
+    }
+
+    /// The baseline combination: BTO-BK-BRJ.
+    pub fn basic() -> Self {
+        JoinConfig {
+            stage2: Stage2Algo::Bk,
+            ..Self::recommended()
+        }
+    }
+
+    /// Replace the threshold.
+    pub fn with_threshold(mut self, t: Threshold) -> Self {
+        self.threshold = t;
+        self
+    }
+
+    /// Human-readable combination name like `BTO-PK-BRJ`.
+    pub fn combo_name(&self) -> String {
+        let s1 = match self.stage1 {
+            Stage1Algo::Bto => "BTO",
+            Stage1Algo::Opto => "OPTO",
+            Stage1Algo::BtoRange => "BTO-R",
+        };
+        let s2 = match self.stage2 {
+            Stage2Algo::Bk => "BK",
+            Stage2Algo::Pk { .. } => "PK",
+            Stage2Algo::BkMapBlocks { .. } => "BK(mapblocks)",
+            Stage2Algo::BkReduceBlocks { .. } => "BK(redblocks)",
+        };
+        let s3 = match self.stage3 {
+            Stage3Algo::Brj => "BRJ",
+            Stage3Algo::Oprj => "OPRJ",
+        };
+        format!("{s1}-{s2}-{s3}")
+    }
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self::recommended()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_format_parses_bibliographic_lines() {
+        let f = RecordFormat::bibliographic();
+        let (rid, attr) = f
+            .parse("17\tparallel joins\tvernica carey li\tsigmod 2010")
+            .unwrap();
+        assert_eq!(rid, 17);
+        assert_eq!(attr, "parallel joins vernica carey li");
+    }
+
+    #[test]
+    fn record_format_errors() {
+        let f = RecordFormat::bibliographic();
+        assert!(f.parse("").is_err());
+        assert!(f.parse("abc\tt\ta").is_err());
+        // Missing join fields are tolerated (short lines still parse).
+        let (rid, attr) = f.parse("5\tonly title").unwrap();
+        assert_eq!(rid, 5);
+        assert_eq!(attr, "only title");
+    }
+
+    #[test]
+    fn routing_group_assignment() {
+        let r = TokenRouting::Individual;
+        assert_eq!(r.group_of(123), 123);
+        let g = TokenRouting::Grouped { groups: 10 };
+        assert_eq!(g.group_of(123), 3);
+        assert_eq!(g.group_of(7), 7);
+    }
+
+    #[test]
+    fn combo_names() {
+        assert_eq!(JoinConfig::recommended().combo_name(), "BTO-PK-BRJ");
+        assert_eq!(JoinConfig::fastest().combo_name(), "BTO-PK-OPRJ");
+        assert_eq!(JoinConfig::basic().combo_name(), "BTO-BK-BRJ");
+    }
+
+    #[test]
+    fn tokenizer_kind_builds() {
+        let w = TokenizerKind::Word.build();
+        assert_eq!(w.tokenize("A b"), vec!["a", "b"]);
+        let q = TokenizerKind::QGram(2).build();
+        assert!(!q.tokenize("ab").is_empty());
+    }
+}

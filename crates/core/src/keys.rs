@@ -1,0 +1,124 @@
+//! The composite stage-2 key and its partition/sort/group policies.
+//!
+//! Stage 2 manipulates MapReduce keys heavily — this is the heart of the
+//! paper's "exploit the framework by manipulating keys" idea. One composite
+//! key shape covers every stage-2 variant:
+//!
+//! ```text
+//! (group, pass, kind, class, rel)
+//! ```
+//!
+//! * `group` — routing key derived from a prefix token (individual token or
+//!   round-robin token group). Partitioning and reduce-grouping use **only**
+//!   this component (the paper's custom partitioner).
+//! * `pass`, `kind` — block-processing sequence numbers (Section 5):
+//!   `pass` is the resident-block index, `kind` 0 = load into memory,
+//!   1 = stream against memory. Zero outside blocks mode.
+//! * `class` — the length class. Self-joins use the record's set size, so
+//!   within each group projections arrive in increasing size order for the
+//!   PK kernel's index eviction. In R-S joins, R records use the
+//!   *lower-bound* length so every R record precedes the S records it can
+//!   join (Figure 6).
+//! * `rel` — relation tag: 0 = R (or self), 1 = S. Sorting places R before
+//!   S within a length class.
+
+use mapreduce::{group_by, partition_by, GroupEq, PartitionFn, SortCmp};
+
+/// The composite stage-2 key.
+pub type Stage2Key = (u32, u32, u8, u32, u8);
+
+/// Relation tag for the single relation of a self-join and for R.
+pub const REL_R: u8 = 0;
+/// Relation tag for S.
+pub const REL_S: u8 = 1;
+
+/// Load-block marker (blocks mode).
+pub const KIND_LOAD: u8 = 0;
+/// Stream-block marker (blocks mode).
+pub const KIND_STREAM: u8 = 1;
+
+/// A plain (non-blocks) key.
+pub fn plain(group: u32, class: u32, rel: u8) -> Stage2Key {
+    (group, 0, KIND_LOAD, class, rel)
+}
+
+/// A blocks-mode key.
+pub fn blocked(group: u32, pass: u32, kind: u8, class: u32, rel: u8) -> Stage2Key {
+    (group, pass, kind, class, rel)
+}
+
+/// Partition on the group component only.
+pub fn stage2_partitioner() -> PartitionFn<Stage2Key> {
+    partition_by(|k: &Stage2Key| k.0)
+}
+
+/// Group reduce calls on the group component only; the natural tuple sort
+/// then delivers `(pass, kind, class, rel)` order inside each group.
+pub fn stage2_grouping() -> GroupEq<Stage2Key> {
+    group_by(|k: &Stage2Key| k.0)
+}
+
+/// The sort comparator: natural tuple ordering (explicit for clarity).
+pub fn stage2_sort() -> SortCmp<Stage2Key> {
+    mapreduce::natural_sort::<Stage2Key>()
+}
+
+/// The value routed with each key: a record projection (RID + sorted token
+/// ranks) — the paper's "record projections" of stage 2.
+pub type Projection = (u64, Vec<u32>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_ignores_everything_but_group() {
+        let p = stage2_partitioner();
+        assert_eq!(
+            p(&plain(9, 3, REL_R), 16),
+            p(&blocked(9, 7, KIND_STREAM, 99, REL_S), 16)
+        );
+    }
+
+    #[test]
+    fn grouping_matches_on_group_only() {
+        let g = stage2_grouping();
+        assert!(g(&plain(4, 1, REL_R), &plain(4, 9, REL_S)));
+        assert!(!g(&plain(4, 1, REL_R), &plain(5, 1, REL_R)));
+    }
+
+    #[test]
+    fn sort_order_is_pass_kind_class_rel() {
+        let mut keys = vec![
+            blocked(1, 1, KIND_LOAD, 5, REL_R),
+            blocked(1, 0, KIND_STREAM, 9, REL_R),
+            blocked(1, 0, KIND_LOAD, 9, REL_R),
+            blocked(1, 0, KIND_LOAD, 2, REL_S),
+            blocked(1, 0, KIND_LOAD, 2, REL_R),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                blocked(1, 0, KIND_LOAD, 2, REL_R),
+                blocked(1, 0, KIND_LOAD, 2, REL_S),
+                blocked(1, 0, KIND_LOAD, 9, REL_R),
+                blocked(1, 0, KIND_STREAM, 9, REL_R),
+                blocked(1, 1, KIND_LOAD, 5, REL_R),
+            ]
+        );
+    }
+
+    #[test]
+    fn rs_length_class_delivers_r_before_joinable_s() {
+        // Figure 6: R records of length 5 get class lower_bound(5)=4 and
+        // sort before S records of lengths 4..6.
+        let t = setsim::Threshold::jaccard(0.8);
+        let r_len = 5usize;
+        let r_key = plain(1, t.lower_bound(r_len) as u32, REL_R);
+        for s_len in t.lower_bound(r_len)..=r_len + 1 {
+            let s_key = plain(1, s_len as u32, REL_S);
+            assert!(r_key < s_key, "R(len {r_len}) must precede S(len {s_len})");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! **fuzzyjoin** — parallel set-similarity joins on MapReduce.
+//!
+//! An end-to-end implementation of *Efficient Parallel Set-Similarity Joins
+//! Using MapReduce* (Vernica, Carey, Li — SIGMOD 2010) on top of the
+//! [`mapreduce`] engine and the [`setsim`] single-node kernels.
+//!
+//! The join runs in three stages, each a MapReduce job (or two):
+//!
+//! 1. **Token ordering** ([`stage1`]) — BTO or OPTO compute the global
+//!    token order by ascending frequency.
+//! 2. **RID-pair generation** ([`stage2`]) — record projections are routed
+//!    on prefix tokens (individual or grouped, optionally length-bucketed)
+//!    and verified by the BK or PK kernel; Section-5 block processing
+//!    handles groups that exceed the reducer's memory budget.
+//! 3. **Record join** ([`stage3`]) — BRJ or OPRJ materialize the actual
+//!    record pairs, deduplicating stage-2 output.
+//!
+//! Self-joins and R-S joins are both supported end to end; see
+//! [`self_join`] and [`rs_join`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod keys;
+pub mod pipeline;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+mod tokenizer_cache;
+
+pub use config::{
+    JoinConfig, RecordFormat, Stage1Algo, Stage2Algo, Stage3Algo, TokenRouting, TokenizerKind,
+};
+pub use keys::{Projection, Stage2Key};
+pub use pipeline::{read_joined, read_rid_pairs, rs_join, self_join, JoinOutcome};
+pub use stage3::{JoinedPair, PairKey};
+
+// Re-export the pieces callers need to drive a join.
+pub use mapreduce::{Cluster, ClusterConfig, MrError, NetworkModel, Result};
+pub use setsim::{FilterConfig, SimFunction, Threshold};

@@ -1,0 +1,184 @@
+//! End-to-end join drivers: the paper's three stages chained together.
+
+use mapreduce::{Cluster, PipelineMetrics, Result};
+
+use crate::config::JoinConfig;
+use crate::stage3::{JoinedPair, PairKey};
+use crate::{stage1, stage2, stage3};
+
+/// Result of an end-to-end join: output locations plus per-stage metrics.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// DFS path of the ordered token list (stage 1).
+    pub tokens_path: String,
+    /// DFS path of the RID-pair list (stage 2).
+    pub ridpairs_path: String,
+    /// DFS path of the joined record pairs (stage 3).
+    pub joined_path: String,
+    /// Metrics of stage 1's job(s).
+    pub stage1: PipelineMetrics,
+    /// Metrics of stage 2's job.
+    pub stage2: PipelineMetrics,
+    /// Metrics of stage 3's job(s).
+    pub stage3: PipelineMetrics,
+}
+
+impl JoinOutcome {
+    /// Total simulated seconds across all stages.
+    pub fn sim_secs(&self) -> f64 {
+        self.stage1.sim_secs() + self.stage2.sim_secs() + self.stage3.sim_secs()
+    }
+
+    /// Total real wall-clock seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.stage1.wall_secs() + self.stage2.wall_secs() + self.stage3.wall_secs()
+    }
+
+    /// Per-stage simulated seconds `(stage1, stage2, stage3)`.
+    pub fn stage_sim_secs(&self) -> (f64, f64, f64) {
+        (
+            self.stage1.sim_secs(),
+            self.stage2.sim_secs(),
+            self.stage3.sim_secs(),
+        )
+    }
+
+    /// Total bytes shuffled across all stages.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.stage1.shuffle_bytes() + self.stage2.shuffle_bytes() + self.stage3.shuffle_bytes()
+    }
+
+    /// A multi-line human-readable report of the join execution: one row per
+    /// MapReduce job with simulated time, shuffle volume, and task counts,
+    /// plus stage totals.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<24} {:>9} {:>9} {:>12} {:>7} {:>7} {:>8}",
+            "job", "sim(s)", "wall(s)", "shuffle(B)", "maps", "reduces", "retries"
+        );
+        for (stage, metrics) in [
+            ("1", &self.stage1),
+            ("2", &self.stage2),
+            ("3", &self.stage3),
+        ] {
+            for job in &metrics.jobs {
+                let _ = writeln!(
+                    s,
+                    "{:<24} {:>9.3} {:>9.3} {:>12} {:>7} {:>7} {:>8}",
+                    job.name,
+                    job.sim_secs,
+                    job.wall_secs,
+                    job.shuffle_bytes,
+                    job.map.tasks,
+                    job.reduce.tasks,
+                    job.task_retries,
+                );
+            }
+            let _ = writeln!(
+                s,
+                "  stage {stage} total: {:.3}s simulated, {:.3}s wall",
+                metrics.sim_secs(),
+                metrics.wall_secs()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "end-to-end: {:.3}s simulated, {:.3}s wall, {} bytes shuffled",
+            self.sim_secs(),
+            self.wall_secs(),
+            self.shuffle_bytes()
+        );
+        s
+    }
+}
+
+/// Run an end-to-end **self-join** of the records at `input`.
+///
+/// `work` is a scratch DFS directory; stage outputs land under it. Returns
+/// the outcome with all three stages' metrics.
+///
+/// ```
+/// use fuzzyjoin::{self_join, JoinConfig};
+/// use mapreduce::{Cluster, ClusterConfig};
+///
+/// let cluster = Cluster::new(ClusterConfig::with_nodes(2), 1 << 16).unwrap();
+/// cluster
+///     .dfs()
+///     .write_text(
+///         "/records",
+///         [
+///             "1\tefficient parallel set similarity joins\tvernica carey li",
+///             "2\tefficient parallel set similarity joins\tvernica carey li",
+///             "3\tsomething entirely different\tnobody",
+///         ],
+///     )
+///     .unwrap();
+/// let outcome = self_join(&cluster, "/records", "/work", &JoinConfig::recommended()).unwrap();
+/// let joined = fuzzyjoin::read_joined(&cluster, &outcome.joined_path).unwrap();
+/// assert_eq!(joined.len(), 1);
+/// assert_eq!(joined[0].0, (1, 2));
+/// ```
+pub fn self_join(
+    cluster: &Cluster,
+    input: &str,
+    work: &str,
+    config: &JoinConfig,
+) -> Result<JoinOutcome> {
+    let (tokens_path, m1) = stage1::run(cluster, input, config, work)?;
+    let (ridpairs_path, m2) = stage2::run_self(cluster, input, &tokens_path, config, work)?;
+    let (joined_path, m3) = stage3::run_self(cluster, input, &ridpairs_path, config, work)?;
+    Ok(JoinOutcome {
+        tokens_path,
+        ridpairs_path,
+        joined_path,
+        stage1: m1,
+        stage2: m2,
+        stage3: m3,
+    })
+}
+
+/// Run an end-to-end **R-S join** between the records at `r_input` and
+/// `s_input`. Stage 1 (token ordering) runs on R only, so R should be the
+/// smaller relation, as in the paper; S tokens absent from R's dictionary
+/// are discarded in stage 2.
+pub fn rs_join(
+    cluster: &Cluster,
+    r_input: &str,
+    s_input: &str,
+    work: &str,
+    config: &JoinConfig,
+) -> Result<JoinOutcome> {
+    let (tokens_path, m1) = stage1::run(cluster, r_input, config, work)?;
+    let (ridpairs_path, m2) =
+        stage2::run_rs(cluster, r_input, s_input, &tokens_path, config, work)?;
+    let (joined_path, m3) =
+        stage3::run_rs(cluster, r_input, s_input, &ridpairs_path, config, work)?;
+    Ok(JoinOutcome {
+        tokens_path,
+        ridpairs_path,
+        joined_path,
+        stage1: m1,
+        stage2: m2,
+        stage3: m3,
+    })
+}
+
+/// Read back the final joined record pairs, sorted by RID pair.
+pub fn read_joined(cluster: &Cluster, joined_path: &str) -> Result<Vec<(PairKey, JoinedPair)>> {
+    stage3::read_joined(cluster, joined_path)
+}
+
+/// Read back the stage-2 RID pairs (deduplicated and sorted) — convenient
+/// for tests and for workloads that only need the pair list.
+pub fn read_rid_pairs(cluster: &Cluster, ridpairs_path: &str) -> Result<Vec<(u64, u64, f64)>> {
+    let mut pairs = Vec::new();
+    for line in cluster.dfs().read_text(ridpairs_path)? {
+        pairs.push(stage2::parse_pair_line(&line)?);
+    }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    pairs.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    Ok(pairs)
+}

@@ -1,0 +1,359 @@
+//! Stage 1: token ordering.
+//!
+//! Scans the input records, computes per-token frequencies over the join
+//! attribute, and produces the global token list ordered by **increasing**
+//! frequency — the order that makes record prefixes hold their rarest
+//! tokens, balancing stage-2 workload under token-frequency skew.
+//!
+//! The paper's two variants, plus one extension:
+//!
+//! * **BTO** (Basic Token Ordering) — two jobs: (1) classic word-count with
+//!   a combiner; (2) a sort job that swaps `(token, count)` to
+//!   `(count, token)` keys and funnels everything through a single reducer,
+//!   whose output is the totally ordered token list.
+//! * **OPTO** (One-Phase Token Ordering) — one job: same counting map side,
+//!   but the single reducer keeps `(token, total)` in memory and sorts the
+//!   tokens in its tear-down, trading a second job for reducer memory.
+//! * **BTO-R** ([`Stage1Algo::BtoRange`], extension) — BTO with a sampled
+//!   range partitioner so the sort runs on many reducers yet still yields
+//!   one total order, removing the single-reducer bottleneck the paper
+//!   measures.
+
+use std::sync::Arc;
+
+use mapreduce::{
+    range_partitioner, sample_boundaries, seq_input, sum_combiner, text_input, Cluster, Emit,
+    Job, Mapper, PipelineMetrics, Reducer, Result, TaskContext,
+};
+
+use crate::config::{JoinConfig, RecordFormat, Stage1Algo, TokenizerKind};
+use crate::tokenizer_cache::CachedTokenizer;
+
+/// Mapper shared by BTO job 1 and OPTO: parse the record, tokenize the join
+/// attribute, and emit `(token, 1)`.
+#[derive(Clone)]
+pub struct TokenCountMapper {
+    format: RecordFormat,
+    tokenizer: CachedTokenizer,
+}
+
+impl TokenCountMapper {
+    /// Build from the join configuration.
+    pub fn new(format: RecordFormat, tokenizer: TokenizerKind) -> Self {
+        TokenCountMapper {
+            format,
+            tokenizer: CachedTokenizer::new(tokenizer),
+        }
+    }
+}
+
+impl Mapper for TokenCountMapper {
+    type InKey = u64;
+    type InValue = String;
+    type OutKey = String;
+    type OutValue = u64;
+
+    fn map(
+        &mut self,
+        _offset: &u64,
+        line: &String,
+        out: &mut dyn Emit<String, u64>,
+        ctx: &TaskContext,
+    ) -> Result<()> {
+        let (_rid, attr) = self.format.parse(line)?;
+        ctx.counter("stage1.records").incr();
+        for token in self.tokenizer.tokenize(&attr) {
+            out.emit(token, 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reducer of BTO job 1: total count per token.
+#[derive(Clone, Default)]
+struct SumReducer;
+
+impl Reducer for SumReducer {
+    type Key = String;
+    type InValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+
+    fn reduce(
+        &mut self,
+        key: &String,
+        values: &mut dyn Iterator<Item = (String, u64)>,
+        out: &mut dyn Emit<String, u64>,
+        _ctx: &TaskContext,
+    ) -> Result<()> {
+        out.emit(key.clone(), values.map(|(_, n)| n).sum())
+    }
+}
+
+/// Mapper of BTO job 2: swap `(token, count)` into a `(count, token)` key so
+/// the framework sorts by frequency (token as tiebreak for determinism).
+#[derive(Clone, Default)]
+struct SwapForSortMapper;
+
+impl Mapper for SwapForSortMapper {
+    type InKey = String;
+    type InValue = u64;
+    type OutKey = (u64, String);
+    type OutValue = ();
+
+    fn map(
+        &mut self,
+        token: &String,
+        count: &u64,
+        out: &mut dyn Emit<(u64, String), ()>,
+        _ctx: &TaskContext,
+    ) -> Result<()> {
+        out.emit((*count, token.clone()), ())
+    }
+}
+
+/// Reducer of BTO job 2: echo tokens in sorted order (single reducer).
+#[derive(Clone, Default)]
+struct EmitTokenReducer;
+
+impl Reducer for EmitTokenReducer {
+    type Key = (u64, String);
+    type InValue = ();
+    type OutKey = String;
+    type OutValue = ();
+
+    fn reduce(
+        &mut self,
+        key: &(u64, String),
+        values: &mut dyn Iterator<Item = ((u64, String), ())>,
+        out: &mut dyn Emit<String, ()>,
+        _ctx: &TaskContext,
+    ) -> Result<()> {
+        // Duplicate tokens cannot occur (job 1 reduced per token), but drain
+        // defensively.
+        let n = values.count().max(1);
+        for _ in 0..n {
+            out.emit(key.1.clone(), ())?;
+        }
+        Ok(())
+    }
+}
+
+/// OPTO reducer: accumulate totals in memory, sort in tear-down.
+#[derive(Clone, Default)]
+struct OptoReducer {
+    acc: Vec<(String, u64)>,
+    charged: u64,
+}
+
+impl Reducer for OptoReducer {
+    type Key = String;
+    type InValue = u64;
+    type OutKey = String;
+    type OutValue = ();
+
+    fn reduce(
+        &mut self,
+        key: &String,
+        values: &mut dyn Iterator<Item = (String, u64)>,
+        _out: &mut dyn Emit<String, ()>,
+        ctx: &TaskContext,
+    ) -> Result<()> {
+        let total: u64 = values.map(|(_, n)| n).sum();
+        let bytes = key.len() as u64 + 32;
+        ctx.memory().charge(bytes)?;
+        self.charged += bytes;
+        self.acc.push((key.clone(), total));
+        Ok(())
+    }
+
+    fn cleanup(&mut self, out: &mut dyn Emit<String, ()>, ctx: &TaskContext) -> Result<()> {
+        self.acc
+            .sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for (token, _) in self.acc.drain(..) {
+            out.emit(token, ())?;
+        }
+        ctx.memory().release(self.charged);
+        self.charged = 0;
+        Ok(())
+    }
+}
+
+/// Run stage 1 over the records at `input`, writing the ordered token list
+/// (one token per line, ascending frequency) to `{work}/tokens`.
+///
+/// Returns the token-list path and per-job metrics.
+pub fn run(
+    cluster: &Cluster,
+    input: &str,
+    config: &JoinConfig,
+    work: &str,
+) -> Result<(String, PipelineMetrics)> {
+    let tokens_path = format!("{}/tokens", work.trim_end_matches('/'));
+    let mut metrics = PipelineMetrics::default();
+    let mapper = TokenCountMapper::new(config.format.clone(), config.tokenizer);
+
+    match config.stage1 {
+        Stage1Algo::Bto => {
+            let counts_path = format!("{}/token-counts", work.trim_end_matches('/'));
+            let job1 = Job::new("stage1-bto-count", mapper, SumReducer)
+                .inputs(text_input(cluster.dfs(), input)?)
+                .combiner(sum_combiner())
+                .output_seq(&counts_path);
+            metrics.push(cluster.run(job1)?);
+
+            let job2 = Job::new("stage1-bto-sort", SwapForSortMapper, EmitTokenReducer)
+                .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
+                .reducers(1)
+                .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()));
+            metrics.push(cluster.run(job2)?);
+        }
+        Stage1Algo::Opto => {
+            let job = Job::new("stage1-opto", mapper, OptoReducer::default())
+                .inputs(text_input(cluster.dfs(), input)?)
+                .combiner(sum_combiner())
+                .reducers(1)
+                .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()));
+            metrics.push(cluster.run(job)?);
+        }
+        Stage1Algo::BtoRange => {
+            let counts_path = format!("{}/token-counts", work.trim_end_matches('/'));
+            let job1 = Job::new("stage1-btor-count", mapper, SumReducer)
+                .inputs(text_input(cluster.dfs(), input)?)
+                .combiner(sum_combiner())
+                .output_seq(&counts_path);
+            metrics.push(cluster.run(job1)?);
+
+            // Driver-side sampling, the equivalent of building Hadoop's
+            // TotalOrderPartitioner partition file: read the (small) count
+            // output, sort, and take quantile boundaries.
+            let mut sample: Vec<(u64, String)> = cluster
+                .dfs()
+                .read_seq::<String, u64>(&counts_path)?
+                .into_iter()
+                .map(|(t, c)| (c, t))
+                .collect();
+            sample.sort();
+            let reducers = cluster.config().default_reducers();
+            let boundaries = sample_boundaries(&sample, reducers);
+
+            let job2 = Job::new("stage1-btor-sort", SwapForSortMapper, EmitTokenReducer)
+                .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
+                .partitioner(range_partitioner(boundaries))
+                .reducers(reducers)
+                .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()));
+            metrics.push(cluster.run(job2)?);
+        }
+    }
+    Ok((tokens_path, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::with_nodes(3), 512).unwrap()
+    }
+
+    fn write_records(cluster: &Cluster) {
+        // Frequencies over title+authors: rare=1, mid=2, common=3.
+        let lines = [
+            "1\tcommon mid\trare\tmisc",
+            "2\tcommon\tmid\tmisc",
+            "3\tcommon\t\tmisc",
+        ];
+        cluster.dfs().write_text("/in", lines).unwrap();
+    }
+
+    fn config(algo: Stage1Algo) -> JoinConfig {
+        JoinConfig {
+            stage1: algo,
+            ..JoinConfig::recommended()
+        }
+    }
+
+    #[test]
+    fn bto_orders_tokens_by_ascending_frequency() {
+        let c = cluster();
+        write_records(&c);
+        let (path, m) = run(&c, "/in", &config(Stage1Algo::Bto), "/work").unwrap();
+        assert_eq!(m.jobs.len(), 2);
+        let tokens = c.dfs().read_text(&path).unwrap();
+        assert_eq!(tokens, vec!["rare", "mid", "common"]);
+    }
+
+    #[test]
+    fn opto_matches_bto_output() {
+        let c1 = cluster();
+        write_records(&c1);
+        let (p1, m1) = run(&c1, "/in", &config(Stage1Algo::Bto), "/work").unwrap();
+        let bto = c1.dfs().read_text(&p1).unwrap();
+
+        let c2 = cluster();
+        write_records(&c2);
+        let (p2, m2) = run(&c2, "/in", &config(Stage1Algo::Opto), "/work").unwrap();
+        let opto = c2.dfs().read_text(&p2).unwrap();
+
+        assert_eq!(bto, opto);
+        assert_eq!(m2.jobs.len(), 1, "OPTO is one job");
+        assert_eq!(m1.jobs.len(), 2, "BTO is two jobs");
+    }
+
+    #[test]
+    fn opto_respects_memory_budget() {
+        let mut cc = ClusterConfig::with_nodes(2);
+        cc.task_memory = Some(50); // absurdly small: token list cannot fit
+        let c = Cluster::new(cc, 512).unwrap();
+        write_records(&c);
+        let err = run(&c, "/in", &config(Stage1Algo::Opto), "/work").unwrap_err();
+        assert!(err.is_out_of_memory());
+    }
+
+    #[test]
+    fn bto_range_matches_bto_with_many_reducers() {
+        let c1 = cluster();
+        write_records(&c1);
+        let (p1, _) = run(&c1, "/in", &config(Stage1Algo::Bto), "/work").unwrap();
+        let bto = c1.dfs().read_text(&p1).unwrap();
+
+        let c2 = cluster();
+        write_records(&c2);
+        let (p2, m2) = run(&c2, "/in", &config(Stage1Algo::BtoRange), "/work").unwrap();
+        let btor = c2.dfs().read_text(&p2).unwrap();
+        assert_eq!(btor, bto, "range-partitioned sort must preserve the total order");
+        assert!(
+            m2.jobs[1].reduce.tasks > 1,
+            "sort phase must use multiple reducers"
+        );
+    }
+
+    #[test]
+    fn bto_range_on_larger_dictionary() {
+        let c = cluster();
+        // 60 tokens with distinct frequencies spread across reducers.
+        let mut lines = Vec::new();
+        for i in 0..60 {
+            for _ in 0..=i {
+                lines.push(format!("{}\ttok{i:02}\tx\t", lines.len() + 1));
+            }
+        }
+        c.dfs().write_text("/big", &lines).unwrap();
+        let (path, _) = run(&c, "/big", &config(Stage1Algo::BtoRange), "/w").unwrap();
+        let tokens = c.dfs().read_text(&path).unwrap();
+        let mut expected: Vec<String> = (0..60).map(|i| format!("tok{i:02}")).collect();
+        expected.push("x".to_string()); // the author field token, most frequent
+        assert_eq!(tokens, expected);
+        // Output spans multiple part files.
+        assert!(c.dfs().list(&path).len() > 1);
+    }
+
+    #[test]
+    fn counters_track_records() {
+        let c = cluster();
+        write_records(&c);
+        let (_, m) = run(&c, "/in", &config(Stage1Algo::Bto), "/work").unwrap();
+        assert_eq!(m.jobs[0].counter("stage1.records"), 3);
+    }
+}

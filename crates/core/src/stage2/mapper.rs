@@ -1,0 +1,377 @@
+//! The stage-2 mapper: record projection and prefix-token routing.
+//!
+//! For every input record the mapper extracts the RID and join-attribute
+//! value, reorders the tokens by the stage-1 global order (loading that
+//! order in its initialization, like the paper's mappers load it from the
+//! distributed cache), computes the probe prefix, and emits one projection
+//! per routing key derived from the prefix tokens.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mapreduce::{stable_hash, Emit, Mapper, Result, TaskContext};
+use setsim::{Threshold, TokenOrder};
+
+use crate::config::{RecordFormat, TokenRouting, TokenizerKind};
+use crate::keys::{Projection, Stage2Key, KIND_LOAD, KIND_STREAM, REL_R, REL_S};
+use crate::tokenizer_cache::CachedTokenizer;
+
+/// How projections are replicated across block-processing passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitMode {
+    /// One key per routing group (all non-blocks kernels).
+    Plain,
+    /// Section 5 map-based block processing: the mapper replicates and
+    /// interleaves blocks via `(pass, kind)` key components.
+    MapBlocks {
+        /// Number of sub-blocks.
+        blocks: u32,
+    },
+    /// Section 5 reduce-based block processing: each record is sent once,
+    /// tagged with its block id; the reducer spills to local disk.
+    ReduceBlocks {
+        /// Number of sub-blocks.
+        blocks: u32,
+    },
+}
+
+/// Stage-2 mapper shared by every kernel variant.
+#[derive(Clone)]
+pub struct ProjectionMapper {
+    format: RecordFormat,
+    tokenizer: CachedTokenizer,
+    threshold: Threshold,
+    routing: TokenRouting,
+    tokens_path: String,
+    /// `Some(s_path)` in R-S mode: inputs whose path starts with `s_path`
+    /// are tagged as S records.
+    s_path: Option<String>,
+    emit_mode: EmitMode,
+    length_sub_routing: Option<u32>,
+    order: Option<Arc<TokenOrder>>,
+}
+
+impl ProjectionMapper {
+    /// Build a mapper. `s_path` switches R-S behaviour on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        format: RecordFormat,
+        tokenizer: TokenizerKind,
+        threshold: Threshold,
+        routing: TokenRouting,
+        tokens_path: String,
+        s_path: Option<String>,
+        emit_mode: EmitMode,
+        length_sub_routing: Option<u32>,
+    ) -> Self {
+        ProjectionMapper {
+            format,
+            tokenizer: CachedTokenizer::new(tokenizer),
+            threshold,
+            routing,
+            tokens_path,
+            s_path,
+            emit_mode,
+            length_sub_routing,
+            order: None,
+        }
+    }
+
+    /// Routing groups for a record's probe prefix, including the optional
+    /// length-bucket sub-routing of Section 5.
+    fn groups_for(&self, ranks: &[u32]) -> BTreeSet<u32> {
+        let len = ranks.len();
+        let prefix_len = self.threshold.probe_prefix_len(len);
+        let mut groups = BTreeSet::new();
+        for &rank in &ranks[..prefix_len] {
+            let g = self.routing.group_of(rank);
+            match self.length_sub_routing {
+                None => {
+                    groups.insert(g);
+                }
+                Some(width) => {
+                    // Replicate into every length bucket the record's
+                    // compatible-partner range covers, so any similar pair
+                    // shares the bucket of its shorter member.
+                    let width = width.max(1) as usize;
+                    let lo = self.threshold.lower_bound(len) / width;
+                    let hi = len / width;
+                    for bucket in lo..=hi {
+                        groups.insert(
+                            (stable_hash(&(g, bucket as u32)) & 0xffff_ffff) as u32,
+                        );
+                    }
+                }
+            }
+        }
+        groups
+    }
+}
+
+impl Mapper for ProjectionMapper {
+    type InKey = u64;
+    type InValue = String;
+    type OutKey = Stage2Key;
+    type OutValue = Projection;
+
+    fn setup(&mut self, ctx: &TaskContext) -> Result<()> {
+        let tokens_path = self.tokens_path.clone();
+        let dfs = ctx.dfs().clone();
+        let order = ctx.cache().get_or_load::<TokenOrder, _>(
+            "stage2.token-order",
+            ctx.memory(),
+            || {
+                let lines = dfs.read_text(&tokens_path)?;
+                let order = TokenOrder::from_ordered_tokens(lines)
+                    .map_err(mapreduce::MrError::TaskFailed)?;
+                let bytes = order.approx_bytes();
+                Ok((order, bytes))
+            },
+        )?;
+        self.order = Some(order);
+        Ok(())
+    }
+
+    fn map(
+        &mut self,
+        _offset: &u64,
+        line: &String,
+        out: &mut dyn Emit<Stage2Key, Projection>,
+        ctx: &TaskContext,
+    ) -> Result<()> {
+        let (rid, attr) = self.format.parse(line)?;
+        let rel = match &self.s_path {
+            Some(s) if ctx.input_path.starts_with(s.as_str()) => REL_S,
+            Some(_) => REL_R,
+            None => REL_R,
+        };
+        let tokens = self.tokenizer.tokenize(&attr);
+        let order = self.order.as_ref().expect("setup ran");
+        // Unknown tokens (S tokens absent from R's dictionary) are dropped
+        // by `project`, as in the paper.
+        let ranks = order.project(&tokens);
+        if ranks.is_empty() {
+            ctx.counter("stage2.empty_projections").incr();
+            return Ok(());
+        }
+        let len = ranks.len() as u32;
+        // R records take their lower-bound length as class so they arrive
+        // before every S record they can join (Figure 6); self-join and S
+        // records use their actual length.
+        let class = if self.s_path.is_some() && rel == REL_R {
+            self.threshold.lower_bound(ranks.len()) as u32
+        } else {
+            len
+        };
+        let groups = self.groups_for(&ranks);
+        ctx.counter("stage2.projections").incr();
+        for g in groups {
+            match self.emit_mode {
+                EmitMode::Plain => {
+                    out.emit((g, 0, KIND_LOAD, class, rel), (rid, ranks.clone()))?;
+                    ctx.counter("stage2.routed_pairs").incr();
+                }
+                EmitMode::MapBlocks { blocks } => {
+                    let b = (stable_hash(&rid) % u64::from(blocks.max(1))) as u32;
+                    if rel == REL_R {
+                        out.emit((g, b, KIND_LOAD, class, rel), (rid, ranks.clone()))?;
+                        ctx.counter("stage2.routed_pairs").incr();
+                        if self.s_path.is_none() {
+                            // Self-join: stream against every earlier block.
+                            for pass in 0..b {
+                                out.emit(
+                                    (g, pass, KIND_STREAM, class, rel),
+                                    (rid, ranks.clone()),
+                                )?;
+                                ctx.counter("stage2.routed_pairs").incr();
+                            }
+                        }
+                    } else {
+                        // S records stream against every R block.
+                        for pass in 0..blocks.max(1) {
+                            out.emit((g, pass, KIND_STREAM, class, rel), (rid, ranks.clone()))?;
+                            ctx.counter("stage2.routed_pairs").incr();
+                        }
+                    }
+                }
+                EmitMode::ReduceBlocks { blocks } => {
+                    let pass = if rel == REL_S {
+                        // S arrives after every R block.
+                        blocks.max(1)
+                    } else {
+                        (stable_hash(&rid) % u64::from(blocks.max(1))) as u32
+                    };
+                    out.emit((g, pass, KIND_LOAD, class, rel), (rid, ranks.clone()))?;
+                    ctx.counter("stage2.routed_pairs").incr();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{Cache, Cluster, ClusterConfig, Counters, MemoryGauge, Phase, VecEmitter};
+
+    fn make_ctx(cluster: &Cluster, input_path: &str) -> TaskContext {
+        let mut ctx = TaskContext::new(
+            Phase::Map,
+            0,
+            0,
+            4,
+            Counters::new(),
+            MemoryGauge::unlimited("t"),
+            Cache::new(),
+            cluster.dfs().clone(),
+        );
+        ctx.input_path = input_path.to_string();
+        ctx
+    }
+
+    fn setup_cluster_with_tokens(tokens: &[&str]) -> Cluster {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(2), 512).unwrap();
+        cluster.dfs().write_text("/tokens", tokens).unwrap();
+        cluster
+    }
+
+    fn mapper(emit_mode: EmitMode, s_path: Option<&str>) -> ProjectionMapper {
+        ProjectionMapper::new(
+            RecordFormat::two_column(),
+            TokenizerKind::Word,
+            Threshold::jaccard(0.5),
+            TokenRouting::Individual,
+            "/tokens".into(),
+            s_path.map(str::to_string),
+            emit_mode,
+            None,
+        )
+    }
+
+    #[test]
+    fn plain_emission_routes_on_prefix_tokens() {
+        let cluster = setup_cluster_with_tokens(&["rare", "mid", "common", "filler"]);
+        let ctx = make_ctx(&cluster, "/in");
+        let mut m = mapper(EmitMode::Plain, None);
+        m.setup(&ctx).unwrap();
+        let mut out = VecEmitter::new();
+        // 4 tokens at tau 0.5: prefix = 4 - 2 + 1 = 3 tokens.
+        m.map(&0, &"7\trare mid common filler".to_string(), &mut out, &ctx)
+            .unwrap();
+        assert_eq!(out.pairs.len(), 3, "one emission per prefix token");
+        for ((g, pass, kind, class, rel), (rid, ranks)) in &out.pairs {
+            assert!(*g < 3, "groups are the prefix ranks");
+            assert_eq!((*pass, *kind, *rel), (0, KIND_LOAD, REL_R));
+            assert_eq!(*class, 4);
+            assert_eq!(*rid, 7);
+            assert_eq!(ranks, &vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn unknown_tokens_are_dropped() {
+        let cluster = setup_cluster_with_tokens(&["a", "b"]);
+        let ctx = make_ctx(&cluster, "/in");
+        let mut m = mapper(EmitMode::Plain, None);
+        m.setup(&ctx).unwrap();
+        let mut out = VecEmitter::new();
+        m.map(&0, &"1\ta zzz b".to_string(), &mut out, &ctx).unwrap();
+        assert!(out.pairs.iter().all(|(_, (_, ranks))| ranks == &vec![0, 1]));
+        // A record of only-unknown tokens is skipped entirely.
+        let mut out2 = VecEmitter::new();
+        m.map(&0, &"2\tzzz qqq".to_string(), &mut out2, &ctx).unwrap();
+        assert!(out2.pairs.is_empty());
+    }
+
+    #[test]
+    fn rs_mode_tags_relation_and_length_class() {
+        let cluster = setup_cluster_with_tokens(&["a", "b", "c", "d"]);
+        let mut m = mapper(EmitMode::Plain, Some("/s"));
+        // R record from /r.
+        let ctx_r = make_ctx(&cluster, "/r");
+        m.setup(&ctx_r).unwrap();
+        let mut out = VecEmitter::new();
+        m.map(&0, &"1\ta b c d".to_string(), &mut out, &ctx_r).unwrap();
+        for ((_, _, _, class, rel), _) in &out.pairs {
+            assert_eq!(*rel, REL_R);
+            assert_eq!(*class, 2, "R class = lower bound of 4 at tau 0.5");
+        }
+        // S record from /s/part-0.
+        let ctx_s = make_ctx(&cluster, "/s/part-0");
+        let mut out = VecEmitter::new();
+        m.map(&0, &"9\ta b c d".to_string(), &mut out, &ctx_s).unwrap();
+        for ((_, _, _, class, rel), _) in &out.pairs {
+            assert_eq!(*rel, REL_S);
+            assert_eq!(*class, 4, "S class = actual length");
+        }
+    }
+
+    #[test]
+    fn map_blocks_replicates_for_earlier_passes() {
+        let cluster = setup_cluster_with_tokens(&["a", "b", "c", "d"]);
+        let ctx = make_ctx(&cluster, "/in");
+        let mut m = mapper(EmitMode::MapBlocks { blocks: 4 }, None);
+        m.setup(&ctx).unwrap();
+        let mut out = VecEmitter::new();
+        m.map(&0, &"5\ta b".to_string(), &mut out, &ctx).unwrap();
+        // 2 tokens at tau 0.5: prefix = 2 (lower_bound(2)=1). For each group
+        // the record loads once at its own block b and streams b times.
+        let b = (stable_hash(&5u64) % 4) as u32;
+        let loads = out
+            .pairs
+            .iter()
+            .filter(|((_, _, kind, _, _), _)| *kind == KIND_LOAD)
+            .count();
+        let streams = out
+            .pairs
+            .iter()
+            .filter(|((_, _, kind, _, _), _)| *kind == KIND_STREAM)
+            .count();
+        assert_eq!(loads, 2);
+        assert_eq!(streams, 2 * b as usize);
+    }
+
+    #[test]
+    fn grouped_routing_merges_tokens() {
+        let cluster = setup_cluster_with_tokens(&["a", "b", "c", "d"]);
+        let ctx = make_ctx(&cluster, "/in");
+        let mut m = ProjectionMapper::new(
+            RecordFormat::two_column(),
+            TokenizerKind::Word,
+            Threshold::jaccard(0.5),
+            TokenRouting::Grouped { groups: 1 },
+            "/tokens".into(),
+            None,
+            EmitMode::Plain,
+            None,
+        );
+        m.setup(&ctx).unwrap();
+        let mut out = VecEmitter::new();
+        m.map(&0, &"3\ta b c d".to_string(), &mut out, &ctx).unwrap();
+        assert_eq!(out.pairs.len(), 1, "all prefix tokens share group 0");
+        assert_eq!(out.pairs[0].0 .0, 0);
+    }
+
+    #[test]
+    fn length_sub_routing_replicates_into_buckets() {
+        let cluster = setup_cluster_with_tokens(&["a", "b", "c", "d", "e", "f", "g", "h"]);
+        let ctx = make_ctx(&cluster, "/in");
+        let mut m = ProjectionMapper::new(
+            RecordFormat::two_column(),
+            TokenizerKind::Word,
+            Threshold::jaccard(0.5),
+            TokenRouting::Grouped { groups: 1 },
+            "/tokens".into(),
+            None,
+            EmitMode::Plain,
+            Some(1),
+        );
+        m.setup(&ctx).unwrap();
+        let mut out = VecEmitter::new();
+        // len 8, lower bound 4: buckets 4..=8 -> 5 synthetic groups.
+        m.map(&0, &"3\ta b c d e f g h".to_string(), &mut out, &ctx)
+            .unwrap();
+        assert_eq!(out.pairs.len(), 5);
+    }
+}

@@ -1,0 +1,164 @@
+//! Stage 2: RID-pair generation — the join "kernel".
+//!
+//! The mapper ([`mapper::ProjectionMapper`]) projects records onto
+//! `(RID, token ranks)` and routes them on prefix-token keys; the reducers
+//! verify candidates with the configured kernel (BK nested loops, PK
+//! PPJoin+, or the Section-5 block-processing variants). Output is a text
+//! file of `rid1 \t rid2 \t similarity` lines, possibly with duplicates
+//! (the same pair can be verified at several reducers); stage 3 eliminates
+//! them.
+
+pub mod blocks;
+pub mod mapper;
+pub mod reducers;
+
+use std::sync::Arc;
+
+use mapreduce::{text_input, Cluster, Job, MrError, PipelineMetrics, Result, SplitSource};
+
+use crate::config::{JoinConfig, Stage2Algo};
+use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort};
+use crate::stage2::blocks::{MapBlocksReducer, ReduceBlocksReducer};
+use crate::stage2::mapper::{EmitMode, ProjectionMapper};
+use crate::stage2::reducers::{BkReducer, PkReducer};
+
+/// Parse a stage-2 output line back into `(rid1, rid2, sim)`.
+pub fn parse_pair_line(line: &str) -> Result<(u64, u64, f64)> {
+    let mut it = line.split('\t');
+    let parse_u64 = |s: Option<&str>| -> Result<u64> {
+        s.ok_or_else(|| MrError::TaskFailed(format!("short pair line: {line:?}")))?
+            .parse::<u64>()
+            .map_err(|e| MrError::TaskFailed(format!("bad pair line {line:?}: {e}")))
+    };
+    let a = parse_u64(it.next())?;
+    let b = parse_u64(it.next())?;
+    let sim = it
+        .next()
+        .ok_or_else(|| MrError::TaskFailed(format!("short pair line: {line:?}")))?
+        .parse::<f64>()
+        .map_err(|e| MrError::TaskFailed(format!("bad similarity in {line:?}: {e}")))?;
+    Ok((a, b, sim))
+}
+
+/// Format a RID pair as a stage-2 output line.
+pub fn format_pair_line(k: &(u64, u64), sim: &f64) -> String {
+    format!("{}\t{}\t{}", k.0, k.1, sim)
+}
+
+fn emit_mode(algo: &Stage2Algo) -> EmitMode {
+    match algo {
+        Stage2Algo::Bk | Stage2Algo::Pk { .. } => EmitMode::Plain,
+        Stage2Algo::BkMapBlocks { blocks } => EmitMode::MapBlocks { blocks: *blocks },
+        Stage2Algo::BkReduceBlocks { blocks } => EmitMode::ReduceBlocks { blocks: *blocks },
+    }
+}
+
+fn run_kernel(
+    cluster: &Cluster,
+    inputs: Vec<SplitSource<u64, String>>,
+    mapper: ProjectionMapper,
+    config: &JoinConfig,
+    rs: bool,
+    pairs_path: &str,
+) -> Result<PipelineMetrics> {
+    let fmt = Arc::new(format_pair_line);
+    let mut metrics = PipelineMetrics::default();
+    macro_rules! run_with {
+        ($name:expr, $reducer:expr) => {{
+            let job = Job::new($name, mapper, $reducer)
+                .inputs(inputs)
+                .partitioner(stage2_partitioner())
+                .sort_cmp(stage2_sort())
+                .group_eq(stage2_grouping())
+                .output_text(pairs_path, fmt);
+            metrics.push(cluster.run(job)?);
+        }};
+    }
+    match config.stage2 {
+        Stage2Algo::Bk => run_with!("stage2-bk", BkReducer::new(config.threshold, rs)),
+        Stage2Algo::Pk { filters } => {
+            run_with!("stage2-pk", PkReducer::new(config.threshold, filters, rs))
+        }
+        Stage2Algo::BkMapBlocks { .. } => run_with!(
+            "stage2-bk-mapblocks",
+            MapBlocksReducer::new(config.threshold, rs)
+        ),
+        Stage2Algo::BkReduceBlocks { .. } => run_with!(
+            "stage2-bk-reduceblocks",
+            ReduceBlocksReducer::new(config.threshold, rs)
+        ),
+    }
+    Ok(metrics)
+}
+
+/// Run the self-join kernel over the records at `input`, using the stage-1
+/// token list at `tokens_path`. Writes RID pairs to `{work}/ridpairs`.
+pub fn run_self(
+    cluster: &Cluster,
+    input: &str,
+    tokens_path: &str,
+    config: &JoinConfig,
+    work: &str,
+) -> Result<(String, PipelineMetrics)> {
+    let pairs_path = format!("{}/ridpairs", work.trim_end_matches('/'));
+    let mapper = ProjectionMapper::new(
+        config.format.clone(),
+        config.tokenizer,
+        config.threshold,
+        config.routing,
+        tokens_path.to_string(),
+        None,
+        emit_mode(&config.stage2),
+        config.length_sub_routing,
+    );
+    let inputs = text_input(cluster.dfs(), input)?;
+    let metrics = run_kernel(cluster, inputs, mapper, config, false, &pairs_path)?;
+    Ok((pairs_path, metrics))
+}
+
+/// Run the R-S kernel: R records at `r_input`, S records at `s_input`.
+/// The token list must have been computed over R (stage 1 runs on the
+/// smaller relation); S tokens outside it are discarded.
+pub fn run_rs(
+    cluster: &Cluster,
+    r_input: &str,
+    s_input: &str,
+    tokens_path: &str,
+    config: &JoinConfig,
+    work: &str,
+) -> Result<(String, PipelineMetrics)> {
+    let pairs_path = format!("{}/ridpairs", work.trim_end_matches('/'));
+    let mapper = ProjectionMapper::new(
+        config.format.clone(),
+        config.tokenizer,
+        config.threshold,
+        config.routing,
+        tokens_path.to_string(),
+        Some(s_input.to_string()),
+        emit_mode(&config.stage2),
+        config.length_sub_routing,
+    );
+    let mut inputs = text_input(cluster.dfs(), r_input)?;
+    inputs.extend(text_input(cluster.dfs(), s_input)?);
+    let metrics = run_kernel(cluster, inputs, mapper, config, true, &pairs_path)?;
+    Ok((pairs_path, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_line_roundtrip() {
+        let line = format_pair_line(&(3, 17), &0.875);
+        assert_eq!(parse_pair_line(&line).unwrap(), (3, 17, 0.875));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_pair_line("").is_err());
+        assert!(parse_pair_line("1\t2").is_err());
+        assert!(parse_pair_line("a\tb\t0.5").is_err());
+        assert!(parse_pair_line("1\t2\tnotafloat").is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Stage-2 reducers: the Basic Kernel (BK) and the PPJoin+ Kernel (PK).
+
+use mapreduce::{Emit, Reducer, Result, TaskContext};
+use setsim::{verify_pair, FilterConfig, PpjoinIndex, Threshold};
+
+use crate::keys::{Projection, Stage2Key, REL_S};
+
+/// Bytes charged for a buffered projection.
+pub(crate) fn projection_bytes(tokens: &[u32]) -> u64 {
+    tokens.len() as u64 * 4 + 48
+}
+
+/// Emit a verified pair: id-normalized for self-joins, `(r, s)` for R-S.
+pub(crate) fn emit_pair(
+    rs: bool,
+    a: u64,
+    b: u64,
+    sim: f64,
+    out: &mut dyn Emit<(u64, u64), f64>,
+    ctx: &TaskContext,
+) -> Result<()> {
+    ctx.counter("stage2.pairs_emitted").incr();
+    if rs {
+        out.emit((a, b), sim)
+    } else {
+        out.emit((a.min(b), a.max(b)), sim)
+    }
+}
+
+/// The Basic Kernel: nested loops over the group's projections with the
+/// length filter and exact verification. For R-S joins, only the R side is
+/// buffered; S records stream against it ("we then store the records from
+/// the first relation (as they arrive first), and stream the records from
+/// the second relation").
+#[derive(Clone)]
+pub struct BkReducer {
+    threshold: Threshold,
+    /// R-S mode (false = self-join).
+    rs: bool,
+}
+
+impl BkReducer {
+    /// A BK reducer for self-joins or R-S joins.
+    pub fn new(threshold: Threshold, rs: bool) -> Self {
+        BkReducer { threshold, rs }
+    }
+}
+
+impl Reducer for BkReducer {
+    type Key = Stage2Key;
+    type InValue = Projection;
+    type OutKey = (u64, u64);
+    type OutValue = f64;
+
+    fn reduce(
+        &mut self,
+        _key: &Stage2Key,
+        values: &mut dyn Iterator<Item = (Stage2Key, Projection)>,
+        out: &mut dyn Emit<(u64, u64), f64>,
+        ctx: &TaskContext,
+    ) -> Result<()> {
+        let mut buffer: Vec<Projection> = Vec::new();
+        let mut charged = 0u64;
+        for ((_, _, _, _, rel), (rid, tokens)) in values {
+            if self.rs && rel == REL_S {
+                // Stream S against the buffered R records.
+                for (r_rid, r_tokens) in &buffer {
+                    ctx.counter("stage2.candidates").incr();
+                    if let Some(sim) = verify_pair(&self.threshold, r_tokens, &tokens) {
+                        emit_pair(true, *r_rid, rid, sim, out, ctx)?;
+                    }
+                }
+            } else {
+                if !self.rs {
+                    for (o_rid, o_tokens) in &buffer {
+                        if *o_rid == rid {
+                            continue;
+                        }
+                        ctx.counter("stage2.candidates").incr();
+                        if let Some(sim) = verify_pair(&self.threshold, o_tokens, &tokens) {
+                            emit_pair(false, *o_rid, rid, sim, out, ctx)?;
+                        }
+                    }
+                }
+                let bytes = projection_bytes(&tokens);
+                ctx.memory().charge(bytes)?;
+                charged += bytes;
+                buffer.push((rid, tokens));
+            }
+        }
+        ctx.memory().release(charged);
+        Ok(())
+    }
+}
+
+/// The PPJoin+ Kernel: the streaming indexed kernel of [`setsim::ppjoin`],
+/// exploiting the composite-key sort: projections arrive in increasing
+/// length order, so the index evicts by the length filter as it goes.
+#[derive(Clone)]
+pub struct PkReducer {
+    threshold: Threshold,
+    filters: FilterConfig,
+    /// R-S mode (false = self-join).
+    rs: bool,
+}
+
+impl PkReducer {
+    /// A PK reducer for self-joins or R-S joins.
+    pub fn new(threshold: Threshold, filters: FilterConfig, rs: bool) -> Self {
+        PkReducer {
+            threshold,
+            filters,
+            rs,
+        }
+    }
+}
+
+impl Reducer for PkReducer {
+    type Key = Stage2Key;
+    type InValue = Projection;
+    type OutKey = (u64, u64);
+    type OutValue = f64;
+
+    fn reduce(
+        &mut self,
+        _key: &Stage2Key,
+        values: &mut dyn Iterator<Item = (Stage2Key, Projection)>,
+        out: &mut dyn Emit<(u64, u64), f64>,
+        ctx: &TaskContext,
+    ) -> Result<()> {
+        let mut index = if self.rs {
+            PpjoinIndex::for_rs(self.threshold, self.filters)
+        } else {
+            PpjoinIndex::new(self.threshold, self.filters)
+        };
+        let mut charged = 0u64;
+        for ((_, _, _, _, rel), (rid, tokens)) in values {
+            if self.rs && rel == REL_S {
+                for m in index.probe(&tokens) {
+                    emit_pair(true, m.rid, rid, m.sim, out, ctx)?;
+                }
+            } else {
+                if !self.rs {
+                    for m in index.probe(&tokens) {
+                        emit_pair(false, m.rid, rid, m.sim, out, ctx)?;
+                    }
+                }
+                index.insert(rid, tokens);
+                // Charge the index's footprint growth; eviction shrinks it,
+                // so only charge positive deltas and track the high water.
+                let now = index.approx_bytes();
+                if now > charged {
+                    ctx.memory().charge(now - charged)?;
+                    charged = now;
+                }
+            }
+        }
+        ctx.counter("stage2.index_peak_bytes")
+            .add(charged);
+        ctx.memory().release(charged);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{plain, REL_R};
+    use mapreduce::{Cache, Counters, Dfs, MemoryGauge, Phase, VecEmitter};
+
+    fn ctx_with_budget(budget: Option<u64>) -> TaskContext {
+        let gauge = match budget {
+            Some(b) => MemoryGauge::new("t", b),
+            None => MemoryGauge::unlimited("t"),
+        };
+        TaskContext::new(
+            Phase::Reduce,
+            0,
+            0,
+            1,
+            Counters::new(),
+            gauge,
+            Cache::new(),
+            Dfs::new(1, 64),
+        )
+    }
+
+    /// Group values: projections sharing group 1, in length order.
+    fn group_values(recs: &[(u64, Vec<u32>)], rel: u8) -> Vec<(Stage2Key, Projection)> {
+        let mut v: Vec<(Stage2Key, Projection)> = recs
+            .iter()
+            .map(|(rid, t)| (plain(1, t.len() as u32, rel), (*rid, t.clone())))
+            .collect();
+        v.sort_by_key(|a| a.0);
+        v
+    }
+
+    #[test]
+    fn bk_self_finds_pairs() {
+        let t = Threshold::jaccard(0.5);
+        let recs = vec![
+            (1u64, vec![1u32, 2, 3, 4]),
+            (2, vec![1, 2, 3, 5]),
+            (3, vec![10, 11, 12]),
+        ];
+        let mut r = BkReducer::new(t, false);
+        let mut out = VecEmitter::new();
+        let ctx = ctx_with_budget(None);
+        let vals = group_values(&recs, REL_R);
+        let key = vals[0].0;
+        r.reduce(&key, &mut vals.into_iter(), &mut out, &ctx).unwrap();
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.pairs[0].0, (1, 2));
+        assert_eq!(ctx.counter("stage2.pairs_emitted").get(), 1);
+        assert_eq!(ctx.memory().used(), 0, "memory released at group end");
+    }
+
+    #[test]
+    fn pk_self_matches_bk() {
+        let t = Threshold::jaccard(0.5);
+        let recs = vec![
+            (1u64, vec![1u32, 2, 3, 4]),
+            (2, vec![1, 2, 3, 5]),
+            (3, vec![2, 3, 4, 5, 6]),
+            (4, vec![1, 2, 3, 4]),
+        ];
+        let vals = group_values(&recs, REL_R);
+        let key = vals[0].0;
+
+        let mut bk_out = VecEmitter::new();
+        BkReducer::new(t, false)
+            .reduce(&key, &mut vals.clone().into_iter(), &mut bk_out, &ctx_with_budget(None))
+            .unwrap();
+        let mut pk_out = VecEmitter::new();
+        PkReducer::new(t, FilterConfig::ppjoin_plus(), false)
+            .reduce(&key, &mut vals.into_iter(), &mut pk_out, &ctx_with_budget(None))
+            .unwrap();
+        let mut a: Vec<(u64, u64)> = bk_out.pairs.iter().map(|(k, _)| *k).collect();
+        let mut b: Vec<(u64, u64)> = pk_out.pairs.iter().map(|(k, _)| *k).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bk_rs_streams_s_against_r() {
+        let t = Threshold::jaccard(0.5);
+        // R record len 4 (class 2), S records len 4.
+        let mut vals = vec![
+            (plain(1, 2, REL_R), (1u64, vec![1u32, 2, 3, 4])),
+            (plain(1, 4, REL_S), (100, vec![1, 2, 3, 4])),
+            (plain(1, 4, REL_S), (200, vec![7, 8, 9, 10])),
+        ];
+        vals.sort_by_key(|a| a.0);
+        let key = vals[0].0;
+        let mut out = VecEmitter::new();
+        BkReducer::new(t, true)
+            .reduce(&key, &mut vals.into_iter(), &mut out, &ctx_with_budget(None))
+            .unwrap();
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.pairs[0].0, (1, 100), "(r, s) orientation");
+    }
+
+    #[test]
+    fn pk_rs_matches_bk_rs() {
+        let t = Threshold::jaccard(0.5);
+        let mut vals = vec![
+            (plain(1, 2, REL_R), (1u64, vec![1u32, 2, 3, 4])),
+            (plain(1, 3, REL_R), (2, vec![2, 3, 4, 5, 6, 7])),
+            (plain(1, 4, REL_S), (100, vec![1, 2, 3, 4])),
+            (plain(1, 5, REL_S), (200, vec![2, 3, 4, 5, 6])),
+        ];
+        vals.sort_by_key(|a| a.0);
+        let key = vals[0].0;
+        let mut bk = VecEmitter::new();
+        BkReducer::new(t, true)
+            .reduce(&key, &mut vals.clone().into_iter(), &mut bk, &ctx_with_budget(None))
+            .unwrap();
+        let mut pk = VecEmitter::new();
+        PkReducer::new(t, FilterConfig::ppjoin(), true)
+            .reduce(&key, &mut vals.into_iter(), &mut pk, &ctx_with_budget(None))
+            .unwrap();
+        let mut a: Vec<(u64, u64)> = bk.pairs.iter().map(|(k, _)| *k).collect();
+        let mut b: Vec<(u64, u64)> = pk.pairs.iter().map(|(k, _)| *k).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bk_hits_memory_budget() {
+        let t = Threshold::jaccard(0.9);
+        let recs: Vec<(u64, Vec<u32>)> =
+            (0..50).map(|i| (i, (0..20u32).map(|k| k * 50 + i as u32).collect())).collect();
+        let mut sorted = recs;
+        for r in &mut sorted {
+            r.1.sort_unstable();
+            r.1.dedup();
+        }
+        let vals = group_values(&sorted, REL_R);
+        let key = vals[0].0;
+        let ctx = ctx_with_budget(Some(500));
+        let err = BkReducer::new(t, false)
+            .reduce(&key, &mut vals.into_iter(), &mut VecEmitter::new(), &ctx)
+            .unwrap_err();
+        assert!(err.is_out_of_memory());
+    }
+
+    #[test]
+    fn pk_uses_less_memory_than_bk_on_length_spread() {
+        // Widely spread lengths: PK's eviction keeps the live index tiny,
+        // while BK buffers everything.
+        let t = Threshold::jaccard(0.9);
+        let mut recs = Vec::new();
+        for i in 0..30u64 {
+            let len = 4 + i as u32 * 4;
+            let tokens: Vec<u32> = (0..len).map(|k| k * 37 % 1000 + i as u32 * 1000).collect();
+            let mut tokens = tokens;
+            tokens.sort_unstable();
+            tokens.dedup();
+            recs.push((i, tokens));
+        }
+        recs.sort_by_key(|(_, t)| t.len());
+        let vals = group_values(&recs, REL_R);
+        let key = vals[0].0;
+
+        let bk_ctx = ctx_with_budget(None);
+        BkReducer::new(t, false)
+            .reduce(&key, &mut vals.clone().into_iter(), &mut VecEmitter::new(), &bk_ctx)
+            .unwrap();
+        let pk_ctx = ctx_with_budget(None);
+        PkReducer::new(t, FilterConfig::ppjoin(), false)
+            .reduce(&key, &mut vals.into_iter(), &mut VecEmitter::new(), &pk_ctx)
+            .unwrap();
+        let bk_peak = bk_ctx.memory().high_water();
+        let pk_peak = pk_ctx.memory().high_water();
+        assert!(
+            pk_peak < bk_peak,
+            "PK eviction should bound memory: pk={pk_peak} bk={bk_peak}"
+        );
+    }
+}

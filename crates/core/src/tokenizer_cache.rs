@@ -1,0 +1,46 @@
+//! A lazily-built tokenizer holder usable inside `Clone`-able mappers.
+
+use setsim::Tokenizer;
+
+use crate::config::TokenizerKind;
+
+/// Holds a boxed tokenizer built on first use; cloning resets the cache so
+/// mapper prototypes stay cheaply cloneable.
+pub struct CachedTokenizer {
+    kind: TokenizerKind,
+    built: Option<Box<dyn Tokenizer + Send>>,
+}
+
+impl CachedTokenizer {
+    /// Create an empty cache for the given tokenizer kind.
+    pub fn new(kind: TokenizerKind) -> Self {
+        CachedTokenizer { kind, built: None }
+    }
+
+    /// Tokenize using the cached instance.
+    pub fn tokenize(&mut self, text: &str) -> Vec<String> {
+        if self.built.is_none() {
+            self.built = Some(self.kind.build());
+        }
+        self.built.as_ref().expect("just built").tokenize(text)
+    }
+}
+
+impl Clone for CachedTokenizer {
+    fn clone(&self) -> Self {
+        CachedTokenizer::new(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_and_clones() {
+        let mut c = CachedTokenizer::new(TokenizerKind::Word);
+        assert_eq!(c.tokenize("A b!"), vec!["a", "b"]);
+        let mut c2 = c.clone();
+        assert_eq!(c2.tokenize("x"), vec!["x"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! The bibliographic record model and its text-line format.
+//!
+//! Matches the paper's preprocessing of DBLP/CITESEERX: "one line per
+//! publication that contained a unique integer (RID), a title, a list of
+//! authors, and the rest of the content". Fields are tab-separated:
+//!
+//! ```text
+//! RID \t title \t authors \t misc [\t abstract]
+//! ```
+//!
+//! The join attribute is the concatenation of the title and the list of
+//! authors, exactly as in the paper's experiments.
+
+/// One bibliographic record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRecord {
+    /// Unique record id.
+    pub rid: u64,
+    /// Publication title.
+    pub title: String,
+    /// Author names.
+    pub authors: Vec<String>,
+    /// Remaining content (venue, year, medium).
+    pub misc: String,
+    /// Abstract — present for CITESEERX-style records, making them several
+    /// times larger than DBLP-style records.
+    pub abstract_text: Option<String>,
+}
+
+impl DataRecord {
+    /// The join attribute: title concatenated with the author list.
+    pub fn join_attribute(&self) -> String {
+        let mut s = self.title.clone();
+        for a in &self.authors {
+            s.push(' ');
+            s.push_str(a);
+        }
+        s
+    }
+
+    /// Serialize to the tab-separated line format.
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "{}\t{}\t{}\t{}",
+            self.rid,
+            self.title,
+            self.authors.join(" "),
+            self.misc
+        );
+        if let Some(a) = &self.abstract_text {
+            line.push('\t');
+            line.push_str(a);
+        }
+        line
+    }
+
+    /// Parse a line produced by [`DataRecord::to_line`].
+    pub fn parse_line(line: &str) -> Result<DataRecord, String> {
+        let mut parts = line.split('\t');
+        let rid = parts
+            .next()
+            .ok_or("missing RID field")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad RID: {e}"))?;
+        let title = parts.next().ok_or("missing title field")?.to_string();
+        let authors_str = parts.next().ok_or("missing authors field")?;
+        let authors = authors_str
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let misc = parts.next().ok_or("missing misc field")?.to_string();
+        let abstract_text = parts.next().map(str::to_string);
+        Ok(DataRecord {
+            rid,
+            title,
+            authors,
+            misc,
+            abstract_text,
+        })
+    }
+
+    /// Approximate serialized size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.to_line().len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataRecord {
+        DataRecord {
+            rid: 42,
+            title: "efficient parallel joins".into(),
+            authors: vec!["vernica".into(), "carey".into(), "li".into()],
+            misc: "sigmod 2010 conference".into(),
+            abstract_text: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_abstract() {
+        let r = sample();
+        let back = DataRecord::parse_line(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn roundtrip_with_abstract() {
+        let mut r = sample();
+        r.abstract_text = Some("we study set similarity joins".into());
+        let back = DataRecord::parse_line(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+        assert!(r.line_bytes() > sample().line_bytes());
+    }
+
+    #[test]
+    fn join_attribute_concatenates_title_and_authors() {
+        let r = sample();
+        assert_eq!(
+            r.join_attribute(),
+            "efficient parallel joins vernica carey li"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(DataRecord::parse_line("").is_err());
+        assert!(DataRecord::parse_line("notanumber\tt\ta\tm").is_err());
+        assert!(DataRecord::parse_line("1\tt").is_err());
+    }
+}

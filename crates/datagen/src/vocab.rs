@@ -1,0 +1,110 @@
+//! Deterministic synthetic vocabularies.
+//!
+//! Words are built from syllables using bijective base-k numeration of the
+//! word's index, which guarantees distinctness without any collision checks
+//! and produces pronounceable, realistic-length tokens.
+
+/// Syllables used for title words.
+const WORD_SYLLABLES: &[&str] = &[
+    "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe", "qui", "ro", "su",
+    "ta", "ve", "wi", "xo", "yu", "za", "bra", "cle", "dri", "flo", "gru",
+];
+
+/// Syllables used for author surnames (distinct set, so author tokens and
+/// title tokens never collide).
+const NAME_SYLLABLES: &[&str] = &[
+    "son", "berg", "ström", "wang", "chen", "gar", "mar", "tin", "lee", "kov", "ida", "ura",
+    "oshi", "ander", "fern", "alva",
+];
+
+fn word_from_index(mut i: usize, syllables: &[&str]) -> String {
+    // Bijective base-k: digits in 1..=k, guaranteeing distinct strings for
+    // distinct indices without leading-zero ambiguity.
+    let k = syllables.len();
+    let mut out = String::new();
+    let mut digits = Vec::new();
+    i += 1;
+    while i > 0 {
+        let d = (i - 1) % k;
+        digits.push(d);
+        i = (i - 1) / k;
+    }
+    for d in digits.iter().rev() {
+        out.push_str(syllables[*d]);
+    }
+    out
+}
+
+/// A deterministic vocabulary of distinct tokens.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// `n` distinct title words.
+    pub fn words(n: usize) -> Self {
+        Vocabulary {
+            words: (0..n).map(|i| word_from_index(i, WORD_SYLLABLES)).collect(),
+        }
+    }
+
+    /// `n` distinct author surnames.
+    pub fn names(n: usize) -> Self {
+        Vocabulary {
+            words: (0..n)
+                .map(|i| word_from_index(i, NAME_SYLLABLES))
+                .collect(),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Token at index `i`.
+    pub fn get(&self, i: usize) -> &str {
+        &self.words[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_distinct() {
+        let v = Vocabulary::words(5000);
+        let set: HashSet<&String> = v.words.iter().collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn names_are_distinct_and_disjoint_from_words() {
+        let w = Vocabulary::words(2000);
+        let n = Vocabulary::names(2000);
+        let ws: HashSet<&String> = w.words.iter().collect();
+        assert!(n.words.iter().all(|x| !ws.contains(x)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Vocabulary::words(10).words, Vocabulary::words(10).words);
+        assert_eq!(Vocabulary::words(3).get(0), "ba");
+    }
+
+    #[test]
+    fn words_are_lowercase_alphanumeric() {
+        let v = Vocabulary::words(500);
+        for w in &v.words {
+            assert!(w.chars().all(|c| c.is_alphanumeric() && !c.is_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Broadcast side data — the analogue of Hadoop's distributed cache.
+//!
+//! Stage 2 broadcasts the global token ordering to every map task; the OPRJ
+//! record-join variant broadcasts the full RID-pair list. In Hadoop each task
+//! loads its own in-heap copy, which is exactly the cost that makes OPRJ run
+//! out of memory at scale (Section 6.2). Here the value is materialized once
+//! per job (tasks share the `Arc`), but each task that calls
+//! [`Cache::get_or_load`] *charges its own memory gauge* for the declared
+//! size, so the per-task heap pressure — and the resulting OOM — is modeled
+//! faithfully.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{MrError, Result};
+use crate::memory::MemoryGauge;
+
+type Entry = (Arc<dyn Any + Send + Sync>, u64);
+
+/// A per-job registry of shared side data.
+#[derive(Clone, Default)]
+pub struct Cache {
+    inner: Arc<Mutex<HashMap<String, Entry>>>,
+}
+
+impl Cache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a value with an explicit size in bytes (used for memory
+    /// accounting by tasks that load it).
+    pub fn put<T: Send + Sync + 'static>(&self, name: &str, value: T, bytes: u64) {
+        self.inner
+            .lock()
+            .insert(name.to_string(), (Arc::new(value), bytes));
+    }
+
+    /// Fetch a previously inserted value together with its declared size.
+    pub fn get<T: Send + Sync + 'static>(&self, name: &str) -> Option<(Arc<T>, u64)> {
+        let guard = self.inner.lock();
+        let (any, bytes) = guard.get(name)?;
+        let arc = Arc::clone(any).downcast::<T>().ok()?;
+        Some((arc, *bytes))
+    }
+
+    /// Fetch `name`, loading it with `loader` on first use. The loader
+    /// returns the value and its size in bytes. The caller's `gauge` is
+    /// charged for the size on **every** call — modeling one copy per task —
+    /// and the charge failure is propagated so jobs like OPRJ fail with
+    /// [`MrError::OutOfMemory`] when the side data exceeds a task's budget.
+    pub fn get_or_load<T, F>(&self, name: &str, gauge: &MemoryGauge, loader: F) -> Result<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> Result<(T, u64)>,
+    {
+        let mut guard = self.inner.lock();
+        if let Some((any, bytes)) = guard.get(name) {
+            let bytes = *bytes;
+            let arc = Arc::clone(any)
+                .downcast::<T>()
+                .map_err(|_| MrError::Codec(format!("cache entry {name} has a different type")))?;
+            drop(guard);
+            gauge.charge(bytes)?;
+            return Ok(arc);
+        }
+        let (value, bytes) = loader()?;
+        let arc = Arc::new(value);
+        guard.insert(
+            name.to_string(),
+            (Arc::clone(&arc) as Arc<dyn Any + Send + Sync>, bytes),
+        );
+        drop(guard);
+        gauge.charge(bytes)?;
+        Ok(arc)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let cache = Cache::new();
+        cache.put("tokens", vec![1u32, 2, 3], 12);
+        let (v, bytes) = cache.get::<Vec<u32>>("tokens").unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert_eq!(bytes, 12);
+        assert!(cache.get::<String>("tokens").is_none(), "wrong type");
+        assert!(cache.get::<Vec<u32>>("missing").is_none());
+    }
+
+    #[test]
+    fn get_or_load_loads_once_but_charges_every_task() {
+        let cache = Cache::new();
+        let mut loads = 0;
+        let g1 = MemoryGauge::new("t1", 1000);
+        let v1 = cache
+            .get_or_load::<Vec<u32>, _>("side", &g1, || {
+                loads += 1;
+                Ok((vec![7; 10], 40))
+            })
+            .unwrap();
+        assert_eq!(v1.len(), 10);
+        assert_eq!(g1.used(), 40);
+
+        let g2 = MemoryGauge::new("t2", 1000);
+        let v2 = cache
+            .get_or_load::<Vec<u32>, _>("side", &g2, || {
+                loads += 1;
+                Ok((vec![], 0))
+            })
+            .unwrap();
+        assert_eq!(v2.len(), 10, "second task sees first load");
+        assert_eq!(g2.used(), 40, "second task still charged");
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn get_or_load_propagates_oom() {
+        let cache = Cache::new();
+        let g = MemoryGauge::new("small-task", 10);
+        let err = cache
+            .get_or_load::<Vec<u8>, _>("big", &g, || Ok((vec![0; 100], 100)))
+            .unwrap_err();
+        assert!(err.is_out_of_memory());
+        // A task with enough budget can still use the already-loaded value.
+        let g2 = MemoryGauge::new("big-task", 1000);
+        let v = cache
+            .get_or_load::<Vec<u8>, _>("big", &g2, || unreachable!())
+            .unwrap();
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn loader_errors_propagate_and_do_not_cache() {
+        let cache = Cache::new();
+        let g = MemoryGauge::unlimited("t");
+        let err = cache
+            .get_or_load::<u32, _>("x", &g, || Err(MrError::TaskFailed("nope".into())))
+            .unwrap_err();
+        assert!(matches!(err, MrError::TaskFailed(_)));
+        assert!(cache.is_empty());
+        // A later successful load works.
+        let v = cache.get_or_load::<u32, _>("x", &g, || Ok((5, 4))).unwrap();
+        assert_eq!(*v, 5);
+    }
+}

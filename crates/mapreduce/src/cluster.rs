@@ -1,0 +1,387 @@
+//! Cluster topology and the time model used for speedup/scaleup experiments.
+//!
+//! The paper runs on a 10-node cluster where each node offers 4 map slots and
+//! 4 reduce slots. This crate executes everything inside one process, so a
+//! "cluster" here is (a) a topology that decides *how many tasks may run
+//! concurrently* and *how shuffle bytes translate into transfer time*, and
+//! (b) a pool of physical worker threads used to execute the tasks.
+//!
+//! Every task's execution is timed individually. The engine then computes a
+//! **simulated makespan**: tasks are list-scheduled onto `nodes × slots`
+//! virtual slots in submission order — exactly what Hadoop's JobTracker does
+//! when it hands tasks to free slots. This is what makes speedup and scaleup
+//! curves meaningful even on a single-core host: a stage whose work is
+//! concentrated in one reduce task (the paper's skewed BRJ stage, or the
+//! single-reducer token sort) stops speeding up no matter how many simulated
+//! nodes are added, because the makespan is dominated by that one task.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simple network model for the shuffle phase.
+///
+/// Each reduce task pulls its partition from every map output; the reducer's
+/// own link is the bottleneck, so transfer time is `bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Per-node link bandwidth in bytes/second (paper cluster: ~1 GbE).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-task scheduling/startup overhead in seconds. Hadoop task
+    /// (JVM) startup is on the order of a second; the default here is a
+    /// small constant so tiny jobs are not dominated by it.
+    pub task_overhead_secs: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            // 1 Gb/s full-duplex link, as on the paper's IBM x3650 cluster.
+            bandwidth_bytes_per_sec: 125.0e6,
+            task_overhead_secs: 0.0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Seconds to move `bytes` to one reducer.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// Shared-nothing cluster topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of simulated nodes (the paper sweeps 2..=10).
+    pub nodes: usize,
+    /// Concurrent map tasks per node (paper: 4).
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node (paper: 4).
+    pub reduce_slots_per_node: usize,
+    /// Optional per-task memory budget in bytes (paper: 2.5 GB virtual per
+    /// task). `None` disables budget enforcement.
+    pub task_memory: Option<u64>,
+    /// Map-side sort buffer: encoded output bytes buffered before a spill
+    /// (Hadoop's `io.sort.mb`).
+    pub spill_buffer_bytes: usize,
+    /// Network model for shuffle-time simulation.
+    pub network: NetworkModel,
+    /// Physical threads used to execute tasks. Defaults to the host's
+    /// available parallelism; timing fidelity is best when this does not
+    /// exceed the physical core count.
+    pub execution_threads: Option<usize>,
+    /// Times a failing task is executed before the job fails (Hadoop's
+    /// `mapreduce.map.maxattempts`); 1 = no retries.
+    pub max_task_attempts: usize,
+    /// Maximum spill runs merged in one pass on the reduce side (Hadoop's
+    /// `io.sort.factor`); partitions with more runs get intermediate merge
+    /// passes first.
+    pub merge_factor: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 10,
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 4,
+            task_memory: None,
+            spill_buffer_bytes: 64 << 20,
+            network: NetworkModel::default(),
+            execution_threads: None,
+            max_task_attempts: 1,
+            merge_factor: 64,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `nodes` simulated nodes and the paper's slot counts.
+    pub fn with_nodes(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            ..Default::default()
+        }
+    }
+
+    /// Total map slots across the cluster.
+    pub fn map_slots(&self) -> usize {
+        self.nodes * self.map_slots_per_node
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn reduce_slots(&self) -> usize {
+        self.nodes * self.reduce_slots_per_node
+    }
+
+    /// Default number of reduce tasks for a job: one wave of reduce slots,
+    /// matching the paper's Hadoop configuration.
+    pub fn default_reducers(&self) -> usize {
+        self.reduce_slots().max(1)
+    }
+
+    /// Physical execution threads to use.
+    pub fn physical_threads(&self) -> usize {
+        self.execution_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        })
+    }
+
+    /// Validate the topology.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster must have at least one node".into());
+        }
+        if self.map_slots_per_node == 0 || self.reduce_slots_per_node == 0 {
+            return Err("each node needs at least one map and one reduce slot".into());
+        }
+        if self.spill_buffer_bytes < 1024 {
+            return Err("spill buffer must be at least 1 KiB".into());
+        }
+        if self.max_task_attempts == 0 {
+            return Err("max_task_attempts must be at least 1".into());
+        }
+        if self.merge_factor < 2 {
+            return Err("merge_factor must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+/// Total-order wrapper for scheduling over `f64` durations (all finite).
+#[derive(PartialEq, PartialOrd)]
+struct Finite(f64);
+impl Eq for Finite {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Finite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("finite durations")
+    }
+}
+
+/// One map task's scheduling inputs: measured duration, the node holding
+/// its input block (if known), and the input size for the remote-read
+/// penalty.
+#[derive(Debug, Clone, Copy)]
+pub struct MapTaskSpec {
+    /// Measured execution seconds.
+    pub duration: f64,
+    /// DFS node holding the task's input block.
+    pub node_hint: Option<usize>,
+    /// Input bytes (charged over the network when scheduled off-node).
+    pub input_bytes: u64,
+}
+
+/// Result of a locality-aware schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Phase makespan in seconds.
+    pub makespan: f64,
+    /// Tasks that ran on the node holding their input.
+    pub local_tasks: u64,
+    /// Tasks that had to read their input across the network.
+    pub remote_tasks: u64,
+}
+
+/// Locality-aware greedy scheduling of map tasks: each task, in submission
+/// order, takes the slot giving the earliest finish time, where running on
+/// a node other than the one holding its input block adds the block's
+/// transfer time — Hadoop's data-local vs rack/remote task distinction.
+pub fn schedule_map_tasks(
+    tasks: &[MapTaskSpec],
+    nodes: usize,
+    slots_per_node: usize,
+    network: &NetworkModel,
+) -> ScheduleOutcome {
+    assert!(nodes > 0 && slots_per_node > 0);
+    // (free_at, node) per slot.
+    let mut slots: Vec<(f64, usize)> = (0..nodes * slots_per_node)
+        .map(|i| (0.0, i % nodes))
+        .collect();
+    let mut out = ScheduleOutcome::default();
+    for t in tasks {
+        debug_assert!(t.duration.is_finite() && t.duration >= 0.0);
+        let mut best: Option<(f64, usize, bool)> = None; // finish, slot, local
+        for (i, &(free_at, node)) in slots.iter().enumerate() {
+            let local = t.node_hint.is_none_or(|h| h == node);
+            let cost = t.duration
+                + if local {
+                    0.0
+                } else {
+                    network.transfer_secs(t.input_bytes)
+                };
+            let finish = free_at + cost;
+            if best.is_none_or(|(bf, _, _)| finish < bf) {
+                best = Some((finish, i, local));
+            }
+        }
+        let (finish, slot, local) = best.expect("at least one slot");
+        slots[slot].0 = finish;
+        out.makespan = out.makespan.max(finish);
+        if local {
+            out.local_tasks += 1;
+        } else {
+            out.remote_tasks += 1;
+        }
+    }
+    out
+}
+
+/// Greedy list-scheduling makespan: assign each task, in order, to the slot
+/// that frees up first. Returns the time the last slot finishes.
+///
+/// This mirrors Hadoop's behaviour of handing the next pending task to the
+/// first heartbeat from a node with a free slot.
+pub fn list_schedule_makespan(durations: &[f64], slots: usize) -> f64 {
+    assert!(slots > 0, "need at least one slot");
+    let mut heap: BinaryHeap<Reverse<Finite>> = (0..slots.min(durations.len().max(1)))
+        .map(|_| Reverse(Finite(0.0)))
+        .collect();
+    let mut makespan = 0.0f64;
+    for &d in durations {
+        debug_assert!(d.is_finite() && d >= 0.0, "task duration {d}");
+        let Reverse(Finite(free_at)) = heap.pop().expect("non-empty heap");
+        let finish = free_at + d;
+        makespan = makespan.max(finish);
+        heap.push(Reverse(Finite(finish)));
+    }
+    makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_topology() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.map_slots(), 40);
+        assert_eq!(c.reduce_slots(), 40);
+        assert_eq!(c.default_reducers(), 40);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_topologies() {
+        let mut c = ClusterConfig::with_nodes(0);
+        assert!(c.validate().is_err());
+        c.nodes = 1;
+        c.map_slots_per_node = 0;
+        assert!(c.validate().is_err());
+        c.map_slots_per_node = 1;
+        c.spill_buffer_bytes = 10;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn makespan_single_slot_is_sum() {
+        let d = [1.0, 2.0, 3.0];
+        assert!((list_schedule_makespan(&d, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_many_slots_is_max() {
+        let d = [1.0, 2.0, 3.0];
+        assert!((list_schedule_makespan(&d, 8) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_greedy_order_matters() {
+        // Two slots, tasks in submission order: [3,3,1,1] -> slots finish at
+        // (3+1)=4 and (3+1)=4 -> makespan 4.
+        let d = [3.0, 3.0, 1.0, 1.0];
+        assert!((list_schedule_makespan(&d, 2) - 4.0).abs() < 1e-12);
+        // Skewed: one long task dominates regardless of slot count.
+        let d = [10.0, 0.1, 0.1, 0.1];
+        assert!((list_schedule_makespan(&d, 16) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_empty_is_zero() {
+        assert_eq!(list_schedule_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn locality_schedule_prefers_local_slots() {
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 100.0,
+            task_overhead_secs: 0.0,
+        };
+        // Two nodes, one slot each; two tasks pinned to different nodes.
+        let tasks = [
+            MapTaskSpec {
+                duration: 1.0,
+                node_hint: Some(0),
+                input_bytes: 1000,
+            },
+            MapTaskSpec {
+                duration: 1.0,
+                node_hint: Some(1),
+                input_bytes: 1000,
+            },
+        ];
+        let out = schedule_map_tasks(&tasks, 2, 1, &net);
+        assert_eq!(out.local_tasks, 2);
+        assert_eq!(out.remote_tasks, 0);
+        assert!((out.makespan - 1.0).abs() < 1e-12, "both run in parallel locally");
+    }
+
+    #[test]
+    fn locality_schedule_pays_remote_penalty_when_forced() {
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 100.0,
+            task_overhead_secs: 0.0,
+        };
+        // One node only; a task hinted to node 3 must run remotely.
+        let tasks = [MapTaskSpec {
+            duration: 1.0,
+            node_hint: Some(3),
+            input_bytes: 200, // 2 seconds of transfer
+        }];
+        let out = schedule_map_tasks(&tasks, 1, 1, &net);
+        assert_eq!(out.remote_tasks, 1);
+        assert!((out.makespan - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_schedule_trades_wait_against_transfer() {
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            task_overhead_secs: 0.0,
+        };
+        // Node 0 holds every block; with tiny blocks the scheduler happily
+        // runs tasks remotely on node 1 instead of queueing on node 0.
+        let tasks: Vec<MapTaskSpec> = (0..4)
+            .map(|_| MapTaskSpec {
+                duration: 1.0,
+                node_hint: Some(0),
+                input_bytes: 10, // 0.01 s transfer
+            })
+            .collect();
+        let out = schedule_map_tasks(&tasks, 2, 1, &net);
+        assert!(out.remote_tasks >= 1, "cheap transfers beat queueing");
+        assert!(out.makespan < 3.0, "parallelism wins: {out:?}");
+    }
+
+    #[test]
+    fn unhinted_tasks_are_always_local() {
+        let net = NetworkModel::default();
+        let tasks = [MapTaskSpec {
+            duration: 0.5,
+            node_hint: None,
+            input_bytes: 1 << 30,
+        }];
+        let out = schedule_map_tasks(&tasks, 4, 2, &net);
+        assert_eq!(out.local_tasks, 1);
+    }
+
+    #[test]
+    fn network_transfer_time() {
+        let n = NetworkModel {
+            bandwidth_bytes_per_sec: 100.0,
+            task_overhead_secs: 0.0,
+        };
+        assert!((n.transfer_secs(250) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,470 @@
+//! Binary serialization for everything that crosses the shuffle.
+//!
+//! Hadoop serializes every intermediate `(key, value)` pair through
+//! `Writable`; sorting, spilling and the shuffle all operate on those bytes.
+//! This module is the equivalent boundary for the in-process engine: every
+//! map-output pair is encoded with [`Codec`] into spill runs, so the byte
+//! counts reported by [`crate::JobMetrics`] measure what a real cluster would
+//! push through its network, and the reduce side pays a genuine decode cost.
+//!
+//! The format is a compact LEB128-style varint encoding with zigzag for
+//! signed integers — no self-description, no framing beyond what each type
+//! writes, exactly like a Hadoop `SequenceFile` payload.
+
+use crate::error::{MrError, Result};
+
+/// A cursor over an encoded byte slice.
+///
+/// Decoding is sequential: each [`Codec::decode`] call consumes bytes from
+/// the front. The reader tracks its position so callers can interleave
+/// decodes of different types (as the shuffle does for keys and values).
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wrap a byte slice for sequential decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the underlying slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(MrError::Codec(format!(
+                "unexpected end of input: wanted {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume a single byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        let b = self.take(1)?;
+        Ok(b[0])
+    }
+}
+
+/// Write an unsigned 64-bit integer as a LEB128 varint.
+pub fn write_varint(mut v: u64, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint written by [`write_varint`].
+pub fn read_varint(r: &mut ByteReader<'_>) -> Result<u64> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        let byte = r.take_u8()?;
+        if shift >= 64 {
+            return Err(MrError::Codec("varint too long".into()));
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed integer so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Types that can cross the shuffle boundary.
+///
+/// Every map-output key and value implements this; so do the payloads of
+/// simulated-DFS sequence files.
+pub trait Codec: Sized {
+    /// Append the encoded representation to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode one value from the front of `r`.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self>;
+
+    /// Encoded size in bytes. The default encodes into a scratch buffer;
+    /// hot types should override with a direct computation.
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode a value that occupies the whole slice.
+    fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(MrError::Codec(format!(
+                "{} trailing bytes after decode",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+macro_rules! impl_codec_uint {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                write_varint(u64::from(*self), buf);
+            }
+            #[inline]
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+                let v = read_varint(r)?;
+                <$t>::try_from(v).map_err(|_| {
+                    MrError::Codec(format!("varint {v} out of range for {}", stringify!($t)))
+                })
+            }
+            #[inline]
+            fn encoded_len(&self) -> usize {
+                varint_len(u64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_codec_uint!(u8, u16, u32, u64);
+
+impl Codec for usize {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(*self as u64, buf);
+    }
+    #[inline]
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let v = read_varint(r)?;
+        usize::try_from(v).map_err(|_| MrError::Codec(format!("varint {v} out of range for usize")))
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        varint_len(*self as u64)
+    }
+}
+
+macro_rules! impl_codec_sint {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                write_varint(zigzag(i64::from(*self)), buf);
+            }
+            #[inline]
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+                let v = unzigzag(read_varint(r)?);
+                <$t>::try_from(v).map_err(|_| {
+                    MrError::Codec(format!("value {v} out of range for {}", stringify!($t)))
+                })
+            }
+            #[inline]
+            fn encoded_len(&self) -> usize {
+                varint_len(zigzag(i64::from(*self)))
+            }
+        }
+    )*};
+}
+
+impl_codec_sint!(i8, i16, i32, i64);
+
+impl Codec for bool {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    #[inline]
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(MrError::Codec(format!("invalid bool byte {b}"))),
+        }
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Codec for f64 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let b = r.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Codec for f32 {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let b = r.take(4)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Codec for () {
+    #[inline]
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    #[inline]
+    fn decode(_r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(())
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.len() as u64, buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let len = read_varint(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| MrError::Codec(format!("invalid utf-8 string: {e}")))
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.len() as u64, buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let len = read_varint(r)? as usize;
+        // Guard against hostile/corrupt lengths: cap the pre-allocation by
+        // what the remaining bytes could possibly hold (1 byte per element
+        // minimum for every codec except `()`-like zero-size payloads).
+        let mut out = Vec::with_capacity(len.min(r.remaining().max(16)));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Codec::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(MrError::Codec(format!("invalid Option tag {b}"))),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Codec::encoded_len)
+    }
+}
+
+macro_rules! impl_codec_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Codec),+> Codec for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.encode(buf);)+
+            }
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+                Ok(($($name::decode(r)?,)+))
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
+            }
+        }
+    )+};
+}
+
+impl_codec_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len for {v:?}");
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(read_varint(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 1 << 14, 1 << 21, 1 << 35, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            assert_eq!(buf.len(), varint_len(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_is_involutive() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(-1i32);
+        roundtrip(i64::MIN);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.25f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(1.5f32);
+        roundtrip(());
+    }
+
+    #[test]
+    fn compound_roundtrips() {
+        roundtrip(String::from("hello κόσμε"));
+        roundtrip(String::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((1u32, String::from("x")));
+        roundtrip((1u32, 2u64, String::from("y"), vec![9u8]));
+        roundtrip(((1u32, 2u32), vec![(3u64, String::from("z"))]));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = String::from("hello").to_bytes();
+        assert!(String::from_bytes(&bytes[..3]).is_err());
+        assert!(u64::from_bytes(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_tags() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[7]).is_err());
+        // Non-UTF8 string payload.
+        let mut buf = Vec::new();
+        write_varint(2, &mut buf);
+        buf.extend_from_slice(&[0xff, 0xff]);
+        assert!(String::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn u8_range_is_checked() {
+        // 300 encoded as varint does not fit u8.
+        let mut buf = Vec::new();
+        write_varint(300, &mut buf);
+        assert!(u8::from_bytes(&buf).is_err());
+    }
+}

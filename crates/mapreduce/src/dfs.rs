@@ -1,0 +1,591 @@
+//! In-memory simulation of a block-based distributed file system.
+//!
+//! Files are sequences of blocks; each block is placed on a simulated node in
+//! round-robin order — the balanced layout the paper establishes before every
+//! experiment ("we exploited the fact that Hadoop chooses the disk to write
+//! the data using a Round-Robin order"). Map tasks are derived one-per-block,
+//! so input balance across nodes is reproduced faithfully.
+//!
+//! Two file kinds exist, mirroring Hadoop text files and `SequenceFile`s:
+//!
+//! * **text** — newline-separated lines; blocks are cut at line boundaries so
+//!   a split never straddles blocks. Records are `(byte offset, line)`.
+//! * **seq** — back-to-back [`Codec`]-encoded `(key, value)` pairs; blocks
+//!   are cut at pair boundaries.
+//!
+//! Reduce outputs follow the Hadoop naming convention `dir/part-NNNNN`; read
+//! helpers accept either a single file path or a directory and concatenate
+//! parts in name order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::codec::{ByteReader, Codec};
+use crate::error::{MrError, Result};
+
+/// What a file contains, for sanity-checking readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Newline-separated UTF-8 text.
+    Text,
+    /// Codec-encoded `(key, value)` pairs.
+    Seq,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    data: Bytes,
+    node: usize,
+    /// Byte offset of this block within the file.
+    offset: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DfsFile {
+    kind: FileKind,
+    blocks: Vec<Block>,
+    len: u64,
+}
+
+#[derive(Default)]
+struct DfsInner {
+    files: BTreeMap<String, DfsFile>,
+}
+
+/// Handle to the simulated distributed file system. Cloning is cheap and
+/// shares the underlying store.
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<RwLock<DfsInner>>,
+    block_size: usize,
+    nodes: usize,
+    next_node: Arc<AtomicUsize>,
+}
+
+/// One input split: a single block of a single file, pinned to a node.
+#[derive(Debug, Clone)]
+pub struct BlockSplit {
+    /// File the split came from.
+    pub path: String,
+    /// Node holding the block.
+    pub node: usize,
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+    /// Raw block contents.
+    pub data: Bytes,
+    /// File kind, for the record reader.
+    pub kind: FileKind,
+}
+
+impl Dfs {
+    /// Create a DFS spanning `nodes` simulated nodes with the given block
+    /// size in bytes (the paper uses 128 MB; tests use much smaller blocks to
+    /// exercise multi-block logic).
+    pub fn new(nodes: usize, block_size: usize) -> Self {
+        assert!(nodes > 0, "DFS needs at least one node");
+        assert!(block_size >= 16, "block size too small");
+        Dfs {
+            inner: Arc::new(RwLock::new(DfsInner::default())),
+            block_size,
+            nodes,
+            next_node: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of simulated nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn place(&self) -> usize {
+        self.next_node.fetch_add(1, Ordering::Relaxed) % self.nodes
+    }
+
+    fn insert(&self, path: &str, file: DfsFile, overwrite: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !overwrite && inner.files.contains_key(path) {
+            return Err(MrError::FileExists(path.to_string()));
+        }
+        inner.files.insert(path.to_string(), file);
+        Ok(())
+    }
+
+    /// True if `path` names an existing file.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().files.contains_key(path)
+    }
+
+    /// Delete one file. Missing files are an error.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner
+            .files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+    }
+
+    /// Delete every file under `prefix` (treated as a directory). Returns the
+    /// number of files removed.
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let dir = dir_prefix(prefix);
+        let mut inner = self.inner.write();
+        let doomed: Vec<String> = inner
+            .files
+            .keys()
+            .filter(|k| k.as_str() == prefix || k.starts_with(&dir))
+            .cloned()
+            .collect();
+        for k in &doomed {
+            inner.files.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// All file paths under `prefix` (or the file itself), name-ordered.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let dir = dir_prefix(prefix);
+        self.inner
+            .read()
+            .files
+            .keys()
+            .filter(|k| k.as_str() == prefix || k.starts_with(&dir))
+            .cloned()
+            .collect()
+    }
+
+    /// Length of a single file in bytes.
+    pub fn file_len(&self, path: &str) -> Result<u64> {
+        self.inner
+            .read()
+            .files
+            .get(path)
+            .map(|f| f.len)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+    }
+
+    /// Total bytes stored under `prefix` (file or directory).
+    pub fn len_under(&self, prefix: &str) -> u64 {
+        let paths = self.list(prefix);
+        let inner = self.inner.read();
+        paths
+            .iter()
+            .filter_map(|p| inner.files.get(p))
+            .map(|f| f.len)
+            .sum()
+    }
+
+    /// Bytes resident on each node, for balance inspection.
+    pub fn node_bytes(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.nodes];
+        for file in self.inner.read().files.values() {
+            for b in &file.blocks {
+                out[b.node] += b.data.len() as u64;
+            }
+        }
+        out
+    }
+
+    // ---- text files ------------------------------------------------------
+
+    /// Write a text file from lines. Blocks are cut at line boundaries once
+    /// the accumulated block reaches the block size.
+    pub fn write_text<I, S>(&self, path: &str, lines: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut w = self.text_writer(path)?;
+        for line in lines {
+            w.write_line(line.as_ref());
+        }
+        w.close()
+    }
+
+    /// Streaming text writer (used by reduce tasks for text outputs).
+    pub fn text_writer(&self, path: &str) -> Result<TextWriter> {
+        if self.exists(path) {
+            return Err(MrError::FileExists(path.to_string()));
+        }
+        Ok(TextWriter {
+            dfs: self.clone(),
+            path: path.to_string(),
+            buf: Vec::with_capacity(self.block_size.min(1 << 20)),
+            blocks: Vec::new(),
+            offset: 0,
+            closed: false,
+        })
+    }
+
+    /// Read all lines of a text file or of every `part-*` under a directory.
+    pub fn read_text(&self, path: &str) -> Result<Vec<String>> {
+        let paths = self.resolve(path)?;
+        let mut out = Vec::new();
+        let inner = self.inner.read();
+        for p in &paths {
+            let file = inner
+                .files
+                .get(p)
+                .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            if file.kind != FileKind::Text {
+                return Err(MrError::Codec(format!("{p} is not a text file")));
+            }
+            for b in &file.blocks {
+                let text = std::str::from_utf8(&b.data)
+                    .map_err(|e| MrError::Codec(format!("{p}: invalid utf-8: {e}")))?;
+                out.extend(text.lines().map(str::to_string));
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- seq files -------------------------------------------------------
+
+    /// Write a sequence file of encoded `(key, value)` pairs.
+    pub fn write_seq<K: Codec, V: Codec>(&self, path: &str, pairs: &[(K, V)]) -> Result<()> {
+        let mut w = self.seq_writer(path)?;
+        for (k, v) in pairs {
+            w.write(k, v);
+        }
+        w.close()
+    }
+
+    /// Streaming sequence-file writer.
+    pub fn seq_writer(&self, path: &str) -> Result<SeqWriter> {
+        if self.exists(path) {
+            return Err(MrError::FileExists(path.to_string()));
+        }
+        Ok(SeqWriter {
+            dfs: self.clone(),
+            path: path.to_string(),
+            buf: Vec::with_capacity(self.block_size.min(1 << 20)),
+            blocks: Vec::new(),
+            offset: 0,
+            closed: false,
+        })
+    }
+
+    /// Read every `(key, value)` pair of a seq file or directory of parts.
+    pub fn read_seq<K: Codec, V: Codec>(&self, path: &str) -> Result<Vec<(K, V)>> {
+        let paths = self.resolve(path)?;
+        let mut out = Vec::new();
+        let inner = self.inner.read();
+        for p in &paths {
+            let file = inner
+                .files
+                .get(p)
+                .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            if file.kind != FileKind::Seq {
+                return Err(MrError::Codec(format!("{p} is not a seq file")));
+            }
+            for b in &file.blocks {
+                let mut r = ByteReader::new(&b.data);
+                while !r.is_empty() {
+                    let k = K::decode(&mut r)?;
+                    let v = V::decode(&mut r)?;
+                    out.push((k, v));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- splits ----------------------------------------------------------
+
+    /// One split per block for a file or directory, for the map phase.
+    pub fn splits(&self, path: &str) -> Result<Vec<BlockSplit>> {
+        let paths = self.resolve(path)?;
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for p in &paths {
+            let file = inner
+                .files
+                .get(p)
+                .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            for b in &file.blocks {
+                out.push(BlockSplit {
+                    path: p.clone(),
+                    node: b.node,
+                    offset: b.offset,
+                    data: b.data.clone(),
+                    kind: file.kind,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolve a path to itself (if a file) or the sorted list of files under
+    /// it (if a directory).
+    fn resolve(&self, path: &str) -> Result<Vec<String>> {
+        if self.exists(path) {
+            return Ok(vec![path.to_string()]);
+        }
+        let listed = self.list(path);
+        if listed.is_empty() {
+            return Err(MrError::FileNotFound(path.to_string()));
+        }
+        Ok(listed)
+    }
+
+    fn finish_file(
+        &self,
+        path: &str,
+        kind: FileKind,
+        mut blocks: Vec<Block>,
+        buf: Vec<u8>,
+        offset: u64,
+    ) -> Result<()> {
+        let len = offset + buf.len() as u64;
+        if !buf.is_empty() {
+            blocks.push(Block {
+                data: Bytes::from(buf),
+                node: self.place(),
+                offset,
+            });
+        }
+        self.insert(path, DfsFile { kind, blocks, len }, false)
+    }
+}
+
+fn dir_prefix(prefix: &str) -> String {
+    let mut d = prefix.to_string();
+    if !d.ends_with('/') {
+        d.push('/');
+    }
+    d
+}
+
+/// Streaming writer for text files; see [`Dfs::text_writer`].
+pub struct TextWriter {
+    dfs: Dfs,
+    path: String,
+    buf: Vec<u8>,
+    blocks: Vec<Block>,
+    offset: u64,
+    closed: bool,
+}
+
+impl TextWriter {
+    /// Append one line (a trailing newline is added).
+    pub fn write_line(&mut self, line: &str) {
+        debug_assert!(!self.closed);
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        if self.buf.len() >= self.dfs.block_size {
+            self.cut_block();
+        }
+    }
+
+    fn cut_block(&mut self) {
+        let data = std::mem::take(&mut self.buf);
+        let len = data.len() as u64;
+        self.blocks.push(Block {
+            data: Bytes::from(data),
+            node: self.dfs.place(),
+            offset: self.offset,
+        });
+        self.offset += len;
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.offset + self.buf.len() as u64
+    }
+
+    /// Finish the file and register it in the DFS.
+    pub fn close(mut self) -> Result<()> {
+        self.closed = true;
+        let buf = std::mem::take(&mut self.buf);
+        let blocks = std::mem::take(&mut self.blocks);
+        self.dfs
+            .finish_file(&self.path, FileKind::Text, blocks, buf, self.offset)
+    }
+}
+
+/// Streaming writer for seq files; see [`Dfs::seq_writer`].
+pub struct SeqWriter {
+    dfs: Dfs,
+    path: String,
+    buf: Vec<u8>,
+    blocks: Vec<Block>,
+    offset: u64,
+    closed: bool,
+}
+
+impl SeqWriter {
+    /// Append one encoded pair.
+    pub fn write<K: Codec, V: Codec>(&mut self, k: &K, v: &V) {
+        debug_assert!(!self.closed);
+        k.encode(&mut self.buf);
+        v.encode(&mut self.buf);
+        if self.buf.len() >= self.dfs.block_size {
+            let data = std::mem::take(&mut self.buf);
+            let len = data.len() as u64;
+            self.blocks.push(Block {
+                data: Bytes::from(data),
+                node: self.dfs.place(),
+                offset: self.offset,
+            });
+            self.offset += len;
+        }
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.offset + self.buf.len() as u64
+    }
+
+    /// Finish the file and register it in the DFS.
+    pub fn close(mut self) -> Result<()> {
+        self.closed = true;
+        let buf = std::mem::take(&mut self.buf);
+        let blocks = std::mem::take(&mut self.blocks);
+        self.dfs
+            .finish_file(&self.path, FileKind::Seq, blocks, buf, self.offset)
+    }
+}
+
+/// Decode the records of a text split into `(byte offset, line)` pairs.
+pub fn text_records(split: &BlockSplit) -> Result<Vec<(u64, String)>> {
+    let text = std::str::from_utf8(&split.data)
+        .map_err(|e| MrError::Codec(format!("{}: invalid utf-8: {e}", split.path)))?;
+    let mut out = Vec::new();
+    let mut offset = split.offset;
+    for line in text.split_inclusive('\n') {
+        let trimmed = line.strip_suffix('\n').unwrap_or(line);
+        out.push((offset, trimmed.to_string()));
+        offset += line.len() as u64;
+    }
+    Ok(out)
+}
+
+/// Decode the records of a seq split.
+pub fn seq_records<K: Codec, V: Codec>(split: &BlockSplit) -> Result<Vec<(K, V)>> {
+    let mut r = ByteReader::new(&split.data);
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        let k = K::decode(&mut r)?;
+        let v = V::decode(&mut r)?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip_and_blocks() {
+        let dfs = Dfs::new(4, 16);
+        let lines: Vec<String> = (0..20).map(|i| format!("line-{i}")).collect();
+        dfs.write_text("/data/a.txt", &lines).unwrap();
+        assert_eq!(dfs.read_text("/data/a.txt").unwrap(), lines);
+        // Small block size forces multiple blocks.
+        let splits = dfs.splits("/data/a.txt").unwrap();
+        assert!(splits.len() > 1, "expected multiple blocks");
+        // Splits reassemble to the same records with correct offsets.
+        let mut all = Vec::new();
+        for s in &splits {
+            all.extend(text_records(s).unwrap());
+        }
+        assert_eq!(all.len(), 20);
+        assert_eq!(all[0], (0, "line-0".to_string()));
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "offsets must increase");
+        }
+    }
+
+    #[test]
+    fn blocks_are_round_robin_balanced() {
+        let dfs = Dfs::new(3, 16);
+        let lines: Vec<String> = (0..30).map(|i| format!("record-{i:04}")).collect();
+        dfs.write_text("/balanced", &lines).unwrap();
+        let per_node = dfs.node_bytes();
+        let max = *per_node.iter().max().unwrap();
+        let min = *per_node.iter().min().unwrap();
+        // Round-robin placement keeps nodes within one block of each other.
+        assert!(max - min <= 32, "imbalance too large: {per_node:?}");
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let dfs = Dfs::new(2, 32);
+        let pairs: Vec<(u64, String)> = (0..50).map(|i| (i, format!("v{i}"))).collect();
+        dfs.write_seq("/seq", &pairs).unwrap();
+        let back: Vec<(u64, String)> = dfs.read_seq("/seq").unwrap();
+        assert_eq!(back, pairs);
+        let splits = dfs.splits("/seq").unwrap();
+        assert!(splits.len() > 1);
+        let mut all = Vec::new();
+        for s in &splits {
+            all.extend(seq_records::<u64, String>(s).unwrap());
+        }
+        assert_eq!(all, pairs);
+    }
+
+    #[test]
+    fn directory_reads_concatenate_parts() {
+        let dfs = Dfs::new(2, 1024);
+        dfs.write_text("/out/part-00001", ["b"]).unwrap();
+        dfs.write_text("/out/part-00000", ["a"]).unwrap();
+        assert_eq!(dfs.read_text("/out").unwrap(), vec!["a", "b"]);
+        assert_eq!(dfs.list("/out").len(), 2);
+        assert_eq!(dfs.delete_prefix("/out"), 2);
+        assert!(dfs.read_text("/out").is_err());
+    }
+
+    #[test]
+    fn exists_delete_and_errors() {
+        let dfs = Dfs::new(1, 64);
+        dfs.write_text("/f", ["x"]).unwrap();
+        assert!(dfs.exists("/f"));
+        assert!(matches!(
+            dfs.write_text("/f", ["y"]),
+            Err(MrError::FileExists(_))
+        ));
+        dfs.delete("/f").unwrap();
+        assert!(!dfs.exists("/f"));
+        assert!(matches!(dfs.delete("/f"), Err(MrError::FileNotFound(_))));
+        assert!(matches!(
+            dfs.read_text("/missing"),
+            Err(MrError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let dfs = Dfs::new(1, 64);
+        dfs.write_text("/t", ["x"]).unwrap();
+        assert!(dfs.read_seq::<u64, u64>("/t").is_err());
+        dfs.write_seq("/s", &[(1u64, 2u64)]).unwrap();
+        assert!(dfs.read_text("/s").is_err());
+    }
+
+    #[test]
+    fn file_len_and_len_under() {
+        let dfs = Dfs::new(2, 1024);
+        dfs.write_text("/d/p1", ["ab", "cd"]).unwrap(); // 6 bytes with newlines
+        dfs.write_text("/d/p2", ["ef"]).unwrap(); // 3 bytes
+        assert_eq!(dfs.file_len("/d/p1").unwrap(), 6);
+        assert_eq!(dfs.len_under("/d"), 9);
+    }
+
+    #[test]
+    fn empty_text_file_round_trips() {
+        let dfs = Dfs::new(1, 64);
+        dfs.write_text("/empty", Vec::<String>::new()).unwrap();
+        assert_eq!(dfs.read_text("/empty").unwrap(), Vec::<String>::new());
+        assert_eq!(dfs.splits("/empty").unwrap().len(), 0);
+    }
+}

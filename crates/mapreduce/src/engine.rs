@@ -1,0 +1,620 @@
+//! The job executor: map phase, spill/combine, shuffle, merge, reduce phase,
+//! and the cluster time model.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::cache::Cache;
+use crate::cluster::{list_schedule_makespan, schedule_map_tasks, ClusterConfig, MapTaskSpec};
+use crate::counters::Counters;
+use crate::dfs::{Dfs, SeqWriter, TextWriter};
+use crate::error::{MrError, Result};
+use crate::input::SplitSource;
+use crate::job::{Job, Output, TextFormat};
+use crate::kv::{Key, Value};
+use crate::mapper::Mapper;
+use crate::memory::MemoryGauge;
+use crate::metrics::{JobMetrics, PhaseMetrics};
+use crate::partitioner::{GroupEq, PartitionFn, SortCmp};
+use crate::reducer::{CombineFn, Reducer};
+use crate::run::{merge_to_factor, sort_and_combine, GroupValues, MergeStream, Run};
+use crate::task::{Emit, Phase, TaskContext};
+
+/// A simulated shared-nothing cluster: a topology plus a DFS.
+///
+/// `Cluster::run` executes a [`Job`] to completion and returns its
+/// [`JobMetrics`], including the simulated time the job would take on the
+/// configured topology (see [`crate::cluster`] for the model).
+pub struct Cluster {
+    config: ClusterConfig,
+    dfs: Dfs,
+}
+
+impl Cluster {
+    /// Create a cluster with a fresh DFS using the given block size.
+    pub fn new(config: ClusterConfig, dfs_block_size: usize) -> Result<Self> {
+        config.validate().map_err(MrError::InvalidConfig)?;
+        let dfs = Dfs::new(config.nodes, dfs_block_size);
+        Ok(Cluster { config, dfs })
+    }
+
+    /// Create a cluster around an existing DFS (e.g. to re-run with a
+    /// different topology over the same data).
+    pub fn with_dfs(config: ClusterConfig, dfs: Dfs) -> Result<Self> {
+        config.validate().map_err(MrError::InvalidConfig)?;
+        Ok(Cluster { config, dfs })
+    }
+
+    /// The cluster's DFS handle.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The cluster topology.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    fn gauge(&self, label: String) -> MemoryGauge {
+        match self.config.task_memory {
+            Some(b) => MemoryGauge::new(label, b),
+            None => MemoryGauge::unlimited(label),
+        }
+    }
+
+    /// Execute a job.
+    pub fn run<M, R>(&self, job: Job<M, R>) -> Result<JobMetrics>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+    {
+        let wall_start = Instant::now();
+        let num_reducers = job
+            .num_reducers
+            .unwrap_or_else(|| self.config.default_reducers());
+        if num_reducers == 0 {
+            return Err(MrError::InvalidConfig(format!(
+                "job {}: need at least one reducer",
+                job.name
+            )));
+        }
+        let counters = Counters::new();
+
+        // ---- map phase ----------------------------------------------------
+        let map_items: Vec<MapItem<M>> = job
+            .inputs
+            .into_iter()
+            .enumerate()
+            .map(|(task_id, split)| MapItem {
+                task_id,
+                split,
+                mapper: job.mapper.clone(),
+            })
+            .collect();
+        let num_map_tasks = map_items.len();
+        let shared = MapShared {
+            partitioner: &job.partitioner,
+            sort_cmp: &job.sort_cmp,
+            combiner: job.combiner.as_ref(),
+            counters: &counters,
+            cache: &job.cache,
+            dfs: &self.dfs,
+            cluster: self,
+            num_reducers,
+            job_name: &job.name,
+        };
+        let (mut map_outs, map_retries): (Vec<MapTaskOut>, u64) = run_tasks(
+            map_items,
+            self.config.physical_threads(),
+            self.config.max_task_attempts,
+            |item, attempt| run_map_task(item, attempt, &shared),
+        )?;
+        map_outs.sort_by_key(|o| o.task_id);
+
+        // ---- shuffle: regroup runs by partition ----------------------------
+        let mut partition_runs: Vec<Vec<Run>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut shuffle_bytes = 0u64;
+        let mut shuffle_records = 0u64;
+        let mut spills = 0u64;
+        for out in &mut map_outs {
+            spills += out.spills;
+            for (p, runs) in out.runs.drain(..).enumerate() {
+                for run in runs {
+                    shuffle_bytes += run.len_bytes() as u64;
+                    shuffle_records += run.records as u64;
+                    partition_runs[p].push(run);
+                }
+            }
+        }
+
+        // ---- reduce phase ---------------------------------------------------
+        let reduce_items: Vec<ReduceItem<M, R>> = partition_runs
+            .into_iter()
+            .enumerate()
+            .map(|(task_id, runs)| ReduceItem::<M, R>::new(task_id, runs, job.reducer.clone()))
+            .collect();
+        let rshared = ReduceShared {
+            sort_cmp: &job.sort_cmp,
+            group_eq: &job.group_eq,
+            counters: &counters,
+            cache: &job.cache,
+            dfs: &self.dfs,
+            cluster: self,
+            num_reducers,
+            output: &job.output,
+            job_name: &job.name,
+        };
+        let (mut reduce_outs, reduce_retries): (Vec<ReduceTaskOut>, u64) = run_tasks(
+            reduce_items,
+            self.config.physical_threads(),
+            self.config.max_task_attempts,
+            |item, attempt| run_reduce_task(item, attempt, &rshared),
+        )?;
+        reduce_outs.sort_by_key(|o| o.task_id);
+
+        // ---- metrics --------------------------------------------------------
+        let overhead = self.config.network.task_overhead_secs;
+        let map_specs: Vec<MapTaskSpec> = map_outs
+            .iter()
+            .map(|o| MapTaskSpec {
+                duration: o.duration + overhead,
+                node_hint: o.node_hint.map(|n| n % self.config.nodes),
+                input_bytes: o.input_bytes,
+            })
+            .collect();
+        let map_schedule = schedule_map_tasks(
+            &map_specs,
+            self.config.nodes,
+            self.config.map_slots_per_node,
+            &self.config.network,
+        );
+        let map_makespan = map_schedule.makespan;
+        let reduce_sim: Vec<f64> = reduce_outs
+            .iter()
+            .map(|o| self.config.network.transfer_secs(o.input_bytes) + o.duration + overhead)
+            .collect();
+        let reduce_makespan = list_schedule_makespan(&reduce_sim, self.config.reduce_slots());
+
+        let metrics = JobMetrics {
+            name: job.name,
+            map: PhaseMetrics {
+                tasks: num_map_tasks,
+                total_task_secs: map_outs.iter().map(|o| o.duration).sum(),
+                max_task_secs: map_outs.iter().map(|o| o.duration).fold(0.0, f64::max),
+                makespan_secs: map_makespan,
+            },
+            reduce: PhaseMetrics {
+                tasks: num_reducers,
+                total_task_secs: reduce_outs.iter().map(|o| o.duration).sum(),
+                max_task_secs: reduce_outs.iter().map(|o| o.duration).fold(0.0, f64::max),
+                makespan_secs: reduce_makespan,
+            },
+            map_local_tasks: map_schedule.local_tasks,
+            map_remote_tasks: map_schedule.remote_tasks,
+            task_retries: map_retries + reduce_retries,
+            merge_passes: reduce_outs.iter().map(|o| o.merge_passes).sum(),
+            map_input_records: map_outs.iter().map(|o| o.input_records).sum(),
+            map_output_records: map_outs.iter().map(|o| o.output_records).sum(),
+            combine_input_records: map_outs.iter().map(|o| o.combine_in).sum(),
+            combine_output_records: map_outs.iter().map(|o| o.combine_out).sum(),
+            shuffle_bytes,
+            shuffle_records,
+            spills,
+            reduce_input_groups: reduce_outs.iter().map(|o| o.groups).sum(),
+            reduce_input_records: reduce_outs.iter().map(|o| o.input_records).sum(),
+            reduce_output_records: reduce_outs.iter().map(|o| o.output_records).sum(),
+            shuffle_transfer_secs: reduce_outs
+                .iter()
+                .map(|o| self.config.network.transfer_secs(o.input_bytes))
+                .fold(0.0, f64::max),
+            sim_secs: map_makespan + reduce_makespan,
+            wall_secs: wall_start.elapsed().as_secs_f64(),
+            counters: counters.snapshot(),
+        };
+        Ok(metrics)
+    }
+}
+
+// ---- generic task pool ----------------------------------------------------
+
+/// Run one task with retries (Hadoop's task attempts): failed attempts are
+/// re-executed up to `max_attempts` times; the last error is propagated.
+/// Returns the output and the number of retries consumed.
+fn run_with_retries<I, O>(
+    item: &I,
+    max_attempts: usize,
+    f: &(impl Fn(&I, usize) -> Result<O> + Sync),
+) -> Result<(O, u64)> {
+    let mut last_err = None;
+    for attempt in 0..max_attempts.max(1) {
+        match f(item, attempt) {
+            Ok(out) => return Ok((out, attempt as u64)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+/// Run `items` through `f` on up to `threads` worker threads with per-task
+/// retries, failing fast on the first exhausted task. Returns the outputs
+/// and the total number of retries.
+fn run_tasks<I, O, F>(
+    items: Vec<I>,
+    threads: usize,
+    max_attempts: usize,
+    f: F,
+) -> Result<(Vec<O>, u64)>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&I, usize) -> Result<O> + Sync,
+{
+    if items.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    let workers = threads.clamp(1, items.len());
+    if workers == 1 {
+        let mut outs = Vec::with_capacity(items.len());
+        let mut retries = 0u64;
+        for item in &items {
+            let (out, r) = run_with_retries(item, max_attempts, &f)?;
+            outs.push(out);
+            retries += r;
+        }
+        return Ok((outs, retries));
+    }
+    let queue: Mutex<Vec<I>> = Mutex::new(items.into_iter().rev().collect());
+    let results: Mutex<Vec<O>> = Mutex::new(Vec::new());
+    let retries = std::sync::atomic::AtomicU64::new(0);
+    let error: Mutex<Option<MrError>> = Mutex::new(None);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                if error.lock().is_some() {
+                    return;
+                }
+                let item = queue.lock().pop();
+                let Some(item) = item else { return };
+                match run_with_retries(&item, max_attempts, &f) {
+                    Ok((out, r)) => {
+                        retries.fetch_add(r, std::sync::atomic::Ordering::Relaxed);
+                        results.lock().push(out);
+                    }
+                    Err(e) => {
+                        error.lock().get_or_insert(e);
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    Ok((
+        results.into_inner(),
+        retries.load(std::sync::atomic::Ordering::Relaxed),
+    ))
+}
+
+// ---- map side ---------------------------------------------------------------
+
+struct MapItem<M: Mapper> {
+    task_id: usize,
+    split: SplitSource<M::InKey, M::InValue>,
+    mapper: M,
+}
+
+struct MapShared<'a, M: Mapper> {
+    partitioner: &'a PartitionFn<M::OutKey>,
+    sort_cmp: &'a SortCmp<M::OutKey>,
+    combiner: Option<&'a CombineFn<M::OutKey, M::OutValue>>,
+    counters: &'a Counters,
+    cache: &'a Cache,
+    dfs: &'a Dfs,
+    cluster: &'a Cluster,
+    num_reducers: usize,
+    job_name: &'a str,
+}
+
+struct MapTaskOut {
+    task_id: usize,
+    duration: f64,
+    node_hint: Option<usize>,
+    input_bytes: u64,
+    input_records: u64,
+    output_records: u64,
+    spills: u64,
+    combine_in: u64,
+    combine_out: u64,
+    /// Spill runs per partition.
+    runs: Vec<Vec<Run>>,
+}
+
+/// Map-side output collector with spill-and-combine behaviour.
+struct MapEmitter<'a, K: Key, V: Value> {
+    parts: Vec<Vec<(K, V)>>,
+    buffered_bytes: usize,
+    threshold: usize,
+    partitioner: &'a PartitionFn<K>,
+    sort_cmp: &'a SortCmp<K>,
+    combiner: Option<&'a CombineFn<K, V>>,
+    runs: Vec<Vec<Run>>,
+    output_records: u64,
+    spills: u64,
+    combine_in: u64,
+    combine_out: u64,
+}
+
+impl<'a, K: Key, V: Value> MapEmitter<'a, K, V> {
+    fn new(
+        num_partitions: usize,
+        threshold: usize,
+        partitioner: &'a PartitionFn<K>,
+        sort_cmp: &'a SortCmp<K>,
+        combiner: Option<&'a CombineFn<K, V>>,
+    ) -> Self {
+        MapEmitter {
+            parts: (0..num_partitions).map(|_| Vec::new()).collect(),
+            buffered_bytes: 0,
+            threshold,
+            partitioner,
+            sort_cmp,
+            combiner,
+            runs: (0..num_partitions).map(|_| Vec::new()).collect(),
+            output_records: 0,
+            spills: 0,
+            combine_in: 0,
+            combine_out: 0,
+        }
+    }
+
+    fn spill(&mut self) {
+        let mut spilled_any = false;
+        for p in 0..self.parts.len() {
+            if self.parts[p].is_empty() {
+                continue;
+            }
+            spilled_any = true;
+            let pairs = std::mem::take(&mut self.parts[p]);
+            let sorted = sort_and_combine(
+                pairs,
+                self.sort_cmp,
+                self.combiner,
+                &mut self.combine_in,
+                &mut self.combine_out,
+            );
+            self.runs[p].push(Run::encode(&sorted));
+        }
+        if spilled_any {
+            self.spills += 1;
+        }
+        self.buffered_bytes = 0;
+    }
+}
+
+impl<K: Key, V: Value> Emit<K, V> for MapEmitter<'_, K, V> {
+    fn emit(&mut self, key: K, value: V) -> Result<()> {
+        self.output_records += 1;
+        self.buffered_bytes += key.encoded_len() + value.encoded_len();
+        let p = (self.partitioner)(&key, self.parts.len() as u32) as usize;
+        debug_assert!(p < self.parts.len(), "partitioner out of range");
+        self.parts[p].push((key, value));
+        if self.buffered_bytes >= self.threshold {
+            self.spill();
+        }
+        Ok(())
+    }
+}
+
+fn run_map_task<M: Mapper>(
+    item: &MapItem<M>,
+    attempt: usize,
+    shared: &MapShared<'_, M>,
+) -> Result<MapTaskOut> {
+    let task_id = item.task_id;
+    let split = &item.split;
+    let mut mapper = item.mapper.clone();
+    let start = Instant::now();
+    let node_hint = split.node_hint;
+    let input_bytes = split.size_hint;
+    let node = node_hint.unwrap_or(task_id % shared.cluster.config.nodes);
+    let label = format!("{}/map-{task_id}", shared.job_name);
+    let mut ctx = TaskContext::new(
+        Phase::Map,
+        task_id,
+        node,
+        shared.num_reducers,
+        shared.counters.clone(),
+        shared.cluster.gauge(label),
+        shared.cache.clone(),
+        shared.dfs.clone(),
+    );
+    ctx.attempt = attempt;
+    ctx.set_input_path(&split.tag);
+    let records = split.read(shared.dfs)?;
+    let mut emitter = MapEmitter::new(
+        shared.num_reducers,
+        shared.cluster.config.spill_buffer_bytes,
+        shared.partitioner,
+        shared.sort_cmp,
+        shared.combiner,
+    );
+    mapper.setup(&ctx)?;
+    let mut input_records = 0u64;
+    for (k, v) in &records {
+        mapper.map(k, v, &mut emitter, &ctx)?;
+        input_records += 1;
+    }
+    mapper.cleanup(&mut emitter, &ctx)?;
+    emitter.spill();
+    Ok(MapTaskOut {
+        task_id,
+        duration: start.elapsed().as_secs_f64(),
+        node_hint,
+        input_bytes,
+        input_records,
+        output_records: emitter.output_records,
+        spills: emitter.spills,
+        combine_in: emitter.combine_in,
+        combine_out: emitter.combine_out,
+        runs: emitter.runs,
+    })
+}
+
+// ---- reduce side -------------------------------------------------------------
+
+struct ReduceItem<M: Mapper, R: Reducer> {
+    task_id: usize,
+    runs: Vec<Run>,
+    reducer: R,
+    // M is only needed to name the key/value types.
+    _m: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M: Mapper, R: Reducer> ReduceItem<M, R> {
+    fn new(task_id: usize, runs: Vec<Run>, reducer: R) -> Self {
+        ReduceItem {
+            task_id,
+            runs,
+            reducer,
+            _m: std::marker::PhantomData,
+        }
+    }
+}
+
+struct ReduceShared<'a, M: Mapper, R: Reducer> {
+    sort_cmp: &'a SortCmp<M::OutKey>,
+    group_eq: &'a GroupEq<M::OutKey>,
+    counters: &'a Counters,
+    cache: &'a Cache,
+    dfs: &'a Dfs,
+    cluster: &'a Cluster,
+    num_reducers: usize,
+    output: &'a Output<R::OutKey, R::OutValue>,
+    job_name: &'a str,
+}
+
+struct ReduceTaskOut {
+    task_id: usize,
+    duration: f64,
+    input_bytes: u64,
+    groups: u64,
+    input_records: u64,
+    output_records: u64,
+    merge_passes: u64,
+}
+
+/// Reduce-side output collector writing to the DFS.
+enum Sink<K, V> {
+    Null,
+    Seq(SeqWriter),
+    Text(TextWriter, TextFormat<K, V>),
+}
+
+struct ReduceEmitter<K, V> {
+    sink: Sink<K, V>,
+    records: u64,
+}
+
+impl<K: Value, V: Value> ReduceEmitter<K, V> {
+    fn open(dfs: &Dfs, output: &Output<K, V>, task_id: usize) -> Result<Self> {
+        // A failed earlier attempt of this same task may have left a part
+        // file behind; replace it (the path is namespaced by task id).
+        if let Some(dir) = output.dir() {
+            let _ = dfs.delete(&part_path(dir, task_id));
+        }
+        let sink = match output {
+            Output::None => Sink::Null,
+            Output::Seq(dir) => Sink::Seq(dfs.seq_writer(&part_path(dir, task_id))?),
+            Output::Text(dir, fmt) => {
+                Sink::Text(dfs.text_writer(&part_path(dir, task_id))?, fmt.clone())
+            }
+        };
+        Ok(ReduceEmitter { sink, records: 0 })
+    }
+
+    fn close(self) -> Result<u64> {
+        match self.sink {
+            Sink::Null => {}
+            Sink::Seq(w) => w.close()?,
+            Sink::Text(w, _) => w.close()?,
+        }
+        Ok(self.records)
+    }
+}
+
+fn part_path(dir: &str, task_id: usize) -> String {
+    format!("{}/part-{task_id:05}", dir.trim_end_matches('/'))
+}
+
+impl<K: Value, V: Value> Emit<K, V> for ReduceEmitter<K, V> {
+    fn emit(&mut self, key: K, value: V) -> Result<()> {
+        self.records += 1;
+        match &mut self.sink {
+            Sink::Null => {}
+            Sink::Seq(w) => w.write(&key, &value),
+            Sink::Text(w, fmt) => w.write_line(&fmt(&key, &value)),
+        }
+        Ok(())
+    }
+}
+
+fn run_reduce_task<M, R>(
+    item: &ReduceItem<M, R>,
+    attempt: usize,
+    shared: &ReduceShared<'_, M, R>,
+) -> Result<ReduceTaskOut>
+where
+    M: Mapper,
+    R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+{
+    let task_id = item.task_id;
+    let runs = item.runs.clone();
+    let mut reducer = item.reducer.clone();
+    let start = Instant::now();
+    let input_bytes: u64 = runs.iter().map(|r| r.len_bytes() as u64).sum();
+    let label = format!("{}/reduce-{task_id}", shared.job_name);
+    let mut ctx = TaskContext::new(
+        Phase::Reduce,
+        task_id,
+        task_id % shared.cluster.config.nodes,
+        shared.num_reducers,
+        shared.counters.clone(),
+        shared.cluster.gauge(label),
+        shared.cache.clone(),
+        shared.dfs.clone(),
+    );
+    ctx.attempt = attempt;
+    // Multi-pass merge when this partition has more runs than the factor
+    // allows in a single pass (Hadoop's io.sort.factor).
+    let (runs, merge_passes) = merge_to_factor::<M::OutKey, M::OutValue>(
+        runs,
+        shared.sort_cmp,
+        shared.cluster.config.merge_factor,
+    )?;
+    let mut stream = MergeStream::new(runs, shared.sort_cmp.clone())?;
+    let mut emitter = ReduceEmitter::open(shared.dfs, shared.output, task_id)?;
+    reducer.setup(&ctx)?;
+    let mut groups = 0u64;
+    while let Some(first_key) = stream.peek_key().cloned() {
+        let mut group = GroupValues::new(&mut stream, first_key.clone(), shared.group_eq.clone());
+        reducer.reduce(&first_key, &mut group, &mut emitter, &ctx)?;
+        group.drain()?;
+        groups += 1;
+    }
+    reducer.cleanup(&mut emitter, &ctx)?;
+    let input_records = stream.records_read();
+    let output_records = emitter.close()?;
+    Ok(ReduceTaskOut {
+        task_id,
+        duration: start.elapsed().as_secs_f64(),
+        input_bytes,
+        groups,
+        input_records,
+        output_records,
+        merge_passes,
+    })
+}

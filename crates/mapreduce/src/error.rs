@@ -1,0 +1,81 @@
+//! Error types for the MapReduce engine and the simulated DFS.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MrError>;
+
+/// Errors produced by the engine, the DFS, or user map/reduce functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// A DFS path does not exist.
+    FileNotFound(String),
+    /// A DFS path already exists and overwrite was not requested.
+    FileExists(String),
+    /// Data could not be decoded from its on-wire representation.
+    Codec(String),
+    /// A task exceeded its configured memory budget.
+    ///
+    /// This is the error the paper's OPRJ variant hits when the broadcast
+    /// RID-pair list outgrows a map task's heap (Section 6.2).
+    OutOfMemory {
+        /// Human-readable description of the task that failed.
+        task: String,
+        /// Bytes the task attempted to hold.
+        requested: u64,
+        /// The per-task budget from [`crate::ClusterConfig::task_memory`].
+        budget: u64,
+    },
+    /// A user map/reduce function reported a failure.
+    TaskFailed(String),
+    /// The job specification is inconsistent (e.g. zero reducers).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::FileNotFound(p) => write!(f, "DFS file not found: {p}"),
+            MrError::FileExists(p) => write!(f, "DFS file already exists: {p}"),
+            MrError::Codec(msg) => write!(f, "codec error: {msg}"),
+            MrError::OutOfMemory {
+                task,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "task {task} out of memory: requested {requested} bytes, budget {budget} bytes"
+            ),
+            MrError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            MrError::InvalidConfig(msg) => write!(f, "invalid job configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl MrError {
+    /// True if this error is the memory-budget failure mode.
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(self, MrError::OutOfMemory { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = MrError::FileNotFound("/a/b".into());
+        assert_eq!(e.to_string(), "DFS file not found: /a/b");
+        let e = MrError::OutOfMemory {
+            task: "reduce-3".into(),
+            requested: 10,
+            budget: 5,
+        };
+        assert!(e.to_string().contains("reduce-3"));
+        assert!(e.is_out_of_memory());
+        assert!(!MrError::Codec("x".into()).is_out_of_memory());
+    }
+}

@@ -1,0 +1,179 @@
+//! Job specification and builder.
+
+use std::sync::Arc;
+
+use crate::cache::Cache;
+use crate::input::SplitSource;
+use crate::mapper::Mapper;
+use crate::partitioner::{
+    hash_partitioner, natural_grouping, natural_sort, GroupEq, PartitionFn, SortCmp,
+};
+use crate::reducer::{CombineFn, Reducer};
+
+/// Formats one output pair as a text line.
+pub type TextFormat<K, V> = Arc<dyn Fn(&K, &V) -> String + Send + Sync>;
+
+/// Where a job's reduce output goes.
+pub enum Output<K, V> {
+    /// Discard output (pure side-effect/metric jobs, engine tests).
+    None,
+    /// Sequence-file directory: `dir/part-NNNNN` of encoded pairs.
+    Seq(String),
+    /// Text-file directory: `dir/part-NNNNN` of formatted lines — Hadoop's
+    /// `TextOutputFormat`.
+    Text(String, TextFormat<K, V>),
+}
+
+impl<K, V> Output<K, V> {
+    /// Output directory, if any.
+    pub fn dir(&self) -> Option<&str> {
+        match self {
+            Output::None => None,
+            Output::Seq(d) | Output::Text(d, _) => Some(d),
+        }
+    }
+}
+
+/// A fully-specified MapReduce job.
+///
+/// Construct with [`Job::new`] and customize with the builder methods; run
+/// with [`crate::Cluster::run`].
+pub struct Job<M: Mapper, R: Reducer<Key = M::OutKey, InValue = M::OutValue>> {
+    /// Job name (metrics, error labels).
+    pub name: String,
+    /// Mapper prototype; cloned once per map task.
+    pub mapper: M,
+    /// Reducer prototype; cloned once per reduce task.
+    pub reducer: R,
+    /// Optional map-side combiner.
+    pub combiner: Option<CombineFn<M::OutKey, M::OutValue>>,
+    /// Partition policy for intermediate keys.
+    pub partitioner: PartitionFn<M::OutKey>,
+    /// Sort order for intermediate keys.
+    pub sort_cmp: SortCmp<M::OutKey>,
+    /// Grouping policy delimiting reduce calls.
+    pub group_eq: GroupEq<M::OutKey>,
+    /// Number of reduce tasks; defaults to one wave of the cluster's reduce
+    /// slots.
+    pub num_reducers: Option<usize>,
+    /// Input splits (possibly from several files).
+    pub inputs: Vec<SplitSource<M::InKey, M::InValue>>,
+    /// Output destination.
+    pub output: Output<R::OutKey, R::OutValue>,
+    /// Broadcast side data available to all tasks.
+    pub cache: Cache,
+}
+
+impl<M, R> Job<M, R>
+where
+    M: Mapper,
+    R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+{
+    /// A job with default policies: hash partitioning, natural sort, full-key
+    /// grouping, no combiner, discarded output.
+    pub fn new(name: impl Into<String>, mapper: M, reducer: R) -> Self {
+        Job {
+            name: name.into(),
+            mapper,
+            reducer,
+            combiner: None,
+            partitioner: hash_partitioner::<M::OutKey>(),
+            sort_cmp: natural_sort::<M::OutKey>(),
+            group_eq: natural_grouping::<M::OutKey>(),
+            num_reducers: None,
+            inputs: Vec::new(),
+            output: Output::None,
+            cache: Cache::new(),
+        }
+    }
+
+    /// Add input splits.
+    pub fn inputs(mut self, splits: Vec<SplitSource<M::InKey, M::InValue>>) -> Self {
+        self.inputs.extend(splits);
+        self
+    }
+
+    /// Set the combiner.
+    pub fn combiner(mut self, c: CombineFn<M::OutKey, M::OutValue>) -> Self {
+        self.combiner = Some(c);
+        self
+    }
+
+    /// Set a custom partitioner.
+    pub fn partitioner(mut self, p: PartitionFn<M::OutKey>) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Set a custom sort comparator.
+    pub fn sort_cmp(mut self, c: SortCmp<M::OutKey>) -> Self {
+        self.sort_cmp = c;
+        self
+    }
+
+    /// Set a custom grouping comparator.
+    pub fn group_eq(mut self, g: GroupEq<M::OutKey>) -> Self {
+        self.group_eq = g;
+        self
+    }
+
+    /// Fix the number of reduce tasks (e.g. 1 for global sorts).
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.num_reducers = Some(n);
+        self
+    }
+
+    /// Write output as a sequence-file directory.
+    pub fn output_seq(mut self, dir: impl Into<String>) -> Self {
+        self.output = Output::Seq(dir.into());
+        self
+    }
+
+    /// Write output as formatted text.
+    pub fn output_text(
+        mut self,
+        dir: impl Into<String>,
+        fmt: TextFormat<R::OutKey, R::OutValue>,
+    ) -> Self {
+        self.output = Output::Text(dir.into(), fmt);
+        self
+    }
+
+    /// Attach broadcast side data.
+    pub fn cache(mut self, cache: Cache) -> Self {
+        self.cache = cache;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::IdentityMapper;
+    use crate::reducer::IdentityReducer;
+
+    #[test]
+    fn builder_sets_fields() {
+        let job = Job::new(
+            "test",
+            IdentityMapper::<u32, u32>::new(),
+            IdentityReducer::<u32, u32>::new(),
+        )
+        .reducers(3)
+        .output_seq("/out");
+        assert_eq!(job.name, "test");
+        assert_eq!(job.num_reducers, Some(3));
+        assert_eq!(job.output.dir(), Some("/out"));
+    }
+
+    #[test]
+    fn default_output_is_none() {
+        let job = Job::new(
+            "t",
+            IdentityMapper::<u32, u32>::new(),
+            IdentityReducer::<u32, u32>::new(),
+        );
+        assert!(job.output.dir().is_none());
+        assert!(job.inputs.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-job execution metrics.
+//!
+//! Each job reports real wall-clock time, per-phase task statistics, shuffle
+//! byte counts (measured on the encoded representation that actually crossed
+//! the map→reduce boundary), and the simulated cluster time described in
+//! [`crate::cluster`].
+
+use std::fmt;
+
+/// Statistics for one phase (map or reduce) of a job.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseMetrics {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Sum of individual task durations (seconds of work).
+    pub total_task_secs: f64,
+    /// Longest single task.
+    pub max_task_secs: f64,
+    /// Simulated makespan of the phase on the configured topology.
+    pub makespan_secs: f64,
+}
+
+impl PhaseMetrics {
+    /// Mean task duration; 0 for an empty phase.
+    pub fn mean_task_secs(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.total_task_secs / self.tasks as f64
+        }
+    }
+
+    /// Skew indicator: max task time over mean task time (1.0 = balanced).
+    pub fn skew(&self) -> f64 {
+        let mean = self.mean_task_secs();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_task_secs / mean
+        }
+    }
+}
+
+/// Metrics for a single MapReduce job execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobMetrics {
+    /// Job name as given in the spec.
+    pub name: String,
+    /// Map-phase task statistics.
+    pub map: PhaseMetrics,
+    /// Reduce-phase task statistics (includes merge + reduce function time).
+    pub reduce: PhaseMetrics,
+    /// Map tasks scheduled on the node holding their input block.
+    pub map_local_tasks: u64,
+    /// Map tasks that read their input across the simulated network.
+    pub map_remote_tasks: u64,
+    /// Failed task attempts that were retried (across both phases).
+    pub task_retries: u64,
+    /// Intermediate reduce-side merge passes (runs beyond the merge factor).
+    pub merge_passes: u64,
+    /// Records fed to map functions.
+    pub map_input_records: u64,
+    /// Records emitted by map functions (before the combiner).
+    pub map_output_records: u64,
+    /// Records entering combiner invocations.
+    pub combine_input_records: u64,
+    /// Records leaving combiner invocations.
+    pub combine_output_records: u64,
+    /// Encoded bytes written to spill runs — the data that crosses the
+    /// network in a shuffle.
+    pub shuffle_bytes: u64,
+    /// Records that crossed the shuffle (post-combiner).
+    pub shuffle_records: u64,
+    /// Number of spill runs produced by map tasks.
+    pub spills: u64,
+    /// Distinct reduce groups (keys after grouping comparator).
+    pub reduce_input_groups: u64,
+    /// Records consumed by reduce functions.
+    pub reduce_input_records: u64,
+    /// Records emitted by reduce functions.
+    pub reduce_output_records: u64,
+    /// Simulated shuffle transfer seconds (max over reducers).
+    pub shuffle_transfer_secs: f64,
+    /// End-to-end simulated job time on the configured topology.
+    pub sim_secs: f64,
+    /// Real wall-clock seconds the in-process execution took.
+    pub wall_secs: f64,
+    /// User counters `(name, value)`, name-ordered.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl JobMetrics {
+    /// Value of a user counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+impl fmt::Display for JobMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "job {:<28} sim {:>8.3}s  wall {:>8.3}s",
+            self.name, self.sim_secs, self.wall_secs
+        )?;
+        writeln!(
+            f,
+            "  map    tasks {:>5}  in {:>10} rec  out {:>10} rec  makespan {:>8.3}s (skew {:.2}, {} local/{} remote)",
+            self.map.tasks,
+            self.map_input_records,
+            self.map_output_records,
+            self.map.makespan_secs,
+            self.map.skew(),
+            self.map_local_tasks,
+            self.map_remote_tasks,
+        )?;
+        writeln!(
+            f,
+            "  shuffle {:>12} bytes  {:>10} rec  {} spills  transfer {:>7.3}s",
+            self.shuffle_bytes, self.shuffle_records, self.spills, self.shuffle_transfer_secs
+        )?;
+        write!(
+            f,
+            "  reduce tasks {:>5}  groups {:>9}  in {:>10} rec  out {:>9} rec  makespan {:>8.3}s (skew {:.2}, {} merge passes, {} retries)",
+            self.reduce.tasks,
+            self.reduce_input_groups,
+            self.reduce_input_records,
+            self.reduce_output_records,
+            self.reduce.makespan_secs,
+            self.reduce.skew(),
+            self.merge_passes,
+            self.task_retries,
+        )
+    }
+}
+
+/// Accumulated metrics over a multi-job pipeline (one paper "stage" may be
+/// one or two jobs; a full join is three stages).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineMetrics {
+    /// Per-job metrics in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl PipelineMetrics {
+    /// Append one job's metrics.
+    pub fn push(&mut self, m: JobMetrics) {
+        self.jobs.push(m);
+    }
+
+    /// Merge another pipeline's jobs after this one's.
+    pub fn extend(&mut self, other: PipelineMetrics) {
+        self.jobs.extend(other.jobs);
+    }
+
+    /// Total simulated seconds across all jobs (jobs run back-to-back).
+    pub fn sim_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.sim_secs).sum()
+    }
+
+    /// Total real wall-clock seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.wall_secs).sum()
+    }
+
+    /// Total bytes shuffled across all jobs.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_mean_and_skew() {
+        let p = PhaseMetrics {
+            tasks: 4,
+            total_task_secs: 8.0,
+            max_task_secs: 5.0,
+            makespan_secs: 5.0,
+        };
+        assert!((p.mean_task_secs() - 2.0).abs() < 1e-12);
+        assert!((p.skew() - 2.5).abs() < 1e-12);
+        let empty = PhaseMetrics::default();
+        assert_eq!(empty.mean_task_secs(), 0.0);
+        assert_eq!(empty.skew(), 1.0);
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let m = JobMetrics {
+            counters: vec![("a".into(), 3), ("b".into(), 7)],
+            ..Default::default()
+        };
+        assert_eq!(m.counter("b"), 7);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn pipeline_accumulates() {
+        let mut p = PipelineMetrics::default();
+        p.push(JobMetrics {
+            sim_secs: 1.5,
+            wall_secs: 0.5,
+            shuffle_bytes: 100,
+            ..Default::default()
+        });
+        p.push(JobMetrics {
+            sim_secs: 2.5,
+            wall_secs: 1.0,
+            shuffle_bytes: 50,
+            ..Default::default()
+        });
+        assert!((p.sim_secs() - 4.0).abs() < 1e-12);
+        assert!((p.wall_secs() - 1.5).abs() < 1e-12);
+        assert_eq!(p.shuffle_bytes(), 150);
+        let mut q = PipelineMetrics::default();
+        q.extend(p);
+        assert_eq!(q.jobs.len(), 2);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let m = JobMetrics {
+            name: "stage2-kernel".into(),
+            ..Default::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("stage2-kernel"));
+        assert!(s.contains("shuffle"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests for the MapReduce substrate: codec round-trips, DFS
+//! invariants, scheduling bounds, and engine-vs-reference equivalence.
+
+use proptest::prelude::*;
+
+use mapreduce::{
+    list_schedule_makespan, mem_input, text_input, Cluster, ClusterConfig, ClosureMapper,
+    ClosureReducer, Codec, Dfs, Emit, Job, NetworkModel, TaskContext,
+};
+
+// ---------------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------------
+
+fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = v.to_bytes();
+    prop_assert_eq!(bytes.len(), v.encoded_len());
+    let back = T::from_bytes(&bytes).expect("decode");
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_roundtrips_primitives(
+        a in any::<u64>(),
+        b in any::<i64>(),
+        c in any::<u32>(),
+        d in any::<bool>(),
+        e in any::<f64>().prop_filter("NaN != NaN", |f| !f.is_nan()),
+    ) {
+        roundtrip(&a)?;
+        roundtrip(&b)?;
+        roundtrip(&c)?;
+        roundtrip(&d)?;
+        roundtrip(&e)?;
+    }
+
+    #[test]
+    fn codec_roundtrips_compounds(
+        s in ".{0,40}",
+        v in prop::collection::vec(any::<u32>(), 0..50),
+        o in prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+    ) {
+        roundtrip(&s)?;
+        roundtrip(&v)?;
+        roundtrip(&o)?;
+        roundtrip(&(s.clone(), v.clone()))?;
+        roundtrip(&((1u8, s), (v, 3.5f64)))?;
+    }
+
+    /// Concatenated encodings decode back in sequence — the shuffle's
+    /// framing assumption.
+    #[test]
+    fn codec_streams_concatenate(pairs in prop::collection::vec((any::<u64>(), ".{0,12}"), 0..20)) {
+        let mut buf = Vec::new();
+        for (k, v) in &pairs {
+            k.encode(&mut buf);
+            v.encode(&mut buf);
+        }
+        let mut r = mapreduce::ByteReader::new(&buf);
+        let mut back = Vec::new();
+        while !r.is_empty() {
+            let k = u64::decode(&mut r).expect("key");
+            let v = String::decode(&mut r).expect("value");
+            back.push((k, v));
+        }
+        prop_assert_eq!(back, pairs);
+    }
+
+    /// Truncating any encoding never panics — it errors.
+    #[test]
+    fn codec_truncation_is_an_error(v in prop::collection::vec(any::<u64>(), 1..20)) {
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(Vec::<u64>::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Text files round-trip through any block size, and splits repartition
+    /// the exact same records.
+    #[test]
+    fn dfs_text_roundtrip(
+        lines in prop::collection::vec("[a-zA-Z0-9 ]{0,30}", 0..40),
+        block_size in 16usize..256,
+        nodes in 1usize..6,
+    ) {
+        let dfs = Dfs::new(nodes, block_size);
+        dfs.write_text("/f", &lines).unwrap();
+        prop_assert_eq!(dfs.read_text("/f").unwrap(), lines.clone());
+        let total: usize = dfs
+            .splits("/f")
+            .unwrap()
+            .iter()
+            .map(|s| mapreduce::dfs::text_records(s).unwrap().len())
+            .sum();
+        prop_assert_eq!(total, lines.len());
+    }
+
+    /// Seq files round-trip through any block size.
+    #[test]
+    fn dfs_seq_roundtrip(
+        pairs in prop::collection::vec((any::<u64>(), ".{0,16}"), 0..40),
+        block_size in 16usize..256,
+    ) {
+        let dfs = Dfs::new(3, block_size);
+        dfs.write_seq("/s", &pairs).unwrap();
+        prop_assert_eq!(dfs.read_seq::<u64, String>("/s").unwrap(), pairs);
+    }
+
+    /// Round-robin placement keeps node loads within one block of balanced.
+    #[test]
+    fn dfs_placement_is_balanced(
+        n_lines in 10usize..100,
+        nodes in 2usize..6,
+    ) {
+        let dfs = Dfs::new(nodes, 64);
+        let lines: Vec<String> = (0..n_lines).map(|i| format!("record-{i:06}")).collect();
+        dfs.write_text("/f", &lines).unwrap();
+        let bytes = dfs.node_bytes();
+        let blocks_max = bytes.iter().max().unwrap();
+        let blocks_min = bytes.iter().min().unwrap();
+        prop_assert!(blocks_max - blocks_min <= 80, "imbalance: {:?}", bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scheduling
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Makespan bounds: max(duration) <= makespan <= sum(durations), and
+    /// more slots never increase it.
+    #[test]
+    fn makespan_bounds(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        slots in 1usize..16,
+    ) {
+        let m = list_schedule_makespan(&durations, slots);
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        let sum: f64 = durations.iter().sum();
+        prop_assert!(m >= max - 1e-9);
+        prop_assert!(m <= sum + 1e-9);
+        let m_more = list_schedule_makespan(&durations, slots + 1);
+        prop_assert!(m_more <= m + 1e-9, "more slots worsened makespan");
+        // Work conservation: makespan >= sum / slots.
+        prop_assert!(m >= sum / slots as f64 - 1e-9);
+    }
+
+    /// Locality-aware scheduling never beats the no-penalty lower bound and
+    /// degenerates to plain list scheduling when everything is local.
+    #[test]
+    fn locality_schedule_bounds(
+        tasks in prop::collection::vec((0.0f64..5.0, 0usize..4, 0u64..10_000), 1..30),
+        nodes in 1usize..5,
+        slots in 1usize..4,
+    ) {
+        let net = NetworkModel::default();
+        let specs: Vec<mapreduce::cluster::MapTaskSpec> = tasks
+            .iter()
+            .map(|&(duration, node, input_bytes)| mapreduce::cluster::MapTaskSpec {
+                duration,
+                node_hint: Some(node % nodes),
+                input_bytes,
+            })
+            .collect();
+        let out = mapreduce::cluster::schedule_map_tasks(&specs, nodes, slots, &net);
+        let durations: Vec<f64> = tasks.iter().map(|t| t.0).collect();
+        let ideal = list_schedule_makespan(&durations, nodes * slots);
+        prop_assert!(out.makespan >= ideal - 1e-9, "locality beat the ideal");
+        prop_assert_eq!(out.local_tasks + out.remote_tasks, tasks.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// engine vs reference
+// ---------------------------------------------------------------------------
+
+fn reference_word_count(lines: &[String]) -> Vec<(String, u64)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for line in lines {
+        for w in line.split_whitespace() {
+            *counts.entry(w.to_string()).or_insert(0u64) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine computes exactly the reference word count for any input,
+    /// topology, and block size — with and without a combiner.
+    #[test]
+    fn engine_word_count_equals_reference(
+        lines in prop::collection::vec("[a-d ]{0,20}", 0..30),
+        nodes in 1usize..5,
+        block_size in 32usize..256,
+        with_combiner in any::<bool>(),
+    ) {
+        let cluster = Cluster::new(ClusterConfig::with_nodes(nodes), block_size).unwrap();
+        cluster.dfs().write_text("/in", &lines).unwrap();
+        let mapper = ClosureMapper::new(
+            |_k: &u64, line: &String, out: &mut dyn Emit<String, u64>, _ctx: &TaskContext| {
+                for w in line.split_whitespace() {
+                    out.emit(w.to_string(), 1)?;
+                }
+                Ok(())
+            },
+        );
+        let reducer = ClosureReducer::new(
+            |k: &String,
+             vs: &mut dyn Iterator<Item = (String, u64)>,
+             out: &mut dyn Emit<String, u64>,
+             _ctx: &TaskContext| out.emit(k.clone(), vs.map(|(_, n)| n).sum()),
+        );
+        let mut job = Job::new("wc", mapper, reducer)
+            .inputs(text_input(cluster.dfs(), "/in").unwrap())
+            .output_seq("/out");
+        if with_combiner {
+            job = job.combiner(mapreduce::sum_combiner());
+        }
+        cluster.run(job).unwrap();
+        let mut got: Vec<(String, u64)> = cluster.dfs().read_seq("/out").unwrap();
+        got.sort();
+        prop_assert_eq!(got, reference_word_count(&lines));
+    }
+
+    /// Jobs over in-memory splits behave identically regardless of how the
+    /// records are split.
+    #[test]
+    fn split_count_does_not_change_results(
+        records in prop::collection::vec((any::<u32>(), any::<u32>()), 1..50),
+        splits in 1usize..8,
+    ) {
+        let run = |n: usize| {
+            let cluster = Cluster::new(ClusterConfig::with_nodes(2), 1024).unwrap();
+            let job = Job::new(
+                "sum",
+                mapreduce::IdentityMapper::<u32, u32>::new(),
+                ClosureReducer::new(
+                    |k: &u32,
+                     vs: &mut dyn Iterator<Item = (u32, u32)>,
+                     out: &mut dyn Emit<u32, u64>,
+                     _ctx: &TaskContext| {
+                        out.emit(*k, vs.map(|(_, v)| u64::from(v)).sum())
+                    },
+                ),
+            )
+            .inputs(mem_input("m", records.clone(), n))
+            .output_seq("/out");
+            cluster.run(job).unwrap();
+            let mut out: Vec<(u32, u64)> = cluster.dfs().read_seq("/out").unwrap();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(run(1), run(splits));
+    }
+}

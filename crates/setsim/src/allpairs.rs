@@ -1,0 +1,115 @@
+//! The All-Pairs kernel (Bayardo, Ma, Srikant, WWW'07).
+//!
+//! An independent implementation of prefix-filtered candidate generation:
+//! inverted index over index prefixes, candidate accumulation over probe
+//! prefixes, length filter, exact verification — but no positional or
+//! suffix filter. It serves two roles: the historical baseline PPJoin is
+//! compared against, and an independent oracle cross-checking the PPJoin
+//! implementation in tests.
+
+use std::collections::HashMap;
+
+use crate::measure::Threshold;
+use crate::naive::Record;
+use crate::verify::verify_pair;
+
+/// Self-join with the All-Pairs algorithm. Output pairs are id-normalized
+/// (`a < b`), sorted, deduplicated.
+pub fn self_join(records: &[Record], t: &Threshold) -> Vec<(u64, u64, f64)> {
+    let mut sorted: Vec<&Record> = records.iter().collect();
+    sorted.sort_by(|a, b| a.1.len().cmp(&b.1.len()).then_with(|| a.0.cmp(&b.0)));
+
+    // token -> indexed (record position in `sorted`, tokens shared via idx)
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut out = Vec::new();
+    let mut candidates: HashMap<u32, ()> = HashMap::new();
+
+    for (xi, (rid, x)) in sorted.iter().enumerate() {
+        candidates.clear();
+        let probe = t.probe_prefix_len(x.len());
+        for &tok in &x[..probe] {
+            if let Some(list) = index.get(&tok) {
+                for &yi in list {
+                    candidates.insert(yi, ());
+                }
+            }
+        }
+        let mut cands: Vec<u32> = candidates.keys().copied().collect();
+        cands.sort_unstable();
+        for yi in cands {
+            let (y_rid, y) = sorted[yi as usize];
+            if let Some(sim) = verify_pair(t, x, y) {
+                let (a, b) = if rid < y_rid {
+                    (*rid, *y_rid)
+                } else {
+                    (*y_rid, *rid)
+                };
+                out.push((a, b, sim));
+            }
+        }
+        let index_len = t.index_prefix_len(x.len());
+        for &tok in &x[..index_len] {
+            index.entry(tok).or_default().push(xi as u32);
+        }
+    }
+    out.sort_by(|p, q| p.0.cmp(&q.0).then(p.1.cmp(&q.1)));
+    out.dedup_by(|p, q| p.0 == q.0 && p.1 == q.1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn recs(sets: &[&[u32]]) -> Vec<Record> {
+        sets.iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64 + 1, s.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        let records = recs(&[
+            &[1, 2, 3, 4, 5],
+            &[1, 2, 3, 4, 6],
+            &[2, 3, 4, 5, 6],
+            &[7, 8, 9],
+            &[7, 8, 9, 10],
+            &[1, 2],
+        ]);
+        for tau in [0.5, 0.7, 0.8, 1.0] {
+            let t = Threshold::jaccard(tau);
+            let expected: Vec<(u64, u64)> = naive::self_join(&records, &t)
+                .iter()
+                .map(|(a, b, _)| (*a, *b))
+                .collect();
+            let got: Vec<(u64, u64)> = self_join(&records, &t)
+                .iter()
+                .map(|(a, b, _)| (*a, *b))
+                .collect();
+            assert_eq!(got, expected, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_ppjoin() {
+        let records = recs(&[
+            &[1, 3, 5, 7, 9, 11],
+            &[1, 3, 5, 7, 9, 12],
+            &[2, 4, 6, 8],
+            &[2, 4, 6, 8, 10],
+            &[1, 2, 3],
+        ]);
+        let t = Threshold::jaccard(0.6);
+        let a = self_join(&records, &t);
+        let b = crate::ppjoin::self_join(&records, &t, crate::FilterConfig::ppjoin_plus());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(self_join(&[], &Threshold::jaccard(0.8)).is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Edit-distance (Levenshtein) similarity joins via q-grams.
+//!
+//! The paper's footnote 1 notes that its techniques "can also be used for
+//! approximate string search using the edit or Levenshtein distance"
+//! (Gravano et al., VLDB'01). This module supplies that machinery:
+//!
+//! * banded Levenshtein verification ([`levenshtein_within`]);
+//! * the **count filter**: strings within edit distance `d` share at least
+//!   `max(|G(s1)|, |G(s2)|) − d·q` of their positional q-grams, because one
+//!   edit destroys at most `q` grams;
+//! * the **length filter**: `||s1| − |s2|| ≤ d`;
+//! * a **prefix-filtered join kernel** ([`edit_self_join`]): order grams by
+//!   global rarity, index each string's first `d·q + 1` grams (an edit
+//!   distance ≤ d pair must share one of them), verify candidates with the
+//!   banded DP.
+//!
+//! Grams are positional over the **raw** string ([`raw_qgrams`]) and
+//! numbered so repeated grams count separately (multiset semantics), as the
+//! count filter requires.
+
+use std::collections::HashMap;
+
+use crate::dict::TokenOrder;
+
+/// Positional q-grams of the **raw** string (no cleaning or case folding —
+/// the count-filter theorem requires grams of exactly the string the edit
+/// distance is measured on), padded with `q − 1` sentinel characters on each
+/// side, with duplicate grams numbered so multiset semantics hold.
+pub fn raw_qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1);
+    const PAD: char = '\u{0}';
+    let mut chars: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
+    chars.extend(std::iter::repeat_n(PAD, q - 1));
+    chars.extend(s.chars());
+    chars.extend(std::iter::repeat_n(PAD, q - 1));
+    if chars.len() < q {
+        return Vec::new();
+    }
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    chars
+        .windows(q)
+        .map(|w| {
+            let gram: String = w.iter().collect();
+            let n = counts.entry(gram.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                gram
+            } else {
+                format!("{gram}\u{1}{n}")
+            }
+        })
+        .collect()
+}
+
+/// Exact Levenshtein distance (two-row DP).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded Levenshtein: `Some(distance)` if `levenshtein(a, b) <= k`, else
+/// `None`, in O(k·max(|a|,|b|)) time.
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > k {
+        return None;
+    }
+    if a.is_empty() {
+        return (b.len() <= k).then_some(b.len());
+    }
+    if b.is_empty() {
+        return (a.len() <= k).then_some(a.len());
+    }
+    const BIG: usize = usize::MAX / 2;
+    // Row i covers columns j in [i-k, i+k] ∩ [0, |b|].
+    let width = 2 * k + 1;
+    let mut prev = vec![BIG; width];
+    let mut cur = vec![BIG; width];
+    // Row 0: D[0][j] = j for j <= k.
+    for (off, slot) in prev.iter_mut().enumerate() {
+        // Column of row 0 at offset `off` is j = off - k (centered at i=0).
+        let j = off as isize - k as isize;
+        if (0..=b.len() as isize).contains(&j) {
+            *slot = j as usize;
+        }
+    }
+    for i in 1..=a.len() {
+        for slot in cur.iter_mut() {
+            *slot = BIG;
+        }
+        let ca = a[i - 1];
+        for off in 0..width {
+            let j = i as isize + off as isize - k as isize;
+            if j < 0 || j > b.len() as isize {
+                continue;
+            }
+            let j = j as usize;
+            let mut best = BIG;
+            if j == 0 {
+                best = i; // deleting all of a's first i chars
+            } else {
+                // prev row, same column j-? offsets: prev row centered at
+                // i-1: column j maps to offset j-(i-1)+k; j-1 maps to one
+                // less.
+                let poff = |col: isize| -> Option<usize> {
+                    let o = col - (i as isize - 1) + k as isize;
+                    (0..width as isize).contains(&o).then_some(o as usize)
+                };
+                let cb = b[j - 1];
+                if let Some(o) = poff(j as isize - 1) {
+                    best = best.min(prev[o] + usize::from(ca != cb));
+                }
+                if let Some(o) = poff(j as isize) {
+                    best = best.min(prev[o].saturating_add(1));
+                }
+                if off > 0 {
+                    best = best.min(cur[off - 1].saturating_add(1));
+                }
+            }
+            cur[off] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        if prev.iter().all(|&v| v > k) {
+            return None; // whole band exceeded k: early exit
+        }
+    }
+    let off = b.len() as isize - a.len() as isize + k as isize;
+    if !(0..width as isize).contains(&off) {
+        return None;
+    }
+    let d = prev[off as usize];
+    (d <= k).then_some(d)
+}
+
+/// Count-filter bound: minimum number of shared positional q-grams for two
+/// strings with `g1`/`g2` grams to be within edit distance `d`.
+pub fn count_filter_bound(g1: usize, g2: usize, q: usize, d: usize) -> usize {
+    g1.max(g2).saturating_sub(d * q)
+}
+
+/// An edit-distance self-join: all pairs `(i, j, distance)` with
+/// `levenshtein <= d`, found with the q-gram prefix filter and verified by
+/// the banded DP. Pairs are index-normalized (`i < j`) and sorted.
+pub fn edit_self_join(strings: &[String], q: usize, d: usize) -> Vec<(usize, usize, usize)> {
+    assert!(q >= 1, "q must be at least 1");
+    let grams: Vec<Vec<String>> = strings.iter().map(|s| raw_qgrams(s, q)).collect();
+    let order = TokenOrder::from_corpus(&grams);
+    // Rank vectors sorted by global rarity (ascending rank = rarest first).
+    let ranked: Vec<Vec<u32>> = grams.iter().map(|g| order.project(g)).collect();
+
+    // Prefix length: a pair within distance d shares >= |G| - d*q grams, so
+    // it must share one of the first d*q + 1 grams in any global order.
+    // That argument needs the count-filter bound to be positive for the
+    // *longer* side, which fails for strings with <= d*q grams — those can
+    // be within distance d of a partner while sharing nothing. Such "short"
+    // strings are kept in a separate bucket and compared exhaustively (they
+    // are tiny, so verification is cheap).
+    let prefix_len = d * q + 1;
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut short: Vec<u32> = Vec::new();
+    let mut out = Vec::new();
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    for (i, ranks) in ranked.iter().enumerate() {
+        seen.clear();
+        if ranks.len() <= d * q {
+            // Short string: every earlier record is a candidate.
+            for j in 0..i as u32 {
+                seen.insert(j, ());
+            }
+        } else {
+            for &g in ranks.iter().take(prefix_len) {
+                if let Some(cands) = index.get(&g) {
+                    for &j in cands {
+                        seen.insert(j, ());
+                    }
+                }
+            }
+            // Earlier short strings are candidates for everyone.
+            for &j in &short {
+                seen.insert(j, ());
+            }
+        }
+        let mut cands: Vec<u32> = seen.keys().copied().collect();
+        cands.sort_unstable();
+        for j in cands {
+            let (ji, si) = (j as usize, &strings[j as usize]);
+            // Length filter on characters.
+            if si.chars().count().abs_diff(strings[i].chars().count()) > d {
+                continue;
+            }
+            // Count filter on grams.
+            let bound = count_filter_bound(ranks.len(), ranked[ji].len(), q, d);
+            if bound > 0
+                && crate::verify::overlap_at_least(ranks, &ranked[ji], 0, 0, 0, bound).is_none()
+            {
+                continue;
+            }
+            if let Some(dist) = levenshtein_within(&strings[i], si, d) {
+                out.push((ji.min(i), ji.max(i), dist));
+            }
+        }
+        if ranks.len() <= d * q {
+            short.push(i as u32);
+        } else {
+            for &g in ranks.iter().take(prefix_len) {
+                index.entry(g).or_default().push(i as u32);
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    out.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    out
+}
+
+/// Naive edit-distance self-join (test oracle).
+pub fn naive_edit_self_join(strings: &[String], d: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..strings.len() {
+        for j in i + 1..strings.len() {
+            let dist = levenshtein(&strings[i], &strings[j]);
+            if dist <= d {
+                out.push((i, j, dist));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn banded_matches_exact_within_k() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("abcdef", "abcdef"),
+            ("abcdef", "badcfe"),
+            ("", "abc"),
+            ("a", "b"),
+            ("john w smith", "smith john"),
+        ];
+        for (a, b) in pairs {
+            let exact = levenshtein(a, b);
+            for k in 0..8 {
+                let banded = levenshtein_within(a, b, k);
+                if exact <= k {
+                    assert_eq!(banded, Some(exact), "a={a} b={b} k={k}");
+                } else {
+                    assert_eq!(banded, None, "a={a} b={b} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_filter_is_valid() {
+        // One edit destroys at most q grams: verify on concrete strings.
+        let q = 3;
+        let a = "similarity joins";
+        let b = "similarity coins"; // distance 2
+        let d = levenshtein(a, b);
+        let ga = raw_qgrams(a, q);
+        let gb = raw_qgrams(b, q);
+        let shared = ga.iter().filter(|g| gb.contains(g)).count();
+        assert!(shared >= count_filter_bound(ga.len(), gb.len(), q, d));
+    }
+
+    #[test]
+    fn edit_join_matches_naive() {
+        let strings: Vec<String> = [
+            "parallel set similarity joins",
+            "parallel set similarity join",   // d=1 of above
+            "parallel set similarity coins",  // d=2 of first
+            "an entirely different sentence",
+            "an entirely different sentence", // exact duplicate
+            "mapreduce",
+            "mapredude",                      // d=1
+            "x",
+            "",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for d in [0usize, 1, 2, 3] {
+            for q in [2usize, 3] {
+                let expected = naive_edit_self_join(&strings, d);
+                let got = edit_self_join(&strings, q, d);
+                assert_eq!(got, expected, "d={d} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn edit_join_empty_and_trivial() {
+        assert!(edit_self_join(&[], 3, 1).is_empty());
+        let one = vec!["abc".to_string()];
+        assert!(edit_self_join(&one, 3, 1).is_empty());
+    }
+
+    #[test]
+    fn large_distance_catches_everything_small() {
+        let strings: Vec<String> = ["ab", "cd", "ef"].iter().map(|s| s.to_string()).collect();
+        let got = edit_self_join(&strings, 2, 10);
+        assert_eq!(got.len(), 3, "all pairs within distance 10");
+    }
+}

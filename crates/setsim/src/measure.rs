@@ -1,0 +1,360 @@
+//! Set-similarity measures, thresholds, and the derived filter bounds.
+//!
+//! Everything downstream — prefix filtering, length filtering, positional
+//! filtering, the PPJoin kernels, and the MapReduce stages — derives its
+//! bounds from a [`Threshold`]: a similarity function plus a minimum
+//! similarity τ. The bounds implemented here are the standard ones from the
+//! set-similarity-join literature (Chaudhuri et al. '06, Bayardo et al. '07,
+//! Xiao et al. '08) that the paper builds on:
+//!
+//! | bound | meaning |
+//! |---|---|
+//! | [`Threshold::lower_bound`]/[`Threshold::upper_bound`] | length filter: partner sizes compatible with τ |
+//! | [`Threshold::overlap_needed`] | α(x, y): minimum overlap for a pair to reach τ |
+//! | [`Threshold::probe_prefix_len`] | prefix filter: tokens of a record that must be probed |
+//! | [`Threshold::index_prefix_len`] | shorter prefix sufficient for the *indexed* side |
+//!
+//! All records are **strictly increasing rank vectors** ([`TokenSet`]), i.e.
+//! true sets interned through [`crate::TokenOrder`].
+
+use crate::verify::intersection_size;
+
+/// A record projected onto sorted, deduplicated token ranks.
+pub type TokenSet = [u32];
+
+/// Similarity functions supported end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimFunction {
+    /// `|x ∩ y| / |x ∪ y|` — the paper's evaluation function.
+    Jaccard,
+    /// `|x ∩ y| / sqrt(|x|·|y|)`.
+    Cosine,
+    /// `2·|x ∩ y| / (|x| + |y|)`.
+    Dice,
+    /// Absolute overlap `|x ∩ y|`; τ is an integer count ≥ 1.
+    Overlap,
+}
+
+/// A similarity function with a threshold τ: the join predicate
+/// `sim(x, y) ≥ τ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    func: SimFunction,
+    tau: f64,
+}
+
+/// Tolerance used when comparing floating-point similarities against τ, so
+/// exact-boundary pairs (e.g. Jaccard exactly 0.8) are never dropped to
+/// rounding.
+const EPS: f64 = 1e-9;
+
+fn ceil_eps(x: f64) -> usize {
+    ((x - EPS).ceil()).max(0.0) as usize
+}
+
+fn floor_eps(x: f64) -> usize {
+    ((x + EPS).floor()).max(0.0) as usize
+}
+
+impl Threshold {
+    /// Create a threshold, validating τ against the function's domain.
+    pub fn new(func: SimFunction, tau: f64) -> Result<Self, String> {
+        match func {
+            SimFunction::Jaccard | SimFunction::Cosine | SimFunction::Dice => {
+                if !(tau > 0.0 && tau <= 1.0) {
+                    return Err(format!("{func:?} threshold must be in (0, 1], got {tau}"));
+                }
+            }
+            SimFunction::Overlap => {
+                if tau < 1.0 || tau.fract() != 0.0 {
+                    return Err(format!(
+                        "Overlap threshold must be an integer >= 1, got {tau}"
+                    ));
+                }
+            }
+        }
+        Ok(Threshold { func, tau })
+    }
+
+    /// Jaccard with threshold τ — the paper's configuration is
+    /// `Threshold::jaccard(0.80)`.
+    pub fn jaccard(tau: f64) -> Self {
+        Self::new(SimFunction::Jaccard, tau).expect("valid Jaccard threshold")
+    }
+
+    /// Cosine with threshold τ.
+    pub fn cosine(tau: f64) -> Self {
+        Self::new(SimFunction::Cosine, tau).expect("valid cosine threshold")
+    }
+
+    /// Dice with threshold τ.
+    pub fn dice(tau: f64) -> Self {
+        Self::new(SimFunction::Dice, tau).expect("valid Dice threshold")
+    }
+
+    /// Absolute overlap of at least `c` tokens.
+    pub fn overlap(c: usize) -> Self {
+        Self::new(SimFunction::Overlap, c as f64).expect("valid overlap threshold")
+    }
+
+    /// The similarity function.
+    pub fn func(&self) -> SimFunction {
+        self.func
+    }
+
+    /// The threshold τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Exact similarity of two token sets.
+    ///
+    /// A record with an **empty** token set never joins anything (similarity
+    /// 0 by convention): it produces no signatures, so no prefix-based
+    /// method — single-node or parallel — could ever route or find it.
+    pub fn similarity(&self, x: &TokenSet, y: &TokenSet) -> f64 {
+        if x.is_empty() || y.is_empty() {
+            return 0.0;
+        }
+        let i = intersection_size(x, y) as f64;
+        let (lx, ly) = (x.len() as f64, y.len() as f64);
+        match self.func {
+            SimFunction::Jaccard => i / (lx + ly - i),
+            SimFunction::Cosine => i / (lx * ly).sqrt(),
+            SimFunction::Dice => 2.0 * i / (lx + ly),
+            SimFunction::Overlap => i,
+        }
+    }
+
+    /// `Some(sim)` when the pair joins, `None` otherwise.
+    pub fn matches(&self, x: &TokenSet, y: &TokenSet) -> Option<f64> {
+        let s = self.similarity(x, y);
+        (s + EPS >= self.tau).then_some(s)
+    }
+
+    /// Similarity from an already-known overlap (avoids re-intersecting when
+    /// a kernel has verified the overlap exactly).
+    pub fn similarity_from_overlap(&self, overlap: usize, lx: usize, ly: usize) -> f64 {
+        if lx == 0 || ly == 0 {
+            return 0.0;
+        }
+        let i = overlap as f64;
+        let (a, b) = (lx as f64, ly as f64);
+        match self.func {
+            SimFunction::Jaccard => i / (a + b - i),
+            SimFunction::Cosine => i / (a * b).sqrt(),
+            SimFunction::Dice => 2.0 * i / (a + b),
+            SimFunction::Overlap => i,
+        }
+    }
+
+    /// Length filter, lower side: the smallest partner size a record of
+    /// size `len` can join with.
+    pub fn lower_bound(&self, len: usize) -> usize {
+        let l = len as f64;
+        match self.func {
+            SimFunction::Jaccard => ceil_eps(self.tau * l),
+            SimFunction::Cosine => ceil_eps(self.tau * self.tau * l),
+            SimFunction::Dice => ceil_eps(self.tau / (2.0 - self.tau) * l),
+            SimFunction::Overlap => self.tau as usize,
+        }
+    }
+
+    /// Length filter, upper side: the largest partner size a record of size
+    /// `len` can join with (`usize::MAX` when unbounded).
+    pub fn upper_bound(&self, len: usize) -> usize {
+        let l = len as f64;
+        match self.func {
+            SimFunction::Jaccard => floor_eps(l / self.tau),
+            SimFunction::Cosine => floor_eps(l / (self.tau * self.tau)),
+            SimFunction::Dice => floor_eps((2.0 - self.tau) / self.tau * l),
+            SimFunction::Overlap => usize::MAX,
+        }
+    }
+
+    /// α(x, y): the minimum overlap two records of sizes `lx`, `ly` need to
+    /// reach τ.
+    pub fn overlap_needed(&self, lx: usize, ly: usize) -> usize {
+        let (a, b) = (lx as f64, ly as f64);
+        let alpha = match self.func {
+            SimFunction::Jaccard => ceil_eps(self.tau / (1.0 + self.tau) * (a + b)),
+            SimFunction::Cosine => ceil_eps(self.tau * (a * b).sqrt()),
+            SimFunction::Dice => ceil_eps(self.tau / 2.0 * (a + b)),
+            SimFunction::Overlap => self.tau as usize,
+        };
+        alpha.max(1)
+    }
+
+    /// Probe-prefix length for a record of size `len`: similar records must
+    /// share a token within the first `probe_prefix_len` tokens of each
+    /// (under the global order). `len − lower_bound(len) + 1`, clamped to
+    /// `[0, len]`.
+    pub fn probe_prefix_len(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (len + 1).saturating_sub(self.lower_bound(len)).min(len)
+    }
+
+    /// Index-prefix length: the shorter prefix sufficient for the *indexed*
+    /// (shorter) side of a pair, `len − α(len, len) + 1`. Used by the
+    /// PPJoin-style kernels to index fewer tokens.
+    pub fn index_prefix_len(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (len + 1).saturating_sub(self.overlap_needed(len, len)).min(len)
+    }
+
+    /// True when two record sizes pass the length filter.
+    pub fn length_compatible(&self, lx: usize, ly: usize) -> bool {
+        let (lo, hi) = (lx.min(ly), lx.max(ly));
+        hi <= self.upper_bound(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Threshold::new(SimFunction::Jaccard, 0.0).is_err());
+        assert!(Threshold::new(SimFunction::Jaccard, 1.01).is_err());
+        assert!(Threshold::new(SimFunction::Jaccard, 0.8).is_ok());
+        assert!(Threshold::new(SimFunction::Overlap, 0.5).is_err());
+        assert!(Threshold::new(SimFunction::Overlap, 3.0).is_ok());
+    }
+
+    #[test]
+    fn paper_example_jaccard() {
+        // "I will call back" vs "I will call you soon": 3 shared of 6 total.
+        // Modeled by rank sets of sizes 4 and 5 sharing 3.
+        let x = [0u32, 1, 2, 3];
+        let y = [1u32, 2, 3, 8, 9];
+        let t = Threshold::jaccard(0.5);
+        let s = t.similarity(&x, &y);
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!(t.matches(&x, &y).is_some(), "boundary pair must match");
+    }
+
+    #[test]
+    fn empty_sets_never_join() {
+        for t in [
+            Threshold::jaccard(0.8),
+            Threshold::cosine(0.8),
+            Threshold::dice(0.8),
+            Threshold::overlap(1),
+        ] {
+            assert_eq!(t.similarity(&[], &[]), 0.0);
+            assert_eq!(t.similarity(&[], &[1]), 0.0);
+            assert_eq!(t.similarity(&[1], &[]), 0.0);
+            assert!(t.matches(&[], &[]).is_none());
+        }
+    }
+
+    #[test]
+    fn jaccard_bounds_at_tau_08() {
+        let t = Threshold::jaccard(0.8);
+        assert_eq!(t.lower_bound(10), 8);
+        assert_eq!(t.upper_bound(10), 12);
+        // α(10, 10) = ceil(0.8/1.8 · 20) = ceil(8.888) = 9.
+        assert_eq!(t.overlap_needed(10, 10), 9);
+        // probe prefix = 10 − 8 + 1 = 3; index prefix = 10 − 9 + 1 = 2.
+        assert_eq!(t.probe_prefix_len(10), 3);
+        assert_eq!(t.index_prefix_len(10), 2);
+    }
+
+    #[test]
+    fn exact_products_do_not_round_badly() {
+        let t = Threshold::jaccard(0.5);
+        // 0.5 * 4 = 2 exactly; ceil must be 2, not 3.
+        assert_eq!(t.lower_bound(4), 2);
+        assert_eq!(t.upper_bound(4), 8);
+    }
+
+    #[test]
+    fn cosine_and_dice_bounds() {
+        let c = Threshold::cosine(0.8);
+        assert_eq!(c.lower_bound(100), 64);
+        assert_eq!(c.upper_bound(64), 100);
+        let d = Threshold::dice(0.8);
+        // lower = ceil(0.8/1.2 · 12) = ceil(8) = 8.
+        assert_eq!(d.lower_bound(12), 8);
+        assert_eq!(d.upper_bound(8), 12);
+    }
+
+    #[test]
+    fn overlap_threshold_semantics() {
+        let t = Threshold::overlap(2);
+        assert!(t.matches(&[1, 2, 3], &[2, 3, 9]).is_some());
+        assert!(t.matches(&[1, 2, 3], &[3, 9, 10]).is_none());
+        assert_eq!(t.lower_bound(5), 2);
+        assert_eq!(t.upper_bound(5), usize::MAX);
+        assert_eq!(t.probe_prefix_len(5), 4);
+    }
+
+    #[test]
+    fn prefix_lengths_clamp() {
+        let t = Threshold::jaccard(0.8);
+        assert_eq!(t.probe_prefix_len(0), 0);
+        assert_eq!(t.probe_prefix_len(1), 1);
+        assert_eq!(t.index_prefix_len(1), 1);
+        let o = Threshold::overlap(10);
+        assert_eq!(o.probe_prefix_len(5), 0, "record too small to ever match");
+    }
+
+    #[test]
+    fn similarity_from_overlap_matches_direct() {
+        let x: Vec<u32> = (0..10).collect();
+        let y: Vec<u32> = (5..17).collect();
+        let overlap = crate::verify::intersection_size(&x, &y);
+        for t in [
+            Threshold::jaccard(0.1),
+            Threshold::cosine(0.1),
+            Threshold::dice(0.1),
+            Threshold::overlap(1),
+        ] {
+            let direct = t.similarity(&x, &y);
+            let from_overlap = t.similarity_from_overlap(overlap, x.len(), y.len());
+            assert!((direct - from_overlap).abs() < 1e-12, "{t:?}");
+        }
+        assert_eq!(Threshold::jaccard(0.5).similarity_from_overlap(0, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn length_compatible_is_symmetric() {
+        let t = Threshold::jaccard(0.8);
+        assert!(t.length_compatible(10, 12));
+        assert!(t.length_compatible(12, 10));
+        assert!(!t.length_compatible(10, 13));
+    }
+
+    /// The defining property of α: sim ≥ τ ⟺ overlap ≥ α (checked
+    /// exhaustively over small sizes).
+    #[test]
+    fn alpha_characterizes_threshold() {
+        for func in [SimFunction::Jaccard, SimFunction::Cosine, SimFunction::Dice] {
+            for tau in [0.5, 0.8, 0.9] {
+                let t = Threshold::new(func, tau).unwrap();
+                for lx in 1usize..=12 {
+                    for ly in 1usize..=12 {
+                        let alpha = t.overlap_needed(lx, ly);
+                        for i in 0..=lx.min(ly) {
+                            // Build sets of sizes lx, ly sharing exactly i.
+                            let x: Vec<u32> = (0..lx as u32).collect();
+                            let y: Vec<u32> =
+                                (lx as u32 - i as u32..(lx + ly) as u32 - i as u32).collect();
+                            let matches = t.matches(&x, &y).is_some();
+                            assert_eq!(
+                                matches,
+                                i >= alpha,
+                                "{func:?} τ={tau} lx={lx} ly={ly} i={i} α={alpha}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

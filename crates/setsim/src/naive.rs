@@ -1,0 +1,95 @@
+//! Naive nested-loop joins: the ground truth every optimized kernel is
+//! verified against.
+
+use crate::measure::Threshold;
+
+/// A record: an id plus its sorted token-rank set.
+pub type Record = (u64, Vec<u32>);
+
+/// All joining pairs of a self-join, by exhaustive comparison. Pairs are
+/// returned id-normalized (`a < b`) and sorted.
+pub fn self_join(records: &[Record], t: &Threshold) -> Vec<(u64, u64, f64)> {
+    let mut out = Vec::new();
+    for (i, (rid_a, x)) in records.iter().enumerate() {
+        for (rid_b, y) in &records[i + 1..] {
+            if rid_a == rid_b {
+                continue;
+            }
+            if let Some(sim) = t.matches(x, y) {
+                let (a, b) = if rid_a < rid_b {
+                    (*rid_a, *rid_b)
+                } else {
+                    (*rid_b, *rid_a)
+                };
+                out.push((a, b, sim));
+            }
+        }
+    }
+    out.sort_by(|p, q| p.0.cmp(&q.0).then(p.1.cmp(&q.1)));
+    out.dedup_by(|p, q| p.0 == q.0 && p.1 == q.1);
+    out
+}
+
+/// All joining `(r, s)` pairs of an R-S join, by exhaustive comparison.
+/// Returned as `(r_id, s_id, sim)` sorted by ids.
+pub fn rs_join(r: &[Record], s: &[Record], t: &Threshold) -> Vec<(u64, u64, f64)> {
+    let mut out = Vec::new();
+    for (rid, x) in r {
+        for (sid, y) in s {
+            if let Some(sim) = t.matches(x, y) {
+                out.push((*rid, *sid, sim));
+            }
+        }
+    }
+    out.sort_by(|p, q| p.0.cmp(&q.0).then(p.1.cmp(&q.1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(sets: &[&[u32]]) -> Vec<Record> {
+        sets.iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64 + 1, s.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn self_join_finds_expected_pairs() {
+        let records = recs(&[
+            &[1, 2, 3, 4],
+            &[1, 2, 3, 5],
+            &[10, 11, 12],
+            &[1, 2, 3, 4],
+        ]);
+        let t = Threshold::jaccard(0.6);
+        let pairs = self_join(&records, &t);
+        // (1,2): 3/5 = 0.6 ✓; (1,4): identical ✓; (2,4): 0.6 ✓.
+        assert_eq!(
+            pairs.iter().map(|(a, b, _)| (*a, *b)).collect::<Vec<_>>(),
+            vec![(1, 2), (1, 4), (2, 4)]
+        );
+        assert_eq!(pairs[1].2, 1.0);
+    }
+
+    #[test]
+    fn self_join_empty_and_singleton() {
+        let t = Threshold::jaccard(0.8);
+        assert!(self_join(&[], &t).is_empty());
+        assert!(self_join(&recs(&[&[1, 2]]), &t).is_empty());
+    }
+
+    #[test]
+    fn rs_join_cross_pairs_only() {
+        let r = recs(&[&[1, 2, 3], &[7, 8, 9]]);
+        let s = vec![(100u64, vec![1, 2, 3]), (200, vec![7, 8])];
+        let t = Threshold::jaccard(0.6);
+        let pairs = rs_join(&r, &s, &t);
+        assert_eq!(
+            pairs.iter().map(|(a, b, _)| (*a, *b)).collect::<Vec<_>>(),
+            vec![(1, 100), (2, 200)]
+        );
+    }
+}

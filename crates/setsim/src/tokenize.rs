@@ -1,0 +1,196 @@
+//! String-to-set tokenization.
+//!
+//! The paper maps strings into sets by tokenizing them into words or q-grams
+//! and treats the result as a *set* (duplicates collapsed). Cleaning —
+//! lower-casing and punctuation removal — happens inside the algorithms
+//! ("we did not clean the records before running our algorithms... We did
+//! the cleaning inside our algorithms"), so the tokenizers here clean as
+//! they tokenize.
+
+/// How duplicate tokens within one string are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// Keep the first occurrence only: the string becomes a true set.
+    #[default]
+    Collapse,
+    /// Make duplicates distinct by appending an occurrence ordinal
+    /// (`the`, `the#2`, `the#3`), preserving multiset semantics.
+    Number,
+}
+
+/// A tokenizer turns a string into a list of distinct tokens.
+pub trait Tokenizer {
+    /// Tokenize `text` into distinct tokens (per the [`DedupMode`]).
+    fn tokenize(&self, text: &str) -> Vec<String>;
+}
+
+/// Word tokenizer: lower-cases, treats every non-alphanumeric character as a
+/// separator, and deduplicates.
+#[derive(Debug, Clone, Default)]
+pub struct WordTokenizer {
+    /// Duplicate handling.
+    pub dedup: DedupMode,
+}
+
+impl WordTokenizer {
+    /// A word tokenizer with collapse-duplicates semantics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A word tokenizer that numbers duplicate occurrences.
+    pub fn numbering() -> Self {
+        WordTokenizer {
+            dedup: DedupMode::Number,
+        }
+    }
+}
+
+fn dedup_tokens(raw: impl Iterator<Item = String>, mode: DedupMode) -> Vec<String> {
+    let mut seen: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for tok in raw {
+        let count = seen.entry(tok.clone()).or_insert(0);
+        *count += 1;
+        match (mode, *count) {
+            (_, 1) => out.push(tok),
+            (DedupMode::Collapse, _) => {}
+            (DedupMode::Number, n) => out.push(format!("{tok}#{n}")),
+        }
+    }
+    out
+}
+
+impl Tokenizer for WordTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<String> {
+        let raw = text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(str::to_lowercase);
+        dedup_tokens(raw, self.dedup)
+    }
+}
+
+/// Q-gram tokenizer: sliding windows of `q` characters over the cleaned
+/// string (lower-cased, runs of non-alphanumerics collapsed to one space),
+/// padded with `q - 1` leading and trailing `#` characters so every original
+/// character appears in exactly `q` grams.
+#[derive(Debug, Clone)]
+pub struct QGramTokenizer {
+    /// Gram length (≥ 1).
+    pub q: usize,
+    /// Duplicate handling.
+    pub dedup: DedupMode,
+}
+
+impl QGramTokenizer {
+    /// A q-gram tokenizer with collapse-duplicates semantics.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        QGramTokenizer {
+            q,
+            dedup: DedupMode::Collapse,
+        }
+    }
+}
+
+impl Tokenizer for QGramTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut cleaned = String::with_capacity(text.len() + 2 * (self.q - 1));
+        for _ in 0..self.q - 1 {
+            cleaned.push('#');
+        }
+        let mut last_sep = false;
+        let mut has_content = false;
+        for c in text.chars() {
+            if c.is_alphanumeric() {
+                cleaned.extend(c.to_lowercase());
+                last_sep = false;
+                has_content = true;
+            } else if !last_sep && !cleaned.is_empty() {
+                cleaned.push(' ');
+                last_sep = true;
+            }
+        }
+        if !has_content {
+            return Vec::new();
+        }
+        while cleaned.ends_with(' ') {
+            cleaned.pop();
+        }
+        for _ in 0..self.q - 1 {
+            cleaned.push('#');
+        }
+        let chars: Vec<char> = cleaned.chars().collect();
+        if chars.len() < self.q {
+            return Vec::new();
+        }
+        let raw = chars.windows(self.q).map(|w| w.iter().collect::<String>());
+        dedup_tokens(raw, self.dedup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_tokenizer_cleans_and_lowercases() {
+        let t = WordTokenizer::new();
+        assert_eq!(
+            t.tokenize("I will call back."),
+            vec!["i", "will", "call", "back"]
+        );
+        assert_eq!(
+            t.tokenize("Smith, John   W."),
+            vec!["smith", "john", "w"]
+        );
+        assert_eq!(t.tokenize(""), Vec::<String>::new());
+        assert_eq!(t.tokenize("...!!!"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn word_tokenizer_collapses_duplicates() {
+        let t = WordTokenizer::new();
+        assert_eq!(t.tokenize("the cat the hat"), vec!["the", "cat", "hat"]);
+    }
+
+    #[test]
+    fn word_tokenizer_numbers_duplicates() {
+        let t = WordTokenizer::numbering();
+        assert_eq!(
+            t.tokenize("the cat the the"),
+            vec!["the", "cat", "the#2", "the#3"]
+        );
+    }
+
+    #[test]
+    fn qgram_tokenizer_pads_and_slides() {
+        let t = QGramTokenizer::new(2);
+        let grams = t.tokenize("ab");
+        assert_eq!(grams, vec!["#a", "ab", "b#"]);
+    }
+
+    #[test]
+    fn qgram_tokenizer_handles_separators_and_case() {
+        let t = QGramTokenizer::new(3);
+        let grams = t.tokenize("A-b");
+        // cleaned: "##a b##"
+        assert!(grams.contains(&"##a".to_string()));
+        assert!(grams.contains(&"a b".to_string()));
+        assert!(grams.contains(&"b##".to_string()));
+    }
+
+    #[test]
+    fn qgram_tokenizer_short_or_empty_input() {
+        let t = QGramTokenizer::new(3);
+        assert_eq!(t.tokenize(""), Vec::<String>::new());
+        assert!(!t.tokenize("a").is_empty(), "padding makes one-char strings tokenizable");
+    }
+
+    #[test]
+    fn qgram_collapse_dedups() {
+        let t = QGramTokenizer::new(1);
+        assert_eq!(t.tokenize("aaa"), vec!["a"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Property-based tests over the set-similarity kernels.
+//!
+//! These are the real correctness guarantee for the filter mathematics: for
+//! randomly generated record collections, every optimized kernel must return
+//! exactly the pairs the naive quadratic oracle returns, and every filter
+//! bound must hold as a theorem.
+
+use proptest::prelude::*;
+use setsim::{
+    allpairs, intersection_size, naive, ppjoin, rs, suffix, verify_pair, FilterConfig,
+    SimFunction, Threshold, Tokenizer, WordTokenizer,
+};
+
+/// A random sorted token set with ranks drawn from a small universe so that
+/// overlaps are common.
+fn token_set(max_rank: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..max_rank, 0..=max_len)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+fn record_collection(n: usize) -> impl Strategy<Value = Vec<(u64, Vec<u32>)>> {
+    prop::collection::vec(token_set(40, 12), 0..=n).prop_map(|sets| {
+        sets.into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s))
+            .collect()
+    })
+}
+
+fn thresholds() -> impl Strategy<Value = Threshold> {
+    prop_oneof![
+        (1u32..=10).prop_map(|i| Threshold::jaccard(f64::from(i) / 10.0)),
+        (5u32..=10).prop_map(|i| Threshold::cosine(f64::from(i) / 10.0)),
+        (5u32..=10).prop_map(|i| Threshold::dice(f64::from(i) / 10.0)),
+        (1usize..=4).prop_map(Threshold::overlap),
+    ]
+}
+
+fn pair_ids(pairs: &[(u64, u64, f64)]) -> Vec<(u64, u64)> {
+    pairs.iter().map(|(a, b, _)| (*a, *b)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// PPJoin+ (and each weaker filter config) returns exactly the naive result.
+    #[test]
+    fn ppjoin_equals_naive(records in record_collection(24), t in thresholds()) {
+        let expected = pair_ids(&naive::self_join(&records, &t));
+        for filters in [FilterConfig::prefix_only(), FilterConfig::ppjoin(), FilterConfig::ppjoin_plus()] {
+            let got = pair_ids(&ppjoin::self_join(&records, &t, filters));
+            prop_assert_eq!(&got, &expected, "filters={:?} t={:?}", filters, t);
+        }
+    }
+
+    /// All-Pairs returns exactly the naive result.
+    #[test]
+    fn allpairs_equals_naive(records in record_collection(24), t in thresholds()) {
+        let expected = pair_ids(&naive::self_join(&records, &t));
+        let got = pair_ids(&allpairs::self_join(&records, &t));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Indexed and nested-loop R-S kernels return exactly the naive result.
+    #[test]
+    fn rs_kernels_equal_naive(
+        r in record_collection(14),
+        s in record_collection(14),
+        t in thresholds(),
+    ) {
+        let s: Vec<(u64, Vec<u32>)> = s.into_iter().map(|(i, v)| (1000 + i, v)).collect();
+        let expected = pair_ids(&naive::rs_join(&r, &s, &t));
+        let block = pair_ids(&rs::block_rs_join(&r, &s, &t));
+        prop_assert_eq!(&block, &expected);
+        let indexed = pair_ids(&rs::indexed_rs_join(&r, &s, &t, FilterConfig::ppjoin_plus()));
+        prop_assert_eq!(&indexed, &expected);
+    }
+
+    /// Prefix-filter theorem: any pair at or above the threshold shares at
+    /// least one token in their probe prefixes.
+    #[test]
+    fn prefix_filter_is_complete(x in token_set(40, 14), y in token_set(40, 14), t in thresholds()) {
+        if t.matches(&x, &y).is_some() && !x.is_empty() && !y.is_empty() {
+            let px = &x[..t.probe_prefix_len(x.len())];
+            let py = &y[..t.probe_prefix_len(y.len())];
+            prop_assert!(
+                intersection_size(px, py) >= 1,
+                "similar pair shares no prefix token: {:?} {:?} t={:?}", x, y, t
+            );
+        }
+    }
+
+    /// Index-prefix theorem: for a similar pair with |y| <= |x|, x's probe
+    /// prefix intersects y's *index* prefix.
+    #[test]
+    fn index_prefix_is_complete(x in token_set(40, 14), y in token_set(40, 14), t in thresholds()) {
+        let (x, y) = if x.len() >= y.len() { (x, y) } else { (y, x) };
+        if t.matches(&x, &y).is_some() && !y.is_empty() {
+            let px = &x[..t.probe_prefix_len(x.len())];
+            let iy = &y[..t.index_prefix_len(y.len())];
+            prop_assert!(intersection_size(px, iy) >= 1);
+        }
+    }
+
+    /// Length-filter theorem: similar pairs pass the length filter.
+    #[test]
+    fn length_filter_is_complete(x in token_set(40, 14), y in token_set(40, 14), t in thresholds()) {
+        if t.matches(&x, &y).is_some() && !x.is_empty() && !y.is_empty() {
+            prop_assert!(t.length_compatible(x.len(), y.len()));
+            let (lo, hi) = (x.len().min(y.len()), x.len().max(y.len()));
+            prop_assert!(hi >= t.lower_bound(hi).min(hi));
+            prop_assert!(lo >= t.lower_bound(hi), "lower bound violated");
+            prop_assert!(hi <= t.upper_bound(lo), "upper bound violated");
+        }
+    }
+
+    /// α theorem: sim >= τ iff overlap >= α.
+    #[test]
+    fn alpha_is_tight(x in token_set(40, 14), y in token_set(40, 14), t in thresholds()) {
+        let alpha = t.overlap_needed(x.len(), y.len());
+        let overlap = intersection_size(&x, &y);
+        if !x.is_empty() && !y.is_empty() {
+            prop_assert_eq!(t.matches(&x, &y).is_some(), overlap >= alpha);
+        }
+    }
+
+    /// The suffix filter's Hamming bound never exceeds the true distance.
+    #[test]
+    fn suffix_bound_is_sound(x in token_set(60, 20), y in token_set(60, 20)) {
+        let exact = suffix::hamming_exact(&x, &y);
+        let lb = suffix::hamming_lower_bound(&x, &y, usize::MAX, 1);
+        prop_assert!(lb <= exact, "lb {} > exact {}", lb, exact);
+    }
+
+    /// `verify_pair` agrees with the exact predicate.
+    #[test]
+    fn verify_agrees_with_matches(x in token_set(40, 14), y in token_set(40, 14), t in thresholds()) {
+        let direct = t.matches(&x, &y);
+        let verified = verify_pair(&t, &x, &y);
+        prop_assert_eq!(direct.is_some(), verified.is_some());
+        if let (Some(a), Some(b)) = (direct, verified) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Similarity functions are symmetric and bounded.
+    #[test]
+    fn similarity_is_symmetric(x in token_set(40, 14), y in token_set(40, 14)) {
+        for t in [Threshold::jaccard(0.5), Threshold::cosine(0.5), Threshold::dice(0.5)] {
+            let a = t.similarity(&x, &y);
+            let b = t.similarity(&y, &x);
+            prop_assert!((a - b).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+        if !x.is_empty() {
+            let t = Threshold::jaccard(0.5);
+            prop_assert!((t.similarity(&x, &x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Word tokenization produces distinct tokens, and projection through a
+    /// corpus order produces strictly increasing ranks.
+    #[test]
+    fn tokenize_project_invariants(texts in prop::collection::vec("[ -~]{0,40}", 1..8)) {
+        let tok = WordTokenizer::new();
+        let lists: Vec<Vec<String>> = texts.iter().map(|s| tok.tokenize(s)).collect();
+        for list in &lists {
+            let mut sorted = list.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), list.len(), "duplicate tokens");
+        }
+        let order = setsim::TokenOrder::from_corpus(&lists);
+        for list in &lists {
+            let ranks = order.project(list);
+            prop_assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(ranks.len(), list.len(), "all corpus tokens must be known");
+        }
+    }
+
+    /// Overlap threshold uses raw counts.
+    #[test]
+    fn overlap_function_counts(x in token_set(40, 14), y in token_set(40, 14)) {
+        let t = Threshold::new(SimFunction::Overlap, 2.0).unwrap();
+        prop_assert_eq!(t.similarity(&x, &y) as usize, intersection_size(&x, &y));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edit-distance and LSH extensions
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Banded Levenshtein agrees with the exact DP.
+    #[test]
+    fn banded_levenshtein_agrees(
+        a in "[a-d]{0,12}",
+        b in "[a-d]{0,12}",
+        k in 0usize..6,
+    ) {
+        let exact = setsim::levenshtein(&a, &b);
+        match setsim::levenshtein_within(&a, &b, k) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= k);
+            }
+            None => prop_assert!(exact > k),
+        }
+    }
+
+    /// Levenshtein is a metric: symmetric, identity, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[a-c]{0,8}",
+        b in "[a-c]{0,8}",
+        c in "[a-c]{0,8}",
+    ) {
+        let ab = setsim::levenshtein(&a, &b);
+        prop_assert_eq!(ab, setsim::levenshtein(&b, &a));
+        prop_assert_eq!(setsim::levenshtein(&a, &a), 0);
+        let ac = setsim::levenshtein(&a, &c);
+        let cb = setsim::levenshtein(&c, &b);
+        prop_assert!(ab <= ac + cb, "triangle violated: {} > {} + {}", ab, ac, cb);
+    }
+
+    /// The q-gram edit join equals the naive quadratic join.
+    #[test]
+    fn edit_join_equals_naive(
+        strings in prop::collection::vec("[a-c ]{0,10}", 0..14),
+        d in 0usize..4,
+        q in 2usize..4,
+    ) {
+        let expected = setsim::edit::naive_edit_self_join(&strings, d);
+        let got = setsim::edit_self_join(&strings, q, d);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// LSH verification keeps precision perfect: every returned pair truly
+    /// passes the threshold, and the result is a subset of the exact join.
+    #[test]
+    fn lsh_is_a_subset_of_exact(records in record_collection(20)) {
+        let t = Threshold::jaccard(0.6);
+        let exact: std::collections::HashSet<(u64, u64)> = naive::self_join(&records, &t)
+            .into_iter()
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let params = setsim::LshParams { bands: 12, rows: 2 };
+        for (a, b, sim) in setsim::lsh_self_join(&records, &t, params, 5) {
+            prop_assert!(exact.contains(&(a, b)));
+            prop_assert!(sim + 1e-9 >= 0.6);
+        }
+    }
+}

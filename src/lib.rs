@@ -1,0 +1,13 @@
+//! Umbrella crate for the SIGMOD 2010 parallel set-similarity join
+//! reproduction: re-exports the workspace crates so examples and
+//! integration tests have a single import root.
+//!
+//! * [`mapreduce`] — the in-process MapReduce engine + simulated DFS.
+//! * [`setsim`] — single-node set-similarity kernels and filters.
+//! * [`fuzzyjoin`] — the paper's three-stage parallel join.
+//! * [`datagen`] — synthetic DBLP/CITESEERX corpora and x-n scaling.
+
+pub use datagen;
+pub use fuzzyjoin;
+pub use mapreduce;
+pub use setsim;
