@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     let variants: Vec<(&str, Stage2Algo)> = vec![
         ("bk_plain", Stage2Algo::Bk),
         ("bk_map_blocks4", Stage2Algo::BkMapBlocks { blocks: 4 }),
-        ("bk_reduce_blocks4", Stage2Algo::BkReduceBlocks { blocks: 4 }),
+        (
+            "bk_reduce_blocks4",
+            Stage2Algo::BkReduceBlocks { blocks: 4 },
+        ),
     ];
     for (label, algo) in variants {
         let config = JoinConfig {
@@ -26,8 +29,7 @@ fn bench(c: &mut Criterion) {
                 || {
                     let cluster = make_cluster(4);
                     load_corpus(&cluster, &base, 3, "/dblp");
-                    let (tokens, _) =
-                        stage1::run(&cluster, "/dblp", config, "/t").expect("stage1");
+                    let (tokens, _) = stage1::run(&cluster, "/dblp", config, "/t").expect("stage1");
                     (cluster, tokens)
                 },
                 |(cluster, tokens)| {

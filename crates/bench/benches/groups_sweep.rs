@@ -19,20 +19,24 @@ fn bench(c: &mut Criterion) {
             routing,
             ..JoinConfig::recommended()
         };
-        g.bench_with_input(BenchmarkId::new("stage2_pk", &label), &config, |b, config| {
-            b.iter_with_setup(
-                || {
-                    let cluster = make_cluster(4);
-                    load_corpus(&cluster, &base, 3, "/dblp");
-                    let (tokens, _) =
-                        stage1::run(&cluster, "/dblp", config, "/t").expect("stage1");
-                    (cluster, tokens)
-                },
-                |(cluster, tokens)| {
-                    stage2::run_self(&cluster, "/dblp", &tokens, config, "/w").expect("stage2")
-                },
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("stage2_pk", &label),
+            &config,
+            |b, config| {
+                b.iter_with_setup(
+                    || {
+                        let cluster = make_cluster(4);
+                        load_corpus(&cluster, &base, 3, "/dblp");
+                        let (tokens, _) =
+                            stage1::run(&cluster, "/dblp", config, "/t").expect("stage1");
+                        (cluster, tokens)
+                    },
+                    |(cluster, tokens)| {
+                        stage2::run_self(&cluster, "/dblp", &tokens, config, "/w").expect("stage2")
+                    },
+                )
+            },
+        );
     }
     g.finish();
 }

@@ -3,7 +3,9 @@
 //! paths. These are the ablations DESIGN.md calls out for the filter stack.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use setsim::{allpairs, naive, ppjoin, FilterConfig, Threshold, TokenOrder, Tokenizer, WordTokenizer};
+use setsim::{
+    allpairs, naive, ppjoin, FilterConfig, Threshold, TokenOrder, Tokenizer, WordTokenizer,
+};
 
 fn projected_corpus(n: usize) -> Vec<(u64, Vec<u32>)> {
     let records = datagen::dblp(n, 7);
@@ -88,14 +90,7 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| setsim::edit_self_join(&strings, 3, 2))
     });
     g.bench_function("lsh_join_24x3", |b| {
-        b.iter(|| {
-            setsim::lsh_self_join(
-                &sets,
-                &t,
-                setsim::LshParams { bands: 24, rows: 3 },
-                11,
-            )
-        })
+        b.iter(|| setsim::lsh_self_join(&sets, &t, setsim::LshParams { bands: 24, rows: 3 }, 11))
     });
     g.bench_function("exact_ppjoin_plus_same_corpus", |b| {
         b.iter(|| ppjoin::self_join(&sets, &t, FilterConfig::ppjoin_plus()))
@@ -103,5 +98,11 @@ fn bench_extensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_verify, bench_codec, bench_extensions);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_verify,
+    bench_codec,
+    bench_extensions
+);
 criterion_main!(benches);

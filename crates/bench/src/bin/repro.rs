@@ -13,8 +13,8 @@
 //! comparable.
 
 use fuzzyjoin::{
-    stage1, stage2, stage3, JoinConfig, JoinOutcome, Stage1Algo, Stage2Algo, Stage3Algo,
-    Threshold, TokenRouting,
+    stage1, stage2, stage3, JoinConfig, JoinOutcome, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
+    TokenRouting,
 };
 use fuzzyjoin_bench::{
     base_citeseerx, base_dblp, base_records, best_of, combos, load_corpus, make_cluster,
@@ -427,10 +427,8 @@ fn skew() {
     let cluster = make_cluster(10);
     load_corpus(&cluster, &base, 10, "/dblp");
     let config = combos()[1].1.clone(); // BTO-PK-BRJ
-    let outcome =
-        fuzzyjoin::self_join(&cluster, "/dblp", "/work", &config).expect("join");
-    let pairs =
-        fuzzyjoin::read_rid_pairs(&cluster, &outcome.ridpairs_path).expect("pairs");
+    let outcome = fuzzyjoin::self_join(&cluster, "/dblp", "/work", &config).expect("join");
+    let pairs = fuzzyjoin::read_rid_pairs(&cluster, &outcome.ridpairs_path).expect("pairs");
 
     let mut freq: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     for (a, b, _) in &pairs {
@@ -524,8 +522,14 @@ fn blocks() {
     let budget = (base_records() as u64 * factor as u64) * 30;
     let variants: Vec<(&str, Stage2Algo)> = vec![
         ("BK (no blocks)", Stage2Algo::Bk),
-        ("BK map-based blocks", Stage2Algo::BkMapBlocks { blocks: 16 }),
-        ("BK reduce-based blocks", Stage2Algo::BkReduceBlocks { blocks: 16 }),
+        (
+            "BK map-based blocks",
+            Stage2Algo::BkMapBlocks { blocks: 16 },
+        ),
+        (
+            "BK reduce-based blocks",
+            Stage2Algo::BkReduceBlocks { blocks: 16 },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, algo) in variants {

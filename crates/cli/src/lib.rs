@@ -21,9 +21,9 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 
 use args::Args;
 use fuzzyjoin::{
-    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig,
-    JoinOutcome, RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
-    TokenRouting, TokenizerKind,
+    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, JoinOutcome,
+    RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold, TokenRouting,
+    TokenizerKind,
 };
 
 /// Usage text printed on errors.
@@ -69,9 +69,10 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
 
     let lines = match kind {
         "dblp" => datagen::to_lines(&datagen::increase(&datagen::dblp(records, seed), scale)),
-        "citeseerx" => {
-            datagen::to_lines(&datagen::increase(&datagen::citeseerx(records, seed), scale))
-        }
+        "citeseerx" => datagen::to_lines(&datagen::increase(
+            &datagen::citeseerx(records, seed),
+            scale,
+        )),
         "dna" => {
             let config = datagen::DnaConfig {
                 records: records * scale,
@@ -96,8 +97,19 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
 // ---------------------------------------------------------------------------
 
 const JOIN_FLAGS: &[&str] = &[
-    "input", "r", "s", "out", "threshold", "measure", "combo", "nodes", "qgram", "rid-field",
-    "join-fields", "groups", "full",
+    "input",
+    "r",
+    "s",
+    "out",
+    "threshold",
+    "measure",
+    "combo",
+    "nodes",
+    "qgram",
+    "rid-field",
+    "join-fields",
+    "groups",
+    "full",
 ];
 
 fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
@@ -142,13 +154,18 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
         None => vec![1, 2],
         Some(spec) => spec
             .split(',')
-            .map(|p| p.trim().parse::<usize>().map_err(|e| format!("bad --join-fields: {e}")))
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --join-fields: {e}"))
+            })
             .collect::<Result<_, _>>()?,
     };
     let tokenizer = match args.get("qgram") {
         None => TokenizerKind::Word,
         Some(q) => TokenizerKind::QGram(
-            q.parse::<usize>().map_err(|e| format!("bad --qgram: {e}"))?,
+            q.parse::<usize>()
+                .map_err(|e| format!("bad --qgram: {e}"))?,
         ),
     };
     let routing = match args.get("groups") {
@@ -188,8 +205,8 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
 
     let cluster = make_cluster(nodes)?;
     let n = load_file(&cluster, input, "/input")?;
-    let outcome = self_join(&cluster, "/input", "/work", &config)
-        .map_err(|e| format!("join failed: {e}"))?;
+    let outcome =
+        self_join(&cluster, "/input", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
     let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
     Ok(summary(
         &format!("self-join of {n} records from {input}"),
@@ -211,8 +228,8 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let cluster = make_cluster(nodes)?;
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
-    let outcome = rs_join(&cluster, "/r", "/s", "/work", &config)
-        .map_err(|e| format!("join failed: {e}"))?;
+    let outcome =
+        rs_join(&cluster, "/r", "/s", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
     let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
     Ok(summary(
         &format!("R-S join of {nr} x {ns} records from {r} and {s}"),
@@ -378,7 +395,10 @@ mod tests {
         let r = tmp("r.tsv");
         let s = tmp("s.tsv");
         let out = tmp("rs-out.txt");
-        run(&argv(&format!("gen --kind dblp --records 200 --seed 7 --out {r}"))).unwrap();
+        run(&argv(&format!(
+            "gen --kind dblp --records 200 --seed 7 --out {r}"
+        )))
+        .unwrap();
         // S reuses R's file so matches are guaranteed.
         fs::copy(&r, &s).unwrap();
         let msg = run(&argv(&format!(

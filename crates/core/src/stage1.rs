@@ -22,8 +22,8 @@
 use std::sync::Arc;
 
 use mapreduce::{
-    range_partitioner, sample_boundaries, seq_input, sum_combiner, text_input, Cluster, Emit,
-    Job, Mapper, PipelineMetrics, Reducer, Result, TaskContext,
+    range_partitioner, sample_boundaries, seq_input, sum_combiner, text_input, Cluster, Emit, Job,
+    Mapper, PipelineMetrics, Reducer, Result, TaskContext,
 };
 
 use crate::config::{JoinConfig, RecordFormat, Stage1Algo, TokenizerKind};
@@ -322,7 +322,10 @@ mod tests {
         write_records(&c2);
         let (p2, m2) = run(&c2, "/in", &config(Stage1Algo::BtoRange), "/work").unwrap();
         let btor = c2.dfs().read_text(&p2).unwrap();
-        assert_eq!(btor, bto, "range-partitioned sort must preserve the total order");
+        assert_eq!(
+            btor, bto,
+            "range-partitioned sort must preserve the total order"
+        );
         assert!(
             m2.jobs[1].reduce.tasks > 1,
             "sort phase must use multiple reducers"

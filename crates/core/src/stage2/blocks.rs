@@ -212,11 +212,19 @@ impl Reducer for ReduceBlocksReducer {
                 if spilled.last().map(|(p, _)| *p) != Some(pass) {
                     spilled.push((pass, SpillFile::default()));
                 }
-                spilled.last_mut().expect("just pushed").1.write(&(rid, tokens), ctx);
+                spilled
+                    .last_mut()
+                    .expect("just pushed")
+                    .1
+                    .write(&(rid, tokens), ctx);
             }
         }
         // ---- disk passes ----
-        let s_records = if self.rs { s_spill.read_all()? } else { Vec::new() };
+        let s_records = if self.rs {
+            s_spill.read_all()?
+        } else {
+            Vec::new()
+        };
         for i in 0..spilled.len() {
             ctx.memory().release(charged);
             charged = 0;
@@ -275,8 +283,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let base = (i / 3) * 10;
-                let mut t: Vec<u32> =
-                    (0..6u32).map(|k| base as u32 + k).collect();
+                let mut t: Vec<u32> = (0..6u32).map(|k| base as u32 + k).collect();
                 if i % 3 == 1 {
                     t[5] += 100; // one-token difference
                 }
@@ -295,10 +302,7 @@ mod tests {
     }
 
     /// Simulate the map-side emission for map-based blocks over one group.
-    fn map_blocks_stream(
-        recs: &[(u64, Vec<u32>)],
-        blocks: u32,
-    ) -> Vec<(Stage2Key, Projection)> {
+    fn map_blocks_stream(recs: &[(u64, Vec<u32>)], blocks: u32) -> Vec<(Stage2Key, Projection)> {
         let mut vals = Vec::new();
         for (rid, tokens) in recs {
             let b = (stable_hash(rid) % u64::from(blocks)) as u32;
@@ -318,10 +322,7 @@ mod tests {
     }
 
     /// Simulate the map-side emission for reduce-based blocks.
-    fn reduce_blocks_stream(
-        recs: &[(u64, Vec<u32>)],
-        blocks: u32,
-    ) -> Vec<(Stage2Key, Projection)> {
+    fn reduce_blocks_stream(recs: &[(u64, Vec<u32>)], blocks: u32) -> Vec<(Stage2Key, Projection)> {
         let mut vals: Vec<(Stage2Key, Projection)> = recs
             .iter()
             .map(|(rid, tokens)| {

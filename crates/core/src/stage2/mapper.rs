@@ -97,9 +97,7 @@ impl ProjectionMapper {
                     let lo = self.threshold.lower_bound(len) / width;
                     let hi = len / width;
                     for bucket in lo..=hi {
-                        groups.insert(
-                            (stable_hash(&(g, bucket as u32)) & 0xffff_ffff) as u32,
-                        );
+                        groups.insert(stable_hash(&(g, bucket as u32)) as u32);
                     }
                 }
             }
@@ -117,17 +115,15 @@ impl Mapper for ProjectionMapper {
     fn setup(&mut self, ctx: &TaskContext) -> Result<()> {
         let tokens_path = self.tokens_path.clone();
         let dfs = ctx.dfs().clone();
-        let order = ctx.cache().get_or_load::<TokenOrder, _>(
-            "stage2.token-order",
-            ctx.memory(),
-            || {
-                let lines = dfs.read_text(&tokens_path)?;
-                let order = TokenOrder::from_ordered_tokens(lines)
-                    .map_err(mapreduce::MrError::TaskFailed)?;
-                let bytes = order.approx_bytes();
-                Ok((order, bytes))
-            },
-        )?;
+        let order =
+            ctx.cache()
+                .get_or_load::<TokenOrder, _>("stage2.token-order", ctx.memory(), || {
+                    let lines = dfs.read_text(&tokens_path)?;
+                    let order = TokenOrder::from_ordered_tokens(lines)
+                        .map_err(mapreduce::MrError::TaskFailed)?;
+                    let bytes = order.approx_bytes();
+                    Ok((order, bytes))
+                })?;
         self.order = Some(order);
         Ok(())
     }
@@ -179,10 +175,7 @@ impl Mapper for ProjectionMapper {
                         if self.s_path.is_none() {
                             // Self-join: stream against every earlier block.
                             for pass in 0..b {
-                                out.emit(
-                                    (g, pass, KIND_STREAM, class, rel),
-                                    (rid, ranks.clone()),
-                                )?;
+                                out.emit((g, pass, KIND_STREAM, class, rel), (rid, ranks.clone()))?;
                                 ctx.counter("stage2.routed_pairs").incr();
                             }
                         }
@@ -276,11 +269,13 @@ mod tests {
         let mut m = mapper(EmitMode::Plain, None);
         m.setup(&ctx).unwrap();
         let mut out = VecEmitter::new();
-        m.map(&0, &"1\ta zzz b".to_string(), &mut out, &ctx).unwrap();
+        m.map(&0, &"1\ta zzz b".to_string(), &mut out, &ctx)
+            .unwrap();
         assert!(out.pairs.iter().all(|(_, (_, ranks))| ranks == &vec![0, 1]));
         // A record of only-unknown tokens is skipped entirely.
         let mut out2 = VecEmitter::new();
-        m.map(&0, &"2\tzzz qqq".to_string(), &mut out2, &ctx).unwrap();
+        m.map(&0, &"2\tzzz qqq".to_string(), &mut out2, &ctx)
+            .unwrap();
         assert!(out2.pairs.is_empty());
     }
 
@@ -292,7 +287,8 @@ mod tests {
         let ctx_r = make_ctx(&cluster, "/r");
         m.setup(&ctx_r).unwrap();
         let mut out = VecEmitter::new();
-        m.map(&0, &"1\ta b c d".to_string(), &mut out, &ctx_r).unwrap();
+        m.map(&0, &"1\ta b c d".to_string(), &mut out, &ctx_r)
+            .unwrap();
         for ((_, _, _, class, rel), _) in &out.pairs {
             assert_eq!(*rel, REL_R);
             assert_eq!(*class, 2, "R class = lower bound of 4 at tau 0.5");
@@ -300,7 +296,8 @@ mod tests {
         // S record from /s/part-0.
         let ctx_s = make_ctx(&cluster, "/s/part-0");
         let mut out = VecEmitter::new();
-        m.map(&0, &"9\ta b c d".to_string(), &mut out, &ctx_s).unwrap();
+        m.map(&0, &"9\ta b c d".to_string(), &mut out, &ctx_s)
+            .unwrap();
         for ((_, _, _, class, rel), _) in &out.pairs {
             assert_eq!(*rel, REL_S);
             assert_eq!(*class, 4, "S class = actual length");
@@ -348,9 +345,83 @@ mod tests {
         );
         m.setup(&ctx).unwrap();
         let mut out = VecEmitter::new();
-        m.map(&0, &"3\ta b c d".to_string(), &mut out, &ctx).unwrap();
+        m.map(&0, &"3\ta b c d".to_string(), &mut out, &ctx)
+            .unwrap();
         assert_eq!(out.pairs.len(), 1, "all prefix tokens share group 0");
         assert_eq!(out.pairs[0].0 .0, 0);
+    }
+
+    /// Completeness of length sub-routing: for ANY τ-similar pair, the two
+    /// records' routing-key sets must intersect, whatever the bucket width.
+    /// The shorter record emits its own bucket `len/width` for every prefix
+    /// group; the longer one covers `lower_bound(len)/width ..= len/width`,
+    /// which contains the shorter's bucket precisely because the pair passes
+    /// the length filter — this test exercises that argument empirically
+    /// across measures, routings, and widths on randomized similar pairs.
+    #[test]
+    fn length_sub_routing_preserves_pair_completeness() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let thresholds = [
+            Threshold::jaccard(0.8),
+            Threshold::cosine(0.85),
+            Threshold::dice(0.85),
+        ];
+        let routings = [
+            TokenRouting::Individual,
+            TokenRouting::Grouped { groups: 8 },
+        ];
+        let widths = [1u32, 2, 3, 7];
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for t in thresholds {
+            for routing in routings {
+                for width in widths {
+                    let m = ProjectionMapper::new(
+                        RecordFormat::two_column(),
+                        TokenizerKind::Word,
+                        t,
+                        routing,
+                        "/tokens".into(),
+                        None,
+                        EmitMode::Plain,
+                        Some(width),
+                    );
+                    let mut checked = 0;
+                    let mut attempts = 0;
+                    while checked < 100 && attempts < 100_000 {
+                        attempts += 1;
+                        let len = rng.random_range(2usize..=40);
+                        let mut set = BTreeSet::new();
+                        while set.len() < len {
+                            set.insert(rng.random_range(0u32..60));
+                        }
+                        let x: Vec<u32> = set.iter().copied().collect();
+                        // Mutate x a little to get a candidate partner.
+                        let mut yset = set.clone();
+                        for _ in 0..rng.random_range(0usize..=2) {
+                            let victim = x[rng.random_range(0..x.len())];
+                            yset.remove(&victim);
+                        }
+                        for _ in 0..rng.random_range(0usize..=2) {
+                            yset.insert(rng.random_range(0u32..60));
+                        }
+                        let y: Vec<u32> = yset.iter().copied().collect();
+                        if y.is_empty() || t.matches(&x, &y).is_none() {
+                            continue;
+                        }
+                        checked += 1;
+                        let gx = m.groups_for(&x);
+                        let gy = m.groups_for(&y);
+                        assert!(
+                            gx.intersection(&gy).next().is_some(),
+                            "similar pair shares no routing key \
+                             (t={t:?} routing={routing:?} width={width}):\n  \
+                             x={x:?}\n  y={y:?}\n  gx={gx:?}\n  gy={gy:?}"
+                        );
+                    }
+                    assert!(checked >= 100, "generator starved: {checked} pairs");
+                }
+            }
+        }
     }
 
     #[test]

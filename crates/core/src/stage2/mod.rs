@@ -37,6 +37,16 @@ pub fn parse_pair_line(line: &str) -> Result<(u64, u64, f64)> {
         .ok_or_else(|| MrError::TaskFailed(format!("short pair line: {line:?}")))?
         .parse::<f64>()
         .map_err(|e| MrError::TaskFailed(format!("bad similarity in {line:?}: {e}")))?;
+    if !sim.is_finite() {
+        return Err(MrError::TaskFailed(format!(
+            "non-finite similarity in {line:?}"
+        )));
+    }
+    if it.next().is_some() {
+        return Err(MrError::TaskFailed(format!(
+            "trailing fields in pair line: {line:?}"
+        )));
+    }
     Ok((a, b, sim))
 }
 
@@ -160,5 +170,12 @@ mod tests {
         assert!(parse_pair_line("1\t2").is_err());
         assert!(parse_pair_line("a\tb\t0.5").is_err());
         assert!(parse_pair_line("1\t2\tnotafloat").is_err());
+        // Trailing columns must not be silently dropped.
+        assert!(parse_pair_line("1\t2\t0.5\tjunk").is_err());
+        assert!(parse_pair_line("1\t2\t0.5\t").is_err());
+        // Similarities must be finite.
+        assert!(parse_pair_line("1\t2\tNaN").is_err());
+        assert!(parse_pair_line("1\t2\tinf").is_err());
+        assert!(parse_pair_line("1\t2\t-inf").is_err());
     }
 }

@@ -155,8 +155,7 @@ impl Reducer for PkReducer {
                 }
             }
         }
-        ctx.counter("stage2.index_peak_bytes")
-            .add(charged);
+        ctx.counter("stage2.index_peak_bytes").add(charged);
         ctx.memory().release(charged);
         Ok(())
     }
@@ -208,7 +207,8 @@ mod tests {
         let ctx = ctx_with_budget(None);
         let vals = group_values(&recs, REL_R);
         let key = vals[0].0;
-        r.reduce(&key, &mut vals.into_iter(), &mut out, &ctx).unwrap();
+        r.reduce(&key, &mut vals.into_iter(), &mut out, &ctx)
+            .unwrap();
         assert_eq!(out.pairs.len(), 1);
         assert_eq!(out.pairs[0].0, (1, 2));
         assert_eq!(ctx.counter("stage2.pairs_emitted").get(), 1);
@@ -229,11 +229,21 @@ mod tests {
 
         let mut bk_out = VecEmitter::new();
         BkReducer::new(t, false)
-            .reduce(&key, &mut vals.clone().into_iter(), &mut bk_out, &ctx_with_budget(None))
+            .reduce(
+                &key,
+                &mut vals.clone().into_iter(),
+                &mut bk_out,
+                &ctx_with_budget(None),
+            )
             .unwrap();
         let mut pk_out = VecEmitter::new();
         PkReducer::new(t, FilterConfig::ppjoin_plus(), false)
-            .reduce(&key, &mut vals.into_iter(), &mut pk_out, &ctx_with_budget(None))
+            .reduce(
+                &key,
+                &mut vals.into_iter(),
+                &mut pk_out,
+                &ctx_with_budget(None),
+            )
             .unwrap();
         let mut a: Vec<(u64, u64)> = bk_out.pairs.iter().map(|(k, _)| *k).collect();
         let mut b: Vec<(u64, u64)> = pk_out.pairs.iter().map(|(k, _)| *k).collect();
@@ -256,7 +266,12 @@ mod tests {
         let key = vals[0].0;
         let mut out = VecEmitter::new();
         BkReducer::new(t, true)
-            .reduce(&key, &mut vals.into_iter(), &mut out, &ctx_with_budget(None))
+            .reduce(
+                &key,
+                &mut vals.into_iter(),
+                &mut out,
+                &ctx_with_budget(None),
+            )
             .unwrap();
         assert_eq!(out.pairs.len(), 1);
         assert_eq!(out.pairs[0].0, (1, 100), "(r, s) orientation");
@@ -275,7 +290,12 @@ mod tests {
         let key = vals[0].0;
         let mut bk = VecEmitter::new();
         BkReducer::new(t, true)
-            .reduce(&key, &mut vals.clone().into_iter(), &mut bk, &ctx_with_budget(None))
+            .reduce(
+                &key,
+                &mut vals.clone().into_iter(),
+                &mut bk,
+                &ctx_with_budget(None),
+            )
             .unwrap();
         let mut pk = VecEmitter::new();
         PkReducer::new(t, FilterConfig::ppjoin(), true)
@@ -292,8 +312,9 @@ mod tests {
     #[test]
     fn bk_hits_memory_budget() {
         let t = Threshold::jaccard(0.9);
-        let recs: Vec<(u64, Vec<u32>)> =
-            (0..50).map(|i| (i, (0..20u32).map(|k| k * 50 + i as u32).collect())).collect();
+        let recs: Vec<(u64, Vec<u32>)> = (0..50)
+            .map(|i| (i, (0..20u32).map(|k| k * 50 + i as u32).collect()))
+            .collect();
         let mut sorted = recs;
         for r in &mut sorted {
             r.1.sort_unstable();
@@ -328,7 +349,12 @@ mod tests {
 
         let bk_ctx = ctx_with_budget(None);
         BkReducer::new(t, false)
-            .reduce(&key, &mut vals.clone().into_iter(), &mut VecEmitter::new(), &bk_ctx)
+            .reduce(
+                &key,
+                &mut vals.clone().into_iter(),
+                &mut VecEmitter::new(),
+                &bk_ctx,
+            )
             .unwrap();
         let pk_ctx = ctx_with_budget(None);
         PkReducer::new(t, FilterConfig::ppjoin(), false)

@@ -324,7 +324,14 @@ pub fn run_rs(
     config: &JoinConfig,
     work: &str,
 ) -> Result<(String, PipelineMetrics)> {
-    run_impl(cluster, r_records, Some(s_records), pairs_path, config, work)
+    run_impl(
+        cluster,
+        r_records,
+        Some(s_records),
+        pairs_path,
+        config,
+        work,
+    )
 }
 
 fn run_impl(
@@ -457,8 +464,13 @@ mod tests {
             (key, (TAG_HALF, 9, POS_FIRST, 0.9, String::new())),
         ];
         let mut out = VecEmitter::new();
-        r.reduce(&key, &mut vals.into_iter(), &mut out, &ctx(Phase::Reduce, dfs))
-            .unwrap();
+        r.reduce(
+            &key,
+            &mut vals.into_iter(),
+            &mut out,
+            &ctx(Phase::Reduce, dfs),
+        )
+        .unwrap();
         assert_eq!(out.pairs.len(), 1, "duplicates must collapse");
         assert_eq!(out.pairs[0].0, (5, 9));
     }
@@ -470,7 +482,12 @@ mod tests {
         let key = (5u64, 0u8);
         let vals = vec![(key, (TAG_HALF, 9, POS_FIRST, 0.9, String::new()))];
         let err = r
-            .reduce(&key, &mut vals.into_iter(), &mut VecEmitter::new(), &ctx(Phase::Reduce, dfs))
+            .reduce(
+                &key,
+                &mut vals.into_iter(),
+                &mut VecEmitter::new(),
+                &ctx(Phase::Reduce, dfs),
+            )
             .unwrap_err();
         assert!(matches!(err, MrError::TaskFailed(_)));
     }
@@ -485,8 +502,13 @@ mod tests {
             (key, (POS_SECOND, "rec2".to_string(), 0.88)),
         ];
         let mut out = VecEmitter::new();
-        r.reduce(&key, &mut vals.into_iter(), &mut out, &ctx(Phase::Reduce, dfs))
-            .unwrap();
+        r.reduce(
+            &key,
+            &mut vals.into_iter(),
+            &mut out,
+            &ctx(Phase::Reduce, dfs),
+        )
+        .unwrap();
         assert_eq!(
             out.pairs,
             vec![((1, 2), ("rec1".to_string(), "rec2".to_string(), 0.88))]
@@ -500,7 +522,12 @@ mod tests {
         let key = (1u64, 2u64);
         let vals = vec![(key, (POS_FIRST, "rec1".to_string(), 0.88))];
         let err = r
-            .reduce(&key, &mut vals.into_iter(), &mut VecEmitter::new(), &ctx(Phase::Reduce, dfs))
+            .reduce(
+                &key,
+                &mut vals.into_iter(),
+                &mut VecEmitter::new(),
+                &ctx(Phase::Reduce, dfs),
+            )
             .unwrap_err();
         assert!(matches!(err, MrError::TaskFailed(_)));
     }

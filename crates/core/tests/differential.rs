@@ -1,0 +1,462 @@
+//! Differential correctness harness: every stage-2 kernel × routing ×
+//! length-sub-routing × similarity-measure combination, in both self-join
+//! and R-S mode, must produce **exactly** the `(rid1, rid2, sim)` set of
+//! the naive O(n²) oracle (`setsim::naive` via `setsim::oracle`) on the
+//! same corpus — similarity values compared bitwise.
+//!
+//! On a divergence the failing corpus is delta-debugged down to a
+//! locally-minimal counterexample (`setsim::oracle::shrink`) before the
+//! panic, so a regression reports the handful of records that expose it,
+//! not a 90-record dump. A randomized property test (`proptest`) covers
+//! corpus shapes the seeded `datagen` corpora don't reach: heavy
+//! duplicates, tiny dictionaries, single-token and empty join attributes.
+
+use fuzzyjoin::{
+    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, Stage2Algo,
+    Stage3Algo, Threshold, TokenRouting,
+};
+use proptest::prelude::*;
+use setsim::oracle;
+
+/// Seeded corpora per configuration cell (acceptance floor: ≥ 3 each).
+const SEEDS: [u64; 3] = [11, 223, 3407];
+
+fn cluster(nodes: usize) -> Cluster {
+    Cluster::new(ClusterConfig::with_nodes(nodes), 2048).unwrap()
+}
+
+fn kernels() -> [Stage2Algo; 4] {
+    [
+        Stage2Algo::Bk,
+        Stage2Algo::Pk {
+            filters: FilterConfig::ppjoin_plus(),
+        },
+        Stage2Algo::BkMapBlocks { blocks: 3 },
+        Stage2Algo::BkReduceBlocks { blocks: 3 },
+    ]
+}
+
+const ROUTINGS: [TokenRouting; 2] = [
+    TokenRouting::Individual,
+    TokenRouting::Grouped { groups: 8 },
+];
+
+fn measures() -> [Threshold; 3] {
+    [
+        Threshold::jaccard(0.8),
+        Threshold::cosine(0.85),
+        Threshold::dice(0.85),
+    ]
+}
+
+/// Run the full 3-stage self-join pipeline, returning `(rid1, rid2, sim)`
+/// rows from the final joined output.
+fn pipeline_self(lines: &[String], config: &JoinConfig) -> Result<Vec<oracle::ResultRow>, String> {
+    let c = cluster(3);
+    c.dfs()
+        .write_text("/records", lines)
+        .map_err(|e| e.to_string())?;
+    let outcome = self_join(&c, "/records", "/work", config).map_err(|e| e.to_string())?;
+    Ok(read_joined(&c, &outcome.joined_path)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|((a, b), (_, _, sim))| (a, b, sim))
+        .collect())
+}
+
+/// Run the full 3-stage R-S pipeline.
+fn pipeline_rs(
+    r_lines: &[String],
+    s_lines: &[String],
+    config: &JoinConfig,
+) -> Result<Vec<oracle::ResultRow>, String> {
+    let c = cluster(3);
+    c.dfs()
+        .write_text("/r", r_lines)
+        .map_err(|e| e.to_string())?;
+    c.dfs()
+        .write_text("/s", s_lines)
+        .map_err(|e| e.to_string())?;
+    let outcome = rs_join(&c, "/r", "/s", "/work", config).map_err(|e| e.to_string())?;
+    Ok(read_joined(&c, &outcome.joined_path)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|((a, b), (_, _, sim))| (a, b, sim))
+        .collect())
+}
+
+/// Oracle result for a self-join corpus under `config`'s preprocessing.
+fn oracle_self(lines: &[String], config: &JoinConfig) -> Vec<oracle::ResultRow> {
+    let corpus: Vec<(u64, String)> = lines
+        .iter()
+        .map(|l| config.format.parse(l).expect("corpus line"))
+        .collect();
+    oracle::expected_self_join(&*config.tokenizer.build(), &corpus, &config.threshold)
+}
+
+/// Oracle result for an R-S corpus pair under `config`'s preprocessing.
+fn oracle_rs(
+    r_lines: &[String],
+    s_lines: &[String],
+    config: &JoinConfig,
+) -> Vec<oracle::ResultRow> {
+    let parse = |lines: &[String]| -> Vec<(u64, String)> {
+        lines
+            .iter()
+            .map(|l| config.format.parse(l).expect("corpus line"))
+            .collect()
+    };
+    oracle::expected_rs_join(
+        &*config.tokenizer.build(),
+        &parse(r_lines),
+        &parse(s_lines),
+        &config.threshold,
+    )
+}
+
+/// Assert pipeline == oracle for a self-join; on divergence, shrink the
+/// corpus to a minimal counterexample and panic with the full diff.
+fn check_self(lines: &[String], config: &JoinConfig, label: &str) {
+    let expected = oracle_self(lines, config);
+    let actual = pipeline_self(lines, config).unwrap_or_else(|e| panic!("{label}: pipeline: {e}"));
+    let d = oracle::diff(&expected, &actual);
+    if d.is_empty() {
+        return;
+    }
+    let minimal = oracle::shrink(lines, |subset| {
+        let sub: Vec<String> = subset.to_vec();
+        match pipeline_self(&sub, config) {
+            Ok(rows) => !oracle::diff(&oracle_self(&sub, config), &rows).is_empty(),
+            Err(_) => true, // an erroring subset still reproduces a defect
+        }
+    });
+    let min_diff = match pipeline_self(&minimal, config) {
+        Ok(rows) => oracle::diff(&oracle_self(&minimal, config), &rows).to_string(),
+        Err(e) => format!("pipeline error: {e}"),
+    };
+    panic!(
+        "{label}: pipeline diverges from naive oracle\n{d}\nminimal counterexample \
+         ({} records):\n{}\nminimal diff: {min_diff}",
+        minimal.len(),
+        minimal.join("\n"),
+    );
+}
+
+/// R-S counterpart of [`check_self`]; shrinks over the R ∪ S record list,
+/// partitioning each candidate subset back into its relations.
+fn check_rs(r_lines: &[String], s_lines: &[String], config: &JoinConfig, label: &str) {
+    let expected = oracle_rs(r_lines, s_lines, config);
+    let actual =
+        pipeline_rs(r_lines, s_lines, config).unwrap_or_else(|e| panic!("{label}: pipeline: {e}"));
+    let d = oracle::diff(&expected, &actual);
+    if d.is_empty() {
+        return;
+    }
+    // Tag records with their relation so one shrink pass covers both.
+    let tagged: Vec<(bool, String)> = r_lines
+        .iter()
+        .map(|l| (true, l.clone()))
+        .chain(s_lines.iter().map(|l| (false, l.clone())))
+        .collect();
+    let split = |subset: &[(bool, String)]| -> (Vec<String>, Vec<String>) {
+        let r = subset
+            .iter()
+            .filter(|(is_r, _)| *is_r)
+            .map(|(_, l)| l.clone())
+            .collect();
+        let s = subset
+            .iter()
+            .filter(|(is_r, _)| !*is_r)
+            .map(|(_, l)| l.clone())
+            .collect();
+        (r, s)
+    };
+    let minimal = oracle::shrink(&tagged, |subset| {
+        let (r, s) = split(subset);
+        match pipeline_rs(&r, &s, config) {
+            Ok(rows) => !oracle::diff(&oracle_rs(&r, &s, config), &rows).is_empty(),
+            Err(_) => true,
+        }
+    });
+    let (min_r, min_s) = split(&minimal);
+    let min_diff = match pipeline_rs(&min_r, &min_s, config) {
+        Ok(rows) => oracle::diff(&oracle_rs(&min_r, &min_s, config), &rows).to_string(),
+        Err(e) => format!("pipeline error: {e}"),
+    };
+    panic!(
+        "{label}: R-S pipeline diverges from naive oracle\n{d}\nminimal counterexample \
+         R ({}):\n{}\nS ({}):\n{}\nminimal diff: {min_diff}",
+        min_r.len(),
+        min_r.join("\n"),
+        min_s.len(),
+        min_s.join("\n"),
+    );
+}
+
+/// Seeded R-S corpora with guaranteed overlap: S is an unrelated
+/// citeseerx base plus copies of every 4th R record under fresh RIDs —
+/// half verbatim (similarity 1) and half with the last title word dropped
+/// (similarity just under 1). Purely independent corpora share no
+/// τ-similar pairs at these sizes, which would make the R-S matrix
+/// vacuous (see `seeded_corpora_contain_similar_pairs`).
+fn rs_corpora(seed: u64) -> (Vec<String>, Vec<String>) {
+    let r = datagen::dblp(60, seed);
+    let mut s = datagen::citeseerx(40, seed + 1000);
+    for (i, rec) in r.iter().enumerate().filter(|(i, _)| i % 4 == 0) {
+        let mut copy = rec.clone();
+        copy.rid = 10_000 + i as u64;
+        if i % 8 == 0 {
+            let mut words: Vec<&str> = copy.title.split(' ').collect();
+            if words.len() > 5 {
+                words.pop();
+                copy.title = words.join(" ");
+            }
+        }
+        s.push(copy);
+    }
+    (datagen::to_lines(&r), datagen::to_lines(&s))
+}
+
+/// The full matrix for one kernel: routing × length-sub-routing × measure
+/// × {self-join, R-S} × 3 seeded corpora each.
+fn kernel_matrix(stage2: Stage2Algo) {
+    for routing in ROUTINGS {
+        for length_sub_routing in [None, Some(2)] {
+            for threshold in measures() {
+                let config = JoinConfig {
+                    stage2,
+                    routing,
+                    length_sub_routing,
+                    threshold,
+                    ..JoinConfig::recommended()
+                };
+                let label_base = format!(
+                    "{} routing={routing:?} lsr={length_sub_routing:?} t={threshold:?}",
+                    config.combo_name()
+                );
+                for seed in SEEDS {
+                    let lines = datagen::to_lines(&datagen::dblp(80, seed));
+                    check_self(&lines, &config, &format!("{label_base} self seed={seed}"));
+                }
+                for seed in SEEDS {
+                    let (r, s) = rs_corpora(seed);
+                    check_rs(&r, &s, &config, &format!("{label_base} rs seed={seed}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn differential_bk_matches_oracle() {
+    kernel_matrix(kernels()[0]);
+}
+
+#[test]
+fn differential_pk_matches_oracle() {
+    kernel_matrix(kernels()[1]);
+}
+
+#[test]
+fn differential_bk_map_blocks_matches_oracle() {
+    kernel_matrix(kernels()[2]);
+}
+
+#[test]
+fn differential_bk_reduce_blocks_matches_oracle() {
+    kernel_matrix(kernels()[3]);
+}
+
+/// Both stage-3 variants must agree with the oracle too (the matrix above
+/// runs BRJ; OPRJ shares stage 2 but has its own dedup path).
+#[test]
+fn differential_oprj_matches_oracle() {
+    for stage2 in kernels() {
+        let config = JoinConfig {
+            stage2,
+            stage3: Stage3Algo::Oprj,
+            ..JoinConfig::recommended()
+        };
+        for seed in SEEDS {
+            let lines = datagen::to_lines(&datagen::dblp(80, seed));
+            check_self(
+                &lines,
+                &config,
+                &format!("{} oprj self seed={seed}", config.combo_name()),
+            );
+            let (r, s) = rs_corpora(seed);
+            check_rs(
+                &r,
+                &s,
+                &config,
+                &format!("{} oprj rs seed={seed}", config.combo_name()),
+            );
+        }
+    }
+}
+
+/// Guard against a vacuous harness: the seeded corpora must actually
+/// contain similar pairs under every measure in the matrix.
+#[test]
+fn seeded_corpora_contain_similar_pairs() {
+    for threshold in measures() {
+        let config = JoinConfig::recommended().with_threshold(threshold);
+        let self_total: usize = SEEDS
+            .iter()
+            .map(|&seed| oracle_self(&datagen::to_lines(&datagen::dblp(80, seed)), &config).len())
+            .sum();
+        assert!(self_total > 0, "no self-join pairs at {threshold:?}");
+        let rs_total: usize = SEEDS
+            .iter()
+            .map(|&seed| {
+                let (r, s) = rs_corpora(seed);
+                oracle_rs(&r, &s, &config).len()
+            })
+            .sum();
+        assert!(rs_total > 0, "no R-S pairs at {threshold:?}");
+    }
+}
+
+/// Guard against a toothless harness: a pipeline run under a *different*
+/// predicate than the oracle must register as a divergence.
+#[test]
+fn harness_detects_injected_divergence() {
+    let lines = datagen::to_lines(&datagen::dblp(80, SEEDS[0]));
+    let strict = JoinConfig::recommended().with_threshold(Threshold::jaccard(0.8));
+    let loose = JoinConfig::recommended().with_threshold(Threshold::jaccard(0.7));
+    let expected = oracle_self(&lines, &strict);
+    let actual = pipeline_self(&lines, &loose).unwrap();
+    let d = oracle::diff(&expected, &actual);
+    assert!(
+        !d.spurious.is_empty() || !d.sim_mismatches.is_empty(),
+        "injected threshold skew went undetected: {d}"
+    );
+}
+
+/// Duplicate-RID-pair elimination, self-join: a pair whose records share
+/// several prefix tokens is verified at several reducers under Individual
+/// routing, so stage 2 emits it repeatedly; after stage 3 it must appear
+/// exactly once, normalized to `(min, max)`.
+#[test]
+fn duplicate_rid_pairs_eliminated_in_self_join() {
+    // 10 shared tokens at τ=0.8 → probe prefix of 3 → 3 reducers verify
+    // the same pair. RIDs deliberately reversed relative to sort order.
+    let attr = "alpha beta gamma delta epsilon zeta eta theta iota kappa";
+    let lines = vec![
+        format!("9\t{attr}\tx\t"),
+        format!("2\t{attr}\tx\t"),
+        "5\tcompletely different words here nothing shared at all\ty\t".to_string(),
+    ];
+    for stage3 in [Stage3Algo::Brj, Stage3Algo::Oprj] {
+        let config = JoinConfig {
+            stage2: Stage2Algo::Bk,
+            stage3,
+            ..JoinConfig::recommended()
+        };
+        let c = cluster(3);
+        c.dfs().write_text("/records", &lines).unwrap();
+        let outcome = self_join(&c, "/records", "/work", &config).unwrap();
+        // Stage 2's raw output must really contain the duplicates this
+        // test is about — otherwise it proves nothing.
+        let raw: Vec<String> = c.dfs().read_text(&outcome.ridpairs_path).unwrap();
+        let dup_count = raw
+            .iter()
+            .filter(|l| l.starts_with("2\t9\t") || l.starts_with("9\t2\t"))
+            .count();
+        assert!(
+            dup_count >= 2,
+            "expected stage 2 to emit the pair from several reducers, got {raw:?}"
+        );
+        let joined = read_joined(&c, &outcome.joined_path).unwrap();
+        let hits: Vec<_> = joined.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            hits,
+            vec![(2, 9)],
+            "stage 3 ({stage3:?}) must keep exactly one normalized copy"
+        );
+    }
+}
+
+/// Duplicate-RID-pair elimination, R-S: same property, but pairs keep the
+/// `(r, s)` orientation — including when the S RID is numerically smaller.
+#[test]
+fn duplicate_rid_pairs_eliminated_in_rs_join() {
+    let attr = "alpha beta gamma delta epsilon zeta eta theta iota kappa";
+    let r_lines = vec![
+        format!("7\t{attr}\tx\t"),
+        "8\tsome other unrelated r record text\ty\t".to_string(),
+    ];
+    // S RID 3 < R RID 7: orientation, not normalization, must win.
+    let s_lines = vec![format!("3\t{attr}\tz\t")];
+    for stage3 in [Stage3Algo::Brj, Stage3Algo::Oprj] {
+        let config = JoinConfig {
+            stage2: Stage2Algo::Bk,
+            stage3,
+            ..JoinConfig::recommended()
+        };
+        let c = cluster(3);
+        c.dfs().write_text("/r", &r_lines).unwrap();
+        c.dfs().write_text("/s", &s_lines).unwrap();
+        let outcome = rs_join(&c, "/r", "/s", "/work", &config).unwrap();
+        let raw: Vec<String> = c.dfs().read_text(&outcome.ridpairs_path).unwrap();
+        let dup_count = raw.iter().filter(|l| l.starts_with("7\t3\t")).count();
+        assert!(
+            dup_count >= 2,
+            "expected stage 2 to emit the (r, s) pair from several reducers, got {raw:?}"
+        );
+        let joined = read_joined(&c, &outcome.joined_path).unwrap();
+        let hits: Vec<_> = joined.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            hits,
+            vec![(7, 3)],
+            "stage 3 ({stage3:?}) must keep exactly one (r, s)-oriented copy"
+        );
+    }
+}
+
+/// Decode a flat index into a (kernel, routing, lsr) cell — lets the
+/// property test draw a uniform config without nested strategies.
+fn config_cell(index: usize, threshold: Threshold) -> JoinConfig {
+    let stage2 = kernels()[index % 4];
+    let routing = ROUTINGS[(index / 4) % 2];
+    let length_sub_routing = [None, Some(2)][(index / 8) % 2];
+    JoinConfig {
+        stage2,
+        routing,
+        length_sub_routing,
+        threshold,
+        ..JoinConfig::recommended()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized corpora over a tiny vocabulary (heavy token collisions,
+    /// duplicate records, empty and single-token join attributes) across
+    /// random config cells. Shrinking to a minimal counterexample happens
+    /// inside `check_self`/`check_rs`.
+    #[test]
+    fn random_corpora_match_oracle(
+        sets in prop::collection::vec(prop::collection::vec(0u8..12, 0..8), 2..28),
+        cell in 0usize..16,
+        measure in 0usize..3,
+        split in 1usize..27,
+    ) {
+        let config = config_cell(cell, measures()[measure]);
+        let lines: Vec<String> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, ws)| {
+                let words: Vec<String> = ws.iter().map(|w| format!("w{w}")).collect();
+                format!("{i}\t{}\tauthor\t", words.join(" "))
+            })
+            .collect();
+        check_self(&lines, &config, &format!("proptest self {}", config.combo_name()));
+        // Reuse the corpus as an R-S split at a generated cut point.
+        let cut = split.min(lines.len() - 1).max(1);
+        let (r, s) = lines.split_at(cut);
+        check_rs(r, s, &config, &format!("proptest rs {}", config.combo_name()));
+        prop_assert!(true);
+    }
+}

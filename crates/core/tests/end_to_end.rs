@@ -20,7 +20,11 @@ fn naive_pairs(lines: &[String], t: &Threshold) -> Vec<(u64, u64)> {
             let f: Vec<&str> = l.split('\t').collect();
             (
                 f[0].parse().unwrap(),
-                format!("{} {}", f.first().map(|_| f[1]).unwrap_or(""), f.get(2).unwrap_or(&"")),
+                format!(
+                    "{} {}",
+                    f.first().map(|_| f[1]).unwrap_or(""),
+                    f.get(2).unwrap_or(&"")
+                ),
             )
         })
         .collect();
@@ -291,7 +295,9 @@ fn bk_oom_is_rescued_by_block_processing() {
     // matches the expected result.
     let mut lines = Vec::new();
     for i in 0..700u64 {
-        let words: Vec<String> = (0..100u64).map(|k| format!("w{}", (i * 7 + k) % 400)).collect();
+        let words: Vec<String> = (0..100u64)
+            .map(|k| format!("w{}", (i * 7 + k) % 400))
+            .collect();
         lines.push(format!("{i}\t{}\tauthor\t", words.join(" ")));
     }
     let t = Threshold::jaccard(0.8);

@@ -126,8 +126,8 @@ pub fn generate(config: &GeneratorConfig) -> Vec<DataRecord> {
                 abstract_text: base.abstract_text.clone(),
             }
         } else {
-            let title_len = (config.title_words as i64
-                + rng.random_range(-3i64..=3)).max(3) as usize;
+            let title_len =
+                (config.title_words as i64 + rng.random_range(-3i64..=3)).max(3) as usize;
             let mut title_tokens = Vec::with_capacity(title_len);
             for _ in 0..title_len {
                 title_tokens.push(words.get(word_dist.sample(&mut rng)).to_string());

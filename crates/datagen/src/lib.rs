@@ -46,7 +46,10 @@ pub fn dblp(records: usize, seed: u64) -> Vec<DataRecord> {
 /// abstracts), seeded. Uses a different default seed-space so DBLP and
 /// CITESEERX corpora generated with equal seeds still differ.
 pub fn citeseerx(records: usize, seed: u64) -> Vec<DataRecord> {
-    generate(&GeneratorConfig::citeseerx(records, seed ^ 0x5eed_c17e_5eed_c17e))
+    generate(&GeneratorConfig::citeseerx(
+        records,
+        seed ^ 0x5eed_c17e_5eed_c17e,
+    ))
 }
 
 /// Serialize records to their text lines.

@@ -64,10 +64,7 @@ impl DataRecord {
             .map_err(|e| format!("bad RID: {e}"))?;
         let title = parts.next().ok_or("missing title field")?.to_string();
         let authors_str = parts.next().ok_or("missing authors field")?;
-        let authors = authors_str
-            .split_whitespace()
-            .map(str::to_string)
-            .collect();
+        let authors = authors_str.split_whitespace().map(str::to_string).collect();
         let misc = parts.next().ok_or("missing misc field")?.to_string();
         let abstract_text = parts.next().map(str::to_string);
         Ok(DataRecord {

@@ -52,9 +52,7 @@ impl Vocabulary {
     /// `n` distinct author surnames.
     pub fn names(n: usize) -> Self {
         Vocabulary {
-            words: (0..n)
-                .map(|i| word_from_index(i, NAME_SYLLABLES))
-                .collect(),
+            words: (0..n).map(|i| word_from_index(i, NAME_SYLLABLES)).collect(),
         }
     }
 

@@ -6,8 +6,6 @@
 //! generators sample words from a Zipf distribution so the synthetic
 //! corpora exhibit the same skew.
 
-use rand::RngExt;
-
 /// A Zipf distribution over ranks `0..n` (rank 0 most probable), sampled by
 /// inverse-CDF binary search over a precomputed table.
 #[derive(Debug, Clone)]

@@ -122,9 +122,8 @@ impl ClusterConfig {
 
     /// Physical execution threads to use.
     pub fn physical_threads(&self) -> usize {
-        self.execution_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        })
+        self.execution_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
 
     /// Validate the topology.
@@ -324,7 +323,10 @@ mod tests {
         let out = schedule_map_tasks(&tasks, 2, 1, &net);
         assert_eq!(out.local_tasks, 2);
         assert_eq!(out.remote_tasks, 0);
-        assert!((out.makespan - 1.0).abs() < 1e-12, "both run in parallel locally");
+        assert!(
+            (out.makespan - 1.0).abs() < 1e-12,
+            "both run in parallel locally"
+        );
     }
 
     #[test]

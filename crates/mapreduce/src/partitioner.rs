@@ -164,7 +164,10 @@ mod tests {
         let bounds = sample_boundaries(&sample, 5);
         let p = range_partitioner(bounds);
         let parts: Vec<u32> = (0..300u32).map(|k| p(&k, 5)).collect();
-        assert!(parts.windows(2).all(|w| w[0] <= w[1]), "monotone partitions");
+        assert!(
+            parts.windows(2).all(|w| w[0] <= w[1]),
+            "monotone partitions"
+        );
         assert_eq!(parts[0], 0);
         assert_eq!(parts[299], 4);
     }

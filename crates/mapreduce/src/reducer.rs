@@ -68,7 +68,12 @@ impl<K, IV, OK, OV, F: Clone> Clone for ClosureReducer<K, IV, OK, OV, F> {
 
 impl<K, IV, OK, OV, F> ClosureReducer<K, IV, OK, OV, F>
 where
-    F: FnMut(&K, &mut dyn Iterator<Item = (K, IV)>, &mut dyn Emit<OK, OV>, &TaskContext) -> Result<()>,
+    F: FnMut(
+        &K,
+        &mut dyn Iterator<Item = (K, IV)>,
+        &mut dyn Emit<OK, OV>,
+        &TaskContext,
+    ) -> Result<()>,
 {
     /// Build a reducer from the given closure.
     pub fn new(f: F) -> Self {
@@ -82,7 +87,12 @@ where
     IV: Value,
     OK: Value,
     OV: Value,
-    F: FnMut(&K, &mut dyn Iterator<Item = (K, IV)>, &mut dyn Emit<OK, OV>, &TaskContext) -> Result<()>
+    F: FnMut(
+            &K,
+            &mut dyn Iterator<Item = (K, IV)>,
+            &mut dyn Emit<OK, OV>,
+            &TaskContext,
+        ) -> Result<()>
         + Clone
         + Send
         + 'static,

@@ -287,11 +287,7 @@ mod tests {
 
     #[test]
     fn group_values_stops_at_boundary() {
-        let r = run_of(vec![
-            (1, "a".into()),
-            (1, "b".into()),
-            (2, "c".into()),
-        ]);
+        let r = run_of(vec![(1, "a".into()), (1, "b".into()), (2, "c".into())]);
         let mut m: MergeStream<u32, String> =
             MergeStream::new(vec![r], natural_sort::<u32>()).unwrap();
         let first = m.peek_key().cloned().unwrap();
@@ -349,10 +345,7 @@ mod tests {
             &mut cin,
             &mut cout,
         );
-        assert_eq!(
-            out,
-            vec![("a".to_string(), 2), ("b".to_string(), 4)]
-        );
+        assert_eq!(out, vec![("a".to_string(), 2), ("b".to_string(), 4)]);
         assert_eq!(cin, 3);
         assert_eq!(cout, 2);
     }
@@ -418,8 +411,7 @@ mod merge_tests {
     }
 
     fn drain(runs: Vec<Run>) -> Vec<u32> {
-        let mut m: MergeStream<u32, u32> =
-            MergeStream::new(runs, natural_sort::<u32>()).unwrap();
+        let mut m: MergeStream<u32, u32> = MergeStream::new(runs, natural_sort::<u32>()).unwrap();
         let mut keys = Vec::new();
         while let Some((k, _)) = m.next_pair().unwrap() {
             keys.push(k);
@@ -429,7 +421,11 @@ mod merge_tests {
 
     #[test]
     fn merge_into_one_preserves_order_and_count() {
-        let runs = vec![sorted_run(0, 3, 10), sorted_run(1, 3, 10), sorted_run(2, 3, 10)];
+        let runs = vec![
+            sorted_run(0, 3, 10),
+            sorted_run(1, 3, 10),
+            sorted_run(2, 3, 10),
+        ];
         let merged = merge_into_one::<u32, u32>(runs, natural_sort::<u32>()).unwrap();
         assert_eq!(merged.records, 30);
         let keys = drain(vec![merged]);

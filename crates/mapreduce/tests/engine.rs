@@ -3,11 +3,10 @@
 use std::sync::Arc;
 
 use mapreduce::{
-    group_by, mem_input, partition_by, seq_input, sum_combiner, text_input, Cluster,
-    ClusterConfig, ClosureMapper, ClosureReducer, Emit, IdentityMapper, IdentityReducer, Job,
-    MrError, TaskContext,
+    group_by, mem_input, partition_by, seq_input, sum_combiner, text_input, ClosureMapper,
+    ClosureReducer, Cluster, ClusterConfig, Emit, IdentityMapper, IdentityReducer, Job, MrError,
+    TaskContext,
 };
-
 
 fn small_cluster(nodes: usize) -> Cluster {
     Cluster::new(ClusterConfig::with_nodes(nodes), 256).unwrap()
@@ -28,7 +27,8 @@ fn wc_mapper() -> WcMapper {
                 out.emit(w.to_string(), 1)?;
             }
             Ok(())
-        }) as fn(&u64, &String, &mut dyn Emit<String, u64>, &TaskContext) -> mapreduce::Result<()>,
+        })
+            as fn(&u64, &String, &mut dyn Emit<String, u64>, &TaskContext) -> mapreduce::Result<()>,
     )
 }
 
@@ -55,10 +55,7 @@ fn word_count_end_to_end() {
     let mut counts: Vec<(String, u64)> = cluster.dfs().read_seq("/out").unwrap();
     counts.sort();
     assert_eq!(counts.len(), 7); // alpha, beta0..4, gamma
-    assert_eq!(
-        counts.iter().find(|(w, _)| w == "alpha").unwrap().1,
-        100
-    );
+    assert_eq!(counts.iter().find(|(w, _)| w == "alpha").unwrap().1, 100);
     assert_eq!(m.map_input_records, 50);
     assert_eq!(m.map_output_records, 200);
     assert!(
@@ -80,7 +77,9 @@ fn results_identical_across_topologies() {
     let mut outputs = Vec::new();
     for nodes in [2usize, 10] {
         let cluster = small_cluster(nodes);
-        let lines: Vec<String> = (0..200).map(|i| format!("w{} w{} shared", i % 17, i % 7)).collect();
+        let lines: Vec<String> = (0..200)
+            .map(|i| format!("w{} w{} shared", i % 17, i % 7))
+            .collect();
         cluster.dfs().write_text("/in", &lines).unwrap();
         let reducer = ClosureReducer::new(
             |k: &String,
@@ -104,9 +103,7 @@ fn secondary_sort_streams_values_in_key_order() {
     // Composite key (group, seq): partition+group on `group`, sort on both.
     // Each reduce group must observe `seq` strictly increasing.
     let cluster = small_cluster(4);
-    let records: Vec<((), (u32, u32))> = (0..100)
-        .map(|i| ((), (i % 5, 1000 - i)))
-        .collect();
+    let records: Vec<((), (u32, u32))> = (0..100).map(|i| ((), (i % 5, 1000 - i))).collect();
     let mapper = ClosureMapper::new(
         |_k: &(), v: &(u32, u32), out: &mut dyn Emit<(u32, u32), ()>, _ctx: &TaskContext| {
             out.emit(*v, ())
@@ -208,7 +205,9 @@ fn spills_happen_with_tiny_buffer_and_results_stay_correct() {
     let mut config = ClusterConfig::with_nodes(2);
     config.spill_buffer_bytes = 1024; // force many spills
     let cluster = Cluster::new(config, 256).unwrap();
-    let lines: Vec<String> = (0..300).map(|i| format!("tok{} tok{}", i % 13, i % 3)).collect();
+    let lines: Vec<String> = (0..300)
+        .map(|i| format!("tok{} tok{}", i % 13, i % 3))
+        .collect();
     cluster.dfs().write_text("/in", &lines).unwrap();
     let reducer = ClosureReducer::new(
         |k: &String,
@@ -254,7 +253,9 @@ fn more_nodes_never_increase_simulated_time() {
     let mut sims = Vec::new();
     for nodes in [1usize, 2, 4] {
         let cluster = small_cluster(nodes);
-        let lines: Vec<String> = (0..400).map(|i| format!("line {i} data token{}", i % 23)).collect();
+        let lines: Vec<String> = (0..400)
+            .map(|i| format!("line {i} data token{}", i % 23))
+            .collect();
         cluster.dfs().write_text("/in", &lines).unwrap();
         let reducer = ClosureReducer::new(
             |k: &String,
@@ -315,7 +316,11 @@ fn seq_input_feeds_next_job() {
     cluster.run(job2).unwrap();
     let sorted: Vec<(u64, String)> = cluster.dfs().read_seq("/sorted").unwrap();
     let tokens: Vec<&str> = sorted.iter().map(|(_, t)| t.as_str()).collect();
-    assert_eq!(tokens, vec!["b", "c", "a"], "ascending frequency: b=3, c=4, a=5");
+    assert_eq!(
+        tokens,
+        vec!["b", "c", "a"],
+        "ascending frequency: b=3, c=4, a=5"
+    );
 }
 
 #[test]
@@ -347,7 +352,10 @@ fn flaky_tasks_are_retried_and_job_succeeds() {
         .inputs(text_input(cluster.dfs(), "/in").unwrap())
         .output_seq("/out");
     let m = cluster.run(job).unwrap();
-    assert!(m.task_retries >= m.map.tasks as u64, "every map task retried once");
+    assert!(
+        m.task_retries >= m.map.tasks as u64,
+        "every map task retried once"
+    );
     let counts: Vec<(String, u64)> = cluster.dfs().read_seq("/out").unwrap();
     let total: u64 = counts.iter().map(|(_, n)| n).sum();
     assert_eq!(total, 80, "results correct despite retries");

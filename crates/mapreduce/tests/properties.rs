@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use mapreduce::{
-    list_schedule_makespan, mem_input, text_input, Cluster, ClusterConfig, ClosureMapper,
-    ClosureReducer, Codec, Dfs, Emit, Job, NetworkModel, TaskContext,
+    list_schedule_makespan, mem_input, text_input, ClosureMapper, ClosureReducer, Cluster,
+    ClusterConfig, Codec, Dfs, Emit, Job, NetworkModel, TaskContext,
 };
 
 // ---------------------------------------------------------------------------

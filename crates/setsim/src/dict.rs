@@ -91,8 +91,7 @@ impl TokenOrder {
     /// in the token list, since they cannot generate candidate pairs").
     /// Returns a strictly increasing rank vector.
     pub fn project(&self, tokens: &[String]) -> Vec<TokenRank> {
-        let mut ranks: Vec<TokenRank> =
-            tokens.iter().filter_map(|t| self.rank(t)).collect();
+        let mut ranks: Vec<TokenRank> = tokens.iter().filter_map(|t| self.rank(t)).collect();
         ranks.sort_unstable();
         ranks.dedup();
         ranks
@@ -100,11 +99,7 @@ impl TokenOrder {
 
     /// Approximate heap size in bytes, for broadcast memory accounting.
     pub fn approx_bytes(&self) -> u64 {
-        let strings: u64 = self
-            .tokens
-            .iter()
-            .map(|t| t.len() as u64 + 24)
-            .sum::<u64>();
+        let strings: u64 = self.tokens.iter().map(|t| t.len() as u64 + 24).sum::<u64>();
         // Each token is stored twice (map key + vec) plus map overhead.
         strings * 2 + self.tokens.len() as u64 * 16
     }
@@ -120,11 +115,7 @@ mod tests {
 
     #[test]
     fn from_corpus_orders_by_ascending_frequency() {
-        let corpus = vec![
-            rec(&["a", "b", "c"]),
-            rec(&["b", "c"]),
-            rec(&["c"]),
-        ];
+        let corpus = vec![rec(&["a", "b", "c"]), rec(&["b", "c"]), rec(&["c"])];
         let order = TokenOrder::from_corpus(&corpus);
         // a appears once, b twice, c three times.
         assert_eq!(order.rank("a"), Some(0));
@@ -144,8 +135,7 @@ mod tests {
 
     #[test]
     fn project_sorts_and_drops_unknown() {
-        let order =
-            TokenOrder::from_ordered_tokens(["rare", "mid", "common"]).unwrap();
+        let order = TokenOrder::from_ordered_tokens(["rare", "mid", "common"]).unwrap();
         let ranks = order.project(&rec(&["common", "unknown", "rare"]));
         assert_eq!(ranks, vec![0, 2]);
         assert_eq!(order.project(&[]), Vec::<TokenRank>::new());

@@ -295,12 +295,12 @@ mod tests {
     fn edit_join_matches_naive() {
         let strings: Vec<String> = [
             "parallel set similarity joins",
-            "parallel set similarity join",   // d=1 of above
-            "parallel set similarity coins",  // d=2 of first
+            "parallel set similarity join",  // d=1 of above
+            "parallel set similarity coins", // d=2 of first
             "an entirely different sentence",
             "an entirely different sentence", // exact duplicate
             "mapreduce",
-            "mapredude",                      // d=1
+            "mapredude", // d=1
             "x",
             "",
         ]

@@ -46,6 +46,7 @@ pub mod edit;
 pub mod measure;
 pub mod minhash;
 pub mod naive;
+pub mod oracle;
 pub mod ppjoin;
 pub mod rs;
 pub mod suffix;

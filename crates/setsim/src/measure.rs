@@ -203,7 +203,9 @@ impl Threshold {
         if len == 0 {
             return 0;
         }
-        (len + 1).saturating_sub(self.overlap_needed(len, len)).min(len)
+        (len + 1)
+            .saturating_sub(self.overlap_needed(len, len))
+            .min(len)
     }
 
     /// True when two record sizes pass the length filter.
@@ -319,7 +321,10 @@ mod tests {
             let from_overlap = t.similarity_from_overlap(overlap, x.len(), y.len());
             assert!((direct - from_overlap).abs() < 1e-12, "{t:?}");
         }
-        assert_eq!(Threshold::jaccard(0.5).similarity_from_overlap(0, 0, 5), 0.0);
+        assert_eq!(
+            Threshold::jaccard(0.5).similarity_from_overlap(0, 0, 5),
+            0.0
+        );
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
         let est = hasher.estimate(&hasher.signature(&x), &hasher.signature(&y));
         assert!((est - 2.0 / 3.0).abs() < 0.12, "estimate {est}");
         // Identical sets estimate 1.
-        assert_eq!(hasher.estimate(&hasher.signature(&x), &hasher.signature(&x)), 1.0);
+        assert_eq!(
+            hasher.estimate(&hasher.signature(&x), &hasher.signature(&x)),
+            1.0
+        );
     }
 
     #[test]

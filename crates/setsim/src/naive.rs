@@ -58,12 +58,7 @@ mod tests {
 
     #[test]
     fn self_join_finds_expected_pairs() {
-        let records = recs(&[
-            &[1, 2, 3, 4],
-            &[1, 2, 3, 5],
-            &[10, 11, 12],
-            &[1, 2, 3, 4],
-        ]);
+        let records = recs(&[&[1, 2, 3, 4], &[1, 2, 3, 5], &[10, 11, 12], &[1, 2, 3, 4]]);
         let t = Threshold::jaccard(0.6);
         let pairs = self_join(&records, &t);
         // (1,2): 3/5 = 0.6 ✓; (1,4): identical ✓; (2,4): 0.6 ✓.

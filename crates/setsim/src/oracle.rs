@@ -1,0 +1,256 @@
+//! Corpus-level differential oracle.
+//!
+//! The MapReduce pipeline's contract is exact-result equivalence: every
+//! kernel/routing/stage combination must produce the same `(rid1, rid2,
+//! sim)` set as an exhaustive single-node join ([`crate::naive`]) of the
+//! same corpus. This module packages the three things a differential
+//! harness needs:
+//!
+//! * building the expected result straight from raw `(rid, join
+//!   attribute)` records ([`expected_self_join`], [`expected_rs_join`]),
+//!   mirroring the pipeline's own preprocessing (tokenize, build the
+//!   global token order, project; in R-S mode the order comes from R only
+//!   and S-only tokens are dropped);
+//! * a structured three-way diff of expected vs actual result sets
+//!   ([`diff`] / [`ResultDiff`]) distinguishing missing pairs, spurious
+//!   pairs, and similarity mismatches — similarities are compared for
+//!   **bitwise** equality, since both sides compute them with
+//!   [`Threshold::matches`] and the pipeline's text codec round-trips
+//!   `f64` losslessly;
+//! * a delta-debugging minimizer ([`shrink`]) that reduces a failing
+//!   corpus to a locally-minimal counterexample before it is reported.
+
+use std::collections::BTreeMap;
+
+use crate::dict::TokenOrder;
+use crate::measure::Threshold;
+use crate::naive::{self, Record};
+use crate::tokenize::Tokenizer;
+
+/// One join result row: `(rid1, rid2, similarity)`.
+pub type ResultRow = (u64, u64, f64);
+
+/// Tokenize and project a corpus of `(rid, join attribute)` records,
+/// building the frequency-ascending token order from the corpus itself.
+pub fn project_corpus(tok: &dyn Tokenizer, corpus: &[(u64, String)]) -> (TokenOrder, Vec<Record>) {
+    let lists: Vec<Vec<String>> = corpus.iter().map(|(_, a)| tok.tokenize(a)).collect();
+    let order = TokenOrder::from_corpus(&lists);
+    let records = corpus
+        .iter()
+        .zip(&lists)
+        .map(|((rid, _), l)| (*rid, order.project(l)))
+        .collect();
+    (order, records)
+}
+
+/// Project a corpus under an existing token order (the R-S case: S is
+/// projected with R's dictionary, and S-only tokens are dropped).
+pub fn project_with_order(
+    tok: &dyn Tokenizer,
+    order: &TokenOrder,
+    corpus: &[(u64, String)],
+) -> Vec<Record> {
+    corpus
+        .iter()
+        .map(|(rid, a)| (*rid, order.project(&tok.tokenize(a))))
+        .collect()
+}
+
+/// The expected self-join result for a raw corpus: pairs id-normalized
+/// (`a < b`), sorted, deduplicated.
+pub fn expected_self_join(
+    tok: &dyn Tokenizer,
+    corpus: &[(u64, String)],
+    t: &Threshold,
+) -> Vec<ResultRow> {
+    let (_, records) = project_corpus(tok, corpus);
+    naive::self_join(&records, t)
+}
+
+/// The expected R-S join result: the token order is built from R alone
+/// (the pipeline runs stage 1 on the smaller relation), pairs are
+/// `(r_id, s_id)` oriented and sorted.
+pub fn expected_rs_join(
+    tok: &dyn Tokenizer,
+    r: &[(u64, String)],
+    s: &[(u64, String)],
+    t: &Threshold,
+) -> Vec<ResultRow> {
+    let (order, r_records) = project_corpus(tok, r);
+    let s_records = project_with_order(tok, &order, s);
+    naive::rs_join(&r_records, &s_records, t)
+}
+
+/// Structured difference between an expected and an actual result set.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ResultDiff {
+    /// Rows the oracle expects but the pipeline did not produce.
+    pub missing: Vec<ResultRow>,
+    /// Rows the pipeline produced but the oracle does not expect.
+    pub spurious: Vec<ResultRow>,
+    /// Pairs present on both sides whose similarities differ bitwise:
+    /// `(rid1, rid2, expected_sim, actual_sim)`.
+    pub sim_mismatches: Vec<(u64, u64, f64, f64)>,
+}
+
+impl ResultDiff {
+    /// `true` when the two result sets are identical.
+    pub fn is_empty(&self) -> bool {
+        self.missing.is_empty() && self.spurious.is_empty() && self.sim_mismatches.is_empty()
+    }
+}
+
+impl std::fmt::Display for ResultDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "results identical");
+        }
+        writeln!(
+            f,
+            "{} missing, {} spurious, {} sim mismatches",
+            self.missing.len(),
+            self.spurious.len(),
+            self.sim_mismatches.len()
+        )?;
+        for (a, b, sim) in &self.missing {
+            writeln!(f, "  missing   ({a}, {b}) sim {sim}")?;
+        }
+        for (a, b, sim) in &self.spurious {
+            writeln!(f, "  spurious  ({a}, {b}) sim {sim}")?;
+        }
+        for (a, b, want, got) in &self.sim_mismatches {
+            writeln!(f, "  sim       ({a}, {b}) expected {want} got {got}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compare two result sets keyed by `(rid1, rid2)`. Duplicate keys on
+/// either side are themselves a divergence and surface as spurious rows.
+pub fn diff(expected: &[ResultRow], actual: &[ResultRow]) -> ResultDiff {
+    let mut d = ResultDiff::default();
+    let mut exp = BTreeMap::new();
+    for (a, b, sim) in expected {
+        if exp.insert((*a, *b), *sim).is_some() {
+            d.spurious.push((*a, *b, *sim)); // duplicate in expected: report loudly
+        }
+    }
+    let mut seen = BTreeMap::new();
+    for (a, b, sim) in actual {
+        if seen.insert((*a, *b), *sim).is_some() {
+            d.spurious.push((*a, *b, *sim));
+            continue;
+        }
+        match exp.remove(&(*a, *b)) {
+            None => d.spurious.push((*a, *b, *sim)),
+            Some(want) if want.to_bits() != sim.to_bits() => {
+                d.sim_mismatches.push((*a, *b, want, *sim));
+            }
+            Some(_) => {}
+        }
+    }
+    d.missing = exp.into_iter().map(|((a, b), sim)| (a, b, sim)).collect();
+    d
+}
+
+/// Delta-debugging minimization (ddmin): reduce `items` to a subset that
+/// still satisfies `still_fails`, removing progressively smaller chunks
+/// until no single element can be dropped. `still_fails(items)` must be
+/// `true` on entry; the result is locally 1-minimal with respect to
+/// element removal.
+pub fn shrink<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    debug_assert!(still_fails(&cur), "shrink() needs a failing input");
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < cur.len() && cur.len() >= 2 {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            if !cand.is_empty() && still_fails(&cand) {
+                cur = cand;
+                removed_any = true; // same `start` now addresses the next chunk
+            } else {
+                start = end;
+            }
+        }
+        if removed_any {
+            n = n.saturating_sub(1).max(2);
+        } else if n >= cur.len() {
+            break; // already tried single-element removals
+        } else {
+            n = (2 * n).min(cur.len());
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::WordTokenizer;
+
+    #[test]
+    fn expected_self_join_matches_hand_result() {
+        let tok = WordTokenizer::new();
+        let corpus = vec![
+            (1u64, "parallel set similarity joins".to_string()),
+            (2, "parallel set similarity joins".to_string()),
+            (3, "unrelated words entirely here".to_string()),
+        ];
+        let rows = expected_self_join(&tok, &corpus, &Threshold::jaccard(0.8));
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].0, rows[0].1), (1, 2));
+        assert_eq!(rows[0].2, 1.0);
+    }
+
+    #[test]
+    fn expected_rs_join_uses_r_dictionary() {
+        let tok = WordTokenizer::new();
+        let r = vec![(1u64, "alpha beta gamma delta".to_string())];
+        // S-only tokens vanish, so this S record projects onto exactly R's
+        // token set and joins at similarity 1.
+        let s = vec![(9u64, "alpha beta gamma delta omega".to_string())];
+        let rows = expected_rs_join(&tok, &r, &s, &Threshold::jaccard(0.9));
+        assert_eq!(rows, vec![(1, 9, 1.0)]);
+    }
+
+    #[test]
+    fn diff_classifies_divergences() {
+        let expected = vec![(1u64, 2u64, 0.9f64), (1, 3, 0.8), (2, 3, 0.85)];
+        let actual = vec![(1u64, 2u64, 0.9f64), (2, 3, 0.8499999), (4, 5, 1.0)];
+        let d = diff(&expected, &actual);
+        assert_eq!(d.missing, vec![(1, 3, 0.8)]);
+        assert_eq!(d.spurious, vec![(4, 5, 1.0)]);
+        assert_eq!(d.sim_mismatches, vec![(2, 3, 0.85, 0.8499999)]);
+        assert!(!d.is_empty());
+        assert!(diff(&expected, &expected).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_duplicate_pairs_as_spurious() {
+        let expected = vec![(1u64, 2u64, 0.9f64)];
+        let actual = vec![(1u64, 2u64, 0.9f64), (1, 2, 0.9)];
+        let d = diff(&expected, &actual);
+        assert_eq!(d.spurious, vec![(1, 2, 0.9)]);
+    }
+
+    #[test]
+    fn shrink_finds_minimal_failing_subset() {
+        // "Fails" iff the subset still contains both 3 and 7.
+        let items: Vec<u32> = (0..50).collect();
+        let minimal = shrink(&items, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(minimal, vec![3, 7]);
+    }
+
+    #[test]
+    fn shrink_handles_singleton_predicates() {
+        let items: Vec<u32> = (0..31).collect();
+        let minimal = shrink(&items, |s| s.contains(&17));
+        assert_eq!(minimal, vec![17]);
+    }
+}

@@ -238,8 +238,7 @@ impl PpjoinIndex {
             let y = &stored.tokens;
             let alpha = self.t.overlap_needed(lx, y.len());
             if self.filters.suffix {
-                let required_suffix =
-                    alpha.saturating_sub(st.last_x.min(st.last_y) as usize);
+                let required_suffix = alpha.saturating_sub(st.last_x.min(st.last_y) as usize);
                 if !suffix_survives(
                     &tokens[st.last_x as usize..],
                     &y[st.last_y as usize..],
@@ -285,7 +284,10 @@ impl PpjoinIndex {
             tokens.len() >= self.max_len_seen || self.index_full_prefix,
             "self-join inserts must arrive in non-decreasing size order"
         );
-        debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]), "tokens must be a sorted set");
+        debug_assert!(
+            tokens.windows(2).all(|w| w[0] < w[1]),
+            "tokens must be a sorted set"
+        );
         self.max_len_seen = self.max_len_seen.max(tokens.len());
         let rec = u32::try_from(self.records.len()).expect("too many records in one index");
         let plen = if self.index_full_prefix {

@@ -111,11 +111,10 @@ mod tests {
                 .iter()
                 .map(|(a, b, _)| (*a, *b))
                 .collect();
-            let indexed: Vec<(u64, u64)> =
-                indexed_rs_join(&r, &s, &t, FilterConfig::ppjoin())
-                    .iter()
-                    .map(|(a, b, _)| (*a, *b))
-                    .collect();
+            let indexed: Vec<(u64, u64)> = indexed_rs_join(&r, &s, &t, FilterConfig::ppjoin())
+                .iter()
+                .map(|(a, b, _)| (*a, *b))
+                .collect();
             assert_eq!(block, expected, "block tau={tau}");
             assert_eq!(indexed, expected, "indexed tau={tau}");
         }

@@ -141,10 +141,7 @@ mod tests {
             t.tokenize("I will call back."),
             vec!["i", "will", "call", "back"]
         );
-        assert_eq!(
-            t.tokenize("Smith, John   W."),
-            vec!["smith", "john", "w"]
-        );
+        assert_eq!(t.tokenize("Smith, John   W."), vec!["smith", "john", "w"]);
         assert_eq!(t.tokenize(""), Vec::<String>::new());
         assert_eq!(t.tokenize("...!!!"), Vec::<String>::new());
     }
@@ -185,7 +182,10 @@ mod tests {
     fn qgram_tokenizer_short_or_empty_input() {
         let t = QGramTokenizer::new(3);
         assert_eq!(t.tokenize(""), Vec::<String>::new());
-        assert!(!t.tokenize("a").is_empty(), "padding makes one-char strings tokenizable");
+        assert!(
+            !t.tokenize("a").is_empty(),
+            "padding makes one-char strings tokenizable"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use setsim::{
-    allpairs, intersection_size, naive, ppjoin, rs, suffix, verify_pair, FilterConfig,
-    SimFunction, Threshold, Tokenizer, WordTokenizer,
+    allpairs, intersection_size, naive, ppjoin, rs, suffix, verify_pair, FilterConfig, SimFunction,
+    Threshold, Tokenizer, WordTokenizer,
 };
 
 /// A random sorted token set with ranks drawn from a small universe so that

@@ -1,0 +1,68 @@
+//! Offline stand-in for the `crossbeam` crate: only `thread::scope`, built
+//! on `std::thread::scope` (stable since Rust 1.63). The crossbeam API
+//! passes a scope handle to each spawned closure so threads can spawn
+//! nested work; the workspace never nests, so the closure receives a
+//! placeholder handle.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to spawned closures (crossbeam allows nested spawns
+    /// through it; this stand-in does not support nesting).
+    pub struct NestedScope(());
+
+    /// The scope handle given to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure's argument exists
+        /// for crossbeam signature compatibility only.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&NestedScope(())))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// returning. Returns `Err` with the panic payload if any thread (or
+    /// the closure itself) panicked, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let n = AtomicU32::new(0);
+        let r = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -24,17 +24,32 @@ fn main() {
     let corpus = datagen::increase(&base, scale_factor);
     let lines = datagen::to_lines(&corpus);
     let bytes: usize = lines.iter().map(|l| l.len() + 1).sum();
-    println!("corpus: {} records, {:.1} MiB\n", corpus.len(), bytes as f64 / (1 << 20) as f64);
+    println!(
+        "corpus: {} records, {:.1} MiB\n",
+        corpus.len(),
+        bytes as f64 / (1 << 20) as f64
+    );
 
     let cluster = Cluster::new(ClusterConfig::with_nodes(10), 1 << 20).expect("cluster");
-    cluster.dfs().write_text("/dblp", &lines).expect("write corpus");
+    cluster
+        .dfs()
+        .write_text("/dblp", &lines)
+        .expect("write corpus");
 
     let config = JoinConfig::recommended().with_threshold(Threshold::jaccard(0.8));
-    println!("running {} at Jaccard >= 0.80 on a 10-node simulated cluster...", config.combo_name());
+    println!(
+        "running {} at Jaccard >= 0.80 on a 10-node simulated cluster...",
+        config.combo_name()
+    );
     let outcome = self_join(&cluster, "/dblp", "/work", &config).expect("join");
 
     let joined = read_joined(&cluster, &outcome.joined_path).expect("read output");
-    println!("\nfound {} near-duplicate pairs in {:.3}s simulated ({:.3}s wall)", joined.len(), outcome.sim_secs(), outcome.wall_secs());
+    println!(
+        "\nfound {} near-duplicate pairs in {:.3}s simulated ({:.3}s wall)",
+        joined.len(),
+        outcome.sim_secs(),
+        outcome.wall_secs()
+    );
 
     // Cluster duplicates with a union-find over the pair graph.
     let mut parent: HashMap<u64, u64> = HashMap::new();
@@ -63,7 +78,11 @@ fn main() {
     }
     let mut sizes: Vec<usize> = clusters.values().map(Vec::len).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("duplicate clusters: {} (largest: {:?})", clusters.len(), &sizes[..sizes.len().min(5)]);
+    println!(
+        "duplicate clusters: {} (largest: {:?})",
+        clusters.len(),
+        &sizes[..sizes.len().min(5)]
+    );
 
     // Show a sample cluster with titles.
     let by_rid: HashMap<u64, &datagen::DataRecord> = corpus.iter().map(|r| (r.rid, r)).collect();

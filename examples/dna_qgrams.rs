@@ -47,7 +47,10 @@ fn main() {
     }
     .with_threshold(Threshold::jaccard(0.85));
 
-    println!("running {} with 4-gram tokens at Jaccard >= 0.85...", join_config.combo_name());
+    println!(
+        "running {} with 4-gram tokens at Jaccard >= 0.85...",
+        join_config.combo_name()
+    );
     let outcome = self_join(&cluster, "/dna", "/work", &join_config).expect("join");
     let joined = read_joined(&cluster, &outcome.joined_path).expect("read output");
     println!(

@@ -20,18 +20,34 @@ fn main() {
         "4\tcomparison of approaches to large scale data analysis\tpavlo paulson rasin abadi\tsigmod 2009",
         "5\tsimilarity search in high dimensions via hashing\tgionis indyk motwani\tvldb 1999",
     ];
-    cluster.dfs().write_text("/data/records", records).expect("write input");
+    cluster
+        .dfs()
+        .write_text("/data/records", records)
+        .expect("write input");
 
     // The paper's recommended robust configuration (BTO-PK-BRJ) at a lower
     // threshold so the demo pairs qualify.
     let config = JoinConfig::recommended().with_threshold(Threshold::jaccard(0.7));
-    println!("running {} self-join on {} records...\n", config.combo_name(), records.len());
+    println!(
+        "running {} self-join on {} records...\n",
+        config.combo_name(),
+        records.len()
+    );
 
     let outcome = self_join(&cluster, "/data/records", "/tmp/join", &config).expect("join");
 
-    println!("stage 1 (token ordering):  {:.4}s simulated", outcome.stage1.sim_secs());
-    println!("stage 2 (RID-pair kernel): {:.4}s simulated", outcome.stage2.sim_secs());
-    println!("stage 3 (record join):     {:.4}s simulated", outcome.stage3.sim_secs());
+    println!(
+        "stage 1 (token ordering):  {:.4}s simulated",
+        outcome.stage1.sim_secs()
+    );
+    println!(
+        "stage 2 (RID-pair kernel): {:.4}s simulated",
+        outcome.stage2.sim_secs()
+    );
+    println!(
+        "stage 3 (record join):     {:.4}s simulated",
+        outcome.stage3.sim_secs()
+    );
     println!("shuffled {} bytes total\n", outcome.shuffle_bytes());
 
     let joined = read_joined(&cluster, &outcome.joined_path).expect("read output");
@@ -42,5 +58,8 @@ fn main() {
         println!("      {}", title(line_a));
         println!("      {}", title(line_b));
     }
-    assert!(!joined.is_empty(), "expected similar pairs in the demo data");
+    assert!(
+        !joined.is_empty(),
+        "expected similar pairs in the demo data"
+    );
 }

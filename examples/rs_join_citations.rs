@@ -36,13 +36,22 @@ fn main() {
     );
 
     let cluster = Cluster::new(ClusterConfig::with_nodes(10), 1 << 20).expect("cluster");
-    cluster.dfs().write_text("/dblp", &r_lines).expect("write R");
-    cluster.dfs().write_text("/citeseerx", &s_lines).expect("write S");
+    cluster
+        .dfs()
+        .write_text("/dblp", &r_lines)
+        .expect("write R");
+    cluster
+        .dfs()
+        .write_text("/citeseerx", &s_lines)
+        .expect("write S");
 
     // Stage 1 runs on R (the smaller relation); S tokens outside R's
     // dictionary are discarded in stage 2, as in the paper.
     let config = JoinConfig::recommended().with_threshold(Threshold::jaccard(0.8));
-    println!("running {} R-S join at Jaccard >= 0.80...\n", config.combo_name());
+    println!(
+        "running {} R-S join at Jaccard >= 0.80...\n",
+        config.combo_name()
+    );
     let outcome = rs_join(&cluster, "/dblp", "/citeseerx", "/work", &config).expect("join");
 
     println!("stage 1: {:.4}s simulated", outcome.stage1.sim_secs());
@@ -53,7 +62,10 @@ fn main() {
     );
 
     let joined = read_joined(&cluster, &outcome.joined_path).expect("read output");
-    println!("\nmatched {} publication pairs across sources", joined.len());
+    println!(
+        "\nmatched {} publication pairs across sources",
+        joined.len()
+    );
     for ((r, s), (r_line, _s_line, sim)) in joined.iter().take(3) {
         let title = r_line.split('\t').nth(1).unwrap_or("?");
         println!("  dblp#{r} = citeseerx#{s} (sim {sim:.2}): {title}");

@@ -20,9 +20,30 @@ use fuzzyjoin::{
 };
 
 const INTERESTS: &[&str] = &[
-    "rust", "databases", "hiking", "chess", "jazz", "cooking", "cycling", "photography",
-    "astronomy", "gardening", "sailing", "painting", "running", "poetry", "robotics", "tea",
-    "cinema", "climbing", "birding", "pottery", "violin", "surfing", "origami", "mycology",
+    "rust",
+    "databases",
+    "hiking",
+    "chess",
+    "jazz",
+    "cooking",
+    "cycling",
+    "photography",
+    "astronomy",
+    "gardening",
+    "sailing",
+    "painting",
+    "running",
+    "poetry",
+    "robotics",
+    "tea",
+    "cinema",
+    "climbing",
+    "birding",
+    "pottery",
+    "violin",
+    "surfing",
+    "origami",
+    "mycology",
 ];
 
 fn main() {
@@ -50,7 +71,10 @@ fn main() {
     }
 
     let cluster = Cluster::new(ClusterConfig::with_nodes(8), 1 << 20).expect("cluster");
-    cluster.dfs().write_text("/users", &lines).expect("write users");
+    cluster
+        .dfs()
+        .write_text("/users", &lines)
+        .expect("write users");
 
     let config = JoinConfig {
         format: RecordFormat::two_column(),

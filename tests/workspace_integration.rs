@@ -4,8 +4,7 @@
 use std::collections::HashSet;
 
 use fuzzyjoin::{
-    read_joined, read_rid_pairs, rs_join, self_join, Cluster, ClusterConfig, JoinConfig,
-    Threshold,
+    read_joined, read_rid_pairs, rs_join, self_join, Cluster, ClusterConfig, JoinConfig, Threshold,
 };
 
 fn cluster() -> Cluster {
@@ -101,14 +100,21 @@ fn rs_join_dblp_citeseerx_end_to_end() {
     c.dfs().write_text("/s", datagen::to_lines(&cite)).unwrap();
     let outcome = rs_join(&c, "/r", "/s", "/work", &JoinConfig::recommended()).unwrap();
     let joined = read_joined(&c, &outcome.joined_path).unwrap();
-    assert!(joined.len() >= 60, "expected the planted matches, got {}", joined.len());
+    assert!(
+        joined.len() >= 60,
+        "expected the planted matches, got {}",
+        joined.len()
+    );
     let r_rids: HashSet<u64> = dblp.iter().map(|r| r.rid).collect();
     let s_rids: HashSet<u64> = cite.iter().map(|r| r.rid).collect();
     for ((r, s), (r_line, s_line, _)) in &joined {
         assert!(r_rids.contains(r), "left side must be an R record");
         assert!(s_rids.contains(s), "right side must be an S record");
         assert!(s_line.split('\t').count() >= 5, "S records carry abstracts");
-        assert!(r_line.split('\t').count() == 4, "R records have no abstract");
+        assert!(
+            r_line.split('\t').count() == 4,
+            "R records have no abstract"
+        );
     }
 }
 
@@ -119,7 +125,10 @@ fn shuffle_bytes_grow_with_data() {
     for factor in [1usize, 4] {
         let c = cluster();
         c.dfs()
-            .write_text("/dblp", datagen::to_lines(&datagen::increase(&base, factor)))
+            .write_text(
+                "/dblp",
+                datagen::to_lines(&datagen::increase(&base, factor)),
+            )
             .unwrap();
         let outcome = self_join(&c, "/dblp", "/work", &JoinConfig::recommended()).unwrap();
         bytes.push(outcome.shuffle_bytes());
