@@ -21,9 +21,9 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 
 use args::Args;
 use fuzzyjoin::{
-    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, JoinOutcome,
-    RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold, TokenRouting,
-    TokenizerKind,
+    read_joined, rs_join, self_join, Cluster, ClusterConfig, FaultPlan, FilterConfig, JoinConfig,
+    JoinOutcome, RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
+    TokenRouting, TokenizerKind,
 };
 
 /// Usage text printed on errors.
@@ -39,8 +39,15 @@ commands:
             [--threshold T] [--measure jaccard|cosine|dice]
             [--combo bto-pk-brj] [--nodes N] [--qgram Q]
             [--rid-field I] [--join-fields 1,2] [--groups G] [--full yes]
+            [--fault-seed S] [--fault-plan SPEC]
   rsjoin    join two files (stage 1 runs on --r; make it the smaller one)
             --r FILE --s FILE --out FILE  [same options as selfjoin]
+
+fault injection (chaos testing; results are unaffected by design):
+  --fault-seed S     run under the aggressive chaos preset with seed S
+  --fault-plan SPEC  custom plan, e.g.
+                     seed=42,transient=0.1,panic=0.05,oom=0.02,late=0.05,straggler=0.1x8,node_down=2
+                     (--fault-seed overrides the plan's seed)
 ";
 
 /// Entry point: parse and execute, returning the human-readable summary.
@@ -110,7 +117,54 @@ const JOIN_FLAGS: &[&str] = &[
     "join-fields",
     "groups",
     "full",
+    "fault-seed",
+    "fault-plan",
 ];
+
+/// Parse the fault-injection flags: `--fault-plan` gives the rates (and
+/// optionally a seed), `--fault-seed` alone enables the aggressive chaos
+/// preset and otherwise overrides the plan's seed.
+fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+    let mut plan = match args.get("fault-plan") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --fault-plan: {e}"))?),
+        None => None,
+    };
+    if let Some(seed) = args.get("fault-seed") {
+        let seed: u64 = seed.parse().map_err(|e| format!("bad --fault-seed: {e}"))?;
+        plan = Some(match plan {
+            Some(mut p) => {
+                p.seed = seed;
+                p
+            }
+            None => FaultPlan::aggressive(seed),
+        });
+    }
+    if plan.is_some() {
+        quiet_injected_panics();
+    }
+    Ok(plan)
+}
+
+/// Injected panics are expected under a fault plan (the engine catches and
+/// retries them); keep their backtraces off stderr while letting genuine
+/// panics through.
+fn quiet_injected_panics() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected user-code panic") {
+                prev(info);
+            }
+        }));
+    });
+}
 
 fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
     let tau: f64 = args.get_parsed("threshold", 0.8)?;
@@ -203,7 +257,7 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
     let (config, nodes) = join_config(args)?;
 
-    let cluster = make_cluster(nodes)?;
+    let cluster = make_cluster(nodes, fault_plan(args)?)?;
     let n = load_file(&cluster, input, "/input")?;
     let outcome =
         self_join(&cluster, "/input", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
@@ -225,7 +279,7 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
     let (config, nodes) = join_config(args)?;
 
-    let cluster = make_cluster(nodes)?;
+    let cluster = make_cluster(nodes, fault_plan(args)?)?;
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
     let outcome =
@@ -245,8 +299,15 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
 // plumbing
 // ---------------------------------------------------------------------------
 
-fn make_cluster(nodes: usize) -> Result<Cluster, String> {
-    Cluster::new(ClusterConfig::with_nodes(nodes), 4 << 20).map_err(|e| e.to_string())
+fn make_cluster(nodes: usize, faults: Option<FaultPlan>) -> Result<Cluster, String> {
+    let config = ClusterConfig {
+        // Fault injection needs a retry budget; fault-free runs keep the
+        // strict default (any failure is a bug, surface it immediately).
+        max_task_attempts: if faults.is_some() { 8 } else { 1 },
+        faults,
+        ..ClusterConfig::with_nodes(nodes)
+    };
+    Cluster::new(config, 4 << 20).map_err(|e| e.to_string())
 }
 
 fn load_file(cluster: &Cluster, path: &str, dfs_path: &str) -> Result<usize, String> {
@@ -339,6 +400,15 @@ fn summary(
         outcome.shuffle_bytes(),
         outcome.wall_secs()
     );
+    let retries = outcome.task_retries();
+    let (launched, won, killed) = outcome.speculative();
+    if retries + launched + outcome.output_aborts() > 0 {
+        let _ = writeln!(
+            s,
+            "faults survived: {retries} retries, {} aborts, speculative {launched} launched/{won} won/{killed} killed",
+            outcome.output_aborts(),
+        );
+    }
     let _ = writeln!(s, "{pairs} pairs written to {out}");
     s
 }
@@ -500,6 +570,43 @@ mod more_tests {
         let grouped = run_with("--groups 16", &pairs);
         let individual = run_with("", &tmp("g-pairs2.tsv"));
         assert_eq!(grouped, individual);
+    }
+
+    #[test]
+    fn fault_injection_does_not_change_results() {
+        let corpus = tmp("f.tsv");
+        run(&argv(&format!(
+            "gen --kind dblp --records 200 --seed 6 --out {corpus}"
+        )))
+        .unwrap();
+        let run_with = |extra: &str, out: &str| {
+            let msg = run(&argv(&format!(
+                "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 3 {extra}"
+            )))
+            .unwrap();
+            (msg, fs::read_to_string(out).unwrap())
+        };
+        let (clean_msg, clean) = run_with("", &tmp("f-clean.tsv"));
+        assert!(!clean_msg.contains("faults survived"), "{clean_msg}");
+        let (msg, chaotic) = run_with("--fault-seed 42", &tmp("f-chaos.tsv"));
+        assert_eq!(chaotic, clean, "chaos must not change the pairs");
+        assert!(msg.contains("faults survived"), "{msg}");
+        let (_, custom) = run_with(
+            "--fault-plan transient=0.1,late=0.05 --fault-seed 7",
+            &tmp("f-plan.tsv"),
+        );
+        assert_eq!(custom, clean);
+    }
+
+    #[test]
+    fn bad_fault_flags_are_clean_errors() {
+        let err = run(&argv(
+            "selfjoin --input a --out b --fault-plan frobnicate=1",
+        ))
+        .unwrap_err();
+        assert!(err.contains("bad --fault-plan"), "{err}");
+        let err = run(&argv("selfjoin --input a --out b --fault-seed x")).unwrap_err();
+        assert!(err.contains("bad --fault-seed"), "{err}");
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use pipeline::{read_joined, read_rid_pairs, rs_join, self_join, JoinOutcome}
 pub use stage3::{JoinedPair, PairKey};
 
 // Re-export the pieces callers need to drive a join.
-pub use mapreduce::{Cluster, ClusterConfig, MrError, NetworkModel, Result};
+pub use mapreduce::{Cluster, ClusterConfig, FaultPlan, MrError, NetworkModel, Result};
 pub use setsim::{FilterConfig, SimFunction, Threshold};

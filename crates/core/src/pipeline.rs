@@ -48,6 +48,42 @@ impl JoinOutcome {
         self.stage1.shuffle_bytes() + self.stage2.shuffle_bytes() + self.stage3.shuffle_bytes()
     }
 
+    /// Every job's metrics across the three stages, in execution order.
+    pub fn all_jobs(&self) -> impl Iterator<Item = &mapreduce::JobMetrics> {
+        self.stage1
+            .jobs
+            .iter()
+            .chain(&self.stage2.jobs)
+            .chain(&self.stage3.jobs)
+    }
+
+    /// Failed task attempts that were retried, across all stages.
+    pub fn task_retries(&self) -> u64 {
+        self.all_jobs().map(|j| j.task_retries).sum()
+    }
+
+    /// Reduce outputs committed across all stages (one per reduce task of
+    /// every job with an output directory).
+    pub fn output_commits(&self) -> u64 {
+        self.all_jobs().map(|j| j.output_commits).sum()
+    }
+
+    /// Failed reduce attempts whose partial output was discarded.
+    pub fn output_aborts(&self) -> u64 {
+        self.all_jobs().map(|j| j.output_aborts).sum()
+    }
+
+    /// Speculative attempts `(launched, won, killed)` across all stages.
+    pub fn speculative(&self) -> (u64, u64, u64) {
+        self.all_jobs().fold((0, 0, 0), |(l, w, k), j| {
+            (
+                l + j.speculative_launched,
+                w + j.speculative_won,
+                k + j.speculative_killed,
+            )
+        })
+    }
+
     /// A multi-line human-readable report of the join execution: one row per
     /// MapReduce job with simulated time, shuffle volume, and task counts,
     /// plus stage totals.
@@ -91,6 +127,16 @@ impl JoinOutcome {
             self.wall_secs(),
             self.shuffle_bytes()
         );
+        let (launched, won, killed) = self.speculative();
+        if self.task_retries() + self.output_aborts() + launched > 0 {
+            let _ = writeln!(
+                s,
+                "faults: {} retries, {} commits, {} aborts, speculative {launched} launched/{won} won/{killed} killed",
+                self.task_retries(),
+                self.output_commits(),
+                self.output_aborts(),
+            );
+        }
         s
     }
 }

@@ -1,0 +1,191 @@
+//! Chaos differential suite for the full 3-stage join pipeline.
+//!
+//! The capstone robustness property: an aggressive seeded fault plan —
+//! transient errors, user-code panics, environmental OOMs, late
+//! post-write failures, stragglers, and (in one cell) a dead node —
+//! injected across every job of every stage must leave the stage-2 RID
+//! pairs and the stage-3 joined output **bitwise identical** to a
+//! fault-free run, for both the BK and PK kernels in both self-join and
+//! R-S mode. The seed comes from `CHAOS_SEED` (CI sweeps several).
+
+use std::sync::Once;
+
+use fuzzyjoin::{
+    read_joined, read_rid_pairs, rs_join, self_join, Cluster, ClusterConfig, FaultPlan,
+    FilterConfig, JoinConfig, JoinOutcome, MrError, Stage2Algo,
+};
+use setsim::oracle;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// Injected panics are part of the chaos plan; keep them off stderr while
+/// letting genuine panics through.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected user-code panic") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn cluster_with(faults: Option<FaultPlan>) -> Cluster {
+    let config = ClusterConfig {
+        max_task_attempts: 8,
+        faults,
+        ..ClusterConfig::with_nodes(3)
+    };
+    Cluster::new(config, 2048).unwrap()
+}
+
+fn kernels() -> [Stage2Algo; 2] {
+    [
+        Stage2Algo::Bk,
+        Stage2Algo::Pk {
+            filters: FilterConfig::ppjoin_plus(),
+        },
+    ]
+}
+
+/// Everything a run produces that faults must not be able to change.
+#[derive(Debug, PartialEq)]
+struct RunOutput {
+    rid_pairs: Vec<(u64, u64, f64)>,
+    joined: Vec<oracle::ResultRow>,
+}
+
+fn self_outputs(cluster: &Cluster, config: &JoinConfig) -> (RunOutput, JoinOutcome) {
+    let lines = datagen::to_lines(&datagen::dblp(80, 11));
+    cluster.dfs().write_text("/records", &lines).unwrap();
+    let outcome = self_join(cluster, "/records", "/work", config).unwrap();
+    (collect(cluster, &outcome), outcome)
+}
+
+fn rs_outputs(cluster: &Cluster, config: &JoinConfig) -> (RunOutput, JoinOutcome) {
+    let r = datagen::to_lines(&datagen::dblp(60, 11));
+    // Guarantee overlap: S carries copies of every 4th R record.
+    let mut s = datagen::to_lines(&datagen::citeseerx(40, 1011));
+    for (i, line) in r.iter().enumerate().filter(|(i, _)| i % 4 == 0) {
+        let mut fields: Vec<&str> = line.split('\t').collect();
+        let rid = format!("{}", 10_000 + i);
+        fields[0] = &rid;
+        s.push(fields.join("\t"));
+    }
+    cluster.dfs().write_text("/r", &r).unwrap();
+    cluster.dfs().write_text("/s", &s).unwrap();
+    let outcome = rs_join(cluster, "/r", "/s", "/work", config).unwrap();
+    (collect(cluster, &outcome), outcome)
+}
+
+fn collect(cluster: &Cluster, outcome: &JoinOutcome) -> RunOutput {
+    RunOutput {
+        rid_pairs: read_rid_pairs(cluster, &outcome.ridpairs_path).unwrap(),
+        joined: read_joined(cluster, &outcome.joined_path)
+            .unwrap()
+            .into_iter()
+            .map(|((a, b), (_, _, sim))| (a, b, sim))
+            .collect(),
+    }
+}
+
+/// BK and PK, self-join and R-S, under the aggressive plan: stage-2 RID
+/// pairs and stage-3 joined pairs bitwise equal to fault-free, with the
+/// fault machinery demonstrably engaged.
+#[test]
+fn chaos_pipeline_is_bitwise_equal_to_fault_free() {
+    quiet_injected_panics();
+    let plan = FaultPlan::aggressive(chaos_seed());
+    assert!(plan.failure_probability() >= 0.10);
+    for stage2 in kernels() {
+        let config = JoinConfig {
+            stage2,
+            ..JoinConfig::recommended()
+        };
+        let (baseline_self, base_outcome) = self_outputs(&cluster_with(None), &config);
+        assert_eq!(base_outcome.task_retries(), 0);
+        assert!(
+            !baseline_self.joined.is_empty(),
+            "vacuous corpus for {stage2:?}"
+        );
+
+        let chaos = cluster_with(Some(plan.clone()));
+        let (out, outcome) = self_outputs(&chaos, &config);
+        assert_eq!(out, baseline_self, "{stage2:?} self-join under chaos");
+        assert!(outcome.task_retries() > 0, "plan must engage ({stage2:?})");
+        assert!(outcome.output_commits() > 0);
+
+        let (baseline_rs, _) = rs_outputs(&cluster_with(None), &config);
+        assert!(!baseline_rs.joined.is_empty(), "vacuous R-S corpus");
+        let chaos = cluster_with(Some(plan.clone()));
+        let (out, outcome) = rs_outputs(&chaos, &config);
+        assert_eq!(out, baseline_rs, "{stage2:?} R-S join under chaos");
+        assert!(outcome.task_retries() > 0);
+    }
+}
+
+/// One cell additionally loses a whole node: every attempt hinted onto it
+/// fails with `NodeLost` and must be re-executed elsewhere, still bitwise
+/// exact end to end.
+#[test]
+fn chaos_pipeline_survives_losing_a_node() {
+    quiet_injected_panics();
+    let config = JoinConfig::recommended();
+    let (baseline, _) = self_outputs(&cluster_with(None), &config);
+    let plan = FaultPlan {
+        dead_node: Some(1),
+        ..FaultPlan::aggressive(chaos_seed())
+    };
+    let chaos = cluster_with(Some(plan));
+    let (out, outcome) = self_outputs(&chaos, &config);
+    assert_eq!(out, baseline, "dead node must not change the join result");
+    assert!(outcome.task_retries() > 0);
+}
+
+/// A plan that always fails exhausts `max_task_attempts`: the pipeline
+/// returns a classified error (no hang, no panic escape) and the DFS holds
+/// no partial joined output.
+#[test]
+fn chaos_pipeline_exhausting_attempts_fails_clean() {
+    quiet_injected_panics();
+    let plan = FaultPlan {
+        p_transient: 1.0,
+        ..FaultPlan::quiet(chaos_seed())
+    };
+    let config = ClusterConfig {
+        max_task_attempts: 2,
+        faults: Some(plan),
+        ..ClusterConfig::with_nodes(3)
+    };
+    let cluster = Cluster::new(config, 2048).unwrap();
+    let lines = datagen::to_lines(&datagen::dblp(40, 11));
+    cluster.dfs().write_text("/records", &lines).unwrap();
+    let err = self_join(&cluster, "/records", "/work", &JoinConfig::recommended()).unwrap_err();
+    assert!(
+        matches!(err, MrError::TaskFailed(_)),
+        "classified failure, got {err:?}"
+    );
+    assert!(err.is_transient(), "exhausted error keeps its class");
+    // Job-level abort wiped every stage directory the failed job owned;
+    // no stage leaves attempt files anywhere under the work prefix.
+    let leftovers: Vec<String> = cluster
+        .dfs()
+        .list("/work")
+        .into_iter()
+        .filter(|p| p.rsplit('/').next().is_some_and(|b| b.starts_with('_')))
+        .collect();
+    assert!(leftovers.is_empty(), "attempt files leaked: {leftovers:?}");
+}

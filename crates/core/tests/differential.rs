@@ -21,8 +21,35 @@ use setsim::oracle;
 /// Seeded corpora per configuration cell (acceptance floor: ≥ 3 each).
 const SEEDS: [u64; 3] = [11, 223, 3407];
 
+/// Cluster shape a matrix cell runs on. The default is the 3-node cluster
+/// the original harness used; the stressed variants cover the degenerate
+/// 1-node topology (every task serialized onto one machine) and a tight
+/// per-task memory budget that exercises the accounting on every charge
+/// site without tipping the seeded corpora into OOM.
+#[derive(Clone, Copy, Debug)]
+struct ClusterSpec {
+    nodes: usize,
+    task_memory: Option<u64>,
+}
+
+const DEFAULT_SPEC: ClusterSpec = ClusterSpec {
+    nodes: 3,
+    task_memory: None,
+};
+
+fn cluster_on(spec: ClusterSpec) -> Cluster {
+    let config = ClusterConfig {
+        task_memory: spec.task_memory,
+        ..ClusterConfig::with_nodes(spec.nodes)
+    };
+    Cluster::new(config, 2048).unwrap()
+}
+
 fn cluster(nodes: usize) -> Cluster {
-    Cluster::new(ClusterConfig::with_nodes(nodes), 2048).unwrap()
+    cluster_on(ClusterSpec {
+        nodes,
+        task_memory: None,
+    })
 }
 
 fn kernels() -> [Stage2Algo; 4] {
@@ -52,7 +79,15 @@ fn measures() -> [Threshold; 3] {
 /// Run the full 3-stage self-join pipeline, returning `(rid1, rid2, sim)`
 /// rows from the final joined output.
 fn pipeline_self(lines: &[String], config: &JoinConfig) -> Result<Vec<oracle::ResultRow>, String> {
-    let c = cluster(3);
+    pipeline_self_on(DEFAULT_SPEC, lines, config)
+}
+
+fn pipeline_self_on(
+    spec: ClusterSpec,
+    lines: &[String],
+    config: &JoinConfig,
+) -> Result<Vec<oracle::ResultRow>, String> {
+    let c = cluster_on(spec);
     c.dfs()
         .write_text("/records", lines)
         .map_err(|e| e.to_string())?;
@@ -65,12 +100,13 @@ fn pipeline_self(lines: &[String], config: &JoinConfig) -> Result<Vec<oracle::Re
 }
 
 /// Run the full 3-stage R-S pipeline.
-fn pipeline_rs(
+fn pipeline_rs_on(
+    spec: ClusterSpec,
     r_lines: &[String],
     s_lines: &[String],
     config: &JoinConfig,
 ) -> Result<Vec<oracle::ResultRow>, String> {
-    let c = cluster(3);
+    let c = cluster_on(spec);
     c.dfs()
         .write_text("/r", r_lines)
         .map_err(|e| e.to_string())?;
@@ -117,20 +153,25 @@ fn oracle_rs(
 /// Assert pipeline == oracle for a self-join; on divergence, shrink the
 /// corpus to a minimal counterexample and panic with the full diff.
 fn check_self(lines: &[String], config: &JoinConfig, label: &str) {
+    check_self_on(DEFAULT_SPEC, lines, config, label)
+}
+
+fn check_self_on(spec: ClusterSpec, lines: &[String], config: &JoinConfig, label: &str) {
     let expected = oracle_self(lines, config);
-    let actual = pipeline_self(lines, config).unwrap_or_else(|e| panic!("{label}: pipeline: {e}"));
+    let actual =
+        pipeline_self_on(spec, lines, config).unwrap_or_else(|e| panic!("{label}: pipeline: {e}"));
     let d = oracle::diff(&expected, &actual);
     if d.is_empty() {
         return;
     }
     let minimal = oracle::shrink(lines, |subset| {
         let sub: Vec<String> = subset.to_vec();
-        match pipeline_self(&sub, config) {
+        match pipeline_self_on(spec, &sub, config) {
             Ok(rows) => !oracle::diff(&oracle_self(&sub, config), &rows).is_empty(),
             Err(_) => true, // an erroring subset still reproduces a defect
         }
     });
-    let min_diff = match pipeline_self(&minimal, config) {
+    let min_diff = match pipeline_self_on(spec, &minimal, config) {
         Ok(rows) => oracle::diff(&oracle_self(&minimal, config), &rows).to_string(),
         Err(e) => format!("pipeline error: {e}"),
     };
@@ -145,9 +186,19 @@ fn check_self(lines: &[String], config: &JoinConfig, label: &str) {
 /// R-S counterpart of [`check_self`]; shrinks over the R ∪ S record list,
 /// partitioning each candidate subset back into its relations.
 fn check_rs(r_lines: &[String], s_lines: &[String], config: &JoinConfig, label: &str) {
+    check_rs_on(DEFAULT_SPEC, r_lines, s_lines, config, label)
+}
+
+fn check_rs_on(
+    spec: ClusterSpec,
+    r_lines: &[String],
+    s_lines: &[String],
+    config: &JoinConfig,
+    label: &str,
+) {
     let expected = oracle_rs(r_lines, s_lines, config);
-    let actual =
-        pipeline_rs(r_lines, s_lines, config).unwrap_or_else(|e| panic!("{label}: pipeline: {e}"));
+    let actual = pipeline_rs_on(spec, r_lines, s_lines, config)
+        .unwrap_or_else(|e| panic!("{label}: pipeline: {e}"));
     let d = oracle::diff(&expected, &actual);
     if d.is_empty() {
         return;
@@ -173,13 +224,13 @@ fn check_rs(r_lines: &[String], s_lines: &[String], config: &JoinConfig, label: 
     };
     let minimal = oracle::shrink(&tagged, |subset| {
         let (r, s) = split(subset);
-        match pipeline_rs(&r, &s, config) {
+        match pipeline_rs_on(spec, &r, &s, config) {
             Ok(rows) => !oracle::diff(&oracle_rs(&r, &s, config), &rows).is_empty(),
             Err(_) => true,
         }
     });
     let (min_r, min_s) = split(&minimal);
-    let min_diff = match pipeline_rs(&min_r, &min_s, config) {
+    let min_diff = match pipeline_rs_on(spec, &min_r, &min_s, config) {
         Ok(rows) => oracle::diff(&oracle_rs(&min_r, &min_s, config), &rows).to_string(),
         Err(e) => format!("pipeline error: {e}"),
     };
@@ -291,6 +342,40 @@ fn differential_oprj_matches_oracle() {
                 &config,
                 &format!("{} oprj rs seed={seed}", config.combo_name()),
             );
+        }
+    }
+}
+
+/// Every kernel must stay exact on stressed cluster shapes: a 1-node
+/// cluster (no parallelism, every task on the same machine — a historical
+/// harness gap) and a tight per-task memory budget that makes every
+/// `MemoryGauge` charge site count without pushing the seeded corpora
+/// into OOM. One routing × one measure × one seed per cell keeps the
+/// runtime proportionate; the full matrix above covers the algorithmic
+/// combinations on the default cluster.
+#[test]
+fn differential_holds_on_one_node_and_tight_memory_clusters() {
+    let specs = [
+        ClusterSpec {
+            nodes: 1,
+            task_memory: None,
+        },
+        ClusterSpec {
+            nodes: 3,
+            task_memory: Some(64 * 1024),
+        },
+    ];
+    for spec in specs {
+        for stage2 in kernels() {
+            let config = JoinConfig {
+                stage2,
+                ..JoinConfig::recommended()
+            };
+            let label = format!("{} on {spec:?}", config.combo_name());
+            let lines = datagen::to_lines(&datagen::dblp(80, SEEDS[0]));
+            check_self_on(spec, &lines, &config, &format!("{label} self"));
+            let (r, s) = rs_corpora(SEEDS[0]);
+            check_rs_on(spec, &r, &s, &config, &format!("{label} rs"));
         }
     }
 }

@@ -18,6 +18,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::faults::FaultPlan;
+
 /// Simple network model for the shuffle phase.
 ///
 /// Each reduce task pulls its partition from every map output; the reducer's
@@ -77,6 +79,18 @@ pub struct ClusterConfig {
     /// `io.sort.factor`); partitions with more runs get intermediate merge
     /// passes first.
     pub merge_factor: usize,
+    /// Base simulated backoff before re-executing a failed attempt; doubles
+    /// each retry up to [`ClusterConfig::retry_backoff_cap_secs`]. Charged
+    /// to simulated time only — real execution retries immediately.
+    pub retry_backoff_secs: f64,
+    /// Upper bound on a single retry's backoff.
+    pub retry_backoff_cap_secs: f64,
+    /// Speculatively re-execute straggler attempts in the makespan model
+    /// (Hadoop's speculative execution). Only changes anything when a task
+    /// runs slower than its expected duration (i.e. under fault injection).
+    pub speculation: bool,
+    /// Optional deterministic fault-injection plan (see [`crate::faults`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -91,6 +105,10 @@ impl Default for ClusterConfig {
             execution_threads: None,
             max_task_attempts: 1,
             merge_factor: 64,
+            retry_backoff_secs: 1.0,
+            retry_backoff_cap_secs: 60.0,
+            speculation: true,
+            faults: None,
         }
     }
 }
@@ -143,18 +161,43 @@ impl ClusterConfig {
         if self.merge_factor < 2 {
             return Err("merge_factor must be at least 2".into());
         }
+        if !self.retry_backoff_secs.is_finite() || self.retry_backoff_secs < 0.0 {
+            return Err(format!(
+                "retry_backoff_secs {} must be finite and >= 0",
+                self.retry_backoff_secs
+            ));
+        }
+        if !self.retry_backoff_cap_secs.is_finite() || self.retry_backoff_cap_secs < 0.0 {
+            return Err(format!(
+                "retry_backoff_cap_secs {} must be finite and >= 0",
+                self.retry_backoff_cap_secs
+            ));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(self.nodes)?;
+        }
         Ok(())
     }
 }
 
-/// Total-order wrapper for scheduling over `f64` durations (all finite).
-#[derive(PartialEq, PartialOrd)]
+/// Total-order wrapper for scheduling over `f64` durations. Uses
+/// `f64::total_cmp` so a NaN (which validation upstream should have
+/// rejected) orders deterministically instead of panicking the scheduler.
 struct Finite(f64);
+impl PartialEq for Finite {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
 impl Eq for Finite {}
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for Finite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 impl Ord for Finite {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("finite durations")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -172,7 +215,7 @@ pub struct MapTaskSpec {
 }
 
 /// Result of a locality-aware schedule.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScheduleOutcome {
     /// Phase makespan in seconds.
     pub makespan: f64,
@@ -180,6 +223,9 @@ pub struct ScheduleOutcome {
     pub local_tasks: u64,
     /// Tasks that had to read their input across the network.
     pub remote_tasks: u64,
+    /// Per-task slot occupancy (duration + any remote-read penalty), in
+    /// submission order — the inputs to speculative re-scheduling.
+    pub task_costs: Vec<f64>,
 }
 
 /// Locality-aware greedy scheduling of map tasks: each task, in submission
@@ -215,6 +261,7 @@ pub fn schedule_map_tasks(
             }
         }
         let (finish, slot, local) = best.expect("at least one slot");
+        out.task_costs.push(finish - slots[slot].0);
         slots[slot].0 = finish;
         out.makespan = out.makespan.max(finish);
         if local {
@@ -245,6 +292,75 @@ pub fn list_schedule_makespan(durations: &[f64], slots: usize) -> f64 {
         heap.push(Reverse(Finite(finish)));
     }
     makespan
+}
+
+/// One task's inputs to speculative scheduling: the duration the attempt
+/// actually took (possibly inflated by an injected slow-down) and the
+/// duration a healthy attempt was expected to take.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecTask {
+    /// Slot seconds the primary attempt occupies.
+    pub duration: f64,
+    /// Expected (fault-free) slot seconds; a speculative copy runs at this
+    /// speed.
+    pub expected: f64,
+}
+
+/// Result of a speculative list schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpecOutcome {
+    /// Phase makespan in seconds.
+    pub makespan: f64,
+    /// Speculative attempts launched.
+    pub launched: u64,
+    /// Speculative attempts that finished before their primary.
+    pub won: u64,
+    /// Attempts killed because the other copy committed first (Hadoop kills
+    /// the loser, so this equals `launched` — each race has one loser).
+    pub killed: u64,
+}
+
+/// Greedy list scheduling with Hadoop-style speculative execution: when a
+/// task's primary attempt runs past its expected duration (a straggler), a
+/// backup attempt is launched on the next free slot; whichever copy finishes
+/// first commits and the other is killed. With no stragglers this reduces to
+/// [`list_schedule_makespan`] exactly.
+pub fn list_schedule_speculative(tasks: &[SpecTask], slots: usize) -> SpecOutcome {
+    assert!(slots > 0, "need at least one slot");
+    let mut heap: BinaryHeap<Reverse<Finite>> = (0..slots.min(tasks.len().max(1) * 2))
+        .map(|_| Reverse(Finite(0.0)))
+        .collect();
+    let mut out = SpecOutcome::default();
+    for t in tasks {
+        debug_assert!(t.duration.is_finite() && t.duration >= 0.0);
+        debug_assert!(t.expected.is_finite() && t.expected >= 0.0);
+        let Reverse(Finite(start)) = heap.pop().expect("non-empty heap");
+        let primary_finish = start + t.duration;
+        let is_straggler = t.duration > t.expected;
+        if !is_straggler || heap.is_empty() {
+            // Healthy task, or no second slot exists to speculate on.
+            out.makespan = out.makespan.max(primary_finish);
+            heap.push(Reverse(Finite(primary_finish)));
+            continue;
+        }
+        // The JobTracker notices the attempt overrunning once its expected
+        // duration has elapsed, then starts a copy on the next free slot.
+        let Reverse(Finite(backup_free)) = heap.pop().expect("second slot");
+        let backup_start = backup_free.max(start + t.expected);
+        let backup_finish = backup_start + t.expected;
+        let winner_finish = primary_finish.min(backup_finish);
+        out.launched += 1;
+        out.killed += 1;
+        if backup_finish < primary_finish {
+            out.won += 1;
+        }
+        // The loser is killed the moment the winner commits, freeing both
+        // slots at the winner's finish time.
+        out.makespan = out.makespan.max(winner_finish);
+        heap.push(Reverse(Finite(winner_finish)));
+        heap.push(Reverse(Finite(winner_finish)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -376,6 +492,140 @@ mod tests {
         }];
         let out = schedule_map_tasks(&tasks, 4, 2, &net);
         assert_eq!(out.local_tasks, 1);
+    }
+
+    #[test]
+    fn finite_totally_orders_nan() {
+        // total_cmp puts NaN after infinities instead of panicking; the
+        // scheduler must survive a NaN smuggled past upstream validation.
+        let mut v = [Finite(1.0), Finite(f64::NAN), Finite(0.5)];
+        v.sort();
+        assert_eq!(v[0].0, 0.5);
+        assert_eq!(v[1].0, 1.0);
+        assert!(v[2].0.is_nan());
+        assert!(Finite(f64::NAN) == Finite(f64::NAN));
+    }
+
+    #[test]
+    fn validation_rejects_bad_backoff_and_fault_plans() {
+        let mut c = ClusterConfig::with_nodes(2);
+        c.retry_backoff_secs = f64::NAN;
+        assert!(c.validate().is_err());
+        c.retry_backoff_secs = -1.0;
+        assert!(c.validate().is_err());
+        c.retry_backoff_secs = 1.0;
+        c.retry_backoff_cap_secs = f64::INFINITY;
+        assert!(c.validate().is_err());
+        c.retry_backoff_cap_secs = 60.0;
+        c.validate().unwrap();
+        let mut plan = FaultPlan::quiet(0);
+        plan.dead_node = Some(5);
+        c.faults = Some(plan);
+        assert!(c.validate().is_err(), "dead node must exist");
+    }
+
+    #[test]
+    fn speculative_schedule_matches_plain_without_stragglers() {
+        let durations = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let tasks: Vec<SpecTask> = durations
+            .iter()
+            .map(|&d| SpecTask {
+                duration: d,
+                expected: d,
+            })
+            .collect();
+        for slots in [1, 2, 4, 16] {
+            let spec = list_schedule_speculative(&tasks, slots);
+            let plain = list_schedule_makespan(&durations, slots);
+            assert!(
+                (spec.makespan - plain).abs() < 1e-12,
+                "slots={slots}: {} vs {plain}",
+                spec.makespan
+            );
+            assert_eq!(spec.launched, 0);
+            assert_eq!(spec.won, 0);
+            assert_eq!(spec.killed, 0);
+        }
+    }
+
+    #[test]
+    fn speculative_copy_beats_straggler() {
+        // One 100s straggler (expected 1s) plus three healthy 1s tasks on
+        // 4 slots: the copy launches at t=1 and finishes at t=2, far ahead
+        // of the primary's t=100.
+        let mut tasks = vec![SpecTask {
+            duration: 100.0,
+            expected: 1.0,
+        }];
+        tasks.extend((0..3).map(|_| SpecTask {
+            duration: 1.0,
+            expected: 1.0,
+        }));
+        let out = list_schedule_speculative(&tasks, 4);
+        assert_eq!(out.launched, 1);
+        assert_eq!(out.won, 1);
+        assert_eq!(out.killed, 1);
+        assert!(
+            (out.makespan - 2.0).abs() < 1e-12,
+            "copy wins at t=2: {out:?}"
+        );
+    }
+
+    #[test]
+    fn speculation_needs_a_second_slot() {
+        let tasks = [SpecTask {
+            duration: 10.0,
+            expected: 1.0,
+        }];
+        let out = list_schedule_speculative(&tasks, 1);
+        assert_eq!(out.launched, 0, "single slot cannot speculate");
+        assert!((out.makespan - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losing_copy_is_killed_not_committed() {
+        // Straggler only slightly over expectation: primary finishes first
+        // (copy starts at t=expected, needs another `expected`), so the
+        // copy loses and is killed.
+        let tasks = [
+            SpecTask {
+                duration: 1.2,
+                expected: 1.0,
+            },
+            SpecTask {
+                duration: 1.0,
+                expected: 1.0,
+            },
+        ];
+        let out = list_schedule_speculative(&tasks, 4);
+        assert_eq!(out.launched, 1);
+        assert_eq!(out.won, 0, "primary finished first");
+        assert_eq!(out.killed, 1);
+        assert!((out.makespan - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_records_task_costs() {
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 100.0,
+            task_overhead_secs: 0.0,
+        };
+        let tasks = [
+            MapTaskSpec {
+                duration: 1.0,
+                node_hint: Some(0),
+                input_bytes: 100,
+            },
+            MapTaskSpec {
+                duration: 2.0,
+                node_hint: None,
+                input_bytes: 0,
+            },
+        ];
+        let out = schedule_map_tasks(&tasks, 2, 1, &net);
+        assert_eq!(out.task_costs.len(), 2);
+        assert!((out.task_costs[0] - 1.0).abs() < 1e-12, "local, no penalty");
+        assert!((out.task_costs[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -124,6 +124,21 @@ impl Dfs {
         self.inner.read().files.contains_key(path)
     }
 
+    /// Atomically rename `from` to `to`, replacing any existing `to`. This
+    /// is the commit step of the engine's output-commit protocol (Hadoop's
+    /// `OutputCommitter` renaming an attempt path into place): both the
+    /// removal of `from` and the appearance of `to` happen under one write
+    /// lock, so no reader ever observes a half-committed output.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let file = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| MrError::FileNotFound(from.to_string()))?;
+        inner.files.insert(to.to_string(), file);
+        Ok(())
+    }
+
     /// Delete one file. Missing files are an error.
     pub fn delete(&self, path: &str) -> Result<()> {
         let mut inner = self.inner.write();
@@ -325,12 +340,18 @@ impl Dfs {
     }
 
     /// Resolve a path to itself (if a file) or the sorted list of files under
-    /// it (if a directory).
+    /// it (if a directory). Directory resolution skips hidden files —
+    /// basenames starting with `_` or `.` — matching Hadoop's input-path
+    /// filter, so uncommitted `_attempt-*` outputs are never read as data.
     fn resolve(&self, path: &str) -> Result<Vec<String>> {
         if self.exists(path) {
             return Ok(vec![path.to_string()]);
         }
-        let listed = self.list(path);
+        let listed: Vec<String> = self
+            .list(path)
+            .into_iter()
+            .filter(|p| !is_hidden(p))
+            .collect();
         if listed.is_empty() {
             return Err(MrError::FileNotFound(path.to_string()));
         }
@@ -355,6 +376,14 @@ impl Dfs {
         }
         self.insert(path, DfsFile { kind, blocks, len }, false)
     }
+}
+
+/// True for paths whose basename marks them hidden (`_attempt-*`, `_logs`,
+/// dotfiles) — excluded from directory reads and splits.
+fn is_hidden(path: &str) -> bool {
+    path.rsplit('/')
+        .next()
+        .is_some_and(|base| base.starts_with('_') || base.starts_with('.'))
 }
 
 fn dir_prefix(prefix: &str) -> String {
@@ -543,6 +572,50 @@ mod tests {
         assert_eq!(dfs.list("/out").len(), 2);
         assert_eq!(dfs.delete_prefix("/out"), 2);
         assert!(dfs.read_text("/out").is_err());
+    }
+
+    #[test]
+    fn rename_is_atomic_replace() {
+        let dfs = Dfs::new(2, 1024);
+        dfs.write_text("/out/_attempt-00000-1", ["new"]).unwrap();
+        dfs.write_text("/out/part-00000", ["stale"]).unwrap();
+        dfs.rename("/out/_attempt-00000-1", "/out/part-00000")
+            .unwrap();
+        assert_eq!(dfs.read_text("/out/part-00000").unwrap(), vec!["new"]);
+        assert!(!dfs.exists("/out/_attempt-00000-1"));
+        assert!(matches!(
+            dfs.rename("/missing", "/x"),
+            Err(MrError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn hidden_files_are_invisible_to_directory_reads() {
+        let dfs = Dfs::new(2, 1024);
+        dfs.write_text("/out/part-00000", ["data"]).unwrap();
+        dfs.write_text("/out/_attempt-00001-0", ["partial"])
+            .unwrap();
+        dfs.write_text("/out/.meta", ["x"]).unwrap();
+        // Directory reads and splits skip hidden files...
+        assert_eq!(dfs.read_text("/out").unwrap(), vec!["data"]);
+        assert_eq!(dfs.splits("/out").unwrap().len(), 1);
+        // ...but explicit paths, list, and delete_prefix still see them.
+        assert_eq!(
+            dfs.read_text("/out/_attempt-00001-0").unwrap(),
+            vec!["partial"]
+        );
+        assert_eq!(dfs.list("/out").len(), 3);
+        assert_eq!(dfs.delete_prefix("/out"), 3);
+    }
+
+    #[test]
+    fn directory_of_only_hidden_files_reads_as_missing() {
+        let dfs = Dfs::new(1, 1024);
+        dfs.write_text("/out/_attempt-00000-0", ["x"]).unwrap();
+        assert!(matches!(
+            dfs.read_text("/out"),
+            Err(MrError::FileNotFound(_))
+        ));
     }
 
     #[test]

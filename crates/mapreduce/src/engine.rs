@@ -1,15 +1,20 @@
 //! The job executor: map phase, spill/combine, shuffle, merge, reduce phase,
 //! and the cluster time model.
 
+use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::cache::Cache;
-use crate::cluster::{list_schedule_makespan, schedule_map_tasks, ClusterConfig, MapTaskSpec};
+use crate::cluster::{
+    list_schedule_makespan, list_schedule_speculative, schedule_map_tasks, ClusterConfig,
+    MapTaskSpec, SpecOutcome, SpecTask,
+};
 use crate::counters::Counters;
 use crate::dfs::{Dfs, SeqWriter, TextWriter};
 use crate::error::{MrError, Result};
+use crate::faults::{Fault, FaultPlan};
 use crate::input::SplitSource;
 use crate::job::{Job, Output, TextFormat};
 use crate::kv::{Key, Value};
@@ -104,10 +109,11 @@ impl Cluster {
             num_reducers,
             job_name: &job.name,
         };
-        let (mut map_outs, map_retries): (Vec<MapTaskOut>, u64) = run_tasks(
+        let policy = RetryPolicy::from_config(&self.config);
+        let (mut map_outs, map_stats): (Vec<MapTaskOut>, RetryStats) = run_tasks(
             map_items,
             self.config.physical_threads(),
-            self.config.max_task_attempts,
+            policy,
             |item, attempt| run_map_task(item, attempt, &shared),
         )?;
         map_outs.sort_by_key(|o| o.task_id);
@@ -145,12 +151,35 @@ impl Cluster {
             output: &job.output,
             job_name: &job.name,
         };
-        let (mut reduce_outs, reduce_retries): (Vec<ReduceTaskOut>, u64) = run_tasks(
+        let reduce_result: Result<(Vec<ReduceTaskOut>, RetryStats)> = run_tasks(
             reduce_items,
             self.config.physical_threads(),
-            self.config.max_task_attempts,
+            policy,
             |item, attempt| run_reduce_task(item, attempt, &rshared),
-        )?;
+        );
+        // Job-level commit/abort (Hadoop's OutputCommitter.commitJob /
+        // abortJob): on success sweep any leftover attempt files; on failure
+        // remove the whole output directory so a failed job never leaves
+        // partial output behind.
+        if let Some(dir) = job.output.dir() {
+            match &reduce_result {
+                Ok(_) => {
+                    for path in self.dfs.list(dir) {
+                        if path
+                            .rsplit('/')
+                            .next()
+                            .is_some_and(|base| base.starts_with("_attempt-"))
+                        {
+                            let _ = self.dfs.delete(&path);
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.dfs.delete_prefix(dir);
+                }
+            }
+        }
+        let (mut reduce_outs, reduce_stats) = reduce_result?;
         reduce_outs.sort_by_key(|o| o.task_id);
 
         // ---- metrics --------------------------------------------------------
@@ -169,12 +198,49 @@ impl Cluster {
             self.config.map_slots_per_node,
             &self.config.network,
         );
-        let map_makespan = map_schedule.makespan;
+        // Speculative execution: when any attempt ran slower than its
+        // healthy expectation (duration > base_duration, i.e. an injected
+        // straggler), re-schedule the phase with backup attempts racing the
+        // stragglers. Without stragglers this is bit-identical to the plain
+        // schedule, so the fault-free time model is unchanged.
+        let map_straggles = map_outs.iter().any(|o| o.duration > o.base_duration);
+        let (map_makespan, map_spec) = if self.config.speculation && map_straggles {
+            let tasks: Vec<SpecTask> = map_schedule
+                .task_costs
+                .iter()
+                .zip(&map_outs)
+                .map(|(&cost, o)| SpecTask {
+                    duration: cost,
+                    expected: (cost - (o.duration - o.base_duration)).max(0.0),
+                })
+                .collect();
+            let s = list_schedule_speculative(&tasks, self.config.map_slots());
+            (s.makespan, s)
+        } else {
+            (map_schedule.makespan, SpecOutcome::default())
+        };
         let reduce_sim: Vec<f64> = reduce_outs
             .iter()
             .map(|o| self.config.network.transfer_secs(o.input_bytes) + o.duration + overhead)
             .collect();
-        let reduce_makespan = list_schedule_makespan(&reduce_sim, self.config.reduce_slots());
+        let reduce_straggles = reduce_outs.iter().any(|o| o.duration > o.base_duration);
+        let (reduce_makespan, reduce_spec) = if self.config.speculation && reduce_straggles {
+            let tasks: Vec<SpecTask> = reduce_sim
+                .iter()
+                .zip(&reduce_outs)
+                .map(|(&sim, o)| SpecTask {
+                    duration: sim,
+                    expected: (sim - (o.duration - o.base_duration)).max(0.0),
+                })
+                .collect();
+            let s = list_schedule_speculative(&tasks, self.config.reduce_slots());
+            (s.makespan, s)
+        } else {
+            (
+                list_schedule_makespan(&reduce_sim, self.config.reduce_slots()),
+                SpecOutcome::default(),
+            )
+        };
 
         let metrics = JobMetrics {
             name: job.name,
@@ -192,7 +258,13 @@ impl Cluster {
             },
             map_local_tasks: map_schedule.local_tasks,
             map_remote_tasks: map_schedule.remote_tasks,
-            task_retries: map_retries + reduce_retries,
+            task_retries: map_stats.retries + reduce_stats.retries,
+            backoff_secs: map_stats.backoff_secs + reduce_stats.backoff_secs,
+            speculative_launched: map_spec.launched + reduce_spec.launched,
+            speculative_won: map_spec.won + reduce_spec.won,
+            speculative_killed: map_spec.killed + reduce_spec.killed,
+            output_commits: counters.value("mr.output.commits"),
+            output_aborts: counters.value("mr.output.aborts"),
             merge_passes: reduce_outs.iter().map(|o| o.merge_passes).sum(),
             map_input_records: map_outs.iter().map(|o| o.input_records).sum(),
             map_output_records: map_outs.iter().map(|o| o.output_records).sum(),
@@ -218,55 +290,126 @@ impl Cluster {
 
 // ---- generic task pool ----------------------------------------------------
 
-/// Run one task with retries (Hadoop's task attempts): failed attempts are
-/// re-executed up to `max_attempts` times; the last error is propagated.
-/// Returns the output and the number of retries consumed.
-fn run_with_retries<I, O>(
-    item: &I,
+/// Retry behaviour shared by every task of a job: the attempt cap and the
+/// simulated exponential backoff between attempts.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
     max_attempts: usize,
-    f: &(impl Fn(&I, usize) -> Result<O> + Sync),
-) -> Result<(O, u64)> {
-    let mut last_err = None;
-    for attempt in 0..max_attempts.max(1) {
-        match f(item, attempt) {
-            Ok(out) => return Ok((out, attempt as u64)),
-            Err(e) => last_err = Some(e),
+    backoff_secs: f64,
+    backoff_cap_secs: f64,
+}
+
+impl RetryPolicy {
+    fn from_config(config: &ClusterConfig) -> Self {
+        RetryPolicy {
+            max_attempts: config.max_task_attempts,
+            backoff_secs: config.retry_backoff_secs,
+            backoff_cap_secs: config.retry_backoff_cap_secs,
         }
     }
-    Err(last_err.expect("at least one attempt"))
+
+    /// Simulated seconds to wait after `failed_attempt` (0-based) fails:
+    /// capped exponential, `min(cap, base * 2^attempt)`.
+    fn backoff_after(&self, failed_attempt: usize) -> f64 {
+        if self.backoff_secs <= 0.0 {
+            return 0.0;
+        }
+        let factor = 2f64.powi(failed_attempt.min(62) as i32);
+        (self.backoff_secs * factor).min(self.backoff_cap_secs)
+    }
+}
+
+/// Accumulated retry accounting for one phase.
+#[derive(Debug, Default, Clone, Copy)]
+struct RetryStats {
+    retries: u64,
+    backoff_secs: f64,
+}
+
+/// Task outputs that can absorb simulated time penalties (retry backoff).
+trait SimCharge {
+    /// Add `secs` of simulated delay to this task's completion time.
+    fn charge_sim(&mut self, secs: f64);
+}
+
+/// Render a caught panic payload as a message (`&str` and `String`
+/// payloads are preserved, anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run one task with retries (Hadoop's task attempts). Each attempt runs
+/// under `catch_unwind`, so a panicking user function becomes a
+/// [`MrError::TaskPanicked`] attempt failure rather than aborting the
+/// process. Failed attempts are re-executed only when the error is
+/// transient ([`MrError::is_transient`]); permanent errors fail
+/// immediately. Every retry charges capped exponential backoff to the
+/// winning attempt's *simulated* time.
+fn run_with_retries<I, O: SimCharge>(
+    item: &I,
+    policy: &RetryPolicy,
+    f: &(impl Fn(&I, usize) -> Result<O> + Sync),
+) -> Result<(O, RetryStats)> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut stats = RetryStats::default();
+    for attempt in 0..max_attempts {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(item, attempt)))
+            .unwrap_or_else(|payload| Err(MrError::TaskPanicked(panic_message(payload.as_ref()))));
+        match result {
+            Ok(mut out) => {
+                out.charge_sim(stats.backoff_secs);
+                stats.retries = attempt as u64;
+                return Ok((out, stats));
+            }
+            Err(e) => {
+                if !e.is_transient() || attempt + 1 == max_attempts {
+                    return Err(e);
+                }
+                stats.backoff_secs += policy.backoff_after(attempt);
+            }
+        }
+    }
+    unreachable!("retry loop always returns")
 }
 
 /// Run `items` through `f` on up to `threads` worker threads with per-task
 /// retries, failing fast on the first exhausted task. Returns the outputs
-/// and the total number of retries.
+/// and the accumulated retry statistics.
 fn run_tasks<I, O, F>(
     items: Vec<I>,
     threads: usize,
-    max_attempts: usize,
+    policy: RetryPolicy,
     f: F,
-) -> Result<(Vec<O>, u64)>
+) -> Result<(Vec<O>, RetryStats)>
 where
     I: Send,
-    O: Send,
+    O: Send + SimCharge,
     F: Fn(&I, usize) -> Result<O> + Sync,
 {
     if items.is_empty() {
-        return Ok((Vec::new(), 0));
+        return Ok((Vec::new(), RetryStats::default()));
     }
     let workers = threads.clamp(1, items.len());
     if workers == 1 {
         let mut outs = Vec::with_capacity(items.len());
-        let mut retries = 0u64;
+        let mut stats = RetryStats::default();
         for item in &items {
-            let (out, r) = run_with_retries(item, max_attempts, &f)?;
+            let (out, s) = run_with_retries(item, &policy, &f)?;
             outs.push(out);
-            retries += r;
+            stats.retries += s.retries;
+            stats.backoff_secs += s.backoff_secs;
         }
-        return Ok((outs, retries));
+        return Ok((outs, stats));
     }
     let queue: Mutex<Vec<I>> = Mutex::new(items.into_iter().rev().collect());
     let results: Mutex<Vec<O>> = Mutex::new(Vec::new());
-    let retries = std::sync::atomic::AtomicU64::new(0);
+    let stats: Mutex<RetryStats> = Mutex::new(RetryStats::default());
     let error: Mutex<Option<MrError>> = Mutex::new(None);
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
@@ -276,9 +419,11 @@ where
                 }
                 let item = queue.lock().pop();
                 let Some(item) = item else { return };
-                match run_with_retries(&item, max_attempts, &f) {
-                    Ok((out, r)) => {
-                        retries.fetch_add(r, std::sync::atomic::Ordering::Relaxed);
+                match run_with_retries(&item, &policy, &f) {
+                    Ok((out, s)) => {
+                        let mut stats = stats.lock();
+                        stats.retries += s.retries;
+                        stats.backoff_secs += s.backoff_secs;
                         results.lock().push(out);
                     }
                     Err(e) => {
@@ -293,10 +438,43 @@ where
     if let Some(e) = error.into_inner() {
         return Err(e);
     }
-    Ok((
-        results.into_inner(),
-        retries.load(std::sync::atomic::Ordering::Relaxed),
-    ))
+    Ok((results.into_inner(), stats.into_inner()))
+}
+
+/// The fault-injection hook shared by map and reduce attempts: checks the
+/// dead node, then draws this attempt's fault. `Transient`, `Panic`, and
+/// `Oom` fire immediately; `Straggle` and `LateFail` are returned for the
+/// task body to apply.
+fn inject_start_faults(
+    faults: Option<&FaultPlan>,
+    job: &str,
+    phase: Phase,
+    task_id: usize,
+    attempt: usize,
+    node: usize,
+    label: &str,
+) -> Result<Option<Fault>> {
+    let Some(plan) = faults else { return Ok(None) };
+    if plan.node_is_dead(node) {
+        return Err(MrError::NodeLost {
+            node,
+            task: label.to_string(),
+        });
+    }
+    let fault = plan.decide(job, phase, task_id, attempt);
+    match fault {
+        Some(Fault::Transient) => Err(MrError::TaskFailed(format!(
+            "injected transient fault ({label} attempt {attempt})"
+        ))),
+        Some(Fault::Panic) => panic!("injected user-code panic ({label} attempt {attempt})"),
+        Some(Fault::Oom) => Err(MrError::OutOfMemory {
+            task: label.to_string(),
+            requested: 0,
+            budget: 0,
+            transient: true,
+        }),
+        other => Ok(other),
+    }
 }
 
 // ---- map side ---------------------------------------------------------------
@@ -321,7 +499,11 @@ struct MapShared<'a, M: Mapper> {
 
 struct MapTaskOut {
     task_id: usize,
+    /// Simulated task seconds: measured execution, inflated by injected
+    /// slow-downs and charged retry backoff.
     duration: f64,
+    /// What a healthy attempt would have taken (speculation baseline).
+    base_duration: f64,
     node_hint: Option<usize>,
     input_bytes: u64,
     input_records: u64,
@@ -331,6 +513,15 @@ struct MapTaskOut {
     combine_out: u64,
     /// Spill runs per partition.
     runs: Vec<Vec<Run>>,
+}
+
+impl SimCharge for MapTaskOut {
+    fn charge_sim(&mut self, secs: f64) {
+        // Backoff delays both the actual and the expected completion time,
+        // so it never triggers speculation by itself.
+        self.duration += secs;
+        self.base_duration += secs;
+    }
 }
 
 /// Map-side output collector with spill-and-combine behaviour.
@@ -420,15 +611,27 @@ fn run_map_task<M: Mapper>(
     let start = Instant::now();
     let node_hint = split.node_hint;
     let input_bytes = split.size_hint;
-    let node = node_hint.unwrap_or(task_id % shared.cluster.config.nodes);
+    let nodes = shared.cluster.config.nodes;
+    // Retried attempts rotate to a different node — how a re-execution
+    // escapes a dead or unhealthy machine.
+    let node = (node_hint.unwrap_or(task_id % nodes) + attempt) % nodes;
     let label = format!("{}/map-{task_id}", shared.job_name);
+    let fault = inject_start_faults(
+        shared.cluster.config.faults.as_ref(),
+        shared.job_name,
+        Phase::Map,
+        task_id,
+        attempt,
+        node,
+        &label,
+    )?;
     let mut ctx = TaskContext::new(
         Phase::Map,
         task_id,
         node,
         shared.num_reducers,
         shared.counters.clone(),
-        shared.cluster.gauge(label),
+        shared.cluster.gauge(label.clone()),
         shared.cache.clone(),
         shared.dfs.clone(),
     );
@@ -450,9 +653,22 @@ fn run_map_task<M: Mapper>(
     }
     mapper.cleanup(&mut emitter, &ctx)?;
     emitter.spill();
+    if matches!(fault, Some(Fault::LateFail)) {
+        // The work finished but the node died before the map output could
+        // be served to reducers; the attempt counts as failed.
+        return Err(MrError::TaskFailed(format!(
+            "injected late fault: map output lost ({label} attempt {attempt})"
+        )));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let straggle = match fault {
+        Some(Fault::Straggle(factor)) => factor,
+        _ => 1.0,
+    };
     Ok(MapTaskOut {
         task_id,
-        duration: start.elapsed().as_secs_f64(),
+        duration: elapsed * straggle,
+        base_duration: elapsed,
         node_hint,
         input_bytes,
         input_records,
@@ -499,12 +715,23 @@ struct ReduceShared<'a, M: Mapper, R: Reducer> {
 
 struct ReduceTaskOut {
     task_id: usize,
+    /// Simulated task seconds (measured, plus straggle inflation and
+    /// retry backoff).
     duration: f64,
+    /// What a healthy attempt would have taken (speculation baseline).
+    base_duration: f64,
     input_bytes: u64,
     groups: u64,
     input_records: u64,
     output_records: u64,
     merge_passes: u64,
+}
+
+impl SimCharge for ReduceTaskOut {
+    fn charge_sim(&mut self, secs: f64) {
+        self.duration += secs;
+        self.base_duration += secs;
+    }
 }
 
 /// Reduce-side output collector writing to the DFS.
@@ -520,18 +747,21 @@ struct ReduceEmitter<K, V> {
 }
 
 impl<K: Value, V: Value> ReduceEmitter<K, V> {
-    fn open(dfs: &Dfs, output: &Output<K, V>, task_id: usize) -> Result<Self> {
-        // A failed earlier attempt of this same task may have left a part
-        // file behind; replace it (the path is namespaced by task id).
+    /// Open an *attempt-scoped* output: each attempt writes to its own
+    /// hidden `_attempt-<task>-<n>` path, never directly to the part file.
+    /// A stale file from a retried attempt that died post-close is
+    /// replaced.
+    fn open(dfs: &Dfs, output: &Output<K, V>, task_id: usize, attempt: usize) -> Result<Self> {
         if let Some(dir) = output.dir() {
-            let _ = dfs.delete(&part_path(dir, task_id));
+            let _ = dfs.delete(&attempt_path(dir, task_id, attempt));
         }
         let sink = match output {
             Output::None => Sink::Null,
-            Output::Seq(dir) => Sink::Seq(dfs.seq_writer(&part_path(dir, task_id))?),
-            Output::Text(dir, fmt) => {
-                Sink::Text(dfs.text_writer(&part_path(dir, task_id))?, fmt.clone())
-            }
+            Output::Seq(dir) => Sink::Seq(dfs.seq_writer(&attempt_path(dir, task_id, attempt))?),
+            Output::Text(dir, fmt) => Sink::Text(
+                dfs.text_writer(&attempt_path(dir, task_id, attempt))?,
+                fmt.clone(),
+            ),
         };
         Ok(ReduceEmitter { sink, records: 0 })
     }
@@ -548,6 +778,14 @@ impl<K: Value, V: Value> ReduceEmitter<K, V> {
 
 fn part_path(dir: &str, task_id: usize) -> String {
     format!("{}/part-{task_id:05}", dir.trim_end_matches('/'))
+}
+
+/// Hidden per-attempt output path; promoted to [`part_path`] on commit.
+fn attempt_path(dir: &str, task_id: usize, attempt: usize) -> String {
+    format!(
+        "{}/_attempt-{task_id:05}-{attempt}",
+        dir.trim_end_matches('/')
+    )
 }
 
 impl<K: Value, V: Value> Emit<K, V> for ReduceEmitter<K, V> {
@@ -572,18 +810,51 @@ where
     R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
 {
     let task_id = item.task_id;
+    let result = run_reduce_attempt(item, attempt, shared);
+    if result.is_err() {
+        // Task-level abort (Hadoop's OutputCommitter.abortTask): discard
+        // whatever this attempt wrote so it can never be read as output.
+        if let Some(dir) = shared.output.dir() {
+            let _ = shared.dfs.delete(&attempt_path(dir, task_id, attempt));
+            shared.counters.get("mr.output.aborts").incr();
+        }
+    }
+    result
+}
+
+fn run_reduce_attempt<M, R>(
+    item: &ReduceItem<M, R>,
+    attempt: usize,
+    shared: &ReduceShared<'_, M, R>,
+) -> Result<ReduceTaskOut>
+where
+    M: Mapper,
+    R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+{
+    let task_id = item.task_id;
     let runs = item.runs.clone();
     let mut reducer = item.reducer.clone();
     let start = Instant::now();
     let input_bytes: u64 = runs.iter().map(|r| r.len_bytes() as u64).sum();
+    let nodes = shared.cluster.config.nodes;
+    let node = (task_id + attempt) % nodes;
     let label = format!("{}/reduce-{task_id}", shared.job_name);
+    let fault = inject_start_faults(
+        shared.cluster.config.faults.as_ref(),
+        shared.job_name,
+        Phase::Reduce,
+        task_id,
+        attempt,
+        node,
+        &label,
+    )?;
     let mut ctx = TaskContext::new(
         Phase::Reduce,
         task_id,
-        task_id % shared.cluster.config.nodes,
+        node,
         shared.num_reducers,
         shared.counters.clone(),
-        shared.cluster.gauge(label),
+        shared.cluster.gauge(label.clone()),
         shared.cache.clone(),
         shared.dfs.clone(),
     );
@@ -596,7 +867,7 @@ where
         shared.cluster.config.merge_factor,
     )?;
     let mut stream = MergeStream::new(runs, shared.sort_cmp.clone())?;
-    let mut emitter = ReduceEmitter::open(shared.dfs, shared.output, task_id)?;
+    let mut emitter = ReduceEmitter::open(shared.dfs, shared.output, task_id, attempt)?;
     reducer.setup(&ctx)?;
     let mut groups = 0u64;
     while let Some(first_key) = stream.peek_key().cloned() {
@@ -608,13 +879,186 @@ where
     reducer.cleanup(&mut emitter, &ctx)?;
     let input_records = stream.records_read();
     let output_records = emitter.close()?;
+    if matches!(fault, Some(Fault::LateFail)) {
+        // The attempt wrote its full output but died before committing —
+        // the exact window the commit protocol exists for. The uncommitted
+        // `_attempt-*` file is discarded by the abort path.
+        return Err(MrError::TaskFailed(format!(
+            "injected late fault: died before commit ({label} attempt {attempt})"
+        )));
+    }
+    // Task commit: atomically promote the attempt file to the part file.
+    // Exactly one attempt per task ever gets here, so commits == tasks.
+    if let Some(dir) = shared.output.dir() {
+        shared.dfs.rename(
+            &attempt_path(dir, task_id, attempt),
+            &part_path(dir, task_id),
+        )?;
+        shared.counters.get("mr.output.commits").incr();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let straggle = match fault {
+        Some(Fault::Straggle(factor)) => factor,
+        _ => 1.0,
+    };
     Ok(ReduceTaskOut {
         task_id,
-        duration: start.elapsed().as_secs_f64(),
+        duration: elapsed * straggle,
+        base_duration: elapsed,
         input_bytes,
         groups,
         input_records,
         output_records,
         merge_passes,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug)]
+    struct TestOut {
+        sim: f64,
+    }
+
+    impl SimCharge for TestOut {
+        fn charge_sim(&mut self, secs: f64) {
+            self.sim += secs;
+        }
+    }
+
+    fn policy(max_attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            backoff_secs: 1.0,
+            backoff_cap_secs: 60.0,
+        }
+    }
+
+    fn attempts_until<E>(
+        max_attempts: usize,
+        fail_with: E,
+    ) -> (Result<(TestOut, RetryStats)>, usize)
+    where
+        E: Fn(usize) -> Option<MrError> + Sync,
+    {
+        let calls = AtomicUsize::new(0);
+        let result = run_with_retries(&(), &policy(max_attempts), &|_, attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            match fail_with(attempt) {
+                Some(e) => Err(e),
+                None => Ok(TestOut { sim: 0.0 }),
+            }
+        });
+        (result, calls.load(Ordering::Relaxed))
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let (result, calls) = attempts_until(5, |attempt| {
+            (attempt < 2).then(|| MrError::TaskFailed("flaky".into()))
+        });
+        let (out, stats) = result.unwrap();
+        assert_eq!(calls, 3);
+        assert_eq!(stats.retries, 2);
+        // Exponential backoff charged to simulated time: 1s + 2s.
+        assert!((out.sim - 3.0).abs() < 1e-12);
+        assert!((stats.backoff_secs - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_errors_exhaust_attempts() {
+        let (result, calls) = attempts_until(3, |_| Some(MrError::TaskFailed("always".into())));
+        assert!(matches!(result, Err(MrError::TaskFailed(_))));
+        assert_eq!(calls, 3, "transient failures burn every attempt");
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast_per_variant() {
+        let permanent: Vec<MrError> = vec![
+            MrError::InvalidConfig("bad".into()),
+            MrError::Codec("garbled".into()),
+            MrError::FileNotFound("/x".into()),
+            MrError::FileExists("/x".into()),
+            MrError::OutOfMemory {
+                task: "t".into(),
+                requested: 2,
+                budget: 1,
+                transient: false,
+            },
+        ];
+        for e in permanent {
+            let (result, calls) = attempts_until(5, |_| Some(e.clone()));
+            assert_eq!(result.unwrap_err(), e);
+            assert_eq!(calls, 1, "permanent {e:?} must not be retried");
+        }
+    }
+
+    #[test]
+    fn transient_variants_are_each_retried() {
+        let transient: Vec<MrError> = vec![
+            MrError::TaskFailed("flaky".into()),
+            MrError::TaskPanicked("boom".into()),
+            MrError::NodeLost {
+                node: 1,
+                task: "t".into(),
+            },
+            MrError::OutOfMemory {
+                task: "t".into(),
+                requested: 2,
+                budget: 1,
+                transient: true,
+            },
+        ];
+        for e in transient {
+            let (result, calls) = attempts_until(2, |attempt| (attempt == 0).then(|| e.clone()));
+            assert!(result.is_ok(), "{e:?} should be retried to success");
+            assert_eq!(calls, 2);
+        }
+    }
+
+    #[test]
+    fn panics_become_classified_attempt_failures() {
+        let calls = AtomicUsize::new(0);
+        let result = run_with_retries(&(), &policy(1), &|_: &(), _| -> Result<TestOut> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("user code exploded");
+        });
+        match result {
+            Err(MrError::TaskPanicked(msg)) => assert!(msg.contains("user code exploded")),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        // A panicking attempt is retried like any transient failure.
+        let calls = AtomicUsize::new(0);
+        let result = run_with_retries(&(), &policy(2), &|_: &(), _| -> Result<TestOut> {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("first attempt dies");
+            }
+            Ok(TestOut { sim: 0.0 })
+        });
+        assert!(result.is_ok());
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_secs: 1.0,
+            backoff_cap_secs: 5.0,
+        };
+        assert_eq!(p.backoff_after(0), 1.0);
+        assert_eq!(p.backoff_after(1), 2.0);
+        assert_eq!(p.backoff_after(2), 4.0);
+        assert_eq!(p.backoff_after(3), 5.0, "capped");
+        assert_eq!(p.backoff_after(100), 5.0, "huge attempt counts saturate");
+        let none = RetryPolicy {
+            max_attempts: 10,
+            backoff_secs: 0.0,
+            backoff_cap_secs: 5.0,
+        };
+        assert_eq!(none.backoff_after(3), 0.0);
+    }
 }

@@ -1,4 +1,5 @@
-//! Error types for the MapReduce engine and the simulated DFS.
+//! Error types for the MapReduce engine and the simulated DFS, plus the
+//! transient-vs-permanent classification the retry loop relies on.
 
 use std::fmt;
 
@@ -25,11 +26,38 @@ pub enum MrError {
         requested: u64,
         /// The per-task budget from [`crate::ClusterConfig::task_memory`].
         budget: u64,
+        /// Whether a retry could plausibly succeed. Deterministic
+        /// budget-accounting overflows (the [`crate::MemoryGauge`] path)
+        /// are permanent: the same attempt charges the same bytes. An
+        /// injected or environmental OOM (another task's pressure on a
+        /// shared node) is transient.
+        transient: bool,
     },
     /// A user map/reduce function reported a failure.
     TaskFailed(String),
+    /// A user map/reduce function panicked; the panic was caught at the
+    /// attempt boundary and the payload message preserved.
+    TaskPanicked(String),
+    /// The simulated node running the task went down mid-attempt (fault
+    /// injection); the attempt is lost and re-scheduled elsewhere.
+    NodeLost {
+        /// The node that failed.
+        node: usize,
+        /// Human-readable description of the task that was running.
+        task: String,
+    },
     /// The job specification is inconsistent (e.g. zero reducers).
     InvalidConfig(String),
+}
+
+/// Retry classification of an [`MrError`] — Hadoop distinguishes attempt
+/// failures (retry the task) from job-level failures (fail immediately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A retry could plausibly succeed: re-execute the attempt.
+    Transient,
+    /// Deterministic failure: every retry would fail identically.
+    Permanent,
 }
 
 impl fmt::Display for MrError {
@@ -42,11 +70,16 @@ impl fmt::Display for MrError {
                 task,
                 requested,
                 budget,
+                ..
             } => write!(
                 f,
                 "task {task} out of memory: requested {requested} bytes, budget {budget} bytes"
             ),
             MrError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            MrError::TaskPanicked(msg) => write!(f, "task panicked: {msg}"),
+            MrError::NodeLost { node, task } => {
+                write!(f, "node {node} lost while running task {task}")
+            }
             MrError::InvalidConfig(msg) => write!(f, "invalid job configuration: {msg}"),
         }
     }
@@ -58,6 +91,36 @@ impl MrError {
     /// True if this error is the memory-budget failure mode.
     pub fn is_out_of_memory(&self) -> bool {
         matches!(self, MrError::OutOfMemory { .. })
+    }
+
+    /// Classify for the retry loop. Transient errors are worth re-executing
+    /// the attempt for; permanent errors fail the job immediately — retrying
+    /// an `InvalidConfig` or a deterministic `Codec` failure burns attempts
+    /// without any chance of a different outcome.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            // Environmental / nondeterministic: a new attempt may succeed.
+            MrError::TaskFailed(_) | MrError::TaskPanicked(_) | MrError::NodeLost { .. } => {
+                ErrorClass::Transient
+            }
+            MrError::OutOfMemory { transient, .. } => {
+                if *transient {
+                    ErrorClass::Transient
+                } else {
+                    ErrorClass::Permanent
+                }
+            }
+            // Deterministic: identical inputs produce the identical failure.
+            MrError::FileNotFound(_)
+            | MrError::FileExists(_)
+            | MrError::Codec(_)
+            | MrError::InvalidConfig(_) => ErrorClass::Permanent,
+        }
+    }
+
+    /// True if a retry could plausibly succeed (see [`MrError::class`]).
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
     }
 }
 
@@ -73,9 +136,53 @@ mod tests {
             task: "reduce-3".into(),
             requested: 10,
             budget: 5,
+            transient: false,
         };
         assert!(e.to_string().contains("reduce-3"));
         assert!(e.is_out_of_memory());
         assert!(!MrError::Codec("x".into()).is_out_of_memory());
+        let e = MrError::TaskPanicked("boom".into());
+        assert_eq!(e.to_string(), "task panicked: boom");
+        let e = MrError::NodeLost {
+            node: 2,
+            task: "job/map-1".into(),
+        };
+        assert!(e.to_string().contains("node 2"));
+    }
+
+    #[test]
+    fn classification_per_variant() {
+        // Transient: user failures, panics, node loss, environmental OOM.
+        assert!(MrError::TaskFailed("flaky".into()).is_transient());
+        assert!(MrError::TaskPanicked("boom".into()).is_transient());
+        assert!(MrError::NodeLost {
+            node: 0,
+            task: "t".into()
+        }
+        .is_transient());
+        assert!(MrError::OutOfMemory {
+            task: "t".into(),
+            requested: 1,
+            budget: 0,
+            transient: true,
+        }
+        .is_transient());
+        // Permanent: deterministic failures retries cannot fix.
+        assert!(!MrError::InvalidConfig("bad".into()).is_transient());
+        assert!(!MrError::Codec("garbled".into()).is_transient());
+        assert!(!MrError::FileNotFound("/x".into()).is_transient());
+        assert!(!MrError::FileExists("/x".into()).is_transient());
+        assert!(!MrError::OutOfMemory {
+            task: "t".into(),
+            requested: 2,
+            budget: 1,
+            transient: false,
+        }
+        .is_transient());
+        assert_eq!(
+            MrError::TaskFailed("x".into()).class(),
+            ErrorClass::Transient
+        );
+        assert_eq!(MrError::Codec("x".into()).class(), ErrorClass::Permanent);
     }
 }

@@ -1,0 +1,401 @@
+//! Seeded, deterministic fault injection for the MapReduce engine.
+//!
+//! Hadoop's value proposition — and the reason the paper can run 10-node
+//! joins without babysitting them — is that task attempts fail all the time
+//! (JVM crashes, bad disks, overloaded nodes) and the framework retries,
+//! re-commits, and speculates its way to a correct result. This module lets
+//! the in-process engine reproduce those conditions *deterministically*: a
+//! [`FaultPlan`] decides, per `(job, phase, task, attempt)`, whether the
+//! attempt suffers a transient error, a user-code panic, an out-of-memory
+//! kill, a slow-down (straggler), or lands on a dead node.
+//!
+//! Decisions are pure functions of the plan seed and the attempt coordinates
+//! — independent of thread scheduling and wall-clock time — so a chaos run
+//! is exactly reproducible from its seed, and a fault-free run of the same
+//! job is bitwise comparable to the chaos run's output.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::task::Phase;
+
+/// The fault injected into one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The attempt fails with a retryable `TaskFailed` error at start.
+    Transient,
+    /// The user function panics mid-attempt (must be caught, not fatal).
+    Panic,
+    /// The attempt dies with an environmental (retryable) out-of-memory.
+    Oom,
+    /// The attempt does all its work, then fails *after* writing its output
+    /// but *before* committing it — the case the output-commit protocol
+    /// exists for.
+    LateFail,
+    /// The attempt succeeds but its simulated duration is multiplied by the
+    /// given factor (a straggler; speculative execution's prey).
+    Straggle(f64),
+}
+
+/// A deterministic fault plan: per-attempt fault probabilities plus an
+/// optional dead node, all driven by one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Probability an attempt fails with a transient error at start.
+    pub p_transient: f64,
+    /// Probability an attempt panics inside the user function.
+    pub p_panic: f64,
+    /// Probability an attempt dies with an environmental OOM.
+    pub p_oom: f64,
+    /// Probability an attempt fails after writing, before committing.
+    pub p_late: f64,
+    /// Probability a surviving attempt is a straggler.
+    pub p_straggler: f64,
+    /// Simulated-duration multiplier for stragglers (≥ 1).
+    pub straggler_factor: f64,
+    /// A node that is down for the whole job: every attempt scheduled on it
+    /// fails with [`crate::MrError::NodeLost`].
+    pub dead_node: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            p_transient: 0.0,
+            p_panic: 0.0,
+            p_oom: 0.0,
+            p_late: 0.0,
+            p_straggler: 0.0,
+            straggler_factor: 1.0,
+            dead_node: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a parse/merge base).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The aggressive preset used by the chaos suites: ≥ 20% of attempts
+    /// fail (transient + panic + OOM + late), 10% of survivors straggle 8×.
+    pub fn aggressive(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            p_transient: 0.08,
+            p_panic: 0.05,
+            p_oom: 0.03,
+            p_late: 0.04,
+            p_straggler: 0.10,
+            straggler_factor: 8.0,
+            dead_node: None,
+        }
+    }
+
+    /// Total probability that an attempt fails outright.
+    pub fn failure_probability(&self) -> f64 {
+        self.p_transient + self.p_panic + self.p_oom + self.p_late
+    }
+
+    /// Validate probabilities and the dead-node index against a topology.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        for (name, p) in [
+            ("transient", self.p_transient),
+            ("panic", self.p_panic),
+            ("oom", self.p_oom),
+            ("late", self.p_late),
+            ("straggler", self.p_straggler),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault probability {name}={p} must be in [0, 1]"));
+            }
+        }
+        if self.failure_probability() > 1.0 {
+            return Err(format!(
+                "fault failure probabilities sum to {} (> 1)",
+                self.failure_probability()
+            ));
+        }
+        if !self.straggler_factor.is_finite() || self.straggler_factor < 1.0 {
+            return Err(format!(
+                "straggler_factor {} must be finite and >= 1",
+                self.straggler_factor
+            ));
+        }
+        if let Some(dead) = self.dead_node {
+            if dead >= nodes {
+                return Err(format!("dead_node {dead} out of range for {nodes} node(s)"));
+            }
+            if nodes == 1 {
+                return Err("cannot kill the only node in the cluster".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a compact plan spec, e.g.
+    /// `seed=42,transient=0.1,panic=0.05,oom=0.02,late=0.05,straggler=0.1x8,node_down=2`.
+    /// Unknown keys are rejected; omitted keys default to "no such fault".
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan entry `{part}` is not key=value"))?;
+            let parse_f64 = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("fault plan: `{key}={v}` is not a number"))
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("fault plan: seed `{value}` is not a u64"))?;
+                }
+                "transient" => plan.p_transient = parse_f64(value.trim())?,
+                "panic" => plan.p_panic = parse_f64(value.trim())?,
+                "oom" => plan.p_oom = parse_f64(value.trim())?,
+                "late" => plan.p_late = parse_f64(value.trim())?,
+                "straggler" => {
+                    // `p` or `pxFACTOR`, e.g. `0.1x8`.
+                    let v = value.trim();
+                    match v.split_once('x') {
+                        Some((p, factor)) => {
+                            plan.p_straggler = parse_f64(p)?;
+                            plan.straggler_factor = parse_f64(factor)?;
+                        }
+                        None => {
+                            plan.p_straggler = parse_f64(v)?;
+                            if plan.straggler_factor < 4.0 {
+                                plan.straggler_factor = 4.0;
+                            }
+                        }
+                    }
+                }
+                "node_down" => {
+                    plan.dead_node = Some(value.trim().parse::<usize>().map_err(|_| {
+                        format!("fault plan: node_down `{value}` is not a node index")
+                    })?);
+                }
+                other => return Err(format!("fault plan: unknown key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True if `node` is configured as down.
+    pub fn node_is_dead(&self, node: usize) -> bool {
+        self.dead_node == Some(node)
+    }
+
+    /// Decide the fault (if any) for one task attempt. Pure in
+    /// `(seed, job, phase, task_id, attempt)`.
+    pub fn decide(&self, job: &str, phase: Phase, task_id: usize, attempt: usize) -> Option<Fault> {
+        if self.failure_probability() == 0.0 && self.p_straggler == 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.attempt_seed(job, phase, task_id, attempt));
+        let u: f64 = rng.random();
+        let mut edge = self.p_transient;
+        if u < edge {
+            return Some(Fault::Transient);
+        }
+        edge += self.p_panic;
+        if u < edge {
+            return Some(Fault::Panic);
+        }
+        edge += self.p_oom;
+        if u < edge {
+            return Some(Fault::Oom);
+        }
+        edge += self.p_late;
+        if u < edge {
+            return Some(Fault::LateFail);
+        }
+        // Survivors may straggle (independent draw).
+        if self.p_straggler > 0.0 && rng.random_bool(self.p_straggler) {
+            return Some(Fault::Straggle(self.straggler_factor));
+        }
+        None
+    }
+
+    /// Stable per-attempt seed: FNV-1a over the coordinates, mixed with the
+    /// plan seed. Deterministic across platforms and thread schedules.
+    fn attempt_seed(&self, job: &str, phase: Phase, task_id: usize, attempt: usize) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET ^ self.seed;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(job.as_bytes());
+        eat(&[match phase {
+            Phase::Map => 0u8,
+            Phase::Reduce => 1u8,
+        }]);
+        eat(&(task_id as u64).to_le_bytes());
+        eat(&(attempt as u64).to_le_bytes());
+        h
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} transient={} panic={} oom={} late={} straggler={}x{}",
+            self.seed,
+            self.p_transient,
+            self.p_panic,
+            self.p_oom,
+            self.p_late,
+            self.p_straggler,
+            self.straggler_factor,
+        )?;
+        if let Some(n) = self.dead_node {
+            write!(f, " node_down={n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_scoped() {
+        let plan = FaultPlan::aggressive(42);
+        let a = plan.decide("job", Phase::Map, 3, 0);
+        let b = plan.decide("job", Phase::Map, 3, 0);
+        assert_eq!(a, b, "same coordinates, same decision");
+        // Different coordinates decide independently: over many attempts
+        // the aggressive plan must produce both faults and non-faults.
+        let mut faults = 0;
+        let mut clean = 0;
+        for task in 0..200 {
+            for attempt in 0..3 {
+                match plan.decide("job", Phase::Reduce, task, attempt) {
+                    Some(_) => faults += 1,
+                    None => clean += 1,
+                }
+            }
+        }
+        assert!(faults > 60, "aggressive plan injects faults: {faults}");
+        assert!(clean > 200, "most attempts survive: {clean}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let a = FaultPlan::aggressive(1);
+        let b = FaultPlan::aggressive(2);
+        let decisions_a: Vec<_> = (0..100).map(|t| a.decide("j", Phase::Map, t, 0)).collect();
+        let decisions_b: Vec<_> = (0..100).map(|t| b.decide("j", Phase::Map, t, 0)).collect();
+        assert_ne!(decisions_a, decisions_b);
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = FaultPlan::quiet(7);
+        for task in 0..50 {
+            assert_eq!(plan.decide("j", Phase::Map, task, 0), None);
+        }
+    }
+
+    #[test]
+    fn observed_fault_rate_tracks_probabilities() {
+        let plan = FaultPlan {
+            seed: 9,
+            p_transient: 0.25,
+            ..Default::default()
+        };
+        let hits = (0..4000)
+            .filter(|&t| plan.decide("j", Phase::Map, t, 0) == Some(Fault::Transient))
+            .count();
+        assert!((800..1200).contains(&hits), "rate off: {hits}/4000");
+    }
+
+    #[test]
+    fn straggle_carries_factor() {
+        let plan = FaultPlan {
+            seed: 3,
+            p_straggler: 1.0,
+            straggler_factor: 6.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            plan.decide("j", Phase::Map, 0, 0),
+            Some(Fault::Straggle(6.5))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = FaultPlan::quiet(0);
+        p.p_transient = 1.5;
+        assert!(p.validate(4).is_err());
+        p.p_transient = f64::NAN;
+        assert!(p.validate(4).is_err());
+        let mut p = FaultPlan::quiet(0);
+        p.p_transient = 0.6;
+        p.p_panic = 0.6;
+        assert!(p.validate(4).is_err(), "failure probs sum > 1");
+        let mut p = FaultPlan::quiet(0);
+        p.straggler_factor = 0.5;
+        assert!(p.validate(4).is_err());
+        p.straggler_factor = f64::NAN;
+        assert!(p.validate(4).is_err());
+        let mut p = FaultPlan::quiet(0);
+        p.dead_node = Some(4);
+        assert!(p.validate(4).is_err(), "node index out of range");
+        p.dead_node = Some(0);
+        assert!(p.validate(1).is_err(), "cannot kill the only node");
+        assert!(p.validate(2).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_spec() {
+        let plan = FaultPlan::parse(
+            "seed=42,transient=0.1,panic=0.05,oom=0.02,late=0.05,straggler=0.1x8,node_down=2",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.p_transient, 0.1);
+        assert_eq!(plan.p_panic, 0.05);
+        assert_eq!(plan.p_oom, 0.02);
+        assert_eq!(plan.p_late, 0.05);
+        assert_eq!(plan.p_straggler, 0.1);
+        assert_eq!(plan.straggler_factor, 8.0);
+        assert_eq!(plan.dead_node, Some(2));
+        plan.validate(4).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("unknown=1").is_err());
+        assert!(FaultPlan::parse("transient=lots").is_err());
+        assert!(FaultPlan::parse("seed=-1").is_err());
+        // Bare straggler probability gets a sensible default factor.
+        let p = FaultPlan::parse("straggler=0.2").unwrap();
+        assert_eq!(p.p_straggler, 0.2);
+        assert!(p.straggler_factor >= 4.0);
+    }
+}

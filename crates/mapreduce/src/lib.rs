@@ -71,6 +71,7 @@ pub mod counters;
 pub mod dfs;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod input;
 pub mod job;
 pub mod kv;
@@ -83,12 +84,16 @@ pub mod run;
 pub mod task;
 
 pub use cache::Cache;
-pub use cluster::{list_schedule_makespan, ClusterConfig, NetworkModel};
+pub use cluster::{
+    list_schedule_makespan, list_schedule_speculative, ClusterConfig, NetworkModel, SpecOutcome,
+    SpecTask,
+};
 pub use codec::{ByteReader, Codec};
 pub use counters::{Counter, Counters};
 pub use dfs::{BlockSplit, Dfs, FileKind, SeqWriter, TextWriter};
 pub use engine::Cluster;
-pub use error::{MrError, Result};
+pub use error::{ErrorClass, MrError, Result};
+pub use faults::{Fault, FaultPlan};
 pub use input::{mem_input, seq_input, text_input, SplitSource};
 pub use job::{Job, Output, TextFormat};
 pub use kv::{Key, Value};

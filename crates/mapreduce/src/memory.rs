@@ -53,6 +53,9 @@ impl MemoryGauge {
                 task: self.task.to_string(),
                 requested: now,
                 budget: self.budget,
+                // Budget accounting is deterministic: the same attempt
+                // would charge the same bytes, so retries cannot help.
+                transient: false,
             });
         }
         self.high_water.fetch_max(now, Ordering::Relaxed);
@@ -117,10 +120,12 @@ mod tests {
                 task,
                 requested,
                 budget,
+                transient,
             } => {
                 assert_eq!(task, "reduce-1");
                 assert_eq!(requested, 110);
                 assert_eq!(budget, 100);
+                assert!(!transient, "gauge OOM is deterministic");
             }
             other => panic!("unexpected error {other:?}"),
         }

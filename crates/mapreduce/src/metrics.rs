@@ -56,6 +56,20 @@ pub struct JobMetrics {
     pub map_remote_tasks: u64,
     /// Failed task attempts that were retried (across both phases).
     pub task_retries: u64,
+    /// Simulated seconds of retry backoff charged to this job.
+    pub backoff_secs: f64,
+    /// Speculative attempts launched in the makespan model (both phases).
+    pub speculative_launched: u64,
+    /// Speculative attempts that beat their primary.
+    pub speculative_won: u64,
+    /// Attempts killed when the other copy of their task committed first.
+    pub speculative_killed: u64,
+    /// Reduce outputs committed (attempt files renamed into place). Exactly
+    /// one commit per reduce task on jobs with an output directory — killed
+    /// speculative copies and failed attempts never commit.
+    pub output_commits: u64,
+    /// Failed reduce attempts whose partial output was discarded.
+    pub output_aborts: u64,
     /// Intermediate reduce-side merge passes (runs beyond the merge factor).
     pub merge_passes: u64,
     /// Records fed to map functions.
@@ -133,7 +147,21 @@ impl fmt::Display for JobMetrics {
             self.reduce.skew(),
             self.merge_passes,
             self.task_retries,
-        )
+        )?;
+        if self.task_retries + self.speculative_launched + self.output_aborts > 0 {
+            write!(
+                f,
+                "\n  faults retries {:>3} (backoff {:>6.1}s)  speculative {} launched/{} won/{} killed  commits {} aborts {}",
+                self.task_retries,
+                self.backoff_secs,
+                self.speculative_launched,
+                self.speculative_won,
+                self.speculative_killed,
+                self.output_commits,
+                self.output_aborts,
+            )?;
+        }
+        Ok(())
     }
 }
 
