@@ -12,9 +12,10 @@
 
 use datagen::DataRecord;
 use fuzzyjoin::{
-    rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, JoinOutcome, Result,
-    Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
+    rs_join, run_report_resolved, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig,
+    JoinOutcome, Result, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
 };
+use mapreduce::Json;
 
 /// Base DBLP record count (the unit the ×n factors multiply).
 pub fn base_records() -> usize {
@@ -110,7 +111,9 @@ pub fn run_self_join(
 ) -> Result<JoinOutcome> {
     let cluster = make_cluster(nodes);
     load_corpus(&cluster, base, factor, "/dblp");
-    self_join(&cluster, "/dblp", "/work", config)
+    let outcome = self_join(&cluster, "/dblp", "/work", config)?;
+    record_report("selfjoin", factor, nodes, config, &cluster, &outcome);
+    Ok(outcome)
 }
 
 /// Run DBLP×`factor` ⋈ CITESEERX×`factor` on `nodes` nodes.
@@ -124,7 +127,57 @@ pub fn run_rs_join(
     let cluster = make_cluster(nodes);
     load_corpus(&cluster, dblp, factor, "/dblp");
     load_corpus(&cluster, cite, factor, "/citeseerx");
-    rs_join(&cluster, "/dblp", "/citeseerx", "/work", config)
+    let outcome = rs_join(&cluster, "/dblp", "/citeseerx", "/work", config)?;
+    record_report("rsjoin", factor, nodes, config, &cluster, &outcome);
+    Ok(outcome)
+}
+
+/// When `REPRO_JSON` names a file, append one machine-readable run report
+/// per completed bench join to it — JSONL, one `fuzzyjoin.run-report`
+/// document per line, each extended with a `bench` object (`kind`,
+/// `combo`, `nodes`, `factor`, `base_records`, `seed`) so downstream
+/// `BENCH_*.json` tooling can reconstruct every curve point. Emission
+/// happens after the join finished; it never affects simulated times.
+fn record_report(
+    kind: &str,
+    factor: usize,
+    nodes: usize,
+    config: &JoinConfig,
+    cluster: &Cluster,
+    outcome: &JoinOutcome,
+) {
+    let Some(path) = std::env::var("REPRO_JSON").ok().filter(|p| !p.is_empty()) else {
+        return;
+    };
+    let mut report = match run_report_resolved(cluster, outcome, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("REPRO_JSON: cannot build report: {e}");
+            return;
+        }
+    };
+    if let Json::Obj(fields) = &mut report {
+        fields.push((
+            "bench".to_string(),
+            mapreduce::obj(vec![
+                ("kind", Json::Str(kind.to_string())),
+                ("combo", Json::Str(config.combo_name())),
+                ("nodes", Json::Num(nodes as f64)),
+                ("factor", Json::Num(factor as f64)),
+                ("base_records", Json::Num(base_records() as f64)),
+                ("seed", Json::Num(seed() as f64)),
+            ]),
+        ));
+    }
+    let line = format!("{report}\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("REPRO_JSON: cannot append to {path}: {e}");
+    }
 }
 
 /// Run `f` `n` times and keep the outcome with the smallest simulated time.
@@ -225,5 +278,39 @@ mod tests {
         let (_, config) = combos().remove(1);
         let outcome = run_rs_join(&d, &c, 1, 2, &config).unwrap();
         assert!(outcome.sim_secs() > 0.0);
+    }
+
+    #[test]
+    fn repro_json_appends_schema_versioned_reports() {
+        let path = std::env::temp_dir().join("fuzzyjoin-bench-repro.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("REPRO_JSON", &path);
+        let base = datagen::dblp(100, 1);
+        let (_, config) = combos().remove(0); // BTO-BK-BRJ: unique in this file
+        run_self_join(&base, 1, 3, &config).unwrap();
+        std::env::remove_var("REPRO_JSON");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ours: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .filter(|r| {
+                r.get("bench")
+                    .and_then(|b| b.get("combo"))
+                    .and_then(Json::as_str)
+                    == Some("BTO-BK-BRJ")
+            })
+            .collect();
+        assert_eq!(ours.len(), 1, "one report line per bench join");
+        let report = &ours[0];
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some("fuzzyjoin.run-report")
+        );
+        assert_eq!(report.get("v").and_then(Json::as_u64), Some(1));
+        let bench = report.get("bench").unwrap();
+        assert_eq!(bench.get("kind").and_then(Json::as_str), Some("selfjoin"));
+        assert_eq!(bench.get("nodes").and_then(Json::as_u64), Some(3));
+        assert_eq!(bench.get("factor").and_then(Json::as_u64), Some(1));
     }
 }

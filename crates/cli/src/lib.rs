@@ -21,10 +21,11 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 
 use args::Args;
 use fuzzyjoin::{
-    read_joined, rs_join, self_join, Cluster, ClusterConfig, FaultPlan, FilterConfig, JoinConfig,
-    JoinOutcome, RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
-    TokenRouting, TokenizerKind,
+    read_joined, rs_join, run_report_resolved, self_join, Cluster, ClusterConfig, FaultPlan,
+    FilterConfig, JoinConfig, JoinOutcome, RecordFormat, SimFunction, Stage1Algo, Stage2Algo,
+    Stage3Algo, Threshold, TokenRouting, TokenizerKind,
 };
+use mapreduce::TraceSink;
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -48,6 +49,15 @@ fault injection (chaos testing; results are unaffected by design):
   --fault-plan SPEC  custom plan, e.g.
                      seed=42,transient=0.1,panic=0.05,oom=0.02,late=0.05,straggler=0.1x8,node_down=2
                      (--fault-seed overrides the plan's seed)
+
+observability (selfjoin/rsjoin):
+  --trace-out FILE    write the execution trace: one JSONL span event per
+                      task attempt for a .jsonl FILE, else Chrome
+                      trace_event JSON loadable in Perfetto/about:tracing
+  --metrics-json FILE write the schema-versioned machine-readable run
+                      report (fuzzyjoin.run-report v1)
+  --report yes        print the detailed per-job report (histogram
+                      percentiles, hot keys, fault statistics)
 ";
 
 /// Entry point: parse and execute, returning the human-readable summary.
@@ -119,6 +129,9 @@ const JOIN_FLAGS: &[&str] = &[
     "full",
     "fault-seed",
     "fault-plan",
+    "trace-out",
+    "metrics-json",
+    "report",
 ];
 
 /// Parse the fault-injection flags: `--fault-plan` gives the rates (and
@@ -257,19 +270,22 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
     let (config, nodes) = join_config(args)?;
 
-    let cluster = make_cluster(nodes, fault_plan(args)?)?;
+    let mut cluster = make_cluster(nodes, fault_plan(args)?)?;
+    let sink = attach_trace(&mut cluster, args);
     let n = load_file(&cluster, input, "/input")?;
     let outcome =
         self_join(&cluster, "/input", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
     let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
-    Ok(summary(
+    let mut s = summary(
         &format!("self-join of {n} records from {input}"),
         &config,
         nodes,
         &outcome,
         written,
         out,
-    ))
+    );
+    emit_observability(&cluster, args, &outcome, &config, sink.as_ref(), &mut s)?;
+    Ok(s)
 }
 
 fn cmd_rsjoin(args: &Args) -> Result<String, String> {
@@ -279,20 +295,64 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
     let (config, nodes) = join_config(args)?;
 
-    let cluster = make_cluster(nodes, fault_plan(args)?)?;
+    let mut cluster = make_cluster(nodes, fault_plan(args)?)?;
+    let sink = attach_trace(&mut cluster, args);
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
     let outcome =
         rs_join(&cluster, "/r", "/s", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
     let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
-    Ok(summary(
+    let mut text = summary(
         &format!("R-S join of {nr} x {ns} records from {r} and {s}"),
         &config,
         nodes,
         &outcome,
         written,
         out,
-    ))
+    );
+    emit_observability(&cluster, args, &outcome, &config, sink.as_ref(), &mut text)?;
+    Ok(text)
+}
+
+/// Attach a trace sink to the cluster when `--trace-out` asks for one.
+fn attach_trace(cluster: &mut Cluster, args: &Args) -> Option<TraceSink> {
+    args.get("trace-out").map(|_| {
+        let sink = TraceSink::new();
+        cluster.set_trace(sink.clone());
+        sink
+    })
+}
+
+/// Write `--trace-out` / `--metrics-json` files and append the `--report`
+/// text after the join completed. Trace and report emission happen outside
+/// the measured task windows, so they never affect simulated times.
+fn emit_observability(
+    cluster: &Cluster,
+    args: &Args,
+    outcome: &JoinOutcome,
+    config: &JoinConfig,
+    sink: Option<&TraceSink>,
+    text: &mut String,
+) -> Result<(), String> {
+    if let (Some(path), Some(sink)) = (args.get("trace-out"), sink) {
+        let body = if path.ends_with(".jsonl") {
+            sink.to_jsonl()
+        } else {
+            sink.to_chrome_trace()
+        };
+        fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(text, "trace ({} events) written to {path}", sink.len());
+    }
+    if let Some(path) = args.get("metrics-json") {
+        let report = run_report_resolved(cluster, outcome, config).map_err(|e| e.to_string())?;
+        fs::write(path, report.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(text, "run report written to {path}");
+    }
+    if args.get("report").is_some() {
+        text.push('\n');
+        text.push_str(&outcome.report());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

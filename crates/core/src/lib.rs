@@ -24,6 +24,7 @@
 pub mod config;
 pub mod keys;
 pub mod pipeline;
+pub mod report;
 pub mod stage1;
 pub mod stage2;
 pub mod stage3;
@@ -34,6 +35,7 @@ pub use config::{
 };
 pub use keys::{Projection, Stage2Key};
 pub use pipeline::{read_joined, read_rid_pairs, rs_join, self_join, JoinOutcome};
+pub use report::{run_report, run_report_resolved, REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
 pub use stage3::{JoinedPair, PairKey};
 
 // Re-export the pieces callers need to drive a join.

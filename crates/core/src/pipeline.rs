@@ -90,28 +90,13 @@ impl JoinOutcome {
     pub fn report(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "{:<24} {:>9} {:>9} {:>12} {:>7} {:>7} {:>8}",
-            "job", "sim(s)", "wall(s)", "shuffle(B)", "maps", "reduces", "retries"
-        );
         for (stage, metrics) in [
             ("1", &self.stage1),
             ("2", &self.stage2),
             ("3", &self.stage3),
         ] {
             for job in &metrics.jobs {
-                let _ = writeln!(
-                    s,
-                    "{:<24} {:>9.3} {:>9.3} {:>12} {:>7} {:>7} {:>8}",
-                    job.name,
-                    job.sim_secs,
-                    job.wall_secs,
-                    job.shuffle_bytes,
-                    job.map.tasks,
-                    job.reduce.tasks,
-                    job.task_retries,
-                );
+                let _ = writeln!(s, "{job}");
             }
             let _ = writeln!(
                 s,

@@ -1,0 +1,292 @@
+//! Machine-readable run reports.
+//!
+//! A run report is a single JSON document summarizing an end-to-end join:
+//! per-stage, per-job simulated/wall time, shuffle volume, task and fault
+//! statistics, user counters, histogram percentiles, and the reduce-key
+//! heavy hitters (with `rank:N` labels resolved back to the actual prefix
+//! token via the stage-1 token list). It is what `--report`/`--metrics-json`
+//! print and what the bench harness embeds in `BENCH_*.json` files.
+//!
+//! # Schema compatibility
+//!
+//! Every report carries `"schema": "fuzzyjoin.run-report"` and
+//! `"v": 1`. The compatibility rule: consumers must ignore unknown
+//! fields; [`REPORT_SCHEMA_VERSION`] is bumped only when an existing field
+//! is removed or changes meaning, never for additions.
+
+use mapreduce::{obj, Cluster, HistogramSnapshot, JobMetrics, Json, PipelineMetrics, Result};
+
+use crate::config::JoinConfig;
+use crate::pipeline::JoinOutcome;
+
+/// Identifies the document type (the `schema` field of every report).
+pub const REPORT_SCHEMA: &str = "fuzzyjoin.run-report";
+
+/// Current report schema version (the `v` field). Additive changes do not
+/// bump this; removals and meaning changes do.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    obj(vec![
+        ("count", num(h.count)),
+        ("sum", Json::Num(h.sum)),
+        ("min", Json::Num(h.min)),
+        ("max", Json::Num(h.max)),
+        ("zeros", num(h.zeros)),
+        ("mean", Json::Num(h.mean())),
+        ("p50", Json::Num(h.percentile(50.0))),
+        ("p95", Json::Num(h.percentile(95.0))),
+        ("p99", Json::Num(h.percentile(99.0))),
+    ])
+}
+
+/// Resolve a heavy-hitter label against the stage-1 token list: a
+/// `rank:N` label names line `N` of the ordered token file.
+fn resolve_label(label: &str, tokens: Option<&[String]>) -> Option<String> {
+    let rank: usize = label.strip_prefix("rank:")?.parse().ok()?;
+    tokens?.get(rank).cloned()
+}
+
+fn job_json(job: &JobMetrics, tokens: Option<&[String]>) -> Json {
+    let phase = |p: &mapreduce::PhaseMetrics| {
+        obj(vec![
+            ("tasks", num(p.tasks as u64)),
+            ("total_task_secs", Json::Num(p.total_task_secs)),
+            ("max_task_secs", Json::Num(p.max_task_secs)),
+            ("makespan_secs", Json::Num(p.makespan_secs)),
+            ("skew", Json::Num(p.skew())),
+        ])
+    };
+    let counters = Json::Obj(
+        job.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), num(*v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        job.histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), histogram_json(h)))
+            .collect(),
+    );
+    let hitters = Json::Arr(
+        job.reduce_key_heavy_hitters
+            .iter()
+            .map(|(label, records)| {
+                let mut fields = vec![
+                    ("label", Json::Str(label.clone())),
+                    ("records", num(*records)),
+                ];
+                if let Some(token) = resolve_label(label, tokens) {
+                    fields.push(("token", Json::Str(token)));
+                }
+                obj(fields)
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("name", Json::Str(job.name.clone())),
+        ("sim_secs", Json::Num(job.sim_secs)),
+        ("wall_secs", Json::Num(job.wall_secs)),
+        ("shuffle_bytes", num(job.shuffle_bytes)),
+        ("shuffle_records", num(job.shuffle_records)),
+        ("map", phase(&job.map)),
+        ("reduce", phase(&job.reduce)),
+        ("reduce_input_groups", num(job.reduce_input_groups)),
+        ("reduce_output_records", num(job.reduce_output_records)),
+        ("task_retries", num(job.task_retries)),
+        ("backoff_secs", Json::Num(job.backoff_secs)),
+        (
+            "speculative",
+            obj(vec![
+                ("launched", num(job.speculative_launched)),
+                ("won", num(job.speculative_won)),
+                ("killed", num(job.speculative_killed)),
+            ]),
+        ),
+        ("output_commits", num(job.output_commits)),
+        ("output_aborts", num(job.output_aborts)),
+        ("counters", counters),
+        ("histograms", histograms),
+        ("reduce_key_heavy_hitters", hitters),
+    ])
+}
+
+fn stage_json(stage: u64, metrics: &PipelineMetrics, tokens: Option<&[String]>) -> Json {
+    obj(vec![
+        ("stage", num(stage)),
+        ("sim_secs", Json::Num(metrics.sim_secs())),
+        ("wall_secs", Json::Num(metrics.wall_secs())),
+        ("shuffle_bytes", num(metrics.shuffle_bytes())),
+        (
+            "jobs",
+            Json::Arr(metrics.jobs.iter().map(|j| job_json(j, tokens)).collect()),
+        ),
+    ])
+}
+
+/// Build the run report for a completed join.
+///
+/// `tokens` is the stage-1 ordered token list (line index = rank), used to
+/// resolve `rank:N` heavy-hitter labels to the actual hot prefix tokens;
+/// pass `None` to skip resolution. See [`run_report_resolved`] for the
+/// variant that reads the list from the DFS itself.
+pub fn run_report(outcome: &JoinOutcome, config: &JoinConfig, tokens: Option<&[String]>) -> Json {
+    let (launched, won, killed) = outcome.speculative();
+    let config_json = obj(vec![
+        ("threshold", Json::Str(format!("{:?}", config.threshold))),
+        ("tokenizer", Json::Str(format!("{:?}", config.tokenizer))),
+        ("stage1", Json::Str(format!("{:?}", config.stage1))),
+        ("stage2", Json::Str(format!("{:?}", config.stage2))),
+        ("stage3", Json::Str(format!("{:?}", config.stage3))),
+        ("routing", Json::Str(format!("{:?}", config.routing))),
+    ]);
+    let totals = obj(vec![
+        ("sim_secs", Json::Num(outcome.sim_secs())),
+        ("wall_secs", Json::Num(outcome.wall_secs())),
+        ("shuffle_bytes", num(outcome.shuffle_bytes())),
+        ("task_retries", num(outcome.task_retries())),
+        ("output_commits", num(outcome.output_commits())),
+        ("output_aborts", num(outcome.output_aborts())),
+        (
+            "speculative",
+            obj(vec![
+                ("launched", num(launched)),
+                ("won", num(won)),
+                ("killed", num(killed)),
+            ]),
+        ),
+    ]);
+    obj(vec![
+        ("schema", Json::Str(REPORT_SCHEMA.into())),
+        ("v", num(REPORT_SCHEMA_VERSION)),
+        ("config", config_json),
+        (
+            "paths",
+            obj(vec![
+                ("tokens", Json::Str(outcome.tokens_path.clone())),
+                ("ridpairs", Json::Str(outcome.ridpairs_path.clone())),
+                ("joined", Json::Str(outcome.joined_path.clone())),
+            ]),
+        ),
+        (
+            "stages",
+            Json::Arr(vec![
+                stage_json(1, &outcome.stage1, tokens),
+                stage_json(2, &outcome.stage2, tokens),
+                stage_json(3, &outcome.stage3, tokens),
+            ]),
+        ),
+        ("totals", totals),
+    ])
+}
+
+/// [`run_report`] with heavy-hitter labels resolved by reading the stage-1
+/// token list back from the cluster's DFS.
+pub fn run_report_resolved(
+    cluster: &Cluster,
+    outcome: &JoinOutcome,
+    config: &JoinConfig,
+) -> Result<Json> {
+    let tokens = cluster.dfs().read_text(&outcome.tokens_path)?;
+    Ok(run_report(outcome, config, Some(&tokens)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_with_hitters() -> JoinOutcome {
+        let mut stage2 = PipelineMetrics::default();
+        stage2.push(JobMetrics {
+            name: "stage2-pk".into(),
+            sim_secs: 2.0,
+            shuffle_bytes: 640,
+            shuffle_records: 40,
+            task_retries: 1,
+            output_commits: 2,
+            counters: vec![("stage2.candidates".into(), 9)],
+            reduce_key_heavy_hitters: vec![("rank:1".into(), 30), ("rank:0".into(), 10)],
+            ..Default::default()
+        });
+        JoinOutcome {
+            tokens_path: "/work/tokens".into(),
+            ridpairs_path: "/work/ridpairs".into(),
+            joined_path: "/work/joined".into(),
+            stage2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_has_schema_and_totals() {
+        let outcome = outcome_with_hitters();
+        let report = run_report(&outcome, &JoinConfig::recommended(), None);
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(report.get("v").and_then(Json::as_u64), Some(1));
+        let totals = report.get("totals").unwrap();
+        assert_eq!(
+            totals.get("shuffle_bytes").and_then(Json::as_u64),
+            Some(640)
+        );
+        assert_eq!(totals.get("task_retries").and_then(Json::as_u64), Some(1));
+        // Round-trips through the serializer.
+        let reparsed = Json::parse(&report.to_string()).unwrap();
+        assert_eq!(
+            reparsed
+                .get("totals")
+                .unwrap()
+                .get("output_commits")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_ranks_resolve_to_tokens() {
+        let outcome = outcome_with_hitters();
+        let tokens = vec!["alpha".to_string(), "beta".to_string()];
+        let report = run_report(&outcome, &JoinConfig::recommended(), Some(&tokens));
+        let stages = report.get("stages").and_then(Json::as_arr).unwrap();
+        let jobs = stages[1].get("jobs").and_then(Json::as_arr).unwrap();
+        let hitters = jobs[0]
+            .get("reduce_key_heavy_hitters")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(
+            hitters[0].get("label").and_then(Json::as_str),
+            Some("rank:1")
+        );
+        assert_eq!(hitters[0].get("token").and_then(Json::as_str), Some("beta"));
+        assert_eq!(
+            hitters[1].get("token").and_then(Json::as_str),
+            Some("alpha")
+        );
+    }
+
+    #[test]
+    fn unresolvable_labels_are_kept_without_token() {
+        let outcome = outcome_with_hitters();
+        // Token list too short for rank 1.
+        let tokens = vec!["alpha".to_string()];
+        let report = run_report(&outcome, &JoinConfig::recommended(), Some(&tokens));
+        let stages = report.get("stages").and_then(Json::as_arr).unwrap();
+        let jobs = stages[1].get("jobs").and_then(Json::as_arr).unwrap();
+        let hitters = jobs[0]
+            .get("reduce_key_heavy_hitters")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert!(hitters[0].get("token").is_none());
+        assert_eq!(
+            hitters[1].get("token").and_then(Json::as_str),
+            Some("alpha")
+        );
+    }
+}

@@ -24,7 +24,7 @@ use mapreduce::{Codec, Emit, Reducer, Result, TaskContext};
 use setsim::{verify_pair, Threshold};
 
 use crate::keys::{Projection, Stage2Key, KIND_LOAD, REL_S};
-use crate::stage2::reducers::{emit_pair, projection_bytes};
+use crate::stage2::reducers::{emit_pair, projection_bytes, GroupStats};
 
 /// Reducer for map-based block processing.
 #[derive(Clone)]
@@ -57,6 +57,7 @@ impl Reducer for MapBlocksReducer {
         let mut resident: Vec<Projection> = Vec::new();
         let mut charged = 0u64;
         let mut current_pass: Option<u32> = None;
+        let mut stats = GroupStats::new();
         for ((_, pass, kind, _, rel), (rid, tokens)) in values {
             if current_pass != Some(pass) {
                 // New pass: the previous resident block is discarded.
@@ -68,12 +69,14 @@ impl Reducer for MapBlocksReducer {
             let is_stream = kind != KIND_LOAD || (self.rs && rel == REL_S);
             if is_stream {
                 for (o_rid, o_tokens) in &resident {
-                    if *o_rid == rid {
+                    // Same-RID skip applies only within one relation; R and
+                    // S RID spaces are independent.
+                    if !self.rs && *o_rid == rid {
                         continue;
                     }
-                    ctx.counter("stage2.candidates").incr();
+                    stats.candidate(ctx);
                     if let Some(sim) = verify_pair(&self.threshold, o_tokens, &tokens) {
-                        emit_pair(self.rs, *o_rid, rid, sim, out, ctx)?;
+                        emit_pair(self.rs, *o_rid, rid, sim, out, ctx, &mut stats)?;
                     }
                 }
             } else {
@@ -85,9 +88,9 @@ impl Reducer for MapBlocksReducer {
                         if *o_rid == rid {
                             continue;
                         }
-                        ctx.counter("stage2.candidates").incr();
+                        stats.candidate(ctx);
                         if let Some(sim) = verify_pair(&self.threshold, o_tokens, &tokens) {
-                            emit_pair(false, *o_rid, rid, sim, out, ctx)?;
+                            emit_pair(false, *o_rid, rid, sim, out, ctx, &mut stats)?;
                         }
                     }
                 }
@@ -98,6 +101,7 @@ impl Reducer for MapBlocksReducer {
             }
         }
         ctx.memory().release(charged);
+        stats.finish(ctx);
         Ok(())
     }
 }
@@ -116,6 +120,7 @@ impl ReduceBlocksReducer {
         ReduceBlocksReducer { threshold, rs }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn join_against(
         &self,
         resident: &[Projection],
@@ -123,14 +128,17 @@ impl ReduceBlocksReducer {
         tokens: &[u32],
         out: &mut dyn Emit<(u64, u64), f64>,
         ctx: &TaskContext,
+        stats: &mut GroupStats,
     ) -> Result<()> {
         for (o_rid, o_tokens) in resident {
-            if *o_rid == rid {
+            // In R-S mode the resident block is R and the probe is S; equal
+            // RIDs are distinct records there.
+            if !self.rs && *o_rid == rid {
                 continue;
             }
-            ctx.counter("stage2.candidates").incr();
+            stats.candidate(ctx);
             if let Some(sim) = verify_pair(&self.threshold, o_tokens, tokens) {
-                emit_pair(self.rs, *o_rid, rid, sim, out, ctx)?;
+                emit_pair(self.rs, *o_rid, rid, sim, out, ctx, stats)?;
             }
         }
         Ok(())
@@ -179,6 +187,7 @@ impl Reducer for ReduceBlocksReducer {
         // ---- streaming step: block 0 resident, everything else to disk ----
         let mut resident: Vec<Projection> = Vec::new();
         let mut charged = 0u64;
+        let mut stats = GroupStats::new();
         let mut first_pass: Option<u32> = None;
         // Spilled R/self blocks by pass, in arrival (ascending) order.
         let mut spilled: Vec<(u32, SpillFile)> = Vec::new();
@@ -187,7 +196,7 @@ impl Reducer for ReduceBlocksReducer {
             if self.rs && rel == REL_S {
                 // S streams against the resident block and is spilled for
                 // the later passes.
-                self.join_against(&resident, rid, &tokens, out, ctx)?;
+                self.join_against(&resident, rid, &tokens, out, ctx, &mut stats)?;
                 s_spill.write(&(rid, tokens), ctx);
                 continue;
             }
@@ -197,7 +206,7 @@ impl Reducer for ReduceBlocksReducer {
             if Some(pass) == first_pass {
                 // Resident block: incremental self-join (self mode only).
                 if !self.rs {
-                    self.join_against(&resident, rid, &tokens, out, ctx)?;
+                    self.join_against(&resident, rid, &tokens, out, ctx, &mut stats)?;
                 }
                 let bytes = projection_bytes(&tokens);
                 ctx.memory().charge(bytes)?;
@@ -207,7 +216,7 @@ impl Reducer for ReduceBlocksReducer {
                 // Later block: join against the resident block (in R-S mode
                 // R records never join each other), then spill.
                 if !self.rs {
-                    self.join_against(&resident, rid, &tokens, out, ctx)?;
+                    self.join_against(&resident, rid, &tokens, out, ctx, &mut stats)?;
                 }
                 if spilled.last().map(|(p, _)| *p) != Some(pass) {
                     spilled.push((pass, SpillFile::default()));
@@ -232,7 +241,7 @@ impl Reducer for ReduceBlocksReducer {
             // Load block i from disk, self-joining while loading.
             for (rid, tokens) in spilled[i].1.read_all()? {
                 if !self.rs {
-                    self.join_against(&resident, rid, &tokens, out, ctx)?;
+                    self.join_against(&resident, rid, &tokens, out, ctx, &mut stats)?;
                 }
                 let bytes = projection_bytes(&tokens);
                 ctx.memory().charge(bytes)?;
@@ -242,18 +251,19 @@ impl Reducer for ReduceBlocksReducer {
             if self.rs {
                 // Stream the whole spilled S partition against this block.
                 for (sid, s_tokens) in &s_records {
-                    self.join_against(&resident, *sid, s_tokens, out, ctx)?;
+                    self.join_against(&resident, *sid, s_tokens, out, ctx, &mut stats)?;
                 }
             } else {
                 // Stream the later blocks against this block.
                 for (_, file) in &spilled[i + 1..] {
                     for (rid, tokens) in file.read_all()? {
-                        self.join_against(&resident, rid, &tokens, out, ctx)?;
+                        self.join_against(&resident, rid, &tokens, out, ctx, &mut stats)?;
                     }
                 }
             }
         }
         ctx.memory().release(charged);
+        stats.finish(ctx);
         Ok(())
     }
 }

@@ -14,10 +14,12 @@ pub mod reducers;
 
 use std::sync::Arc;
 
-use mapreduce::{text_input, Cluster, Job, MrError, PipelineMetrics, Result, SplitSource};
+use mapreduce::{
+    text_input, Cluster, Job, KeyLabel, MrError, PipelineMetrics, Result, SplitSource,
+};
 
-use crate::config::{JoinConfig, Stage2Algo};
-use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort};
+use crate::config::{JoinConfig, Stage2Algo, TokenRouting};
+use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort, Stage2Key};
 use crate::stage2::blocks::{MapBlocksReducer, ReduceBlocksReducer};
 use crate::stage2::mapper::{EmitMode, ProjectionMapper};
 use crate::stage2::reducers::{BkReducer, PkReducer};
@@ -72,6 +74,13 @@ fn run_kernel(
     pairs_path: &str,
 ) -> Result<PipelineMetrics> {
     let fmt = Arc::new(format_pair_line);
+    // Label routing keys for the heavy-hitter report: with individual-token
+    // routing the group component *is* the prefix-token rank, so the report
+    // names the exact hot token; with grouped routing it names the group.
+    let key_label: KeyLabel<Stage2Key> = match config.routing {
+        TokenRouting::Individual => Arc::new(|k: &Stage2Key| format!("rank:{}", k.0)),
+        TokenRouting::Grouped { .. } => Arc::new(|k: &Stage2Key| format!("group:{}", k.0)),
+    };
     let mut metrics = PipelineMetrics::default();
     macro_rules! run_with {
         ($name:expr, $reducer:expr) => {{
@@ -80,6 +89,7 @@ fn run_kernel(
                 .partitioner(stage2_partitioner())
                 .sort_cmp(stage2_sort())
                 .group_eq(stage2_grouping())
+                .key_label(key_label)
                 .output_text(pairs_path, fmt);
             metrics.push(cluster.run(job)?);
         }};

@@ -5,9 +5,50 @@ use setsim::{verify_pair, FilterConfig, PpjoinIndex, Threshold};
 
 use crate::keys::{Projection, Stage2Key, REL_S};
 
+/// Histogram: candidate pairs examined per reduce group (after the prefix
+/// filter, before verification). Percentiles expose join-key skew.
+pub const HIST_CANDIDATES_PER_GROUP: &str = "stage2.group.candidates";
+/// Histogram: verified pairs emitted per reduce group.
+pub const HIST_SURVIVORS_PER_GROUP: &str = "stage2.group.survivors";
+
 /// Bytes charged for a buffered projection.
 pub(crate) fn projection_bytes(tokens: &[u32]) -> u64 {
     tokens.len() as u64 * 4 + 48
+}
+
+/// Per-reduce-group kernel statistics, recorded into the job histograms at
+/// group end so skewed groups show up in the p95/p99 of the run report.
+#[derive(Default)]
+pub(crate) struct GroupStats {
+    candidates: u64,
+    survivors: u64,
+}
+
+impl GroupStats {
+    pub(crate) fn new() -> Self {
+        GroupStats::default()
+    }
+
+    /// Count one candidate pair reaching verification.
+    pub(crate) fn candidate(&mut self, ctx: &TaskContext) {
+        self.candidates += 1;
+        ctx.counter("stage2.candidates").incr();
+    }
+
+    /// Count candidates accumulated elsewhere (e.g. inside the PPJoin+
+    /// index) in one step.
+    pub(crate) fn add_candidates(&mut self, n: u64, ctx: &TaskContext) {
+        self.candidates += n;
+        ctx.counter("stage2.candidates").add(n);
+    }
+
+    /// Record this group's totals into the task histograms.
+    pub(crate) fn finish(&self, ctx: &TaskContext) {
+        ctx.histogram(HIST_CANDIDATES_PER_GROUP)
+            .record_count(self.candidates);
+        ctx.histogram(HIST_SURVIVORS_PER_GROUP)
+            .record_count(self.survivors);
+    }
 }
 
 /// Emit a verified pair: id-normalized for self-joins, `(r, s)` for R-S.
@@ -18,8 +59,10 @@ pub(crate) fn emit_pair(
     sim: f64,
     out: &mut dyn Emit<(u64, u64), f64>,
     ctx: &TaskContext,
+    stats: &mut GroupStats,
 ) -> Result<()> {
     ctx.counter("stage2.pairs_emitted").incr();
+    stats.survivors += 1;
     if rs {
         out.emit((a, b), sim)
     } else {
@@ -61,13 +104,14 @@ impl Reducer for BkReducer {
     ) -> Result<()> {
         let mut buffer: Vec<Projection> = Vec::new();
         let mut charged = 0u64;
+        let mut stats = GroupStats::new();
         for ((_, _, _, _, rel), (rid, tokens)) in values {
             if self.rs && rel == REL_S {
                 // Stream S against the buffered R records.
                 for (r_rid, r_tokens) in &buffer {
-                    ctx.counter("stage2.candidates").incr();
+                    stats.candidate(ctx);
                     if let Some(sim) = verify_pair(&self.threshold, r_tokens, &tokens) {
-                        emit_pair(true, *r_rid, rid, sim, out, ctx)?;
+                        emit_pair(true, *r_rid, rid, sim, out, ctx, &mut stats)?;
                     }
                 }
             } else {
@@ -76,9 +120,9 @@ impl Reducer for BkReducer {
                         if *o_rid == rid {
                             continue;
                         }
-                        ctx.counter("stage2.candidates").incr();
+                        stats.candidate(ctx);
                         if let Some(sim) = verify_pair(&self.threshold, o_tokens, &tokens) {
-                            emit_pair(false, *o_rid, rid, sim, out, ctx)?;
+                            emit_pair(false, *o_rid, rid, sim, out, ctx, &mut stats)?;
                         }
                     }
                 }
@@ -89,6 +133,7 @@ impl Reducer for BkReducer {
             }
         }
         ctx.memory().release(charged);
+        stats.finish(ctx);
         Ok(())
     }
 }
@@ -134,15 +179,16 @@ impl Reducer for PkReducer {
             PpjoinIndex::new(self.threshold, self.filters)
         };
         let mut charged = 0u64;
+        let mut stats = GroupStats::new();
         for ((_, _, _, _, rel), (rid, tokens)) in values {
             if self.rs && rel == REL_S {
                 for m in index.probe(&tokens) {
-                    emit_pair(true, m.rid, rid, m.sim, out, ctx)?;
+                    emit_pair(true, m.rid, rid, m.sim, out, ctx, &mut stats)?;
                 }
             } else {
                 if !self.rs {
                     for m in index.probe(&tokens) {
-                        emit_pair(false, m.rid, rid, m.sim, out, ctx)?;
+                        emit_pair(false, m.rid, rid, m.sim, out, ctx, &mut stats)?;
                     }
                 }
                 index.insert(rid, tokens);
@@ -157,6 +203,8 @@ impl Reducer for PkReducer {
         }
         ctx.counter("stage2.index_peak_bytes").add(charged);
         ctx.memory().release(charged);
+        stats.add_candidates(index.candidates_examined(), ctx);
+        stats.finish(ctx);
         Ok(())
     }
 }

@@ -12,8 +12,8 @@
 //! duplicates, tiny dictionaries, single-token and empty join attributes.
 
 use fuzzyjoin::{
-    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, Stage2Algo,
-    Stage3Algo, Threshold, TokenRouting,
+    read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, Stage1Algo,
+    Stage2Algo, Stage3Algo, Threshold, TokenRouting,
 };
 use proptest::prelude::*;
 use setsim::oracle;
@@ -344,6 +344,72 @@ fn differential_oprj_matches_oracle() {
             );
         }
     }
+}
+
+/// Stage-1 OPTO (the one-phase token ordering) must produce the same join
+/// results as the BTO runs in the matrix above, for every kernel. OPTO can
+/// order equal-frequency tokens differently, but any total order over the
+/// dictionary yields the same τ-similar pairs, so the oracle applies
+/// unchanged.
+#[test]
+fn differential_opto_matches_oracle() {
+    for stage2 in kernels() {
+        let config = JoinConfig {
+            stage1: Stage1Algo::Opto,
+            stage2,
+            ..JoinConfig::recommended()
+        };
+        for seed in SEEDS {
+            let lines = datagen::to_lines(&datagen::dblp(80, seed));
+            check_self(
+                &lines,
+                &config,
+                &format!("{} opto self seed={seed}", config.combo_name()),
+            );
+            let (r, s) = rs_corpora(seed);
+            check_rs(
+                &r,
+                &s,
+                &config,
+                &format!("{} opto rs seed={seed}", config.combo_name()),
+            );
+        }
+    }
+}
+
+/// Overlap thresholds (`O(x, y) ≥ c`, a constant overlap count rather
+/// than a ratio) exercise different prefix/length-filter bounds than the
+/// ratio measures in `measures()`; every kernel must stay exact under
+/// them too.
+#[test]
+fn differential_overlap_threshold_matches_oracle() {
+    let threshold = Threshold::overlap(4);
+    let mut expected_total = 0usize;
+    for stage2 in kernels() {
+        let config = JoinConfig {
+            stage2,
+            threshold,
+            ..JoinConfig::recommended()
+        };
+        for seed in SEEDS {
+            let lines = datagen::to_lines(&datagen::dblp(80, seed));
+            expected_total += oracle_self(&lines, &config).len();
+            check_self(
+                &lines,
+                &config,
+                &format!("{} overlap self seed={seed}", config.combo_name()),
+            );
+            let (r, s) = rs_corpora(seed);
+            expected_total += oracle_rs(&r, &s, &config).len();
+            check_rs(
+                &r,
+                &s,
+                &config,
+                &format!("{} overlap rs seed={seed}", config.combo_name()),
+            );
+        }
+    }
+    assert!(expected_total > 0, "overlap cells must not be vacuous");
 }
 
 /// Every kernel must stay exact on stressed cluster shapes: a 1-node

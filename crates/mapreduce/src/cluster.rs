@@ -91,6 +91,13 @@ pub struct ClusterConfig {
     pub speculation: bool,
     /// Optional deterministic fault-injection plan (see [`crate::faults`]).
     pub faults: Option<FaultPlan>,
+    /// Heavy-hitter reduce keys reported per job (top-k), for jobs that
+    /// define a key labeler (see [`crate::Job::key_label`]).
+    pub heavy_hitter_top_k: usize,
+    /// Warn (log line, counter, trace event) when the heaviest reduce key
+    /// carries more than this share of a job's shuffle records — the
+    /// operational symptom of a bad token order. Set above 1.0 to disable.
+    pub heavy_hitter_warn_share: f64,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +116,8 @@ impl Default for ClusterConfig {
             retry_backoff_cap_secs: 60.0,
             speculation: true,
             faults: None,
+            heavy_hitter_top_k: 10,
+            heavy_hitter_warn_share: 0.5,
         }
     }
 }
@@ -171,6 +180,15 @@ impl ClusterConfig {
             return Err(format!(
                 "retry_backoff_cap_secs {} must be finite and >= 0",
                 self.retry_backoff_cap_secs
+            ));
+        }
+        if self.heavy_hitter_top_k == 0 {
+            return Err("heavy_hitter_top_k must be at least 1".into());
+        }
+        if !self.heavy_hitter_warn_share.is_finite() || self.heavy_hitter_warn_share <= 0.0 {
+            return Err(format!(
+                "heavy_hitter_warn_share {} must be finite and > 0",
+                self.heavy_hitter_warn_share
             ));
         }
         if let Some(plan) = &self.faults {
@@ -306,8 +324,26 @@ pub struct SpecTask {
     pub expected: f64,
 }
 
+/// One primary-vs-backup race from a speculative schedule, on the
+/// simulated timeline — the input for trace visualisation of speculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecRace {
+    /// Index of the straggling task in submission order.
+    pub task: usize,
+    /// Simulated second the primary attempt started.
+    pub primary_start: f64,
+    /// Slot seconds the primary attempt would occupy if left to finish.
+    pub primary_duration: f64,
+    /// Simulated second the backup attempt launched.
+    pub backup_start: f64,
+    /// Slot seconds the backup attempt needs (the healthy expectation).
+    pub backup_duration: f64,
+    /// True when the backup finished before the primary.
+    pub backup_won: bool,
+}
+
 /// Result of a speculative list schedule.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpecOutcome {
     /// Phase makespan in seconds.
     pub makespan: f64,
@@ -318,6 +354,8 @@ pub struct SpecOutcome {
     /// Attempts killed because the other copy committed first (Hadoop kills
     /// the loser, so this equals `launched` — each race has one loser).
     pub killed: u64,
+    /// One record per straggler raced by a backup, in submission order.
+    pub races: Vec<SpecRace>,
 }
 
 /// Greedy list scheduling with Hadoop-style speculative execution: when a
@@ -331,7 +369,7 @@ pub fn list_schedule_speculative(tasks: &[SpecTask], slots: usize) -> SpecOutcom
         .map(|_| Reverse(Finite(0.0)))
         .collect();
     let mut out = SpecOutcome::default();
-    for t in tasks {
+    for (task, t) in tasks.iter().enumerate() {
         debug_assert!(t.duration.is_finite() && t.duration >= 0.0);
         debug_assert!(t.expected.is_finite() && t.expected >= 0.0);
         let Reverse(Finite(start)) = heap.pop().expect("non-empty heap");
@@ -354,6 +392,14 @@ pub fn list_schedule_speculative(tasks: &[SpecTask], slots: usize) -> SpecOutcom
         if backup_finish < primary_finish {
             out.won += 1;
         }
+        out.races.push(SpecRace {
+            task,
+            primary_start: start,
+            primary_duration: t.duration,
+            backup_start,
+            backup_duration: t.expected,
+            backup_won: backup_finish < primary_finish,
+        });
         // The loser is killed the moment the winner commits, freeing both
         // slots at the winner's finish time.
         out.makespan = out.makespan.max(winner_finish);
@@ -545,6 +591,7 @@ mod tests {
             assert_eq!(spec.launched, 0);
             assert_eq!(spec.won, 0);
             assert_eq!(spec.killed, 0);
+            assert!(spec.races.is_empty());
         }
     }
 
@@ -569,6 +616,13 @@ mod tests {
             (out.makespan - 2.0).abs() < 1e-12,
             "copy wins at t=2: {out:?}"
         );
+        assert_eq!(out.races.len(), 1);
+        let race = out.races[0];
+        assert_eq!(race.task, 0);
+        assert!(race.backup_won);
+        assert!((race.backup_start - 1.0).abs() < 1e-12, "{race:?}");
+        assert!((race.backup_duration - 1.0).abs() < 1e-12);
+        assert!((race.primary_duration - 100.0).abs() < 1e-12);
     }
 
     #[test]

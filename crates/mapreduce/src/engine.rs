@@ -16,7 +16,7 @@ use crate::dfs::{Dfs, SeqWriter, TextWriter};
 use crate::error::{MrError, Result};
 use crate::faults::{Fault, FaultPlan};
 use crate::input::SplitSource;
-use crate::job::{Job, Output, TextFormat};
+use crate::job::{Job, KeyLabel, Output, TextFormat};
 use crate::kv::{Key, Value};
 use crate::mapper::Mapper;
 use crate::memory::MemoryGauge;
@@ -25,6 +25,10 @@ use crate::partitioner::{GroupEq, PartitionFn, SortCmp};
 use crate::reducer::{CombineFn, Reducer};
 use crate::run::{merge_to_factor, sort_and_combine, GroupValues, MergeStream, Run};
 use crate::task::{Emit, Phase, TaskContext};
+use crate::trace::{
+    EventKind, Histogram, HistogramSnapshot, Histograms, Outcome, TopK, TraceEvent, TraceSink,
+    HEAVY_HITTER_WARNINGS, HIST_MAP_TASK_SECS, HIST_REDUCE_GROUP_RECORDS, HIST_REDUCE_TASK_SECS,
+};
 
 /// A simulated shared-nothing cluster: a topology plus a DFS.
 ///
@@ -34,6 +38,7 @@ use crate::task::{Emit, Phase, TaskContext};
 pub struct Cluster {
     config: ClusterConfig,
     dfs: Dfs,
+    trace: Option<TraceSink>,
 }
 
 impl Cluster {
@@ -41,14 +46,22 @@ impl Cluster {
     pub fn new(config: ClusterConfig, dfs_block_size: usize) -> Result<Self> {
         config.validate().map_err(MrError::InvalidConfig)?;
         let dfs = Dfs::new(config.nodes, dfs_block_size);
-        Ok(Cluster { config, dfs })
+        Ok(Cluster {
+            config,
+            dfs,
+            trace: None,
+        })
     }
 
     /// Create a cluster around an existing DFS (e.g. to re-run with a
     /// different topology over the same data).
     pub fn with_dfs(config: ClusterConfig, dfs: Dfs) -> Result<Self> {
         config.validate().map_err(MrError::InvalidConfig)?;
-        Ok(Cluster { config, dfs })
+        Ok(Cluster {
+            config,
+            dfs,
+            trace: None,
+        })
     }
 
     /// The cluster's DFS handle.
@@ -59,6 +72,19 @@ impl Cluster {
     /// The cluster topology.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Attach a trace sink; every subsequent job records span events per
+    /// `(job, phase, task, attempt)` into it. Events are emitted outside
+    /// the timed window of each attempt, so tracing is never charged to
+    /// simulated time and task outputs are unaffected.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     fn gauge(&self, label: String) -> MemoryGauge {
@@ -85,6 +111,10 @@ impl Cluster {
             )));
         }
         let counters = Counters::new();
+        let histograms = Histograms::new();
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::new(EventKind::JobStart, &job.name));
+        }
 
         // ---- map phase ----------------------------------------------------
         let map_items: Vec<MapItem<M>> = job
@@ -103,6 +133,7 @@ impl Cluster {
             sort_cmp: &job.sort_cmp,
             combiner: job.combiner.as_ref(),
             counters: &counters,
+            histograms: &histograms,
             cache: &job.cache,
             dfs: &self.dfs,
             cluster: self,
@@ -144,12 +175,14 @@ impl Cluster {
             sort_cmp: &job.sort_cmp,
             group_eq: &job.group_eq,
             counters: &counters,
+            histograms: &histograms,
             cache: &job.cache,
             dfs: &self.dfs,
             cluster: self,
             num_reducers,
             output: &job.output,
             job_name: &job.name,
+            key_label: job.key_label.as_ref(),
         };
         let reduce_result: Result<(Vec<ReduceTaskOut>, RetryStats)> = run_tasks(
             reduce_items,
@@ -242,6 +275,78 @@ impl Cluster {
             )
         };
 
+        // ---- histograms & heavy hitters ------------------------------------
+        // Built from winning-attempt outputs only, so the distributions are
+        // deterministic even when fault injection retries attempts.
+        let map_secs = Histogram::new();
+        for o in &map_outs {
+            map_secs.record(o.duration);
+        }
+        let reduce_secs = Histogram::new();
+        let mut group_records = HistogramSnapshot::default();
+        let mut key_counts: Option<TopK> = None;
+        for o in &reduce_outs {
+            reduce_secs.record(o.duration);
+            group_records.merge(&o.group_records);
+            if let Some(tk) = &o.key_counts {
+                key_counts
+                    .get_or_insert_with(|| TopK::new(heavy_hitter_capacity(&self.config)))
+                    .merge(tk);
+            }
+        }
+        let mut job_histograms = histograms.snapshot();
+        job_histograms.push((HIST_MAP_TASK_SECS.to_string(), map_secs.snapshot()));
+        job_histograms.push((HIST_REDUCE_TASK_SECS.to_string(), reduce_secs.snapshot()));
+        job_histograms.push((HIST_REDUCE_GROUP_RECORDS.to_string(), group_records));
+        job_histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let heavy_hitters = key_counts
+            .map(|tk| tk.top(self.config.heavy_hitter_top_k))
+            .unwrap_or_default();
+        if let Some((label, count)) = heavy_hitters.first() {
+            let share = *count as f64 / shuffle_records.max(1) as f64;
+            if shuffle_records > 0 && share > self.config.heavy_hitter_warn_share {
+                counters.get(HEAVY_HITTER_WARNINGS).incr();
+                eprintln!(
+                    "warning: job {}: reduce key {label} carries {count} of {shuffle_records} \
+                     shuffle records ({:.0}% > {:.0}% threshold) — a different token ordering \
+                     or grouped routing would balance reducers better",
+                    job.name,
+                    share * 100.0,
+                    self.config.heavy_hitter_warn_share * 100.0,
+                );
+                if let Some(t) = &self.trace {
+                    let mut e = TraceEvent::new(EventKind::SkewWarning, &job.name);
+                    e.records = Some(*count);
+                    e.detail = Some(format!(
+                        "{label} carries {:.1}% of {shuffle_records} shuffle records",
+                        share * 100.0
+                    ));
+                    t.emit(e);
+                }
+            }
+        }
+        // Speculative races live on the simulated timeline; export them as
+        // synthetic spans in a dedicated trace process.
+        if let Some(t) = &self.trace {
+            for (phase, spec) in [(Phase::Map, &map_spec), (Phase::Reduce, &reduce_spec)] {
+                for race in &spec.races {
+                    let mut e = TraceEvent::new(EventKind::Speculative, &job.name);
+                    e.phase = Some(phase);
+                    e.task = Some(race.task as u64);
+                    e.dur_us = Some((race.backup_duration * 1e6) as u64);
+                    e.detail = Some(if race.backup_won {
+                        format!("backup won; primary needed {:.3}s", race.primary_duration)
+                    } else {
+                        format!(
+                            "backup killed; primary won in {:.3}s",
+                            race.primary_duration
+                        )
+                    });
+                    t.emit_at(e, (race.backup_start * 1e6) as u64);
+                }
+            }
+        }
+
         let metrics = JobMetrics {
             name: job.name,
             map: PhaseMetrics {
@@ -283,9 +388,25 @@ impl Cluster {
             sim_secs: map_makespan + reduce_makespan,
             wall_secs: wall_start.elapsed().as_secs_f64(),
             counters: counters.snapshot(),
+            histograms: job_histograms,
+            reduce_key_heavy_hitters: heavy_hitters,
         };
+        if let Some(t) = &self.trace {
+            let mut e = TraceEvent::new(EventKind::JobEnd, &metrics.name);
+            e.dur_us = Some((metrics.wall_secs * 1e6) as u64);
+            e.bytes = Some(shuffle_bytes);
+            e.records = Some(shuffle_records);
+            e.detail = Some(format!("sim {:.3}s", metrics.sim_secs));
+            t.emit(e);
+        }
         Ok(metrics)
     }
+}
+
+/// Sketch capacity for per-task heavy-hitter tracking: generously above
+/// the reported top-k so near-ties survive task-level merging.
+fn heavy_hitter_capacity(config: &ClusterConfig) -> usize {
+    (config.heavy_hitter_top_k * 8).max(64)
 }
 
 // ---- generic task pool ----------------------------------------------------
@@ -341,6 +462,86 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "opaque panic payload".to_string()
+    }
+}
+
+/// Simulated backoff (µs) that will follow this failed attempt, when the
+/// error is transient and attempts remain — recorded on failed `TaskEnd`
+/// events so a trace shows why the next attempt starts late in sim time.
+fn pending_backoff_us(config: &ClusterConfig, transient: bool, attempt: usize) -> Option<u64> {
+    if !transient || attempt + 1 >= config.max_task_attempts.max(1) {
+        return None;
+    }
+    let secs = RetryPolicy::from_config(config).backoff_after(attempt);
+    (secs > 0.0).then_some((secs * 1e6) as u64)
+}
+
+/// Run one attempt body bracketed by trace events: a `TaskStart` before it
+/// and exactly one `TaskEnd` after it — whether the body returns, errors,
+/// or panics (panics are re-raised for the retry loop to classify). All
+/// emission happens outside the attempt's own timed window, so tracing is
+/// never charged to simulated time. With no sink attached this is exactly
+/// the body.
+#[allow(clippy::too_many_arguments)]
+fn traced_attempt<O>(
+    cluster: &Cluster,
+    job: &str,
+    phase: Phase,
+    task_id: usize,
+    attempt: usize,
+    node: usize,
+    stats: impl Fn(&O) -> (u64, u64),
+    body: impl FnOnce() -> Result<O>,
+) -> Result<O> {
+    let Some(trace) = &cluster.trace else {
+        return body();
+    };
+    // Re-derive the injected fault for labeling: `FaultPlan::decide` is
+    // pure in (job, phase, task, attempt), so this matches what the body
+    // will draw.
+    let fault = cluster.config.faults.as_ref().and_then(|plan| {
+        if plan.node_is_dead(node) {
+            Some("dead_node".to_string())
+        } else {
+            plan.decide(job, phase, task_id, attempt)
+                .map(|f| format!("{f:?}").to_lowercase())
+        }
+    });
+    let mut start =
+        TraceEvent::new(EventKind::TaskStart, job).at_task(phase, task_id, attempt, node);
+    start.fault = fault.clone();
+    trace.emit(start);
+    let t0 = Instant::now();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+    let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    let mut end = TraceEvent::new(EventKind::TaskEnd, job).at_task(phase, task_id, attempt, node);
+    end.dur_us = Some(wall_us);
+    end.fault = fault;
+    match result {
+        Ok(Ok(out)) => {
+            end.outcome = Some(Outcome::Ok);
+            let (bytes, records) = stats(&out);
+            end.bytes = Some(bytes);
+            end.records = Some(records);
+            trace.emit(end);
+            Ok(out)
+        }
+        Ok(Err(e)) => {
+            end.outcome = Some(Outcome::Failed);
+            end.error = Some(e.to_string());
+            end.backoff_us = pending_backoff_us(&cluster.config, e.is_transient(), attempt);
+            trace.emit(end);
+            Err(e)
+        }
+        Err(payload) => {
+            end.outcome = Some(Outcome::Panicked);
+            end.error = Some(panic_message(payload.as_ref()));
+            // Panics classify as transient, so a retry follows whenever
+            // attempts remain.
+            end.backoff_us = pending_backoff_us(&cluster.config, true, attempt);
+            trace.emit(end);
+            std::panic::resume_unwind(payload)
+        }
     }
 }
 
@@ -490,6 +691,7 @@ struct MapShared<'a, M: Mapper> {
     sort_cmp: &'a SortCmp<M::OutKey>,
     combiner: Option<&'a CombineFn<M::OutKey, M::OutValue>>,
     counters: &'a Counters,
+    histograms: &'a Histograms,
     cache: &'a Cache,
     dfs: &'a Dfs,
     cluster: &'a Cluster,
@@ -605,16 +807,34 @@ fn run_map_task<M: Mapper>(
     attempt: usize,
     shared: &MapShared<'_, M>,
 ) -> Result<MapTaskOut> {
+    let nodes = shared.cluster.config.nodes;
+    // Retried attempts rotate to a different node — how a re-execution
+    // escapes a dead or unhealthy machine.
+    let node = (item.split.node_hint.unwrap_or(item.task_id % nodes) + attempt) % nodes;
+    traced_attempt(
+        shared.cluster,
+        shared.job_name,
+        Phase::Map,
+        item.task_id,
+        attempt,
+        node,
+        |o: &MapTaskOut| (o.input_bytes, o.output_records),
+        || run_map_attempt(item, attempt, node, shared),
+    )
+}
+
+fn run_map_attempt<M: Mapper>(
+    item: &MapItem<M>,
+    attempt: usize,
+    node: usize,
+    shared: &MapShared<'_, M>,
+) -> Result<MapTaskOut> {
     let task_id = item.task_id;
     let split = &item.split;
     let mut mapper = item.mapper.clone();
     let start = Instant::now();
     let node_hint = split.node_hint;
     let input_bytes = split.size_hint;
-    let nodes = shared.cluster.config.nodes;
-    // Retried attempts rotate to a different node — how a re-execution
-    // escapes a dead or unhealthy machine.
-    let node = (node_hint.unwrap_or(task_id % nodes) + attempt) % nodes;
     let label = format!("{}/map-{task_id}", shared.job_name);
     let fault = inject_start_faults(
         shared.cluster.config.faults.as_ref(),
@@ -636,6 +856,7 @@ fn run_map_task<M: Mapper>(
         shared.dfs.clone(),
     );
     ctx.attempt = attempt;
+    ctx.set_histograms(shared.histograms.clone());
     ctx.set_input_path(&split.tag);
     let records = split.read(shared.dfs)?;
     let mut emitter = MapEmitter::new(
@@ -705,12 +926,14 @@ struct ReduceShared<'a, M: Mapper, R: Reducer> {
     sort_cmp: &'a SortCmp<M::OutKey>,
     group_eq: &'a GroupEq<M::OutKey>,
     counters: &'a Counters,
+    histograms: &'a Histograms,
     cache: &'a Cache,
     dfs: &'a Dfs,
     cluster: &'a Cluster,
     num_reducers: usize,
     output: &'a Output<R::OutKey, R::OutValue>,
     job_name: &'a str,
+    key_label: Option<&'a KeyLabel<M::OutKey>>,
 }
 
 struct ReduceTaskOut {
@@ -725,6 +948,10 @@ struct ReduceTaskOut {
     input_records: u64,
     output_records: u64,
     merge_passes: u64,
+    /// Distribution of records per reduce group in this task.
+    group_records: HistogramSnapshot,
+    /// Shuffle records per labeled reduce key (jobs with a key labeler).
+    key_counts: Option<TopK>,
 }
 
 impl SimCharge for ReduceTaskOut {
@@ -810,13 +1037,32 @@ where
     R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
 {
     let task_id = item.task_id;
-    let result = run_reduce_attempt(item, attempt, shared);
+    let nodes = shared.cluster.config.nodes;
+    let node = (task_id + attempt) % nodes;
+    let result = traced_attempt(
+        shared.cluster,
+        shared.job_name,
+        Phase::Reduce,
+        task_id,
+        attempt,
+        node,
+        |o: &ReduceTaskOut| (o.input_bytes, o.output_records),
+        || run_reduce_attempt(item, attempt, node, shared),
+    );
     if result.is_err() {
         // Task-level abort (Hadoop's OutputCommitter.abortTask): discard
         // whatever this attempt wrote so it can never be read as output.
         if let Some(dir) = shared.output.dir() {
             let _ = shared.dfs.delete(&attempt_path(dir, task_id, attempt));
             shared.counters.get("mr.output.aborts").incr();
+            if let Some(t) = &shared.cluster.trace {
+                t.emit(TraceEvent::new(EventKind::Abort, shared.job_name).at_task(
+                    Phase::Reduce,
+                    task_id,
+                    attempt,
+                    node,
+                ));
+            }
         }
     }
     result
@@ -825,6 +1071,7 @@ where
 fn run_reduce_attempt<M, R>(
     item: &ReduceItem<M, R>,
     attempt: usize,
+    node: usize,
     shared: &ReduceShared<'_, M, R>,
 ) -> Result<ReduceTaskOut>
 where
@@ -836,8 +1083,6 @@ where
     let mut reducer = item.reducer.clone();
     let start = Instant::now();
     let input_bytes: u64 = runs.iter().map(|r| r.len_bytes() as u64).sum();
-    let nodes = shared.cluster.config.nodes;
-    let node = (task_id + attempt) % nodes;
     let label = format!("{}/reduce-{task_id}", shared.job_name);
     let fault = inject_start_faults(
         shared.cluster.config.faults.as_ref(),
@@ -859,6 +1104,7 @@ where
         shared.dfs.clone(),
     );
     ctx.attempt = attempt;
+    ctx.set_histograms(shared.histograms.clone());
     // Multi-pass merge when this partition has more runs than the factor
     // allows in a single pass (Hadoop's io.sort.factor).
     let (runs, merge_passes) = merge_to_factor::<M::OutKey, M::OutValue>(
@@ -870,15 +1116,30 @@ where
     let mut emitter = ReduceEmitter::open(shared.dfs, shared.output, task_id, attempt)?;
     reducer.setup(&ctx)?;
     let mut groups = 0u64;
+    let group_hist = Histogram::new();
+    let mut key_counts = shared
+        .key_label
+        .map(|_| TopK::new(heavy_hitter_capacity(&shared.cluster.config)));
+    let mut read_before = 0u64;
     while let Some(first_key) = stream.peek_key().cloned() {
         let mut group = GroupValues::new(&mut stream, first_key.clone(), shared.group_eq.clone());
         reducer.reduce(&first_key, &mut group, &mut emitter, &ctx)?;
         group.drain()?;
+        let read = stream.records_read();
+        let in_group = read - read_before;
+        read_before = read;
+        group_hist.record_count(in_group);
+        if let (Some(tk), Some(kl)) = (key_counts.as_mut(), shared.key_label) {
+            tk.add(&kl(&first_key), in_group);
+        }
         groups += 1;
     }
     reducer.cleanup(&mut emitter, &ctx)?;
     let input_records = stream.records_read();
     let output_records = emitter.close()?;
+    // The measured window ends here: commit bookkeeping and trace emission
+    // below are never charged to simulated time.
+    let elapsed = start.elapsed().as_secs_f64();
     if matches!(fault, Some(Fault::LateFail)) {
         // The attempt wrote its full output but died before committing —
         // the exact window the commit protocol exists for. The uncommitted
@@ -895,8 +1156,15 @@ where
             &part_path(dir, task_id),
         )?;
         shared.counters.get("mr.output.commits").incr();
+        if let Some(t) = &shared.cluster.trace {
+            t.emit(TraceEvent::new(EventKind::Commit, shared.job_name).at_task(
+                Phase::Reduce,
+                task_id,
+                attempt,
+                node,
+            ));
+        }
     }
-    let elapsed = start.elapsed().as_secs_f64();
     let straggle = match fault {
         Some(Fault::Straggle(factor)) => factor,
         _ => 1.0,
@@ -910,6 +1178,8 @@ where
         input_records,
         output_records,
         merge_passes,
+        group_records: group_hist.snapshot(),
+        key_counts,
     })
 }
 

@@ -13,6 +13,12 @@ use crate::reducer::{CombineFn, Reducer};
 /// Formats one output pair as a text line.
 pub type TextFormat<K, V> = Arc<dyn Fn(&K, &V) -> String + Send + Sync>;
 
+/// Renders an intermediate key as a short label for the reduce-key
+/// heavy-hitter report (e.g. the prefix-token rank a stage-2 key routes
+/// on). Labels are aggregated with a top-k sketch, so many distinct labels
+/// are fine; the function should be cheap.
+pub type KeyLabel<K> = Arc<dyn Fn(&K) -> String + Send + Sync>;
+
 /// Where a job's reduce output goes.
 pub enum Output<K, V> {
     /// Discard output (pure side-effect/metric jobs, engine tests).
@@ -62,6 +68,9 @@ pub struct Job<M: Mapper, R: Reducer<Key = M::OutKey, InValue = M::OutValue>> {
     pub output: Output<R::OutKey, R::OutValue>,
     /// Broadcast side data available to all tasks.
     pub cache: Cache,
+    /// Optional labeler enabling the reduce-key heavy-hitter report (see
+    /// [`crate::JobMetrics::reduce_key_heavy_hitters`]).
+    pub key_label: Option<KeyLabel<M::OutKey>>,
 }
 
 impl<M, R> Job<M, R>
@@ -84,6 +93,7 @@ where
             inputs: Vec::new(),
             output: Output::None,
             cache: Cache::new(),
+            key_label: None,
         }
     }
 
@@ -142,6 +152,12 @@ where
     /// Attach broadcast side data.
     pub fn cache(mut self, cache: Cache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Label intermediate keys for the reduce-key heavy-hitter report.
+    pub fn key_label(mut self, f: KeyLabel<M::OutKey>) -> Self {
+        self.key_label = Some(f);
         self
     }
 }

@@ -74,6 +74,7 @@ pub mod error;
 pub mod faults;
 pub mod input;
 pub mod job;
+pub mod json;
 pub mod kv;
 pub mod mapper;
 pub mod memory;
@@ -82,11 +83,12 @@ pub mod partitioner;
 pub mod reducer;
 pub mod run;
 pub mod task;
+pub mod trace;
 
 pub use cache::Cache;
 pub use cluster::{
     list_schedule_makespan, list_schedule_speculative, ClusterConfig, NetworkModel, SpecOutcome,
-    SpecTask,
+    SpecRace, SpecTask,
 };
 pub use codec::{ByteReader, Codec};
 pub use counters::{Counter, Counters};
@@ -95,7 +97,8 @@ pub use engine::Cluster;
 pub use error::{ErrorClass, MrError, Result};
 pub use faults::{Fault, FaultPlan};
 pub use input::{mem_input, seq_input, text_input, SplitSource};
-pub use job::{Job, Output, TextFormat};
+pub use job::{Job, KeyLabel, Output, TextFormat};
+pub use json::{obj, Json};
 pub use kv::{Key, Value};
 pub use mapper::{ClosureMapper, IdentityMapper, Mapper, SwapMapper};
 pub use memory::MemoryGauge;
@@ -107,3 +110,8 @@ pub use partitioner::{
 pub use reducer::{sum_combiner, ClosureReducer, CombineFn, IdentityReducer, Reducer};
 pub use run::{GroupValues, MergeStream, Run};
 pub use task::{Emit, Phase, TaskContext, VecEmitter};
+pub use trace::{
+    EventKind, Histogram, HistogramSnapshot, Histograms, Outcome, TopK, TraceEvent, TraceSink,
+    HEAVY_HITTER_WARNINGS, HIST_MAP_TASK_SECS, HIST_REDUCE_GROUP_RECORDS, HIST_REDUCE_TASK_SECS,
+    TRACE_SCHEMA_VERSION,
+};

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::trace::HistogramSnapshot;
+
 /// Statistics for one phase (map or reduce) of a job.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseMetrics {
@@ -101,6 +103,16 @@ pub struct JobMetrics {
     pub wall_secs: f64,
     /// User counters `(name, value)`, name-ordered.
     pub counters: Vec<(String, u64)>,
+    /// Named histogram snapshots, name-ordered: engine-built distributions
+    /// ([`crate::trace::HIST_MAP_TASK_SECS`],
+    /// [`crate::trace::HIST_REDUCE_TASK_SECS`],
+    /// [`crate::trace::HIST_REDUCE_GROUP_RECORDS`]) plus any user
+    /// histograms recorded through [`crate::TaskContext::histogram`].
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Heaviest reduce keys `(label, shuffle records)` in descending
+    /// weight, for jobs that define a [`crate::Job::key_label`]; empty
+    /// otherwise.
+    pub reduce_key_heavy_hitters: Vec<(String, u64)>,
 }
 
 impl JobMetrics {
@@ -110,6 +122,14 @@ impl JobMetrics {
             .iter()
             .find(|(n, _)| n == name)
             .map_or(0, |(_, v)| *v)
+    }
+
+    /// A named histogram snapshot, when one was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 }
 
@@ -161,6 +181,24 @@ impl fmt::Display for JobMetrics {
                 self.output_aborts,
             )?;
         }
+        if let Some(h) = self.histogram(crate::trace::HIST_REDUCE_GROUP_RECORDS) {
+            if !h.is_empty() {
+                write!(
+                    f,
+                    "\n  groups per-group records p50 {:.0}  p95 {:.0}  p99 {:.0}  max {:.0}",
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0),
+                    h.max,
+                )?;
+            }
+        }
+        if !self.reduce_key_heavy_hitters.is_empty() {
+            write!(f, "\n  hot keys")?;
+            for (label, count) in self.reduce_key_heavy_hitters.iter().take(5) {
+                write!(f, "  {label}={count}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -197,6 +235,23 @@ impl PipelineMetrics {
     /// Total bytes shuffled across all jobs.
     pub fn shuffle_bytes(&self) -> u64 {
         self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+}
+
+impl fmt::Display for PipelineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for job in &self.jobs {
+            writeln!(f, "{job}")?;
+        }
+        write!(
+            f,
+            "total  {} job{}  sim {:>8.3}s  wall {:>8.3}s  shuffle {:>12} bytes",
+            self.jobs.len(),
+            if self.jobs.len() == 1 { "" } else { "s" },
+            self.sim_secs(),
+            self.wall_secs(),
+            self.shuffle_bytes(),
+        )
     }
 }
 
@@ -261,5 +316,48 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("stage2-kernel"));
         assert!(s.contains("shuffle"));
+    }
+
+    #[test]
+    fn display_shows_heavy_hitters_and_group_percentiles() {
+        let group_hist = crate::trace::Histogram::new();
+        for n in [1u64, 2, 3, 100] {
+            group_hist.record_count(n);
+        }
+        let m = JobMetrics {
+            name: "stage2-bk".into(),
+            histograms: vec![(
+                crate::trace::HIST_REDUCE_GROUP_RECORDS.to_string(),
+                group_hist.snapshot(),
+            )],
+            reduce_key_heavy_hitters: vec![("rank:0".into(), 100), ("rank:7".into(), 3)],
+            ..Default::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("hot keys"), "{s}");
+        assert!(s.contains("rank:0=100"), "{s}");
+        assert!(s.contains("p95"), "{s}");
+    }
+
+    #[test]
+    fn pipeline_display_lists_jobs_and_totals() {
+        let mut p = PipelineMetrics::default();
+        p.push(JobMetrics {
+            name: "stage1-a".into(),
+            sim_secs: 1.0,
+            shuffle_bytes: 10,
+            ..Default::default()
+        });
+        p.push(JobMetrics {
+            name: "stage2-b".into(),
+            sim_secs: 2.0,
+            shuffle_bytes: 30,
+            ..Default::default()
+        });
+        let s = p.to_string();
+        assert!(s.contains("stage1-a"), "{s}");
+        assert!(s.contains("stage2-b"), "{s}");
+        assert!(s.contains("total  2 jobs"), "{s}");
+        assert!(s.contains("40 bytes"), "{s}");
     }
 }

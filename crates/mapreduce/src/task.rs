@@ -5,6 +5,7 @@ use crate::counters::{Counter, Counters};
 use crate::dfs::Dfs;
 use crate::error::Result;
 use crate::memory::MemoryGauge;
+use crate::trace::{Histogram, Histograms};
 
 /// Which phase a task belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,7 @@ pub struct TaskContext {
     /// Zero-based execution attempt of this task (> 0 after retries).
     pub attempt: usize,
     counters: Counters,
+    histograms: Histograms,
     memory: MemoryGauge,
     cache: Cache,
     dfs: Dfs,
@@ -61,6 +63,7 @@ impl TaskContext {
             input_path: String::new(),
             attempt: 0,
             counters,
+            histograms: Histograms::new(),
             memory,
             cache,
             dfs,
@@ -70,6 +73,14 @@ impl TaskContext {
     /// Fetch (or create) a named user counter.
     pub fn counter(&self, name: &str) -> Counter {
         self.counters.get(name)
+    }
+
+    /// Fetch (or create) a named user histogram — record per-group or
+    /// per-record distributions into it (e.g. candidate counts); snapshots
+    /// land in [`crate::JobMetrics::histograms`]. Like counters, values
+    /// recorded by attempts that later fail and retry are not rolled back.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms.get(name)
     }
 
     /// The task's memory gauge; charge it for data the task holds.
@@ -100,6 +111,11 @@ impl TaskContext {
     pub(crate) fn set_input_path(&mut self, path: &str) {
         self.input_path.clear();
         self.input_path.push_str(path);
+    }
+
+    /// Engine-internal: share the job-wide histogram registry.
+    pub(crate) fn set_histograms(&mut self, histograms: Histograms) {
+        self.histograms = histograms;
     }
 }
 
@@ -155,6 +171,16 @@ mod tests {
         assert_eq!(c.label(), "map-3");
         c.counter("x").add(2);
         assert_eq!(c.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn histograms_are_shared_cells() {
+        let c = ctx();
+        c.histogram("h").record(4.0);
+        c.histogram("h").record(2.0);
+        let snap = c.histogram("h").snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, 4.0);
     }
 
     #[test]

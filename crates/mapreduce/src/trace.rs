@@ -1,0 +1,960 @@
+//! Structured tracing, log-bucketed histograms, and heavy-hitter tracking.
+//!
+//! The engine can record a span event stream per `(job, phase, task,
+//! attempt)` — start/end, bytes, records, retries/backoff, speculative
+//! races, commits/aborts — into a [`TraceSink`]. The stream exports as
+//! JSONL (one event per line, schema-versioned) and as Chrome
+//! `trace_event` JSON loadable in Perfetto. Event recording happens
+//! *outside* the timed sections of every task attempt, so tracing never
+//! perturbs simulated time.
+//!
+//! [`Histogram`] provides log-bucketed value distributions (p50/p95/p99/max)
+//! for task durations, reduce-group sizes, and any per-task quantity user
+//! code records through [`crate::TaskContext::histogram`]. [`TopK`] is a
+//! space-saving heavy-hitter sketch used to name the reduce keys that
+//! dominate a job's shuffle.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::Result;
+use crate::json::{escape_into, obj, Json};
+use crate::task::Phase;
+
+/// Version stamped into every JSONL trace event as `"v"`. Consumers must
+/// ignore unknown fields; this number only changes when a field is removed
+/// or retyped.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Histogram of map-task durations (simulated seconds), recorded per job.
+pub const HIST_MAP_TASK_SECS: &str = "task.map.secs";
+/// Histogram of reduce-task durations (simulated seconds), recorded per job.
+pub const HIST_REDUCE_TASK_SECS: &str = "task.reduce.secs";
+/// Histogram of records per reduce group, recorded per job.
+pub const HIST_REDUCE_GROUP_RECORDS: &str = "reduce.group.records";
+/// Counter bumped when a job's top reduce key exceeds the configured share
+/// of shuffle records.
+pub const HEAVY_HITTER_WARNINGS: &str = "mr.skew.heavy_hitter_warnings";
+
+// ---------------------------------------------------------------------------
+// events
+// ---------------------------------------------------------------------------
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job began executing.
+    JobStart,
+    /// A job finished (duration in `dur_us`).
+    JobEnd,
+    /// A task attempt began.
+    TaskStart,
+    /// A task attempt finished — exactly one per started attempt, whether
+    /// it succeeded, failed, or panicked (see `outcome`).
+    TaskEnd,
+    /// A reduce attempt's output was atomically promoted to its part file.
+    Commit,
+    /// A failed reduce attempt's partial output was discarded.
+    Abort,
+    /// A speculative backup attempt from the makespan model. Timestamps of
+    /// these events are on the *simulated* timeline, not the wall clock.
+    Speculative,
+    /// The job's top reduce key exceeded the configured share of shuffle
+    /// records — the operational symptom of a bad token order.
+    SkewWarning,
+}
+
+impl EventKind {
+    /// Stable wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::JobStart => "job_start",
+            EventKind::JobEnd => "job_end",
+            EventKind::TaskStart => "task_start",
+            EventKind::TaskEnd => "task_end",
+            EventKind::Commit => "commit",
+            EventKind::Abort => "abort",
+            EventKind::Speculative => "speculative",
+            EventKind::SkewWarning => "skew_warning",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "job_start" => EventKind::JobStart,
+            "job_end" => EventKind::JobEnd,
+            "task_start" => EventKind::TaskStart,
+            "task_end" => EventKind::TaskEnd,
+            "commit" => EventKind::Commit,
+            "abort" => EventKind::Abort,
+            "speculative" => EventKind::Speculative,
+            "skew_warning" => EventKind::SkewWarning,
+            _ => return None,
+        })
+    }
+}
+
+/// How a task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The attempt completed and its output (if any) was committed.
+    Ok,
+    /// The attempt returned an error.
+    Failed,
+    /// The attempt panicked (user code or an injected panic fault).
+    Panicked,
+}
+
+impl Outcome {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Failed => "failed",
+            Outcome::Panicked => "panicked",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Outcome> {
+        Some(match s {
+            "ok" => Outcome::Ok,
+            "failed" => Outcome::Failed,
+            "panicked" => Outcome::Panicked,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event. Fields that do not apply to the event's
+/// kind are `None` and omitted from the JSONL encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since the sink was created (wall clock), except for
+    /// [`EventKind::Speculative`] events, which sit on the simulated
+    /// timeline.
+    pub ts_us: u64,
+    /// What this event marks.
+    pub kind: EventKind,
+    /// Job name.
+    pub job: String,
+    /// Phase of the task, for task-scoped events.
+    pub phase: Option<Phase>,
+    /// Task index within its phase.
+    pub task: Option<u64>,
+    /// Zero-based attempt number.
+    pub attempt: Option<u64>,
+    /// Simulated node the attempt ran on.
+    pub node: Option<u64>,
+    /// Span duration in microseconds (`TaskEnd`, `JobEnd`, `Speculative`).
+    pub dur_us: Option<u64>,
+    /// How the attempt ended (`TaskEnd` only).
+    pub outcome: Option<Outcome>,
+    /// Error message of a failed attempt.
+    pub error: Option<String>,
+    /// Injected fault applied to the attempt, if any.
+    pub fault: Option<String>,
+    /// Bytes processed (task input/output, or job shuffle bytes).
+    pub bytes: Option<u64>,
+    /// Records processed.
+    pub records: Option<u64>,
+    /// Simulated retry backoff charged after this failed attempt.
+    pub backoff_us: Option<u64>,
+    /// Free-form detail (warning text, speculative race resolution, …).
+    pub detail: Option<String>,
+}
+
+impl TraceEvent {
+    /// A new event of `kind` for `job` with every optional field unset.
+    /// The timestamp is filled in by [`TraceSink::emit`].
+    pub fn new(kind: EventKind, job: impl Into<String>) -> Self {
+        TraceEvent {
+            ts_us: 0,
+            kind,
+            job: job.into(),
+            phase: None,
+            task: None,
+            attempt: None,
+            node: None,
+            dur_us: None,
+            outcome: None,
+            error: None,
+            fault: None,
+            bytes: None,
+            records: None,
+            backoff_us: None,
+            detail: None,
+        }
+    }
+
+    /// Set the task coordinates `(phase, task, attempt, node)`.
+    pub fn at_task(mut self, phase: Phase, task: usize, attempt: usize, node: usize) -> Self {
+        self.phase = Some(phase);
+        self.task = Some(task as u64);
+        self.attempt = Some(attempt as u64);
+        self.node = Some(node as u64);
+        self
+    }
+
+    /// Encode as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"v\":");
+        s.push_str(&TRACE_SCHEMA_VERSION.to_string());
+        s.push_str(",\"ts_us\":");
+        s.push_str(&self.ts_us.to_string());
+        s.push_str(",\"kind\":\"");
+        s.push_str(self.kind.as_str());
+        s.push_str("\",\"job\":\"");
+        escape_into(&self.job, &mut s);
+        s.push('"');
+        if let Some(p) = self.phase {
+            s.push_str(",\"phase\":\"");
+            s.push_str(match p {
+                Phase::Map => "map",
+                Phase::Reduce => "reduce",
+            });
+            s.push('"');
+        }
+        let num = |name: &str, v: Option<u64>, s: &mut String| {
+            if let Some(v) = v {
+                s.push_str(",\"");
+                s.push_str(name);
+                s.push_str("\":");
+                s.push_str(&v.to_string());
+            }
+        };
+        num("task", self.task, &mut s);
+        num("attempt", self.attempt, &mut s);
+        num("node", self.node, &mut s);
+        num("dur_us", self.dur_us, &mut s);
+        if let Some(o) = self.outcome {
+            s.push_str(",\"outcome\":\"");
+            s.push_str(o.as_str());
+            s.push('"');
+        }
+        let text = |name: &str, v: &Option<String>, s: &mut String| {
+            if let Some(v) = v {
+                s.push_str(",\"");
+                s.push_str(name);
+                s.push_str("\":\"");
+                escape_into(v, s);
+                s.push('"');
+            }
+        };
+        text("error", &self.error, &mut s);
+        text("fault", &self.fault, &mut s);
+        num("bytes", self.bytes, &mut s);
+        num("records", self.records, &mut s);
+        num("backoff_us", self.backoff_us, &mut s);
+        text("detail", &self.detail, &mut s);
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line back into an event.
+    pub fn from_json_line(line: &str) -> Result<TraceEvent> {
+        let v = Json::parse(line)?;
+        let bad = |what: &str| crate::error::MrError::Codec(format!("trace event: {what}: {line}"));
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(EventKind::parse)
+            .ok_or_else(|| bad("missing or unknown kind"))?;
+        let job = v
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing job"))?
+            .to_string();
+        let phase = match v.get("phase").and_then(Json::as_str) {
+            None => None,
+            Some("map") => Some(Phase::Map),
+            Some("reduce") => Some(Phase::Reduce),
+            Some(_) => return Err(bad("unknown phase")),
+        };
+        let outcome = match v.get("outcome").and_then(Json::as_str) {
+            None => None,
+            Some(s) => Some(Outcome::parse(s).ok_or_else(|| bad("unknown outcome"))?),
+        };
+        let num = |name: &str| v.get(name).and_then(Json::as_u64);
+        let text = |name: &str| v.get(name).and_then(Json::as_str).map(str::to_string);
+        Ok(TraceEvent {
+            ts_us: num("ts_us").ok_or_else(|| bad("missing ts_us"))?,
+            kind,
+            job,
+            phase,
+            task: num("task"),
+            attempt: num("attempt"),
+            node: num("node"),
+            dur_us: num("dur_us"),
+            outcome,
+            error: text("error"),
+            fault: text("fault"),
+            bytes: num("bytes"),
+            records: num("records"),
+            backoff_us: num("backoff_us"),
+            detail: text("detail"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sink
+// ---------------------------------------------------------------------------
+
+/// A shared, append-only event sink. Cloning shares the underlying buffer;
+/// recording is one short mutex-protected push, and events carry
+/// timestamps relative to the sink's creation.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<SinkInner>,
+}
+
+struct SinkInner {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// A fresh sink; event timestamps count from this moment.
+    pub fn new() -> Self {
+        TraceSink {
+            inner: Arc::new(SinkInner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Microseconds elapsed since the sink was created.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record `event` stamped with the current wall time.
+    pub fn emit(&self, mut event: TraceEvent) {
+        event.ts_us = self.now_us();
+        self.inner.events.lock().push(event);
+    }
+
+    /// Record `event` with an explicit timestamp (used for events on the
+    /// simulated timeline, e.g. speculative races).
+    pub fn emit_at(&self, mut event: TraceEvent, ts_us: u64) {
+        event.ts_us = ts_us;
+        self.inner.events.lock().push(event);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Serialize every event as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let events = self.inner.events.lock();
+        let mut s = String::with_capacity(events.len() * 128);
+        for e in events.iter() {
+            s.push_str(&e.to_json_line());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse a JSONL document produced by [`TraceSink::to_jsonl`].
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(TraceEvent::from_json_line)
+            .collect()
+    }
+
+    /// Serialize as Chrome `trace_event` JSON (loadable in Perfetto or
+    /// `chrome://tracing`). Real execution spans live in process
+    /// "execution (wall clock)"; speculative-model spans live in
+    /// "speculation (simulated)" because their timestamps are simulated.
+    pub fn to_chrome_trace(&self) -> String {
+        const PID_WALL: u64 = 1;
+        const PID_SIM: u64 = 2;
+        let events = self.inner.events.lock();
+        // Stable tid per (job, phase, task) so all attempts of a task share
+        // a track; tid 0 is the job-level track.
+        let mut tids: BTreeMap<String, u64> = BTreeMap::new();
+        let mut tid_of = |label: &str| -> u64 {
+            let next = tids.len() as u64 + 1;
+            *tids.entry(label.to_string()).or_insert(next)
+        };
+        let phase_name = |p: Option<Phase>| match p {
+            Some(Phase::Map) => "map",
+            Some(Phase::Reduce) => "reduce",
+            None => "job",
+        };
+        let mut out: Vec<Json> = Vec::new();
+        for e in events.iter() {
+            let track = match e.task {
+                Some(t) => format!("{}/{}-{}", e.job, phase_name(e.phase), t),
+                None => format!("{}/job", e.job),
+            };
+            let tid = tid_of(&track);
+            let mut args: Vec<(&str, Json)> = vec![("job", Json::Str(e.job.clone()))];
+            if let Some(a) = e.attempt {
+                args.push(("attempt", Json::Num(a as f64)));
+            }
+            if let Some(n) = e.node {
+                args.push(("node", Json::Num(n as f64)));
+            }
+            if let Some(o) = e.outcome {
+                args.push(("outcome", Json::Str(o.as_str().to_string())));
+            }
+            if let Some(err) = &e.error {
+                args.push(("error", Json::Str(err.clone())));
+            }
+            if let Some(fault) = &e.fault {
+                args.push(("fault", Json::Str(fault.clone())));
+            }
+            if let Some(b) = e.bytes {
+                args.push(("bytes", Json::Num(b as f64)));
+            }
+            if let Some(r) = e.records {
+                args.push(("records", Json::Num(r as f64)));
+            }
+            if let Some(b) = e.backoff_us {
+                args.push(("backoff_us", Json::Num(b as f64)));
+            }
+            if let Some(d) = &e.detail {
+                args.push(("detail", Json::Str(d.clone())));
+            }
+            let (ph, pid, ts, dur, name) = match e.kind {
+                // Complete spans: ts is the span start.
+                EventKind::TaskEnd => {
+                    let dur = e.dur_us.unwrap_or(0);
+                    let name = format!(
+                        "{}-{}#a{}",
+                        phase_name(e.phase),
+                        e.task.unwrap_or(0),
+                        e.attempt.unwrap_or(0)
+                    );
+                    ("X", PID_WALL, e.ts_us.saturating_sub(dur), Some(dur), name)
+                }
+                EventKind::JobEnd => {
+                    let dur = e.dur_us.unwrap_or(0);
+                    (
+                        "X",
+                        PID_WALL,
+                        e.ts_us.saturating_sub(dur),
+                        Some(dur),
+                        e.job.clone(),
+                    )
+                }
+                EventKind::Speculative => {
+                    let name = format!("spec-{}-{}", phase_name(e.phase), e.task.unwrap_or(0));
+                    ("X", PID_SIM, e.ts_us, Some(e.dur_us.unwrap_or(0)), name)
+                }
+                // Instants.
+                kind => ("i", PID_WALL, e.ts_us, None, kind.as_str().to_string()),
+            };
+            let mut members: Vec<(&str, Json)> = vec![
+                ("name", Json::Str(name)),
+                ("ph", Json::Str(ph.to_string())),
+                ("pid", Json::Num(pid as f64)),
+                ("tid", Json::Num(tid as f64)),
+                ("ts", Json::Num(ts as f64)),
+            ];
+            if let Some(dur) = dur {
+                members.push(("dur", Json::Num(dur as f64)));
+            }
+            if ph == "i" {
+                members.push(("s", Json::Str("t".to_string())));
+            }
+            members.push(("args", obj(args)));
+            out.push(obj(members));
+        }
+        // Name the tracks so Perfetto shows task labels instead of numbers.
+        for (label, tid) in &tids {
+            out.push(obj(vec![
+                ("name", Json::Str("thread_name".to_string())),
+                ("ph", Json::Str("M".to_string())),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(*tid as f64)),
+                ("args", obj(vec![("name", Json::Str(label.clone()))])),
+            ]));
+        }
+        for (pid, name) in [
+            (PID_WALL, "execution (wall clock)"),
+            (PID_SIM, "speculation (simulated)"),
+        ] {
+            out.push(obj(vec![
+                ("name", Json::Str("process_name".to_string())),
+                ("ph", Json::Str("M".to_string())),
+                ("pid", Json::Num(pid as f64)),
+                ("args", obj(vec![("name", Json::Str(name.to_string()))])),
+            ]));
+        }
+        obj(vec![
+            ("traceEvents", Json::Arr(out)),
+            ("displayTimeUnit", Json::Str("ms".to_string())),
+        ])
+        .to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// histograms
+// ---------------------------------------------------------------------------
+
+/// Sub-buckets per power of two. Bucket boundaries are `2^(i/16)`, so a
+/// bucket's relative width is ~4.4% and percentile estimates (taken at the
+/// bucket's geometric center) are within ~2.2% of the exact order
+/// statistic.
+const SUB_BUCKETS: f64 = 16.0;
+
+fn bucket_index(v: f64) -> i32 {
+    (v.log2() * SUB_BUCKETS).floor() as i32
+}
+
+fn bucket_center(idx: i32) -> f64 {
+    2f64.powf((idx as f64 + 0.5) / SUB_BUCKETS)
+}
+
+#[derive(Default)]
+struct HistData {
+    zeros: u64,
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A log-bucketed histogram. Cloning shares the underlying cells, like
+/// [`crate::Counter`]; recording is one short mutex-protected update.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Arc<Mutex<HistData>>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value. Non-finite values are ignored; values ≤ 0 land in
+    /// a dedicated zero bucket.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut d = self.inner.lock();
+        if d.count == 0 {
+            d.min = v;
+            d.max = v;
+        } else {
+            d.min = d.min.min(v);
+            d.max = d.max.max(v);
+        }
+        d.count += 1;
+        d.sum += v;
+        if v <= 0.0 {
+            d.zeros += 1;
+        } else {
+            *d.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Record an integer count.
+    pub fn record_count(&self, n: u64) {
+        self.record(n as f64);
+    }
+
+    /// Immutable snapshot of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let d = self.inner.lock();
+        HistogramSnapshot {
+            count: d.count,
+            sum: d.sum,
+            min: if d.count == 0 { 0.0 } else { d.min },
+            max: if d.count == 0 { 0.0 } else { d.max },
+            zeros: d.zeros,
+            buckets: d.buckets.iter().map(|(&i, &c)| (i, c)).collect(),
+        }
+    }
+}
+
+/// A plain-data snapshot of a [`Histogram`], carried in
+/// [`crate::JobMetrics`] and mergeable across tasks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+    /// Values ≤ 0.
+    pub zeros: u64,
+    /// `(bucket index, count)` in ascending index order; a value `v > 0`
+    /// lands in bucket `floor(log2(v) * 16)`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate of the `p`-th percentile (`0 < p <= 100`), within one log
+    /// bucket (~2.2% relative error) of the exact order statistic; the
+    /// result is clamped to the exact observed `[min, max]`, so
+    /// `percentile(100) == max` exactly.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cum = self.zeros;
+        if rank <= cum {
+            return self.min.min(0.0);
+        }
+        for &(idx, c) in &self.buckets {
+            cum += c;
+            if rank <= cum {
+                return bucket_center(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        let mut merged: BTreeMap<i32, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *merged.entry(i).or_insert(0) += c;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// A registry of named histograms shared by every task of a job, mirroring
+/// [`crate::Counters`].
+#[derive(Clone, Default)]
+pub struct Histograms {
+    inner: Arc<RwLock<BTreeMap<String, Histogram>>>,
+}
+
+impl Histograms {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (creating if absent) the histogram with the given name.
+    pub fn get(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().get(name) {
+            return h.clone();
+        }
+        let mut map = self.inner.write();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Snapshot every histogram as `(name, snapshot)` in name order.
+    pub fn snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// heavy hitters
+// ---------------------------------------------------------------------------
+
+/// A space-saving top-k sketch over labeled counts. With at most
+/// `capacity` distinct labels the counts are exact; beyond that, evicted
+/// labels donate their count to their replacement, so reported counts are
+/// upper bounds — the standard space-saving guarantee, ample for naming
+/// the reduce keys that dominate a shuffle.
+#[derive(Debug, Clone, Default)]
+pub struct TopK {
+    capacity: usize,
+    items: Vec<(String, u64)>,
+}
+
+impl TopK {
+    /// A sketch tracking up to `capacity` labels (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TopK {
+            capacity: capacity.max(1),
+            items: Vec::new(),
+        }
+    }
+
+    /// Add `n` occurrences of `label`.
+    pub fn add(&mut self, label: &str, n: u64) {
+        if let Some(item) = self.items.iter_mut().find(|(l, _)| l == label) {
+            item.1 += n;
+            return;
+        }
+        if self.items.len() < self.capacity {
+            self.items.push((label.to_string(), n));
+            return;
+        }
+        let (min_i, min_count) = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, c))| *c)
+            .map(|(i, (_, c))| (i, *c))
+            .expect("non-empty at capacity");
+        self.items[min_i] = (label.to_string(), min_count + n);
+    }
+
+    /// Merge another sketch into this one.
+    pub fn merge(&mut self, other: &TopK) {
+        for (label, n) in &other.items {
+            self.add(label, *n);
+        }
+    }
+
+    /// The top `k` labels by count, descending (ties broken by label for
+    /// determinism).
+    pub fn top(&self, k: usize) -> Vec<(String, u64)> {
+        let mut items = self.items.clone();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        items.truncate(k);
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_event() -> TraceEvent {
+        TraceEvent {
+            ts_us: 1234,
+            kind: EventKind::TaskEnd,
+            job: "stage2-pk \"quoted\"\n".into(),
+            phase: Some(Phase::Reduce),
+            task: Some(7),
+            attempt: Some(2),
+            node: Some(3),
+            dur_us: Some(456),
+            outcome: Some(Outcome::Failed),
+            error: Some("boom\ttab".into()),
+            fault: Some("straggle(8)".into()),
+            bytes: Some(1024),
+            records: Some(99),
+            backoff_us: Some(2_000_000),
+            detail: Some("unicode é 漢".into()),
+        }
+    }
+
+    #[test]
+    fn event_jsonl_roundtrip_all_fields() {
+        let e = full_event();
+        let line = e.to_json_line();
+        assert_eq!(TraceEvent::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn event_jsonl_roundtrip_minimal() {
+        let e = TraceEvent::new(EventKind::JobStart, "wordcount");
+        let line = e.to_json_line();
+        let parsed = TraceEvent::from_json_line(&line).unwrap();
+        assert_eq!(parsed, e);
+        assert!(line.contains("\"v\":1"));
+    }
+
+    #[test]
+    fn sink_orders_and_serializes() {
+        let sink = TraceSink::new();
+        sink.emit(TraceEvent::new(EventKind::JobStart, "j"));
+        sink.emit(TraceEvent::new(EventKind::TaskStart, "j").at_task(Phase::Map, 0, 0, 1));
+        assert_eq!(sink.len(), 2);
+        let parsed = TraceSink::parse_jsonl(&sink.to_jsonl()).unwrap();
+        assert_eq!(parsed, sink.events());
+        assert!(parsed[0].ts_us <= parsed[1].ts_us);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_spans() {
+        let sink = TraceSink::new();
+        sink.emit(TraceEvent::new(EventKind::TaskStart, "j").at_task(Phase::Map, 0, 0, 1));
+        let mut end = TraceEvent::new(EventKind::TaskEnd, "j").at_task(Phase::Map, 0, 0, 1);
+        end.dur_us = Some(10);
+        end.outcome = Some(Outcome::Ok);
+        sink.emit(end);
+        let mut spec = TraceEvent::new(EventKind::Speculative, "j").at_task(Phase::Reduce, 3, 1, 0);
+        spec.dur_us = Some(50);
+        sink.emit_at(spec, 100);
+        let chrome = sink.to_chrome_trace();
+        let v = Json::parse(&chrome).unwrap();
+        let events = v.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2, "one wall span + one speculative span");
+        for e in complete {
+            assert!(e.get("dur").is_some());
+            assert!(e.get("ts").is_some());
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_against_sorted_oracle() {
+        // Deterministic pseudo-random values over several orders of
+        // magnitude.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut values = Vec::new();
+        let h = Histogram::new();
+        for _ in 0..5000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = (state % 1_000_000) as f64 / 997.0 + 1e-6;
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5000);
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil() as usize - 1;
+            let exact = values[rank];
+            let est = snap.percentile(p);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.03, "p{p}: est {est} vs exact {exact} (rel {rel})");
+        }
+        assert_eq!(snap.percentile(100.0), *values.last().unwrap());
+        assert_eq!(snap.max, *values.last().unwrap());
+        assert_eq!(snap.min, *values.first().unwrap());
+    }
+
+    #[test]
+    fn histogram_handles_zeros_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().percentile(50.0), 0.0);
+        h.record(0.0);
+        h.record(0.0);
+        h.record(8.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.zeros, 2);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert!(s.percentile(100.0) == 8.0);
+        h.record(f64::NAN);
+        assert_eq!(h.snapshot().count, 3, "non-finite values are ignored");
+    }
+
+    #[test]
+    fn histogram_snapshots_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 1..100u64 {
+            let target = if i % 2 == 0 { &a } else { &b };
+            target.record_count(i);
+            all.record_count(i);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&merged);
+        assert_eq!(empty, all.snapshot());
+    }
+
+    #[test]
+    fn histograms_registry_shares_cells() {
+        let hists = Histograms::new();
+        hists.get("x").record(1.0);
+        hists.get("x").record(2.0);
+        let snap = hists.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1.count, 2);
+    }
+
+    #[test]
+    fn topk_exact_within_capacity() {
+        let mut t = TopK::new(8);
+        for (label, n) in [("a", 5), ("b", 3), ("c", 9)] {
+            t.add(label, n);
+        }
+        assert_eq!(t.top(2), vec![("c".to_string(), 9), ("a".to_string(), 5)]);
+    }
+
+    #[test]
+    fn topk_keeps_heavy_hitters_under_eviction() {
+        let mut t = TopK::new(4);
+        // One genuinely heavy label among many singletons.
+        for i in 0..100 {
+            t.add(&format!("noise-{i}"), 1);
+            t.add("heavy", 10);
+        }
+        let top = t.top(1);
+        assert_eq!(top[0].0, "heavy");
+        assert!(top[0].1 >= 1000);
+    }
+
+    #[test]
+    fn topk_merge_accumulates() {
+        let mut a = TopK::new(8);
+        a.add("x", 2);
+        let mut b = TopK::new(8);
+        b.add("x", 3);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.top(1), vec![("x".to_string(), 5)]);
+    }
+}

@@ -102,6 +102,9 @@ pub struct PpjoinIndex {
     approx_bytes: u64,
     /// Scratch: candidate overlap accumulator (record idx -> state).
     scratch: HashMap<u32, CandState>,
+    /// Running count of candidates that reached the accumulator across all
+    /// probes (before positional/suffix pruning).
+    candidates_examined: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -146,7 +149,15 @@ impl PpjoinIndex {
             index_full_prefix: full_prefix,
             approx_bytes: 64,
             scratch: HashMap::new(),
+            candidates_examined: 0,
         }
+    }
+
+    /// Total candidates that entered the overlap accumulator across all
+    /// probes so far — the prefix-filter survivor count, before positional
+    /// and suffix pruning. Drives the candidate-count histograms.
+    pub fn candidates_examined(&self) -> u64 {
+        self.candidates_examined
     }
 
     /// Number of records currently indexed and not evicted.
@@ -225,6 +236,7 @@ impl PpjoinIndex {
                 }
             }
         }
+        self.candidates_examined += self.scratch.len() as u64;
         let mut out = Vec::new();
         let mut cands: Vec<(u32, CandState)> = self
             .scratch
