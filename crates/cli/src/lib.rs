@@ -21,9 +21,10 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 
 use args::Args;
 use fuzzyjoin::{
-    read_joined, rs_join, run_report_resolved, self_join, Cluster, ClusterConfig, FaultPlan,
-    FilterConfig, JoinConfig, JoinOutcome, RecordFormat, SimFunction, Stage1Algo, Stage2Algo,
-    Stage3Algo, Threshold, TokenRouting, TokenizerKind,
+    read_joined, rs_join, rs_join_resume, run_report_resolved, self_join, self_join_resume,
+    BadRecordPolicy, Cluster, ClusterConfig, FaultPlan, FilterConfig, JoinConfig, JoinOutcome,
+    RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold, TokenRouting,
+    TokenizerKind,
 };
 use mapreduce::TraceSink;
 
@@ -48,7 +49,21 @@ fault injection (chaos testing; results are unaffected by design):
   --fault-seed S     run under the aggressive chaos preset with seed S
   --fault-plan SPEC  custom plan, e.g.
                      seed=42,transient=0.1,panic=0.05,oom=0.02,late=0.05,straggler=0.1x8,node_down=2
-                     (--fault-seed overrides the plan's seed)
+                     (--fault-seed overrides the plan's seed); driver-level
+                     points: crash_after=N / crash_mid=N (crash around the
+                     N-th job; pair with --resume yes) and corrupt=/dfs/path
+                     (flip a bit in a committed file; the CRC layer must
+                     catch it on the next read)
+
+recovery (selfjoin/rsjoin):
+  --resume yes          after an injected driver crash or a detected
+                        checksum failure, resume over the surviving DFS:
+                        each job's _SUCCESS manifest (input fingerprint +
+                        per-part checksums) is validated and only missing
+                        or invalid stages are re-run
+  --bad-records POLICY  malformed input lines: strict (default, fail the
+                        job), skip (count and continue), or skip:N (skip at
+                        most N per job, then fail)
 
 observability (selfjoin/rsjoin):
   --trace-out FILE    write the execution trace: one JSONL span event per
@@ -129,6 +144,8 @@ const JOIN_FLAGS: &[&str] = &[
     "full",
     "fault-seed",
     "fault-plan",
+    "resume",
+    "bad-records",
     "trace-out",
     "metrics-json",
     "report",
@@ -241,6 +258,12 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
             groups: g.parse::<u32>().map_err(|e| format!("bad --groups: {e}"))?,
         },
     };
+    let bad_records = match args.get("bad-records") {
+        None => BadRecordPolicy::Strict,
+        Some(spec) => {
+            BadRecordPolicy::parse(spec).map_err(|e| format!("bad --bad-records: {e}"))?
+        }
+    };
     let nodes: usize = args.get_parsed("nodes", 10)?;
     if nodes == 0 {
         return Err("--nodes must be at least 1".into());
@@ -259,9 +282,61 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
             routing,
             stage3,
             length_sub_routing: None,
+            bad_records,
         },
         nodes,
     ))
+}
+
+/// Parse `--resume` (absent, or `yes`).
+fn resume_flag(args: &Args) -> Result<bool, String> {
+    match args.get("resume") {
+        None => Ok(false),
+        Some("yes") => Ok(true),
+        Some(other) => Err(format!("bad --resume {other:?} (expected yes)")),
+    }
+}
+
+/// Run the join; with `--resume yes`, an injected driver crash or a
+/// detected checksum failure is survived by rebuilding the driver over the
+/// *same* DFS — crash points and the one-shot corruption cleared from the
+/// fault plan — and resuming, so committed stages are validated against
+/// their manifests, intact ones skipped, and the corrupted producer re-run.
+fn drive_join(
+    cluster: &mut Cluster,
+    resume: bool,
+    sink: Option<&TraceSink>,
+    join: &dyn Fn(&Cluster, bool) -> fuzzyjoin::Result<JoinOutcome>,
+) -> Result<(JoinOutcome, Option<&'static str>), String> {
+    match join(cluster, resume) {
+        Ok(outcome) => Ok((outcome, None)),
+        Err(e) if resume && (e.is_driver_crash() || e.is_checksum_mismatch()) => {
+            let note = if e.is_driver_crash() {
+                "driver crash injected; resumed over the surviving DFS\n"
+            } else {
+                "corruption detected on read; resumed, re-running the producing stage\n"
+            };
+            let mut faults = cluster.config().faults.clone();
+            if let Some(p) = faults.as_mut() {
+                p.crash_after = None;
+                p.crash_mid = None;
+                p.corrupt_path = None;
+            }
+            let config = ClusterConfig {
+                faults,
+                ..cluster.config().clone()
+            };
+            let mut fresh =
+                Cluster::with_dfs(config, cluster.dfs().clone()).map_err(|e| e.to_string())?;
+            if let Some(sink) = sink {
+                fresh.set_trace(sink.clone());
+            }
+            *cluster = fresh;
+            let outcome = join(cluster, true).map_err(|e| format!("resume failed: {e}"))?;
+            Ok((outcome, Some(note)))
+        }
+        Err(e) => Err(format!("join failed: {e}")),
+    }
 }
 
 fn cmd_selfjoin(args: &Args) -> Result<String, String> {
@@ -270,11 +345,18 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
     let (config, nodes) = join_config(args)?;
 
+    let resume = resume_flag(args)?;
     let mut cluster = make_cluster(nodes, fault_plan(args)?)?;
     let sink = attach_trace(&mut cluster, args);
     let n = load_file(&cluster, input, "/input")?;
-    let outcome =
-        self_join(&cluster, "/input", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
+    let join = |cluster: &Cluster, resume: bool| {
+        if resume {
+            self_join_resume(cluster, "/input", "/work", &config)
+        } else {
+            self_join(cluster, "/input", "/work", &config)
+        }
+    };
+    let (outcome, recovery_note) = drive_join(&mut cluster, resume, sink.as_ref(), &join)?;
     let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
     let mut s = summary(
         &format!("self-join of {n} records from {input}"),
@@ -284,6 +366,9 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
         written,
         out,
     );
+    if let Some(note) = recovery_note {
+        s.push_str(note);
+    }
     emit_observability(&cluster, args, &outcome, &config, sink.as_ref(), &mut s)?;
     Ok(s)
 }
@@ -295,12 +380,19 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let out = args.require("out")?;
     let (config, nodes) = join_config(args)?;
 
+    let resume = resume_flag(args)?;
     let mut cluster = make_cluster(nodes, fault_plan(args)?)?;
     let sink = attach_trace(&mut cluster, args);
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
-    let outcome =
-        rs_join(&cluster, "/r", "/s", "/work", &config).map_err(|e| format!("join failed: {e}"))?;
+    let join = |cluster: &Cluster, resume: bool| {
+        if resume {
+            rs_join_resume(cluster, "/r", "/s", "/work", &config)
+        } else {
+            rs_join(cluster, "/r", "/s", "/work", &config)
+        }
+    };
+    let (outcome, recovery_note) = drive_join(&mut cluster, resume, sink.as_ref(), &join)?;
     let written = write_results(&cluster, &outcome, out, args.get("full").is_some())?;
     let mut text = summary(
         &format!("R-S join of {nr} x {ns} records from {r} and {s}"),
@@ -310,6 +402,9 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
         written,
         out,
     );
+    if let Some(note) = recovery_note {
+        text.push_str(note);
+    }
     emit_observability(&cluster, args, &outcome, &config, sink.as_ref(), &mut text)?;
     Ok(text)
 }
@@ -468,6 +563,18 @@ fn summary(
             "faults survived: {retries} retries, {} aborts, speculative {launched} launched/{won} won/{killed} killed",
             outcome.output_aborts(),
         );
+    }
+    if outcome.recovery.resume {
+        let _ = writeln!(
+            s,
+            "resume: {} job(s) skipped (committed output reused), {} re-run",
+            outcome.recovery.jobs_skipped.len(),
+            outcome.recovery.jobs_rerun.len(),
+        );
+    }
+    let bad = outcome.bad_records_skipped();
+    if bad > 0 {
+        let _ = writeln!(s, "bad records skipped: {bad} (summed across jobs)");
     }
     let _ = writeln!(s, "{pairs} pairs written to {out}");
     s
@@ -667,6 +774,128 @@ mod more_tests {
         assert!(err.contains("bad --fault-plan"), "{err}");
         let err = run(&argv("selfjoin --input a --out b --fault-seed x")).unwrap_err();
         assert!(err.contains("bad --fault-seed"), "{err}");
+    }
+
+    #[test]
+    fn resume_after_injected_driver_crash_matches_clean_run() {
+        let corpus = tmp("rz.tsv");
+        run(&argv(&format!(
+            "gen --kind dblp --records 200 --seed 11 --out {corpus}"
+        )))
+        .unwrap();
+        let clean_out = tmp("rz-clean.tsv");
+        run(&argv(&format!(
+            "selfjoin --input {corpus} --out {clean_out} --threshold 0.8 --nodes 3"
+        )))
+        .unwrap();
+        let clean = fs::read_to_string(&clean_out).unwrap();
+
+        // Without --resume, the injected crash is a clean error.
+        let err = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {} --threshold 0.8 --nodes 3 \
+             --fault-plan crash_after=1",
+            tmp("rz-crash.tsv")
+        )))
+        .unwrap_err();
+        assert!(err.contains("driver crashed"), "{err}");
+
+        // With --resume, both crash kinds recover to identical output and
+        // the committed jobs are reused, not re-run.
+        for (plan, out_name) in [
+            ("crash_after=1", "rz-after.tsv"),
+            ("crash_mid=2", "rz-mid.tsv"),
+        ] {
+            let out = tmp(out_name);
+            let msg = run(&argv(&format!(
+                "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 3 \
+                 --fault-plan {plan} --resume yes"
+            )))
+            .unwrap();
+            assert!(msg.contains("driver crash injected"), "{msg}");
+            assert!(msg.contains("resume:"), "{msg}");
+            assert_eq!(
+                fs::read_to_string(&out).unwrap(),
+                clean,
+                "resumed run must match the clean run ({plan})"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_after_detected_corruption_matches_clean_run() {
+        let corpus = tmp("cz.tsv");
+        run(&argv(&format!(
+            "gen --kind dblp --records 200 --seed 11 --out {corpus}"
+        )))
+        .unwrap();
+        let clean_out = tmp("cz-clean.tsv");
+        run(&argv(&format!(
+            "selfjoin --input {corpus} --out {clean_out} --threshold 0.8 --nodes 3"
+        )))
+        .unwrap();
+        let clean = fs::read_to_string(&clean_out).unwrap();
+
+        // Without --resume, the flipped bit is a classified checksum error,
+        // never silently wrong pairs.
+        let err = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {} --threshold 0.8 --nodes 3 \
+             --fault-plan corrupt=/work/tokens/part-00000",
+            tmp("cz-fail.tsv")
+        )))
+        .unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+
+        // With --resume, the invalid manifest forces the producing stage to
+        // re-run and the output matches the clean run.
+        let out = tmp("cz-heal.tsv");
+        let msg = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 3 \
+             --fault-plan corrupt=/work/tokens/part-00000 --resume yes"
+        )))
+        .unwrap();
+        assert!(msg.contains("corruption detected on read"), "{msg}");
+        assert!(msg.contains("resume:"), "{msg}");
+        assert_eq!(fs::read_to_string(&out).unwrap(), clean);
+    }
+
+    #[test]
+    fn bad_records_policy_flags() {
+        let corpus = tmp("bad.tsv");
+        fs::write(
+            &corpus,
+            "1\tefficient parallel set similarity joins\tvernica carey li\n\
+             this line has no tabs and no rid\n\
+             2\tefficient parallel set similarity joins\tvernica carey li\n",
+        )
+        .unwrap();
+        let out = tmp("bad-pairs.tsv");
+        // Strict (the default) fails the job on the malformed line.
+        let err = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 2"
+        )))
+        .unwrap_err();
+        assert!(err.contains("join failed"), "{err}");
+        // Skip carries on and reports the skips.
+        let msg = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 2 \
+             --bad-records skip"
+        )))
+        .unwrap();
+        assert!(msg.contains("bad records skipped"), "{msg}");
+        let pairs = fs::read_to_string(&out).unwrap();
+        assert!(pairs.contains("1\t2\t"), "{pairs}");
+        // A budget of zero is exhausted by the first bad line.
+        let err = run(&argv(&format!(
+            "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 2 \
+             --bad-records skip:0"
+        )))
+        .unwrap_err();
+        assert!(err.contains("join failed"), "{err}");
+        // Bad flag values are clean errors.
+        let err = run(&argv("selfjoin --input a --out b --bad-records lenient")).unwrap_err();
+        assert!(err.contains("bad --bad-records"), "{err}");
+        let err = run(&argv("selfjoin --input a --out b --resume maybe")).unwrap_err();
+        assert!(err.contains("bad --resume"), "{err}");
     }
 
     #[test]

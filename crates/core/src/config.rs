@@ -1,8 +1,83 @@
 //! Join configuration: the algorithm choices of the paper's three stages.
 
+use std::fmt;
+
 use setsim::{FilterConfig, Threshold};
 
-use mapreduce::{MrError, Result};
+use mapreduce::{MrError, Result, TaskContext};
+
+/// Counter recording input records skipped under a lenient
+/// [`BadRecordPolicy`]; surfaced per job in `JobMetrics::counters` and
+/// summed into the run report's `recovery` section.
+pub const BAD_RECORDS_COUNTER: &str = "recovery.bad_records";
+
+/// What to do with an input line that fails record parsing (Hadoop's
+/// skip-bad-records facility).
+///
+/// Applies to *record* inputs of stages 1–3 — original dataset lines, which
+/// may legitimately be dirty. Intermediate files the pipeline itself wrote
+/// (token orders, RID pairs) are always parsed strictly: a malformed line
+/// there is corruption, not dirt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BadRecordPolicy {
+    /// Fail the task (and so the job) on the first malformed record.
+    #[default]
+    Strict,
+    /// Skip malformed records, counting each under
+    /// [`BAD_RECORDS_COUNTER`].
+    Skip,
+    /// Skip up to N malformed records per job; the N+1-th fails the job.
+    SkipUpTo(u64),
+}
+
+impl BadRecordPolicy {
+    /// Parse a CLI spelling: `strict`, `skip`, or `skip:N`.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "strict" => Ok(BadRecordPolicy::Strict),
+            "skip" => Ok(BadRecordPolicy::Skip),
+            _ => match s.strip_prefix("skip:").map(str::parse::<u64>) {
+                Some(Ok(n)) => Ok(BadRecordPolicy::SkipUpTo(n)),
+                _ => Err(MrError::InvalidConfig(format!(
+                    "bad-records policy must be strict, skip, or skip:N, got {s:?}"
+                ))),
+            },
+        }
+    }
+
+    /// Apply the policy to one malformed record: either propagate `err`
+    /// (strict / budget exhausted) or count the skip and continue.
+    ///
+    /// The skip budget of [`BadRecordPolicy::SkipUpTo`] is job-global: the
+    /// counter is shared by all tasks of the job, and increments from
+    /// attempts that later retry are not rolled back, so the cap is a floor
+    /// on strictness, never an undercount.
+    pub fn on_bad_record(&self, ctx: &TaskContext, err: MrError) -> Result<()> {
+        let limit = match self {
+            BadRecordPolicy::Strict => return Err(err),
+            BadRecordPolicy::Skip => u64::MAX,
+            BadRecordPolicy::SkipUpTo(n) => *n,
+        };
+        let counter = ctx.counter(BAD_RECORDS_COUNTER);
+        counter.add(1);
+        if counter.get() > limit {
+            return Err(MrError::TaskFailed(format!(
+                "bad-record budget exhausted (limit {limit}): {err}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BadRecordPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BadRecordPolicy::Strict => write!(f, "strict"),
+            BadRecordPolicy::Skip => write!(f, "skip"),
+            BadRecordPolicy::SkipUpTo(n) => write!(f, "skip:{n}"),
+        }
+    }
+}
 
 /// How input lines are parsed into `(RID, join attribute)`.
 ///
@@ -175,6 +250,9 @@ pub struct JoinConfig {
     /// additionally split into length buckets of this width, partitioning
     /// reduce groups further at the cost of more replication.
     pub length_sub_routing: Option<u32>,
+    /// Policy for malformed input records (stages parsing original dataset
+    /// lines).
+    pub bad_records: BadRecordPolicy,
 }
 
 impl JoinConfig {
@@ -192,6 +270,7 @@ impl JoinConfig {
             routing: TokenRouting::Individual,
             stage3: Stage3Algo::Brj,
             length_sub_routing: None,
+            bad_records: BadRecordPolicy::Strict,
         }
     }
 
@@ -283,6 +362,32 @@ mod tests {
         assert_eq!(JoinConfig::recommended().combo_name(), "BTO-PK-BRJ");
         assert_eq!(JoinConfig::fastest().combo_name(), "BTO-PK-OPRJ");
         assert_eq!(JoinConfig::basic().combo_name(), "BTO-BK-BRJ");
+    }
+
+    #[test]
+    fn bad_record_policy_parses_and_displays() {
+        assert_eq!(
+            BadRecordPolicy::parse("strict").unwrap(),
+            BadRecordPolicy::Strict
+        );
+        assert_eq!(
+            BadRecordPolicy::parse("skip").unwrap(),
+            BadRecordPolicy::Skip
+        );
+        assert_eq!(
+            BadRecordPolicy::parse("skip:3").unwrap(),
+            BadRecordPolicy::SkipUpTo(3)
+        );
+        assert!(BadRecordPolicy::parse("lenient").is_err());
+        assert!(BadRecordPolicy::parse("skip:").is_err());
+        assert!(BadRecordPolicy::parse("skip:-1").is_err());
+        for p in [
+            BadRecordPolicy::Strict,
+            BadRecordPolicy::Skip,
+            BadRecordPolicy::SkipUpTo(7),
+        ] {
+            assert_eq!(BadRecordPolicy::parse(&p.to_string()).unwrap(), p);
+        }
     }
 
     #[test]

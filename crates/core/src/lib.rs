@@ -24,6 +24,7 @@
 pub mod config;
 pub mod keys;
 pub mod pipeline;
+pub mod recovery;
 pub mod report;
 pub mod stage1;
 pub mod stage2;
@@ -31,10 +32,15 @@ pub mod stage3;
 mod tokenizer_cache;
 
 pub use config::{
-    JoinConfig, RecordFormat, Stage1Algo, Stage2Algo, Stage3Algo, TokenRouting, TokenizerKind,
+    BadRecordPolicy, JoinConfig, RecordFormat, Stage1Algo, Stage2Algo, Stage3Algo, TokenRouting,
+    TokenizerKind, BAD_RECORDS_COUNTER,
 };
 pub use keys::{Projection, Stage2Key};
-pub use pipeline::{read_joined, read_rid_pairs, rs_join, self_join, JoinOutcome};
+pub use pipeline::{
+    read_joined, read_rid_pairs, rs_join, rs_join_resume, self_join, self_join_resume, JoinOutcome,
+    RecoverySummary,
+};
+pub use recovery::{job_fingerprint, Recovery, JOB_SKIPPED_COUNTER};
 pub use report::{run_report, run_report_resolved, REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
 pub use stage3::{JoinedPair, PairKey};
 

@@ -2,9 +2,36 @@
 
 use mapreduce::{Cluster, PipelineMetrics, Result};
 
-use crate::config::JoinConfig;
+use crate::config::{JoinConfig, BAD_RECORDS_COUNTER};
+use crate::recovery::Recovery;
 use crate::stage3::{JoinedPair, PairKey};
 use crate::{stage1, stage2, stage3};
+
+/// What a resumed run decided: jobs skipped (committed output reused), jobs
+/// re-run (with the reason their output was not reusable), and detected
+/// checksum failures. Empty/default for non-resume runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Whether this run was started in resume mode.
+    pub resume: bool,
+    /// Jobs skipped because their commit manifest validated.
+    pub jobs_skipped: Vec<String>,
+    /// Jobs re-run, as `name: reason` strings.
+    pub jobs_rerun: Vec<String>,
+    /// Committed files whose checksum no longer matched their bytes.
+    pub checksum_failures: u64,
+}
+
+impl From<Recovery> for RecoverySummary {
+    fn from(rec: Recovery) -> Self {
+        RecoverySummary {
+            resume: rec.is_resume(),
+            jobs_skipped: rec.jobs_skipped,
+            jobs_rerun: rec.jobs_rerun,
+            checksum_failures: rec.checksum_failures,
+        }
+    }
+}
 
 /// Result of an end-to-end join: output locations plus per-stage metrics.
 #[derive(Debug, Clone, Default)]
@@ -21,6 +48,8 @@ pub struct JoinOutcome {
     pub stage2: PipelineMetrics,
     /// Metrics of stage 3's job(s).
     pub stage3: PipelineMetrics,
+    /// Resume decisions of this run (default for non-resume runs).
+    pub recovery: RecoverySummary,
 }
 
 impl JoinOutcome {
@@ -71,6 +100,20 @@ impl JoinOutcome {
     /// Failed reduce attempts whose partial output was discarded.
     pub fn output_aborts(&self) -> u64 {
         self.all_jobs().map(|j| j.output_aborts).sum()
+    }
+
+    /// Orphaned `_attempt-*` files scavenged at job starts across all
+    /// stages (leftovers of a crashed prior run).
+    pub fn scavenged_attempt_files(&self) -> u64 {
+        self.all_jobs().map(|j| j.scavenged_attempt_files).sum()
+    }
+
+    /// Malformed input records skipped under a lenient
+    /// [`crate::config::BadRecordPolicy`], across all stages.
+    pub fn bad_records_skipped(&self) -> u64 {
+        self.all_jobs()
+            .map(|j| j.counter(BAD_RECORDS_COUNTER))
+            .sum()
     }
 
     /// Speculative attempts `(launched, won, killed)` across all stages.
@@ -158,17 +201,22 @@ pub fn self_join(
     work: &str,
     config: &JoinConfig,
 ) -> Result<JoinOutcome> {
-    let (tokens_path, m1) = stage1::run(cluster, input, config, work)?;
-    let (ridpairs_path, m2) = stage2::run_self(cluster, input, &tokens_path, config, work)?;
-    let (joined_path, m3) = stage3::run_self(cluster, input, &ridpairs_path, config, work)?;
-    Ok(JoinOutcome {
-        tokens_path,
-        ridpairs_path,
-        joined_path,
-        stage1: m1,
-        stage2: m2,
-        stage3: m3,
-    })
+    join_impl(cluster, input, None, work, config, false)
+}
+
+/// [`self_join`] in **resume mode**: given a work directory from a previous
+/// (possibly crashed) run over the same `Dfs`, validate each job's commit
+/// manifest and skip jobs whose committed output is still trustworthy —
+/// same inputs by content, same relevant config, every part verifying
+/// against its checksum. Invalid or missing output is cleared and
+/// re-produced. The final output is identical to an uninterrupted run.
+pub fn self_join_resume(
+    cluster: &Cluster,
+    input: &str,
+    work: &str,
+    config: &JoinConfig,
+) -> Result<JoinOutcome> {
+    join_impl(cluster, input, None, work, config, true)
 }
 
 /// Run an end-to-end **R-S join** between the records at `r_input` and
@@ -182,11 +230,44 @@ pub fn rs_join(
     work: &str,
     config: &JoinConfig,
 ) -> Result<JoinOutcome> {
-    let (tokens_path, m1) = stage1::run(cluster, r_input, config, work)?;
-    let (ridpairs_path, m2) =
-        stage2::run_rs(cluster, r_input, s_input, &tokens_path, config, work)?;
-    let (joined_path, m3) =
-        stage3::run_rs(cluster, r_input, s_input, &ridpairs_path, config, work)?;
+    join_impl(cluster, r_input, Some(s_input), work, config, false)
+}
+
+/// [`rs_join`] in resume mode (see [`self_join_resume`]).
+pub fn rs_join_resume(
+    cluster: &Cluster,
+    r_input: &str,
+    s_input: &str,
+    work: &str,
+    config: &JoinConfig,
+) -> Result<JoinOutcome> {
+    join_impl(cluster, r_input, Some(s_input), work, config, true)
+}
+
+fn join_impl(
+    cluster: &Cluster,
+    r_input: &str,
+    s_input: Option<&str>,
+    work: &str,
+    config: &JoinConfig,
+    resume: bool,
+) -> Result<JoinOutcome> {
+    let mut rec = if resume {
+        Recovery::resuming()
+    } else {
+        Recovery::disabled()
+    };
+    let (tokens_path, m1) = stage1::run_with(cluster, r_input, config, work, &mut rec)?;
+    let (ridpairs_path, m2) = match s_input {
+        None => stage2::run_self_with(cluster, r_input, &tokens_path, config, work, &mut rec)?,
+        Some(s) => stage2::run_rs_with(cluster, r_input, s, &tokens_path, config, work, &mut rec)?,
+    };
+    let (joined_path, m3) = match s_input {
+        None => stage3::run_self_with(cluster, r_input, &ridpairs_path, config, work, &mut rec)?,
+        Some(s) => {
+            stage3::run_rs_with(cluster, r_input, s, &ridpairs_path, config, work, &mut rec)?
+        }
+    };
     Ok(JoinOutcome {
         tokens_path,
         ridpairs_path,
@@ -194,6 +275,7 @@ pub fn rs_join(
         stage1: m1,
         stage2: m2,
         stage3: m3,
+        recovery: rec.into(),
     })
 }
 

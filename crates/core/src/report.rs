@@ -161,6 +161,38 @@ pub fn run_report(outcome: &JoinOutcome, config: &JoinConfig, tokens: Option<&[S
             ]),
         ),
     ]);
+    // Additive (no `v` bump): resume decisions and data-integrity counters.
+    let recovery = obj(vec![
+        ("resume", Json::Bool(outcome.recovery.resume)),
+        (
+            "jobs_skipped",
+            Json::Arr(
+                outcome
+                    .recovery
+                    .jobs_skipped
+                    .iter()
+                    .map(|j| Json::Str(j.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "jobs_rerun",
+            Json::Arr(
+                outcome
+                    .recovery
+                    .jobs_rerun
+                    .iter()
+                    .map(|j| Json::Str(j.clone()))
+                    .collect(),
+            ),
+        ),
+        ("checksum_failures", num(outcome.recovery.checksum_failures)),
+        (
+            "scavenged_attempt_files",
+            num(outcome.scavenged_attempt_files()),
+        ),
+        ("bad_records_skipped", num(outcome.bad_records_skipped())),
+    ]);
     obj(vec![
         ("schema", Json::Str(REPORT_SCHEMA.into())),
         ("v", num(REPORT_SCHEMA_VERSION)),
@@ -182,6 +214,7 @@ pub fn run_report(outcome: &JoinOutcome, config: &JoinConfig, tokens: Option<&[S
             ]),
         ),
         ("totals", totals),
+        ("recovery", recovery),
     ])
 }
 
@@ -246,6 +279,61 @@ mod tests {
                 .get("output_commits")
                 .and_then(Json::as_u64),
             Some(2)
+        );
+    }
+
+    #[test]
+    fn report_has_a_recovery_section() {
+        let mut outcome = outcome_with_hitters();
+        outcome.recovery.resume = true;
+        outcome.recovery.jobs_skipped = vec!["stage1-bto-count".into()];
+        outcome
+            .recovery
+            .jobs_rerun
+            .push("stage2-pk: checksum mismatch".into());
+        outcome.recovery.checksum_failures = 1;
+        let report = run_report(&outcome, &JoinConfig::recommended(), None);
+        let rec = report.get("recovery").unwrap();
+        assert_eq!(rec.get("resume"), Some(&Json::Bool(true)));
+        let skipped = rec.get("jobs_skipped").and_then(Json::as_arr).unwrap();
+        assert_eq!(skipped[0].as_str(), Some("stage1-bto-count"));
+        let rerun = rec.get("jobs_rerun").and_then(Json::as_arr).unwrap();
+        assert_eq!(rerun[0].as_str(), Some("stage2-pk: checksum mismatch"));
+        assert_eq!(rec.get("checksum_failures").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            rec.get("scavenged_attempt_files").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            rec.get("bad_records_skipped").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn consumers_ignore_unknown_fields() {
+        // The compatibility contract: fields may be *added* without a `v`
+        // bump, so a consumer parsing a newer report must still find every
+        // field it knows about. Simulate a future report by splicing an
+        // unknown field into the serialized document.
+        let outcome = outcome_with_hitters();
+        let report = run_report(&outcome, &JoinConfig::recommended(), None);
+        let serialized = report.to_string();
+        let future = serialized.replacen('{', "{\"from_the_future\":{\"x\":[1,2]},", 1);
+        let reparsed = Json::parse(&future).unwrap();
+        assert_eq!(
+            reparsed.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(reparsed.get("v").and_then(Json::as_u64), Some(1));
+        assert!(reparsed.get("recovery").is_some());
+        assert_eq!(
+            reparsed
+                .get("totals")
+                .unwrap()
+                .get("shuffle_bytes")
+                .and_then(Json::as_u64),
+            Some(640)
         );
     }
 

@@ -26,7 +26,8 @@ use mapreduce::{
     Mapper, PipelineMetrics, Reducer, Result, TaskContext,
 };
 
-use crate::config::{JoinConfig, RecordFormat, Stage1Algo, TokenizerKind};
+use crate::config::{BadRecordPolicy, JoinConfig, RecordFormat, Stage1Algo, TokenizerKind};
+use crate::recovery::{self, Recovery};
 use crate::tokenizer_cache::CachedTokenizer;
 
 /// Mapper shared by BTO job 1 and OPTO: parse the record, tokenize the join
@@ -35,14 +36,25 @@ use crate::tokenizer_cache::CachedTokenizer;
 pub struct TokenCountMapper {
     format: RecordFormat,
     tokenizer: CachedTokenizer,
+    bad_records: BadRecordPolicy,
 }
 
 impl TokenCountMapper {
     /// Build from the join configuration.
     pub fn new(format: RecordFormat, tokenizer: TokenizerKind) -> Self {
+        Self::with_policy(format, tokenizer, BadRecordPolicy::Strict)
+    }
+
+    /// Build with an explicit bad-record policy.
+    pub fn with_policy(
+        format: RecordFormat,
+        tokenizer: TokenizerKind,
+        bad_records: BadRecordPolicy,
+    ) -> Self {
         TokenCountMapper {
             format,
             tokenizer: CachedTokenizer::new(tokenizer),
+            bad_records,
         }
     }
 }
@@ -60,7 +72,10 @@ impl Mapper for TokenCountMapper {
         out: &mut dyn Emit<String, u64>,
         ctx: &TaskContext,
     ) -> Result<()> {
-        let (_rid, attr) = self.format.parse(line)?;
+        let attr = match self.format.parse(line) {
+            Ok((_rid, attr)) => attr,
+            Err(e) => return self.bad_records.on_bad_record(ctx, e),
+        };
         ctx.counter("stage1.records").incr();
         for token in self.tokenizer.tokenize(&attr) {
             out.emit(token, 1)?;
@@ -189,60 +204,106 @@ pub fn run(
     config: &JoinConfig,
     work: &str,
 ) -> Result<(String, PipelineMetrics)> {
+    run_with(cluster, input, config, work, &mut Recovery::disabled())
+}
+
+/// [`run`] with resume support: jobs whose commit manifest validates against
+/// the current inputs and config are skipped (see [`crate::recovery`]).
+pub fn run_with(
+    cluster: &Cluster,
+    input: &str,
+    config: &JoinConfig,
+    work: &str,
+    rec: &mut Recovery,
+) -> Result<(String, PipelineMetrics)> {
     let tokens_path = format!("{}/tokens", work.trim_end_matches('/'));
     let mut metrics = PipelineMetrics::default();
-    let mapper = TokenCountMapper::new(config.format.clone(), config.tokenizer);
+    let tag = recovery::stage1_tag(config);
+    let mapper =
+        TokenCountMapper::with_policy(config.format.clone(), config.tokenizer, config.bad_records);
 
     match config.stage1 {
         Stage1Algo::Bto => {
             let counts_path = format!("{}/token-counts", work.trim_end_matches('/'));
-            let job1 = Job::new("stage1-bto-count", mapper, SumReducer)
-                .inputs(text_input(cluster.dfs(), input)?)
-                .combiner(sum_combiner())
-                .output_seq(&counts_path);
-            metrics.push(cluster.run(job1)?);
+            let fp1 = recovery::job_fingerprint(cluster.dfs(), "stage1-bto-count", &[input], &tag);
+            if rec.should_skip(cluster, "stage1-bto-count", &counts_path, fp1) {
+                metrics.push(Recovery::skipped_job_metrics("stage1-bto-count"));
+            } else {
+                let job1 = Job::new("stage1-bto-count", mapper, SumReducer)
+                    .inputs(text_input(cluster.dfs(), input)?)
+                    .combiner(sum_combiner())
+                    .output_seq(&counts_path)
+                    .fingerprint(fp1);
+                metrics.push(cluster.run(job1)?);
+            }
 
-            let job2 = Job::new("stage1-bto-sort", SwapForSortMapper, EmitTokenReducer)
-                .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
-                .reducers(1)
-                .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()));
-            metrics.push(cluster.run(job2)?);
+            let fp2 =
+                recovery::job_fingerprint(cluster.dfs(), "stage1-bto-sort", &[&counts_path], &tag);
+            if rec.should_skip(cluster, "stage1-bto-sort", &tokens_path, fp2) {
+                metrics.push(Recovery::skipped_job_metrics("stage1-bto-sort"));
+            } else {
+                let job2 = Job::new("stage1-bto-sort", SwapForSortMapper, EmitTokenReducer)
+                    .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
+                    .reducers(1)
+                    .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()))
+                    .fingerprint(fp2);
+                metrics.push(cluster.run(job2)?);
+            }
         }
         Stage1Algo::Opto => {
-            let job = Job::new("stage1-opto", mapper, OptoReducer::default())
-                .inputs(text_input(cluster.dfs(), input)?)
-                .combiner(sum_combiner())
-                .reducers(1)
-                .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()));
-            metrics.push(cluster.run(job)?);
+            let fp = recovery::job_fingerprint(cluster.dfs(), "stage1-opto", &[input], &tag);
+            if rec.should_skip(cluster, "stage1-opto", &tokens_path, fp) {
+                metrics.push(Recovery::skipped_job_metrics("stage1-opto"));
+            } else {
+                let job = Job::new("stage1-opto", mapper, OptoReducer::default())
+                    .inputs(text_input(cluster.dfs(), input)?)
+                    .combiner(sum_combiner())
+                    .reducers(1)
+                    .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()))
+                    .fingerprint(fp);
+                metrics.push(cluster.run(job)?);
+            }
         }
         Stage1Algo::BtoRange => {
             let counts_path = format!("{}/token-counts", work.trim_end_matches('/'));
-            let job1 = Job::new("stage1-btor-count", mapper, SumReducer)
-                .inputs(text_input(cluster.dfs(), input)?)
-                .combiner(sum_combiner())
-                .output_seq(&counts_path);
-            metrics.push(cluster.run(job1)?);
+            let fp1 = recovery::job_fingerprint(cluster.dfs(), "stage1-btor-count", &[input], &tag);
+            if rec.should_skip(cluster, "stage1-btor-count", &counts_path, fp1) {
+                metrics.push(Recovery::skipped_job_metrics("stage1-btor-count"));
+            } else {
+                let job1 = Job::new("stage1-btor-count", mapper, SumReducer)
+                    .inputs(text_input(cluster.dfs(), input)?)
+                    .combiner(sum_combiner())
+                    .output_seq(&counts_path)
+                    .fingerprint(fp1);
+                metrics.push(cluster.run(job1)?);
+            }
 
-            // Driver-side sampling, the equivalent of building Hadoop's
-            // TotalOrderPartitioner partition file: read the (small) count
-            // output, sort, and take quantile boundaries.
-            let mut sample: Vec<(u64, String)> = cluster
-                .dfs()
-                .read_seq::<String, u64>(&counts_path)?
-                .into_iter()
-                .map(|(t, c)| (c, t))
-                .collect();
-            sample.sort();
-            let reducers = cluster.config().default_reducers();
-            let boundaries = sample_boundaries(&sample, reducers);
+            let fp2 =
+                recovery::job_fingerprint(cluster.dfs(), "stage1-btor-sort", &[&counts_path], &tag);
+            if rec.should_skip(cluster, "stage1-btor-sort", &tokens_path, fp2) {
+                metrics.push(Recovery::skipped_job_metrics("stage1-btor-sort"));
+            } else {
+                // Driver-side sampling, the equivalent of building Hadoop's
+                // TotalOrderPartitioner partition file: read the (small) count
+                // output, sort, and take quantile boundaries.
+                let mut sample: Vec<(u64, String)> = cluster
+                    .dfs()
+                    .read_seq::<String, u64>(&counts_path)?
+                    .into_iter()
+                    .map(|(t, c)| (c, t))
+                    .collect();
+                sample.sort();
+                let reducers = cluster.config().default_reducers();
+                let boundaries = sample_boundaries(&sample, reducers);
 
-            let job2 = Job::new("stage1-btor-sort", SwapForSortMapper, EmitTokenReducer)
-                .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
-                .partitioner(range_partitioner(boundaries))
-                .reducers(reducers)
-                .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()));
-            metrics.push(cluster.run(job2)?);
+                let job2 = Job::new("stage1-btor-sort", SwapForSortMapper, EmitTokenReducer)
+                    .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
+                    .partitioner(range_partitioner(boundaries))
+                    .reducers(reducers)
+                    .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()))
+                    .fingerprint(fp2);
+                metrics.push(cluster.run(job2)?);
+            }
         }
     }
     Ok((tokens_path, metrics))
@@ -349,7 +410,7 @@ mod tests {
         expected.push("x".to_string()); // the author field token, most frequent
         assert_eq!(tokens, expected);
         // Output spans multiple part files.
-        assert!(c.dfs().list(&path).len() > 1);
+        assert!(c.dfs().data_files(&path).len() > 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use mapreduce::{stable_hash, Emit, Mapper, Result, TaskContext};
 use setsim::{Threshold, TokenOrder};
 
-use crate::config::{RecordFormat, TokenRouting, TokenizerKind};
+use crate::config::{BadRecordPolicy, RecordFormat, TokenRouting, TokenizerKind};
 use crate::keys::{Projection, Stage2Key, KIND_LOAD, KIND_STREAM, REL_R, REL_S};
 use crate::tokenizer_cache::CachedTokenizer;
 
@@ -48,6 +48,7 @@ pub struct ProjectionMapper {
     s_path: Option<String>,
     emit_mode: EmitMode,
     length_sub_routing: Option<u32>,
+    bad_records: BadRecordPolicy,
     order: Option<Arc<TokenOrder>>,
 }
 
@@ -73,8 +74,15 @@ impl ProjectionMapper {
             s_path,
             emit_mode,
             length_sub_routing,
+            bad_records: BadRecordPolicy::Strict,
             order: None,
         }
+    }
+
+    /// Set the policy for malformed record lines (default: strict).
+    pub fn bad_records(mut self, policy: BadRecordPolicy) -> Self {
+        self.bad_records = policy;
+        self
     }
 
     /// Routing groups for a record's probe prefix, including the optional
@@ -135,7 +143,10 @@ impl Mapper for ProjectionMapper {
         out: &mut dyn Emit<Stage2Key, Projection>,
         ctx: &TaskContext,
     ) -> Result<()> {
-        let (rid, attr) = self.format.parse(line)?;
+        let (rid, attr) = match self.format.parse(line) {
+            Ok(parsed) => parsed,
+            Err(e) => return self.bad_records.on_bad_record(ctx, e),
+        };
         let rel = match &self.s_path {
             Some(s) if ctx.input_path.starts_with(s.as_str()) => REL_S,
             Some(_) => REL_R,

@@ -20,6 +20,7 @@ use mapreduce::{
 
 use crate::config::{JoinConfig, Stage2Algo, TokenRouting};
 use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort, Stage2Key};
+use crate::recovery::{self, Recovery};
 use crate::stage2::blocks::{MapBlocksReducer, ReduceBlocksReducer};
 use crate::stage2::mapper::{EmitMode, ProjectionMapper};
 use crate::stage2::reducers::{BkReducer, PkReducer};
@@ -65,13 +66,16 @@ fn emit_mode(algo: &Stage2Algo) -> EmitMode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_kernel(
     cluster: &Cluster,
     inputs: Vec<SplitSource<u64, String>>,
+    input_paths: &[&str],
     mapper: ProjectionMapper,
     config: &JoinConfig,
     rs: bool,
     pairs_path: &str,
+    rec: &mut Recovery,
 ) -> Result<PipelineMetrics> {
     let fmt = Arc::new(format_pair_line);
     // Label routing keys for the heavy-hitter report: with individual-token
@@ -81,17 +85,24 @@ fn run_kernel(
         TokenRouting::Individual => Arc::new(|k: &Stage2Key| format!("rank:{}", k.0)),
         TokenRouting::Grouped { .. } => Arc::new(|k: &Stage2Key| format!("group:{}", k.0)),
     };
+    let tag = recovery::stage2_tag(config, rs);
     let mut metrics = PipelineMetrics::default();
     macro_rules! run_with {
         ($name:expr, $reducer:expr) => {{
-            let job = Job::new($name, mapper, $reducer)
-                .inputs(inputs)
-                .partitioner(stage2_partitioner())
-                .sort_cmp(stage2_sort())
-                .group_eq(stage2_grouping())
-                .key_label(key_label)
-                .output_text(pairs_path, fmt);
-            metrics.push(cluster.run(job)?);
+            let fp = recovery::job_fingerprint(cluster.dfs(), $name, input_paths, &tag);
+            if rec.should_skip(cluster, $name, pairs_path, fp) {
+                metrics.push(Recovery::skipped_job_metrics($name));
+            } else {
+                let job = Job::new($name, mapper, $reducer)
+                    .inputs(inputs)
+                    .partitioner(stage2_partitioner())
+                    .sort_cmp(stage2_sort())
+                    .group_eq(stage2_grouping())
+                    .key_label(key_label)
+                    .output_text(pairs_path, fmt)
+                    .fingerprint(fp);
+                metrics.push(cluster.run(job)?);
+            }
         }};
     }
     match config.stage2 {
@@ -120,6 +131,25 @@ pub fn run_self(
     config: &JoinConfig,
     work: &str,
 ) -> Result<(String, PipelineMetrics)> {
+    run_self_with(
+        cluster,
+        input,
+        tokens_path,
+        config,
+        work,
+        &mut Recovery::disabled(),
+    )
+}
+
+/// [`run_self`] with resume support (see [`crate::recovery`]).
+pub fn run_self_with(
+    cluster: &Cluster,
+    input: &str,
+    tokens_path: &str,
+    config: &JoinConfig,
+    work: &str,
+    rec: &mut Recovery,
+) -> Result<(String, PipelineMetrics)> {
     let pairs_path = format!("{}/ridpairs", work.trim_end_matches('/'));
     let mapper = ProjectionMapper::new(
         config.format.clone(),
@@ -130,9 +160,19 @@ pub fn run_self(
         None,
         emit_mode(&config.stage2),
         config.length_sub_routing,
-    );
+    )
+    .bad_records(config.bad_records);
     let inputs = text_input(cluster.dfs(), input)?;
-    let metrics = run_kernel(cluster, inputs, mapper, config, false, &pairs_path)?;
+    let metrics = run_kernel(
+        cluster,
+        inputs,
+        &[input, tokens_path],
+        mapper,
+        config,
+        false,
+        &pairs_path,
+        rec,
+    )?;
     Ok((pairs_path, metrics))
 }
 
@@ -147,6 +187,27 @@ pub fn run_rs(
     config: &JoinConfig,
     work: &str,
 ) -> Result<(String, PipelineMetrics)> {
+    run_rs_with(
+        cluster,
+        r_input,
+        s_input,
+        tokens_path,
+        config,
+        work,
+        &mut Recovery::disabled(),
+    )
+}
+
+/// [`run_rs`] with resume support (see [`crate::recovery`]).
+pub fn run_rs_with(
+    cluster: &Cluster,
+    r_input: &str,
+    s_input: &str,
+    tokens_path: &str,
+    config: &JoinConfig,
+    work: &str,
+    rec: &mut Recovery,
+) -> Result<(String, PipelineMetrics)> {
     let pairs_path = format!("{}/ridpairs", work.trim_end_matches('/'));
     let mapper = ProjectionMapper::new(
         config.format.clone(),
@@ -157,10 +218,20 @@ pub fn run_rs(
         Some(s_input.to_string()),
         emit_mode(&config.stage2),
         config.length_sub_routing,
-    );
+    )
+    .bad_records(config.bad_records);
     let mut inputs = text_input(cluster.dfs(), r_input)?;
     inputs.extend(text_input(cluster.dfs(), s_input)?);
-    let metrics = run_kernel(cluster, inputs, mapper, config, true, &pairs_path)?;
+    let metrics = run_kernel(
+        cluster,
+        inputs,
+        &[r_input, s_input, tokens_path],
+        mapper,
+        config,
+        true,
+        &pairs_path,
+        rec,
+    )?;
     Ok((pairs_path, metrics))
 }
 

@@ -26,7 +26,8 @@ use mapreduce::{
     TaskContext,
 };
 
-use crate::config::{JoinConfig, RecordFormat, Stage3Algo};
+use crate::config::{BadRecordPolicy, JoinConfig, RecordFormat, Stage3Algo};
+use crate::recovery::{self, Recovery};
 use crate::stage2::parse_pair_line;
 
 /// A fully joined output pair: the two record lines and their similarity.
@@ -58,6 +59,10 @@ struct BrjFillMapper {
     pairs_path: String,
     /// `Some(s_path)`: R-S mode; record inputs under this path are S.
     s_path: Option<String>,
+    /// Policy for malformed *record* lines. Pair lines are always parsed
+    /// strictly: the pipeline wrote them itself, so a malformed pair line
+    /// is corruption, not dirty input.
+    bad_records: BadRecordPolicy,
 }
 
 impl Mapper for BrjFillMapper {
@@ -87,7 +92,10 @@ impl Mapper for BrjFillMapper {
                 Some(s) if ctx.input_path.starts_with(s.as_str()) => 1u8,
                 _ => 0,
             };
-            let (rid, _attr) = self.format.parse(line)?;
+            let (rid, _attr) = match self.format.parse(line) {
+                Ok(parsed) => parsed,
+                Err(e) => return self.bad_records.on_bad_record(ctx, e),
+            };
             out.emit((rid, rel), (TAG_RECORD, 0, 0, 0.0, line.clone()))?;
         }
         Ok(())
@@ -239,6 +247,7 @@ struct OprjMapper {
     format: RecordFormat,
     pairs_path: String,
     s_path: Option<String>,
+    bad_records: BadRecordPolicy,
     index_r: Option<Arc<PairIndex>>,
     index_s: Option<Arc<PairIndex>>,
 }
@@ -283,7 +292,10 @@ impl Mapper for OprjMapper {
         } else {
             self.index_r.as_ref().expect("setup ran")
         };
-        let (rid, _) = self.format.parse(line)?;
+        let (rid, _) = match self.format.parse(line) {
+            Ok(parsed) => parsed,
+            Err(e) => return self.bad_records.on_bad_record(ctx, e),
+        };
         if let Some(entries) = index.get(&rid) {
             for (other, pos, sim) in entries {
                 let pair_key = if *pos == POS_FIRST {
@@ -312,7 +324,27 @@ pub fn run_self(
     config: &JoinConfig,
     work: &str,
 ) -> Result<(String, PipelineMetrics)> {
-    run_impl(cluster, records, None, pairs_path, config, work)
+    run_impl(
+        cluster,
+        records,
+        None,
+        pairs_path,
+        config,
+        work,
+        &mut Recovery::disabled(),
+    )
+}
+
+/// [`run_self`] with resume support (see [`crate::recovery`]).
+pub fn run_self_with(
+    cluster: &Cluster,
+    records: &str,
+    pairs_path: &str,
+    config: &JoinConfig,
+    work: &str,
+    rec: &mut Recovery,
+) -> Result<(String, PipelineMetrics)> {
+    run_impl(cluster, records, None, pairs_path, config, work, rec)
 }
 
 /// Run stage 3 for an R-S join.
@@ -331,6 +363,28 @@ pub fn run_rs(
         pairs_path,
         config,
         work,
+        &mut Recovery::disabled(),
+    )
+}
+
+/// [`run_rs`] with resume support (see [`crate::recovery`]).
+pub fn run_rs_with(
+    cluster: &Cluster,
+    r_records: &str,
+    s_records: &str,
+    pairs_path: &str,
+    config: &JoinConfig,
+    work: &str,
+    rec: &mut Recovery,
+) -> Result<(String, PipelineMetrics)> {
+    run_impl(
+        cluster,
+        r_records,
+        Some(s_records),
+        pairs_path,
+        config,
+        work,
+        rec,
     )
 }
 
@@ -341,52 +395,91 @@ fn run_impl(
     pairs_path: &str,
     config: &JoinConfig,
     work: &str,
+    rec: &mut Recovery,
 ) -> Result<(String, PipelineMetrics)> {
     let joined_path = format!("{}/joined", work.trim_end_matches('/'));
     let mut metrics = PipelineMetrics::default();
-    let mut record_inputs = text_input(cluster.dfs(), records)?;
+    let tag = recovery::stage3_tag(config);
+    let mut record_paths = vec![records];
     if let Some(s) = s_records {
-        record_inputs.extend(text_input(cluster.dfs(), s)?);
+        record_paths.push(s);
     }
     match config.stage3 {
         Stage3Algo::Brj => {
             let halves_path = format!("{}/halves", work.trim_end_matches('/'));
-            let mapper = BrjFillMapper {
-                format: config.format.clone(),
-                pairs_path: pairs_path.to_string(),
-                s_path: s_records.map(str::to_string),
-            };
-            let mut inputs = record_inputs;
-            inputs.extend(text_input(cluster.dfs(), pairs_path)?);
-            let job1 = Job::new("stage3-brj-fill", mapper, BrjFillReducer)
-                .inputs(inputs)
-                .output_seq(&halves_path);
-            metrics.push(cluster.run(job1)?);
+            let mut fill_inputs = record_paths.clone();
+            fill_inputs.push(pairs_path);
+            let fp1 =
+                recovery::job_fingerprint(cluster.dfs(), "stage3-brj-fill", &fill_inputs, &tag);
+            if rec.should_skip(cluster, "stage3-brj-fill", &halves_path, fp1) {
+                metrics.push(Recovery::skipped_job_metrics("stage3-brj-fill"));
+            } else {
+                let mapper = BrjFillMapper {
+                    format: config.format.clone(),
+                    pairs_path: pairs_path.to_string(),
+                    s_path: s_records.map(str::to_string),
+                    bad_records: config.bad_records,
+                };
+                let mut inputs = text_input(cluster.dfs(), records)?;
+                if let Some(s) = s_records {
+                    inputs.extend(text_input(cluster.dfs(), s)?);
+                }
+                inputs.extend(text_input(cluster.dfs(), pairs_path)?);
+                let job1 = Job::new("stage3-brj-fill", mapper, BrjFillReducer)
+                    .inputs(inputs)
+                    .output_seq(&halves_path)
+                    .fingerprint(fp1);
+                metrics.push(cluster.run(job1)?);
+            }
 
-            let job2 = Job::new(
-                "stage3-brj-assemble",
-                mapreduce::IdentityMapper::<PairKey, (u8, String, f64)>::new(),
-                AssembleReducer,
-            )
-            .inputs(seq_input::<PairKey, (u8, String, f64)>(
+            let fp2 = recovery::job_fingerprint(
                 cluster.dfs(),
-                &halves_path,
-            )?)
-            .output_seq(&joined_path);
-            metrics.push(cluster.run(job2)?);
+                "stage3-brj-assemble",
+                &[&halves_path],
+                &tag,
+            );
+            if rec.should_skip(cluster, "stage3-brj-assemble", &joined_path, fp2) {
+                metrics.push(Recovery::skipped_job_metrics("stage3-brj-assemble"));
+            } else {
+                let job2 = Job::new(
+                    "stage3-brj-assemble",
+                    mapreduce::IdentityMapper::<PairKey, (u8, String, f64)>::new(),
+                    AssembleReducer,
+                )
+                .inputs(seq_input::<PairKey, (u8, String, f64)>(
+                    cluster.dfs(),
+                    &halves_path,
+                )?)
+                .output_seq(&joined_path)
+                .fingerprint(fp2);
+                metrics.push(cluster.run(job2)?);
+            }
         }
         Stage3Algo::Oprj => {
-            let mapper = OprjMapper {
-                format: config.format.clone(),
-                pairs_path: pairs_path.to_string(),
-                s_path: s_records.map(str::to_string),
-                index_r: None,
-                index_s: None,
-            };
-            let job = Job::new("stage3-oprj", mapper, AssembleReducer)
-                .inputs(record_inputs)
-                .output_seq(&joined_path);
-            metrics.push(cluster.run(job)?);
+            let mut oprj_inputs = record_paths.clone();
+            oprj_inputs.push(pairs_path);
+            let fp = recovery::job_fingerprint(cluster.dfs(), "stage3-oprj", &oprj_inputs, &tag);
+            if rec.should_skip(cluster, "stage3-oprj", &joined_path, fp) {
+                metrics.push(Recovery::skipped_job_metrics("stage3-oprj"));
+            } else {
+                let mapper = OprjMapper {
+                    format: config.format.clone(),
+                    pairs_path: pairs_path.to_string(),
+                    s_path: s_records.map(str::to_string),
+                    bad_records: config.bad_records,
+                    index_r: None,
+                    index_s: None,
+                };
+                let mut inputs = text_input(cluster.dfs(), records)?;
+                if let Some(s) = s_records {
+                    inputs.extend(text_input(cluster.dfs(), s)?);
+                }
+                let job = Job::new("stage3-oprj", mapper, AssembleReducer)
+                    .inputs(inputs)
+                    .output_seq(&joined_path)
+                    .fingerprint(fp);
+                metrics.push(cluster.run(job)?);
+            }
         }
     }
     Ok((joined_path, metrics))
@@ -430,6 +523,7 @@ mod tests {
             format: RecordFormat::bibliographic(),
             pairs_path: "/work/ridpairs".into(),
             s_path: None,
+            bad_records: BadRecordPolicy::Strict,
         };
         // A record line.
         let c = map_ctx_with_path(dfs.clone(), "/records");

@@ -13,7 +13,7 @@
 
 use fuzzyjoin::{
     read_joined, rs_join, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig, Stage1Algo,
-    Stage2Algo, Stage3Algo, Threshold, TokenRouting,
+    Stage2Algo, Stage3Algo, Threshold, TokenRouting, TokenizerKind,
 };
 use proptest::prelude::*;
 use setsim::oracle;
@@ -410,6 +410,134 @@ fn differential_overlap_threshold_matches_oracle() {
         }
     }
     assert!(expected_total > 0, "overlap cells must not be vacuous");
+}
+
+/// Q-gram tokenization crossed into the kernel matrix: every kernel must
+/// stay exact when join attributes are tokenized into overlapping q-grams
+/// — a far denser token-frequency distribution than words, and much longer
+/// prefixes at the same τ, so the prefix filter and the kernels' length
+/// bounds are exercised on very different shapes.
+#[test]
+fn differential_qgram_tokenization_matches_oracle() {
+    let mut nonvacuous = 0usize;
+    for q in [2usize, 3] {
+        for stage2 in kernels() {
+            let config = JoinConfig {
+                stage2,
+                tokenizer: TokenizerKind::QGram(q),
+                threshold: Threshold::jaccard(0.8),
+                ..JoinConfig::recommended()
+            };
+            for seed in SEEDS {
+                let lines = datagen::to_lines(&datagen::dblp(60, seed));
+                nonvacuous += oracle_self(&lines, &config).len();
+                check_self(
+                    &lines,
+                    &config,
+                    &format!("{} qgram={q} self seed={seed}", config.combo_name()),
+                );
+            }
+            let (r, s) = rs_corpora(SEEDS[0]);
+            nonvacuous += oracle_rs(&r, &s, &config).len();
+            check_rs(
+                &r,
+                &s,
+                &config,
+                &format!("{} qgram={q} rs", config.combo_name()),
+            );
+        }
+    }
+    assert!(nonvacuous > 0, "q-gram cells must not be vacuous");
+}
+
+/// Synthetic records over a closed vocabulary: 8 words per record drawn
+/// from `{prefix}0..{prefix}{vocab}` with a sliding window, so records
+/// overlap heavily within a relation and not at all across relations with
+/// different prefixes.
+fn synth_lines(n: usize, rid_base: u64, prefix: &str, vocab: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let words: Vec<String> = (0..8)
+                .map(|j| format!("{prefix}{}", (i * 3 + j) % vocab))
+                .collect();
+            format!("{}\t{}\tx\t", rid_base + i as u64, words.join(" "))
+        })
+        .collect()
+}
+
+/// Pathological R-S shapes for the BK and PK kernels.
+///
+/// 1. **S ≫ R**: stage 1 runs on the much smaller R (the paper's guidance),
+///    so almost every S record's tokens are ranked by a dictionary built
+///    from a sliver of the data — and S copies of R records must still join
+///    exactly.
+/// 2. **Disjoint dictionaries at scale**: no S token appears in R's token
+///    order, so every S projection is discarded in stage 2. The join must
+///    return exactly zero pairs — not an error, and not spurious pairs.
+#[test]
+fn differential_pathological_rs_corpora() {
+    let kernels2 = [
+        Stage2Algo::Bk,
+        Stage2Algo::Pk {
+            filters: FilterConfig::ppjoin_plus(),
+        },
+    ];
+    // Shape 1: S an order of magnitude larger than R, with guaranteed
+    // overlap (S carries a copy of every R record under fresh RIDs).
+    for seed in SEEDS {
+        let r = datagen::dblp(15, seed);
+        let mut s = datagen::increase(&datagen::citeseerx(60, seed + 7), 3);
+        for (i, rec) in r.iter().enumerate() {
+            let mut copy = rec.clone();
+            copy.rid = 50_000 + i as u64;
+            s.push(copy);
+        }
+        for (i, rec) in s.iter_mut().enumerate() {
+            rec.rid = 100_000 + i as u64;
+        }
+        let (r_lines, s_lines) = (datagen::to_lines(&r), datagen::to_lines(&s));
+        assert!(
+            s_lines.len() >= 10 * r_lines.len(),
+            "shape must stay pathological: |S|={} |R|={}",
+            s_lines.len(),
+            r_lines.len()
+        );
+        for stage2 in kernels2 {
+            let config = JoinConfig {
+                stage2,
+                ..JoinConfig::recommended()
+            };
+            assert!(
+                !oracle_rs(&r_lines, &s_lines, &config).is_empty(),
+                "S ≫ R cell must not be vacuous"
+            );
+            check_rs(
+                &r_lines,
+                &s_lines,
+                &config,
+                &format!("{} s>>r seed={seed}", config.combo_name()),
+            );
+        }
+    }
+    // Shape 2: disjoint dictionaries at scale.
+    let r_lines = synth_lines(100, 0, "r", 40);
+    let s_lines = synth_lines(400, 10_000, "s", 40);
+    for stage2 in kernels2 {
+        let config = JoinConfig {
+            stage2,
+            ..JoinConfig::recommended()
+        };
+        assert!(
+            oracle_rs(&r_lines, &s_lines, &config).is_empty(),
+            "disjoint dictionaries share no pairs by construction"
+        );
+        check_rs(
+            &r_lines,
+            &s_lines,
+            &config,
+            &format!("{} disjoint-dict", config.combo_name()),
+        );
+    }
 }
 
 /// Every kernel must stay exact on stressed cluster shapes: a 1-node

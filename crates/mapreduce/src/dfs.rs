@@ -16,6 +16,11 @@
 //! Reduce outputs follow the Hadoop naming convention `dir/part-NNNNN`; read
 //! helpers accept either a single file path or a directory and concatenate
 //! parts in name order.
+//!
+//! Every file carries a CRC-32 of its contents, computed when the file is
+//! finished and verified on every read (`read_text`, `read_seq`, `splits`)
+//! — the simulated equivalent of HDFS block checksums. A mismatch surfaces
+//! as [`MrError::ChecksumMismatch`]; corrupt data is never returned.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,6 +54,58 @@ struct DfsFile {
     kind: FileKind,
     blocks: Vec<Block>,
     len: u64,
+    /// CRC-32 (IEEE) of the file's bytes, fixed at write time.
+    crc: u32,
+}
+
+impl DfsFile {
+    fn data_crc(&self) -> u32 {
+        let mut crc = Crc32::new();
+        for b in &self.blocks {
+            crc.update(&b.data);
+        }
+        crc.finish()
+    }
+
+    /// Verify stored bytes against the write-time CRC.
+    fn check(&self, path: &str) -> Result<()> {
+        let found = self.data_crc();
+        if found != self.crc {
+            return Err(MrError::ChecksumMismatch {
+                path: path.to_string(),
+                expected: self.crc,
+                found,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, reflected), the checksum HDFS
+/// uses per block. Bitwise — no table — since files here are small and the
+/// check runs once per read.
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        let mut crc = self.0;
+        for &byte in data {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+        self.0 = crc;
+    }
+
+    fn finish(self) -> u32 {
+        !self.0
+    }
 }
 
 #[derive(Default)]
@@ -188,6 +245,60 @@ impl Dfs {
             .ok_or_else(|| MrError::FileNotFound(path.to_string()))
     }
 
+    /// CRC-32 recorded when `path` was written. This is the *stored*
+    /// checksum (what commit manifests record); it does not re-read the
+    /// data — use [`Dfs::verify`] to check the bytes against it.
+    pub fn file_crc(&self, path: &str) -> Result<u32> {
+        self.inner
+            .read()
+            .files
+            .get(path)
+            .map(|f| f.crc)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+    }
+
+    /// Re-read `path`'s bytes and compare against the stored CRC, exactly
+    /// as every read does. Returns [`MrError::ChecksumMismatch`] on
+    /// corruption.
+    pub fn verify(&self, path: &str) -> Result<()> {
+        let inner = self.inner.read();
+        let file = inner
+            .files
+            .get(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        file.check(path)
+    }
+
+    /// Flip one bit of `path`'s first non-empty block *without* updating
+    /// the stored CRC — fault injection's corrupt-a-committed-file knob.
+    /// Empty files have no byte to flip and are rejected.
+    pub fn corrupt(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let file = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let block = file
+            .blocks
+            .iter_mut()
+            .find(|b| !b.data.is_empty())
+            .ok_or_else(|| MrError::InvalidConfig(format!("cannot corrupt empty file {path}")))?;
+        let mut data = block.data.to_vec();
+        data[0] ^= 0x01;
+        block.data = Bytes::from(data);
+        Ok(())
+    }
+
+    /// Non-hidden file paths under `prefix` (or the file itself),
+    /// name-ordered: the files a directory read would concatenate. Empty
+    /// when nothing is there.
+    pub fn data_files(&self, prefix: &str) -> Vec<String> {
+        self.list(prefix)
+            .into_iter()
+            .filter(|p| !is_hidden(p))
+            .collect()
+    }
+
     /// Total bytes stored under `prefix` (file or directory).
     pub fn len_under(&self, prefix: &str) -> u64 {
         let paths = self.list(prefix);
@@ -254,6 +365,7 @@ impl Dfs {
             if file.kind != FileKind::Text {
                 return Err(MrError::Codec(format!("{p} is not a text file")));
             }
+            file.check(p)?;
             for b in &file.blocks {
                 let text = std::str::from_utf8(&b.data)
                     .map_err(|e| MrError::Codec(format!("{p}: invalid utf-8: {e}")))?;
@@ -302,6 +414,7 @@ impl Dfs {
             if file.kind != FileKind::Seq {
                 return Err(MrError::Codec(format!("{p} is not a seq file")));
             }
+            file.check(p)?;
             for b in &file.blocks {
                 let mut r = ByteReader::new(&b.data);
                 while !r.is_empty() {
@@ -326,6 +439,7 @@ impl Dfs {
                 .files
                 .get(p)
                 .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            file.check(p)?;
             for b in &file.blocks {
                 out.push(BlockSplit {
                     path: p.clone(),
@@ -374,13 +488,27 @@ impl Dfs {
                 offset,
             });
         }
-        self.insert(path, DfsFile { kind, blocks, len }, false)
+        let mut crc = Crc32::new();
+        for b in &blocks {
+            crc.update(&b.data);
+        }
+        let crc = crc.finish();
+        self.insert(
+            path,
+            DfsFile {
+                kind,
+                blocks,
+                len,
+                crc,
+            },
+            false,
+        )
     }
 }
 
 /// True for paths whose basename marks them hidden (`_attempt-*`, `_logs`,
-/// dotfiles) — excluded from directory reads and splits.
-fn is_hidden(path: &str) -> bool {
+/// `_SUCCESS`, dotfiles) — excluded from directory reads and splits.
+pub fn is_hidden(path: &str) -> bool {
     path.rsplit('/')
         .next()
         .is_some_and(|base| base.starts_with('_') || base.starts_with('.'))
@@ -652,6 +780,100 @@ mod tests {
         dfs.write_text("/d/p2", ["ef"]).unwrap(); // 3 bytes
         assert_eq!(dfs.file_len("/d/p1").unwrap(), 6);
         assert_eq!(dfs.len_under("/d"), 9);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+        // Incremental updates equal one-shot.
+        let mut a = Crc32::new();
+        a.update(b"1234");
+        a.update(b"56789");
+        assert_eq!(a.finish(), 0xCBF4_3926);
+        assert_eq!(Crc32::new().finish(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_on_every_read_path() {
+        let dfs = Dfs::new(2, 16);
+        let lines: Vec<String> = (0..20).map(|i| format!("line-{i}")).collect();
+        dfs.write_text("/t", &lines).unwrap();
+        dfs.write_seq("/s", &[(1u64, "v".to_string())]).unwrap();
+        dfs.verify("/t").unwrap();
+        dfs.corrupt("/t").unwrap();
+        dfs.corrupt("/s").unwrap();
+        assert!(matches!(
+            dfs.read_text("/t"),
+            Err(MrError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            dfs.splits("/t"),
+            Err(MrError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            dfs.read_seq::<u64, String>("/s"),
+            Err(MrError::ChecksumMismatch { .. })
+        ));
+        let err = dfs.verify("/t").unwrap_err();
+        match err {
+            MrError::ChecksumMismatch { path, .. } => assert_eq!(path, "/t"),
+            other => panic!("expected checksum mismatch, got {other}"),
+        }
+        // Directory reads fail too when a member part is corrupt.
+        let dfs2 = Dfs::new(2, 1024);
+        dfs2.write_text("/out/part-00000", ["a"]).unwrap();
+        dfs2.write_text("/out/part-00001", ["b"]).unwrap();
+        dfs2.corrupt("/out/part-00001").unwrap();
+        assert!(matches!(
+            dfs2.read_text("/out"),
+            Err(MrError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rename_carries_the_checksum() {
+        let dfs = Dfs::new(2, 1024);
+        dfs.write_text("/out/_attempt-00000-0", ["data"]).unwrap();
+        let crc = dfs.file_crc("/out/_attempt-00000-0").unwrap();
+        dfs.rename("/out/_attempt-00000-0", "/out/part-00000")
+            .unwrap();
+        assert_eq!(dfs.file_crc("/out/part-00000").unwrap(), crc);
+        dfs.verify("/out/part-00000").unwrap();
+        // Identical content ⇒ identical CRC (what lets resume fingerprints
+        // survive a bit-identical stage re-run).
+        dfs.write_text("/other", ["data"]).unwrap();
+        assert_eq!(dfs.file_crc("/other").unwrap(), crc);
+    }
+
+    #[test]
+    fn corrupt_rejects_missing_and_empty_files() {
+        let dfs = Dfs::new(1, 64);
+        assert!(matches!(
+            dfs.corrupt("/missing"),
+            Err(MrError::FileNotFound(_))
+        ));
+        dfs.write_text("/empty", Vec::<String>::new()).unwrap();
+        assert!(dfs.corrupt("/empty").is_err());
+        assert!(matches!(
+            dfs.file_crc("/gone"),
+            Err(MrError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn data_files_skips_hidden() {
+        let dfs = Dfs::new(1, 64);
+        dfs.write_text("/out/part-00000", ["a"]).unwrap();
+        dfs.write_text("/out/_SUCCESS", ["m"]).unwrap();
+        dfs.write_text("/out/_attempt-00000-1", ["x"]).unwrap();
+        assert_eq!(dfs.data_files("/out"), vec!["/out/part-00000".to_string()]);
+        assert!(dfs.data_files("/nothing").is_empty());
+        // A plain file resolves to itself.
+        dfs.write_text("/single", ["y"]).unwrap();
+        assert_eq!(dfs.data_files("/single"), vec!["/single".to_string()]);
     }
 
     #[test]

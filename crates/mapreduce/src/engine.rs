@@ -2,6 +2,7 @@
 //! and the cluster time model.
 
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -18,6 +19,7 @@ use crate::faults::{Fault, FaultPlan};
 use crate::input::SplitSource;
 use crate::job::{Job, KeyLabel, Output, TextFormat};
 use crate::kv::{Key, Value};
+use crate::manifest::{JobManifest, SUCCESS_FILE};
 use crate::mapper::Mapper;
 use crate::memory::MemoryGauge;
 use crate::metrics::{JobMetrics, PhaseMetrics};
@@ -39,6 +41,10 @@ pub struct Cluster {
     config: ClusterConfig,
     dfs: Dfs,
     trace: Option<TraceSink>,
+    /// Jobs started on this cluster, in driver order. Indexes the
+    /// driver-crash points in [`FaultPlan`] (`crash_after`/`crash_mid`),
+    /// so "crash after job 2" means the third `run` call on this engine.
+    jobs_run: AtomicUsize,
 }
 
 impl Cluster {
@@ -50,17 +56,20 @@ impl Cluster {
             config,
             dfs,
             trace: None,
+            jobs_run: AtomicUsize::new(0),
         })
     }
 
     /// Create a cluster around an existing DFS (e.g. to re-run with a
-    /// different topology over the same data).
+    /// different topology over the same data, or to resume a crashed
+    /// pipeline in a fresh engine).
     pub fn with_dfs(config: ClusterConfig, dfs: Dfs) -> Result<Self> {
         config.validate().map_err(MrError::InvalidConfig)?;
         Ok(Cluster {
             config,
             dfs,
             trace: None,
+            jobs_run: AtomicUsize::new(0),
         })
     }
 
@@ -114,6 +123,36 @@ impl Cluster {
         let histograms = Histograms::new();
         if let Some(t) = &self.trace {
             t.emit(TraceEvent::new(EventKind::JobStart, &job.name));
+        }
+        let job_seq = self.jobs_run.fetch_add(1, Ordering::Relaxed);
+
+        // ---- recovery: scavenge orphans from a crashed prior run -----------
+        // A driver crash can leave `_attempt-*` files (uncommitted task
+        // output) and a stale `_SUCCESS` manifest in the output directory.
+        // Both are deleted before any task of this run starts, so a stale
+        // attempt file can never be renamed over fresh output and a stale
+        // manifest can never vouch for output this run is about to replace.
+        if let Some(dir) = job.output.dir() {
+            let mut scavenged = 0u64;
+            for path in self.dfs.list(dir) {
+                let base = path.rsplit('/').next().unwrap_or("");
+                if base.starts_with("_attempt-") {
+                    if self.dfs.delete(&path).is_ok() {
+                        scavenged += 1;
+                    }
+                } else if base == SUCCESS_FILE {
+                    let _ = self.dfs.delete(&path);
+                }
+            }
+            if scavenged > 0 {
+                counters.get("mr.recovery.scavenged").add(scavenged);
+                if let Some(t) = &self.trace {
+                    let mut e = TraceEvent::new(EventKind::Scavenge, &job.name);
+                    e.records = Some(scavenged);
+                    e.detail = Some(format!("orphaned attempt file(s) under {dir}"));
+                    t.emit(e);
+                }
+            }
         }
 
         // ---- map phase ----------------------------------------------------
@@ -190,10 +229,26 @@ impl Cluster {
             policy,
             |item, attempt| run_reduce_task(item, attempt, &rshared),
         );
+        let faults = self.config.faults.as_ref();
+        // Injected driver crash *mid-job*: all reduce tasks committed their
+        // parts at task level, but the job-level commit (attempt sweep +
+        // `_SUCCESS` manifest) never ran. The output directory is left
+        // exactly as the crash would leave it — parts present, no manifest —
+        // so resume logic must treat the job as uncommitted.
+        if reduce_result.is_ok() {
+            if let Some(plan) = faults {
+                if plan.crash_mid == Some(job_seq) {
+                    return Err(MrError::DriverCrash(format!(
+                        "mid job {job_seq} ({}) before commit",
+                        job.name
+                    )));
+                }
+            }
+        }
         // Job-level commit/abort (Hadoop's OutputCommitter.commitJob /
-        // abortJob): on success sweep any leftover attempt files; on failure
-        // remove the whole output directory so a failed job never leaves
-        // partial output behind.
+        // abortJob): on success sweep any leftover attempt files and write
+        // the `_SUCCESS` commit manifest; on failure remove the whole output
+        // directory so a failed job never leaves partial output behind.
         if let Some(dir) = job.output.dir() {
             match &reduce_result {
                 Ok(_) => {
@@ -206,9 +261,32 @@ impl Cluster {
                             let _ = self.dfs.delete(&path);
                         }
                     }
+                    JobManifest::collect(&self.dfs, &job.name, job.fingerprint.unwrap_or(0), dir)?
+                        .write(&self.dfs, dir)?;
+                    // Injected post-commit corruption: flip a bit in a
+                    // committed part so the next read (or manifest check)
+                    // of this directory must detect it.
+                    if let Some(target) = faults.and_then(|p| p.corrupt_path.as_deref()) {
+                        if target.starts_with(dir) && self.dfs.exists(target) {
+                            self.dfs.corrupt(target)?;
+                        }
+                    }
                 }
                 Err(_) => {
                     self.dfs.delete_prefix(dir);
+                }
+            }
+        }
+        // Injected driver crash *after* this job committed: downstream jobs
+        // never start. Resume must skip this job (manifest valid) and re-run
+        // only what is missing.
+        if reduce_result.is_ok() {
+            if let Some(plan) = faults {
+                if plan.crash_after == Some(job_seq) {
+                    return Err(MrError::DriverCrash(format!(
+                        "after job {job_seq} ({}) committed",
+                        job.name
+                    )));
                 }
             }
         }
@@ -370,6 +448,7 @@ impl Cluster {
             speculative_killed: map_spec.killed + reduce_spec.killed,
             output_commits: counters.value("mr.output.commits"),
             output_aborts: counters.value("mr.output.aborts"),
+            scavenged_attempt_files: counters.value("mr.recovery.scavenged"),
             merge_passes: reduce_outs.iter().map(|o| o.merge_passes).sum(),
             map_input_records: map_outs.iter().map(|o| o.input_records).sum(),
             map_output_records: map_outs.iter().map(|o| o.output_records).sum(),

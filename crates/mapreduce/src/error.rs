@@ -48,6 +48,23 @@ pub enum MrError {
     },
     /// The job specification is inconsistent (e.g. zero reducers).
     InvalidConfig(String),
+    /// A DFS file's content no longer matches its stored CRC — the
+    /// simulated equivalent of HDFS detecting a corrupt block on read.
+    /// Corrupt data is never returned to the caller.
+    ChecksumMismatch {
+        /// The corrupt file.
+        path: String,
+        /// CRC recorded when the file was written.
+        expected: u32,
+        /// CRC of the bytes actually present.
+        found: u32,
+    },
+    /// The driver "crashed" at an injected crash point (see
+    /// [`crate::FaultPlan::crash_after`] / [`crate::FaultPlan::crash_mid`]).
+    /// Unlike a job failure, a driver crash leaves the output directory
+    /// exactly as it was — partial parts, orphaned attempts and all — so
+    /// recovery tests can resume over the surviving DFS.
+    DriverCrash(String),
 }
 
 /// Retry classification of an [`MrError`] — Hadoop distinguishes attempt
@@ -81,6 +98,15 @@ impl fmt::Display for MrError {
                 write!(f, "node {node} lost while running task {task}")
             }
             MrError::InvalidConfig(msg) => write!(f, "invalid job configuration: {msg}"),
+            MrError::ChecksumMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "DFS checksum mismatch reading {path}: expected {expected:08x}, found {found:08x}"
+            ),
+            MrError::DriverCrash(msg) => write!(f, "driver crashed (injected): {msg}"),
         }
     }
 }
@@ -111,16 +137,36 @@ impl MrError {
                 }
             }
             // Deterministic: identical inputs produce the identical failure.
+            // A checksum mismatch is permanent at the task level — every
+            // re-read returns the same corrupt bytes; recovery happens one
+            // layer up by re-executing the *producing* stage, not by
+            // retrying the reader.
             MrError::FileNotFound(_)
             | MrError::FileExists(_)
             | MrError::Codec(_)
-            | MrError::InvalidConfig(_) => ErrorClass::Permanent,
+            | MrError::InvalidConfig(_)
+            | MrError::ChecksumMismatch { .. }
+            | MrError::DriverCrash(_) => ErrorClass::Permanent,
         }
     }
 
     /// True if a retry could plausibly succeed (see [`MrError::class`]).
     pub fn is_transient(&self) -> bool {
         self.class() == ErrorClass::Transient
+    }
+
+    /// True if this is an injected driver crash (see
+    /// [`MrError::DriverCrash`]), the signal recovery harnesses resume on.
+    pub fn is_driver_crash(&self) -> bool {
+        matches!(self, MrError::DriverCrash(_))
+    }
+
+    /// True if this is a DFS data-integrity failure
+    /// ([`MrError::ChecksumMismatch`]). Like a driver crash, it is
+    /// recoverable one layer up: a resume invalidates the producing job's
+    /// manifest and re-executes that stage.
+    pub fn is_checksum_mismatch(&self) -> bool {
+        matches!(self, MrError::ChecksumMismatch { .. })
     }
 }
 
@@ -148,6 +194,20 @@ mod tests {
             task: "job/map-1".into(),
         };
         assert!(e.to_string().contains("node 2"));
+        let e = MrError::ChecksumMismatch {
+            path: "/out/part-00000".into(),
+            expected: 0xdead_beef,
+            found: 0x0bad_f00d,
+        };
+        assert_eq!(
+            e.to_string(),
+            "DFS checksum mismatch reading /out/part-00000: \
+             expected deadbeef, found 0badf00d"
+        );
+        let e = MrError::DriverCrash("after job 2".into());
+        assert_eq!(e.to_string(), "driver crashed (injected): after job 2");
+        assert!(e.is_driver_crash());
+        assert!(!MrError::Codec("x".into()).is_driver_crash());
     }
 
     #[test]
@@ -179,6 +239,13 @@ mod tests {
             transient: false,
         }
         .is_transient());
+        assert!(!MrError::ChecksumMismatch {
+            path: "/x".into(),
+            expected: 1,
+            found: 2,
+        }
+        .is_transient());
+        assert!(!MrError::DriverCrash("mid job 0".into()).is_transient());
         assert_eq!(
             MrError::TaskFailed("x".into()).class(),
             ErrorClass::Transient

@@ -60,6 +60,17 @@ pub struct FaultPlan {
     /// A node that is down for the whole job: every attempt scheduled on it
     /// fails with [`crate::MrError::NodeLost`].
     pub dead_node: Option<usize>,
+    /// Driver crash point: "crash" (return [`crate::MrError::DriverCrash`])
+    /// right *after* the N-th job on the cluster (0-based) commits its
+    /// output and manifest. The DFS is left intact for a resume.
+    pub crash_after: Option<usize>,
+    /// Driver crash point: "crash" *mid* the N-th job (0-based), after its
+    /// reduce tasks committed their parts but before the job-level commit —
+    /// parts exist, no `_SUCCESS` manifest does.
+    pub crash_mid: Option<usize>,
+    /// Silently flip a bit in this committed file right after the job that
+    /// produced it commits — the corruption the CRC layer must catch.
+    pub corrupt_path: Option<String>,
 }
 
 impl Default for FaultPlan {
@@ -73,6 +84,9 @@ impl Default for FaultPlan {
             p_straggler: 0.0,
             straggler_factor: 1.0,
             dead_node: None,
+            crash_after: None,
+            crash_mid: None,
+            corrupt_path: None,
         }
     }
 }
@@ -97,7 +111,7 @@ impl FaultPlan {
             p_late: 0.04,
             p_straggler: 0.10,
             straggler_factor: 8.0,
-            dead_node: None,
+            ..Default::default()
         }
     }
 
@@ -191,6 +205,23 @@ impl FaultPlan {
                         format!("fault plan: node_down `{value}` is not a node index")
                     })?);
                 }
+                "crash_after" => {
+                    plan.crash_after = Some(value.trim().parse::<usize>().map_err(|_| {
+                        format!("fault plan: crash_after `{value}` is not a job index")
+                    })?);
+                }
+                "crash_mid" => {
+                    plan.crash_mid = Some(value.trim().parse::<usize>().map_err(|_| {
+                        format!("fault plan: crash_mid `{value}` is not a job index")
+                    })?);
+                }
+                "corrupt" => {
+                    let v = value.trim();
+                    if v.is_empty() {
+                        return Err("fault plan: corrupt needs a DFS path".into());
+                    }
+                    plan.corrupt_path = Some(v.to_string());
+                }
                 other => return Err(format!("fault plan: unknown key `{other}`")),
             }
         }
@@ -271,6 +302,15 @@ impl fmt::Display for FaultPlan {
         )?;
         if let Some(n) = self.dead_node {
             write!(f, " node_down={n}")?;
+        }
+        if let Some(n) = self.crash_after {
+            write!(f, " crash_after={n}")?;
+        }
+        if let Some(n) = self.crash_mid {
+            write!(f, " crash_mid={n}")?;
+        }
+        if let Some(p) = &self.corrupt_path {
+            write!(f, " corrupt={p}")?;
         }
         Ok(())
     }
@@ -385,6 +425,29 @@ mod tests {
         assert_eq!(plan.straggler_factor, 8.0);
         assert_eq!(plan.dead_node, Some(2));
         plan.validate(4).unwrap();
+    }
+
+    #[test]
+    fn parse_covers_driver_crash_and_corruption_keys() {
+        let plan =
+            FaultPlan::parse("seed=7,crash_after=2,corrupt=/work/tokens/part-00000").unwrap();
+        assert_eq!(plan.crash_after, Some(2));
+        assert_eq!(plan.crash_mid, None);
+        assert_eq!(
+            plan.corrupt_path.as_deref(),
+            Some("/work/tokens/part-00000")
+        );
+        let plan = FaultPlan::parse("crash_mid=0").unwrap();
+        assert_eq!(plan.crash_mid, Some(0));
+        let shown = plan.to_string();
+        assert!(shown.contains("crash_mid=0"), "{shown}");
+        assert!(FaultPlan::parse("seed=7,crash_after=2,corrupt=/p")
+            .unwrap()
+            .to_string()
+            .contains("crash_after=2"),);
+        assert!(FaultPlan::parse("crash_after=x").is_err());
+        assert!(FaultPlan::parse("crash_mid=-1").is_err());
+        assert!(FaultPlan::parse("corrupt=").is_err());
     }
 
     #[test]

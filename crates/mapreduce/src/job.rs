@@ -71,6 +71,12 @@ pub struct Job<M: Mapper, R: Reducer<Key = M::OutKey, InValue = M::OutValue>> {
     /// Optional labeler enabling the reduce-key heavy-hitter report (see
     /// [`crate::JobMetrics::reduce_key_heavy_hitters`]).
     pub key_label: Option<KeyLabel<M::OutKey>>,
+    /// Fingerprint of the job's inputs + relevant configuration, recorded
+    /// in the output directory's `_SUCCESS` commit manifest. Resume-mode
+    /// drivers recompute it and skip the job when the manifest matches.
+    /// `None` records fingerprint 0 (manifest still written, never
+    /// resumable-by-fingerprint).
+    pub fingerprint: Option<u64>,
 }
 
 impl<M, R> Job<M, R>
@@ -94,6 +100,7 @@ where
             output: Output::None,
             cache: Cache::new(),
             key_label: None,
+            fingerprint: None,
         }
     }
 
@@ -158,6 +165,13 @@ where
     /// Label intermediate keys for the reduce-key heavy-hitter report.
     pub fn key_label(mut self, f: KeyLabel<M::OutKey>) -> Self {
         self.key_label = Some(f);
+        self
+    }
+
+    /// Record an input/config fingerprint in the job's commit manifest
+    /// (see [`crate::JobManifest`]).
+    pub fn fingerprint(mut self, fp: u64) -> Self {
+        self.fingerprint = Some(fp);
         self
     }
 }

@@ -76,6 +76,7 @@ pub mod input;
 pub mod job;
 pub mod json;
 pub mod kv;
+pub mod manifest;
 pub mod mapper;
 pub mod memory;
 pub mod metrics;
@@ -92,7 +93,7 @@ pub use cluster::{
 };
 pub use codec::{ByteReader, Codec};
 pub use counters::{Counter, Counters};
-pub use dfs::{BlockSplit, Dfs, FileKind, SeqWriter, TextWriter};
+pub use dfs::{is_hidden, BlockSplit, Dfs, FileKind, SeqWriter, TextWriter};
 pub use engine::Cluster;
 pub use error::{ErrorClass, MrError, Result};
 pub use faults::{Fault, FaultPlan};
@@ -100,6 +101,10 @@ pub use input::{mem_input, seq_input, text_input, SplitSource};
 pub use job::{Job, KeyLabel, Output, TextFormat};
 pub use json::{obj, Json};
 pub use kv::{Key, Value};
+pub use manifest::{
+    success_path, Fingerprint, JobManifest, ManifestCheck, ManifestPart, MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION, SUCCESS_FILE,
+};
 pub use mapper::{ClosureMapper, IdentityMapper, Mapper, SwapMapper};
 pub use memory::MemoryGauge;
 pub use metrics::{JobMetrics, PhaseMetrics, PipelineMetrics};

@@ -72,6 +72,9 @@ pub struct JobMetrics {
     pub output_commits: u64,
     /// Failed reduce attempts whose partial output was discarded.
     pub output_aborts: u64,
+    /// Orphaned `_attempt-*` files from a crashed prior run that the job
+    /// deleted from its output directory before starting.
+    pub scavenged_attempt_files: u64,
     /// Intermediate reduce-side merge passes (runs beyond the merge factor).
     pub merge_passes: u64,
     /// Records fed to map functions.
@@ -179,6 +182,13 @@ impl fmt::Display for JobMetrics {
                 self.speculative_killed,
                 self.output_commits,
                 self.output_aborts,
+            )?;
+        }
+        if self.scavenged_attempt_files > 0 {
+            write!(
+                f,
+                "\n  recovery scavenged {} orphaned attempt file(s)",
+                self.scavenged_attempt_files,
             )?;
         }
         if let Some(h) = self.histogram(crate::trace::HIST_REDUCE_GROUP_RECORDS) {

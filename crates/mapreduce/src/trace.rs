@@ -65,6 +65,15 @@ pub enum EventKind {
     /// The job's top reduce key exceeded the configured share of shuffle
     /// records — the operational symptom of a bad token order.
     SkewWarning,
+    /// A resume-mode driver skipped a job because its commit manifest
+    /// validated (`detail` carries the decision context).
+    ResumeSkip,
+    /// Orphaned `_attempt-*` files from a crashed prior run were deleted at
+    /// job start (`records` carries how many).
+    Scavenge,
+    /// A checksum/manifest validation failure was detected (`detail` names
+    /// the file or reason); the producing stage will be re-executed.
+    ChecksumFail,
 }
 
 impl EventKind {
@@ -79,6 +88,9 @@ impl EventKind {
             EventKind::Abort => "abort",
             EventKind::Speculative => "speculative",
             EventKind::SkewWarning => "skew_warning",
+            EventKind::ResumeSkip => "resume_skip",
+            EventKind::Scavenge => "scavenge",
+            EventKind::ChecksumFail => "checksum_fail",
         }
     }
 
@@ -93,6 +105,9 @@ impl EventKind {
             "abort" => EventKind::Abort,
             "speculative" => EventKind::Speculative,
             "skew_warning" => EventKind::SkewWarning,
+            "resume_skip" => EventKind::ResumeSkip,
+            "scavenge" => EventKind::Scavenge,
+            "checksum_fail" => EventKind::ChecksumFail,
             _ => return None,
         })
     }

@@ -138,12 +138,17 @@ fn chaos_wordcount_is_bitwise_equal_to_fault_free_run() {
     // commit, so commits cannot exceed tasks even under heavy retries.
     assert_eq!(m.output_commits, m.reduce.tasks as u64);
     assert_eq!(m.output_aborts, m.counter("mr.output.aborts"));
-    // The output directory holds exactly the committed part files.
-    let listed = chaos.dfs().list("/out");
+    // The output directory holds exactly the committed part files plus the
+    // `_SUCCESS` commit manifest.
+    let listed = chaos.dfs().data_files("/out");
     assert_eq!(listed.len(), m.reduce.tasks);
     assert!(
         listed.iter().all(|p| p.contains("/part-")),
         "no attempt files may survive the job: {listed:?}"
+    );
+    assert!(
+        chaos.dfs().exists("/out/_SUCCESS"),
+        "a committed job must leave a _SUCCESS manifest"
     );
 }
 
@@ -305,7 +310,11 @@ fn late_fault_discards_uncommitted_output_and_retry_commits() {
         counts,
         vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 1)]
     );
-    assert_eq!(cluster.dfs().list("/out"), vec!["/out/part-00000"]);
+    assert_eq!(
+        cluster.dfs().list("/out"),
+        vec!["/out/_SUCCESS", "/out/part-00000"]
+    );
+    assert_eq!(cluster.dfs().data_files("/out"), vec!["/out/part-00000"]);
 }
 
 #[test]

@@ -1,0 +1,205 @@
+//! Engine-level recovery tests: the output-commit manifest, the job-start
+//! attempt scavenger, and the injected driver-crash / corruption fault
+//! points that the pipeline-level chaos suite builds on.
+
+use mapreduce::faults::FaultPlan;
+use mapreduce::{
+    text_input, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Emit, Job, JobManifest,
+    ManifestCheck, MrError, TaskContext,
+};
+
+type WcMapper = ClosureMapper<
+    u64,
+    String,
+    String,
+    u64,
+    fn(&u64, &String, &mut dyn Emit<String, u64>, &TaskContext) -> mapreduce::Result<()>,
+>;
+
+fn wc_mapper() -> WcMapper {
+    ClosureMapper::new(
+        (|_off, line, out, _ctx| {
+            for w in line.split_whitespace() {
+                out.emit(w.to_string(), 1)?;
+            }
+            Ok(())
+        })
+            as fn(&u64, &String, &mut dyn Emit<String, u64>, &TaskContext) -> mapreduce::Result<()>,
+    )
+}
+
+#[allow(clippy::type_complexity)]
+fn wc_reducer() -> ClosureReducer<
+    String,
+    u64,
+    String,
+    u64,
+    impl FnMut(
+            &String,
+            &mut dyn Iterator<Item = (String, u64)>,
+            &mut dyn Emit<String, u64>,
+            &TaskContext,
+        ) -> mapreduce::Result<()>
+        + Clone,
+> {
+    ClosureReducer::new(
+        |k: &String,
+         vs: &mut dyn Iterator<Item = (String, u64)>,
+         out: &mut dyn Emit<String, u64>,
+         _ctx: &TaskContext| out.emit(k.clone(), vs.map(|(_, n)| n).sum()),
+    )
+}
+
+fn cluster(faults: Option<FaultPlan>) -> Cluster {
+    let config = ClusterConfig {
+        faults,
+        ..ClusterConfig::with_nodes(2)
+    };
+    let c = Cluster::new(config, 1 << 16).unwrap();
+    c.dfs().write_text("/in", ["a b a", "b c"]).unwrap();
+    c
+}
+
+fn wc_job(
+    dfs: &mapreduce::Dfs,
+) -> Job<
+    WcMapper,
+    impl mapreduce::Reducer<Key = String, InValue = u64, OutKey = String, OutValue = u64>,
+> {
+    Job::new("wc", wc_mapper(), wc_reducer())
+        .inputs(text_input(dfs, "/in").unwrap())
+        .reducers(1)
+        .output_seq("/out")
+        .fingerprint(0xabcd)
+}
+
+fn expected_counts() -> Vec<(String, u64)> {
+    vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]
+}
+
+#[test]
+fn committed_job_writes_a_checksummed_manifest() {
+    let c = cluster(None);
+    c.run(wc_job(c.dfs())).unwrap();
+    let m = JobManifest::read(c.dfs(), "/out")
+        .unwrap()
+        .expect("committed job must leave a _SUCCESS manifest");
+    assert_eq!(m.job, "wc");
+    assert_eq!(m.fingerprint, 0xabcd);
+    assert_eq!(m.parts.len(), 1);
+    assert_eq!(m.parts[0].name, "part-00000");
+    assert_eq!(
+        m.parts[0].crc,
+        c.dfs().file_crc("/out/part-00000").unwrap(),
+        "manifest CRC must match the committed file's stored CRC"
+    );
+    assert_eq!(m.validate(c.dfs(), "/out", 0xabcd), ManifestCheck::Valid);
+}
+
+#[test]
+fn stale_attempt_file_is_scavenged_never_promoted() {
+    let c = cluster(None);
+    // A crashed prior run left an uncommitted attempt file full of garbage.
+    // If it survived until the reduce phase it could be renamed over (or
+    // mistaken for) this run's fresh output.
+    c.dfs()
+        .write_text("/out/_attempt-00000-3", ["GARBAGE FROM A DEAD RUN"])
+        .unwrap();
+    let m = c.run(wc_job(c.dfs())).unwrap();
+    assert_eq!(
+        m.scavenged_attempt_files, 1,
+        "the orphan must be counted in JobMetrics"
+    );
+    assert_eq!(m.counter("mr.recovery.scavenged"), 1);
+    assert!(
+        !c.dfs().exists("/out/_attempt-00000-3"),
+        "the orphan must be deleted before any task runs"
+    );
+    let mut counts: Vec<(String, u64)> = c.dfs().read_seq("/out").unwrap();
+    counts.sort();
+    assert_eq!(counts, expected_counts(), "output must be fresh, not stale");
+}
+
+#[test]
+fn rerun_replaces_a_stale_success_manifest() {
+    let c = cluster(None);
+    c.run(wc_job(c.dfs())).unwrap();
+    // Re-running the job (e.g. after the driver decided the output was
+    // invalid) must replace the manifest, not trip over the stale one.
+    let m = c.run(wc_job(c.dfs()).fingerprint(0x9999)).unwrap();
+    assert_eq!(m.scavenged_attempt_files, 0);
+    let back = JobManifest::read(c.dfs(), "/out").unwrap().unwrap();
+    assert_eq!(back.fingerprint, 0x9999, "manifest must be the fresh one");
+}
+
+#[test]
+fn mid_job_crash_leaves_parts_but_no_manifest() {
+    let c = cluster(Some(FaultPlan {
+        crash_mid: Some(0),
+        ..FaultPlan::default()
+    }));
+    let err = c.run(wc_job(c.dfs())).unwrap_err();
+    assert!(err.is_driver_crash(), "got {err}");
+    assert!(
+        c.dfs().exists("/out/part-00000"),
+        "task-committed parts survive a driver crash"
+    );
+    assert!(
+        JobManifest::read(c.dfs(), "/out").unwrap().is_none(),
+        "the job never committed, so there must be no _SUCCESS"
+    );
+}
+
+#[test]
+fn crash_after_commit_leaves_a_valid_manifest() {
+    let c = cluster(Some(FaultPlan {
+        crash_after: Some(0),
+        ..FaultPlan::default()
+    }));
+    let err = c.run(wc_job(c.dfs())).unwrap_err();
+    assert!(err.is_driver_crash(), "got {err}");
+    let m = JobManifest::read(c.dfs(), "/out").unwrap().unwrap();
+    assert_eq!(
+        m.validate(c.dfs(), "/out", 0xabcd),
+        ManifestCheck::Valid,
+        "the job committed before the crash; its output is reusable"
+    );
+}
+
+#[test]
+fn crash_points_index_jobs_in_driver_order() {
+    // crash_after = 1 lets job 0 commit and kills the driver after job 1.
+    let c = cluster(Some(FaultPlan {
+        crash_after: Some(1),
+        ..FaultPlan::default()
+    }));
+    c.run(wc_job(c.dfs())).unwrap();
+    let job2 = Job::new("wc2", wc_mapper(), wc_reducer())
+        .inputs(text_input(c.dfs(), "/in").unwrap())
+        .reducers(1)
+        .output_seq("/out2");
+    let err = c.run(job2).unwrap_err();
+    assert!(err.is_driver_crash(), "got {err}");
+    assert!(JobManifest::read(c.dfs(), "/out").unwrap().is_some());
+    assert!(JobManifest::read(c.dfs(), "/out2").unwrap().is_some());
+}
+
+#[test]
+fn injected_corruption_is_detected_never_silent() {
+    let c = cluster(Some(FaultPlan {
+        corrupt_path: Some("/out/part-00000".to_string()),
+        ..FaultPlan::default()
+    }));
+    // The job itself succeeds: corruption strikes *after* commit.
+    c.run(wc_job(c.dfs())).unwrap();
+    let err = c
+        .dfs()
+        .read_seq::<String, u64>("/out")
+        .expect_err("reading a corrupted file must fail, not return wrong data");
+    assert!(matches!(err, MrError::ChecksumMismatch { .. }), "got {err}");
+    // The manifest check classifies it as corruption, which resume logic
+    // uses to re-run the producing stage.
+    let m = JobManifest::read(c.dfs(), "/out").unwrap().unwrap();
+    let check = m.validate(c.dfs(), "/out", 0xabcd);
+    assert!(check.is_corruption(), "got {check:?}");
+}
