@@ -26,7 +26,7 @@ use fuzzyjoin::{
     RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold, TokenRouting,
     TokenizerKind,
 };
-use mapreduce::TraceSink;
+use mapreduce::{BackendKind, TraceSink};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -41,7 +41,7 @@ commands:
             [--threshold T] [--measure jaccard|cosine|dice]
             [--combo bto-pk-brj] [--nodes N] [--qgram Q]
             [--rid-field I] [--join-fields 1,2] [--groups G] [--full yes]
-            [--fault-seed S] [--fault-plan SPEC]
+            [--backend simulated|sharded] [--fault-seed S] [--fault-plan SPEC]
   rsjoin    join two files (stage 1 runs on --r; make it the smaller one)
             --r FILE --s FILE --out FILE  [same options as selfjoin]
 
@@ -54,6 +54,12 @@ fault injection (chaos testing; results are unaffected by design):
                      N-th job; pair with --resume yes) and corrupt=/dfs/path
                      (flip a bit in a committed file; the CRC layer must
                      catch it on the next read)
+
+execution (selfjoin/rsjoin):
+  --backend KIND  simulated (default): the deterministic in-process
+                  executor with the cluster time model; sharded: per-node
+                  worker shards with a real streaming shuffle over bounded
+                  channels. Join output is byte-identical either way.
 
 recovery (selfjoin/rsjoin):
   --resume yes          after an injected driver crash or a detected
@@ -142,6 +148,7 @@ const JOIN_FLAGS: &[&str] = &[
     "join-fields",
     "groups",
     "full",
+    "backend",
     "fault-seed",
     "fault-plan",
     "resume",
@@ -289,6 +296,14 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
 }
 
 /// Parse `--resume` (absent, or `yes`).
+fn backend_flag(args: &Args) -> Result<BackendKind, String> {
+    match args.get("backend") {
+        None => Ok(BackendKind::default()),
+        Some(name) => BackendKind::parse(name)
+            .ok_or_else(|| format!("bad --backend {name:?} (expected simulated or sharded)")),
+    }
+}
+
 fn resume_flag(args: &Args) -> Result<bool, String> {
     match args.get("resume") {
         None => Ok(false),
@@ -346,7 +361,7 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
     let (config, nodes) = join_config(args)?;
 
     let resume = resume_flag(args)?;
-    let mut cluster = make_cluster(nodes, fault_plan(args)?)?;
+    let mut cluster = make_cluster(nodes, fault_plan(args)?, backend_flag(args)?)?;
     let sink = attach_trace(&mut cluster, args);
     let n = load_file(&cluster, input, "/input")?;
     let join = |cluster: &Cluster, resume: bool| {
@@ -381,7 +396,7 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let (config, nodes) = join_config(args)?;
 
     let resume = resume_flag(args)?;
-    let mut cluster = make_cluster(nodes, fault_plan(args)?)?;
+    let mut cluster = make_cluster(nodes, fault_plan(args)?, backend_flag(args)?)?;
     let sink = attach_trace(&mut cluster, args);
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
@@ -454,12 +469,17 @@ fn emit_observability(
 // plumbing
 // ---------------------------------------------------------------------------
 
-fn make_cluster(nodes: usize, faults: Option<FaultPlan>) -> Result<Cluster, String> {
+fn make_cluster(
+    nodes: usize,
+    faults: Option<FaultPlan>,
+    backend: BackendKind,
+) -> Result<Cluster, String> {
     let config = ClusterConfig {
         // Fault injection needs a retry budget; fault-free runs keep the
         // strict default (any failure is a bug, surface it immediately).
         max_task_attempts: if faults.is_some() { 8 } else { 1 },
         faults,
+        backend,
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 4 << 20).map_err(|e| e.to_string())

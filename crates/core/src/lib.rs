@@ -45,5 +45,7 @@ pub use report::{run_report, run_report_resolved, REPORT_SCHEMA, REPORT_SCHEMA_V
 pub use stage3::{JoinedPair, PairKey};
 
 // Re-export the pieces callers need to drive a join.
-pub use mapreduce::{Cluster, ClusterConfig, FaultPlan, MrError, NetworkModel, Result};
+pub use mapreduce::{
+    BackendKind, Cluster, ClusterConfig, FaultPlan, MrError, NetworkModel, Result,
+};
 pub use setsim::{FilterConfig, SimFunction, Threshold};

@@ -1,0 +1,62 @@
+//! Concurrency smoke tests for the sharded execution backend at the
+//! pipeline level: the full 3-stage set-similarity join, run repeatedly
+//! with real threads, must commit **identical bytes** every time — and
+//! those bytes must match the simulated backend's. The engine-level
+//! counterpart lives in `crates/mapreduce/tests/backend.rs`; this suite
+//! stresses the same property through stage 1 → 2 → 3 where token
+//! orderings, grouped routing, and stage-3 dedup all depend on committed
+//! intermediate files.
+
+use fuzzyjoin::{
+    read_joined, self_join, BackendKind, Cluster, ClusterConfig, JoinConfig, Threshold,
+};
+
+/// One full self-join; returns the committed outputs verbatim: the raw
+/// stage-2 RID-pair text lines in file order plus the parsed stage-3 rows
+/// in file order (similarities compared bitwise via `to_bits`).
+fn run_join(backend: BackendKind, threads: usize) -> (Vec<String>, Vec<(u64, u64, u64)>) {
+    let config = ClusterConfig {
+        backend,
+        execution_threads: Some(threads),
+        ..ClusterConfig::with_nodes(3)
+    };
+    let cluster = Cluster::new(config, 2048).unwrap();
+    let lines = datagen::to_lines(&datagen::dblp(80, 0xD5));
+    cluster.dfs().write_text("/records", &lines).unwrap();
+    let join = JoinConfig::recommended().with_threshold(Threshold::jaccard(0.8));
+    let outcome = self_join(&cluster, "/records", "/work", &join).unwrap();
+    let rid_pairs: Vec<String> = cluster.dfs().read_text(&outcome.ridpairs_path).unwrap();
+    let joined = read_joined(&cluster, &outcome.joined_path)
+        .unwrap()
+        .into_iter()
+        .map(|((a, b), (_, _, sim))| (a, b, sim.to_bits()))
+        .collect();
+    (rid_pairs, joined)
+}
+
+/// Seeded stress: the same join 10× on the sharded backend with 4 worker
+/// threads on a 1-CPU-or-more host — no thread interleaving may leak into
+/// the committed bytes of any stage.
+#[test]
+fn sharded_join_is_byte_stable_across_ten_runs() {
+    let baseline = run_join(BackendKind::Sharded, 4);
+    assert!(!baseline.1.is_empty(), "stress corpus must produce pairs");
+    for rep in 0..9 {
+        let again = run_join(BackendKind::Sharded, 4);
+        assert_eq!(baseline, again, "sharded join run {} diverged", rep + 2);
+    }
+}
+
+/// The stable bytes must also be the *right* bytes: simulated and sharded
+/// agree on every stage's committed output, across thread counts.
+#[test]
+fn sharded_join_matches_simulated_at_every_thread_count() {
+    let simulated = run_join(BackendKind::Simulated, 1);
+    for threads in [1, 2, 8] {
+        let sharded = run_join(BackendKind::Sharded, threads);
+        assert_eq!(
+            simulated, sharded,
+            "sharded({threads} threads) diverged from simulated"
+        );
+    }
+}

@@ -11,8 +11,8 @@
 use std::sync::Once;
 
 use fuzzyjoin::{
-    read_joined, read_rid_pairs, rs_join, self_join, Cluster, ClusterConfig, FaultPlan,
-    FilterConfig, JoinConfig, JoinOutcome, MrError, Stage2Algo,
+    read_joined, read_rid_pairs, rs_join, self_join, BackendKind, Cluster, ClusterConfig,
+    FaultPlan, FilterConfig, JoinConfig, JoinOutcome, MrError, Stage2Algo,
 };
 use setsim::oracle;
 
@@ -44,9 +44,12 @@ fn quiet_injected_panics() {
 }
 
 fn cluster_with(faults: Option<FaultPlan>) -> Cluster {
+    // `MR_BACKEND=sharded` (CI backend-parity job) runs the whole chaos
+    // suite on the sharded executor; output must stay bitwise identical.
     let config = ClusterConfig {
         max_task_attempts: 8,
         faults,
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(3)
     };
     Cluster::new(config, 2048).unwrap()
@@ -168,6 +171,7 @@ fn chaos_pipeline_exhausting_attempts_fails_clean() {
     let config = ClusterConfig {
         max_task_attempts: 2,
         faults: Some(plan),
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(3)
     };
     let cluster = Cluster::new(config, 2048).unwrap();

@@ -50,9 +50,13 @@ fn quiet_injected_panics() {
 }
 
 fn cluster_with(faults: Option<FaultPlan>) -> Cluster {
+    // `MR_BACKEND=sharded` (CI backend-parity job) runs the whole
+    // crash/resume suite on the sharded executor. `resume_cluster` clones
+    // the crashed config, so the backend survives resume automatically.
     let config = ClusterConfig {
         max_task_attempts: 8,
         faults,
+        backend: mapreduce::BackendKind::from_env(),
         ..ClusterConfig::with_nodes(3)
     };
     Cluster::new(config, 2048).unwrap()

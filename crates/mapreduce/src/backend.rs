@@ -1,0 +1,413 @@
+//! Execution backends: how a job's tasks reach physical threads.
+//!
+//! [`Cluster::run`](crate::Cluster::run) is split into a backend-neutral
+//! driver (validation, recovery scavenging, the commit protocol, the time
+//! model, metrics) and an [`ExecutionBackend`] that owns only the middle:
+//! *run the map tasks, move their spill runs to the right partitions, run
+//! the reduce tasks*. Two backends implement that contract:
+//!
+//! * [`BackendKind::Simulated`] — the original deterministic in-process
+//!   executor. Map tasks run on a work-stealing pool (or inline when one
+//!   thread suffices), **all** map output is regrouped by partition in a
+//!   single serial pass, and then reduce tasks run. This is the reference
+//!   semantics: chaos plans, speculation, and the simulated time model are
+//!   all defined against it.
+//! * [`BackendKind::Sharded`] — a real sharded executor: map tasks are
+//!   queued per node shard and executed by a pool of shard-affine workers
+//!   (idle workers steal from other shards), and every finished spill run
+//!   is **streamed** to its reduce partition through a bounded channel
+//!   (see [`crate::shuffle`]) while other map tasks are still running.
+//!   Each partition's merge queue is drained by a dedicated thread that
+//!   runs the reduce task once the channel closes (= the map phase
+//!   finished), gated by a semaphore so at most `physical_threads` reduce
+//!   bodies execute concurrently.
+//!
+//! # Determinism contract
+//!
+//! Both backends must produce **byte-identical committed output** for the
+//! same job on the same DFS. The engine guarantees this holds regardless
+//! of thread interleaving because
+//!
+//! * task bodies ([`run_map_task`]/[`run_reduce_task`]) derive everything —
+//!   including the node label used for fault injection — from
+//!   `(task_id, attempt)`, never from the executing thread;
+//! * equal keys surface in reduce in *run presentation order*, so the
+//!   sharded backend sorts each partition's collected runs by
+//!   `(map task, spill index)` — exactly the order the simulated backend's
+//!   serial regroup produces — before merging;
+//! * reduce work only starts after every map sender has dropped, so a map
+//!   failure always preempts reduce execution, as in the simulated path.
+//!
+//! What the sharded backend does **not** change: the simulated clock.
+//! Makespans are still computed by the driver from per-task durations and
+//! the topology, so speedup/scaleup numbers are backend-independent by
+//! construction (wall-clock, of course, is not).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cluster::ClusterConfig;
+use crate::engine::{
+    run_map_task, run_reduce_task, run_tasks, run_with_retries, MapItem, MapShared, MapTaskOut,
+    ReduceItem, ReduceShared, ReduceTaskOut, RetryPolicy, RetryStats,
+};
+use crate::error::{MrError, Result};
+use crate::mapper::Mapper;
+use crate::reducer::Reducer;
+use crate::run::Run;
+use crate::shuffle::{bounded, Semaphore};
+
+/// Which execution backend a [`ClusterConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The deterministic in-process executor with a serial shuffle
+    /// regroup — the reference semantics.
+    #[default]
+    Simulated,
+    /// Per-node worker shards with a streaming bounded-channel shuffle.
+    Sharded,
+}
+
+impl BackendKind {
+    /// Parse a CLI-style backend name (`simulated` or `sharded`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "simulated" => Some(BackendKind::Simulated),
+            "sharded" => Some(BackendKind::Sharded),
+            _ => None,
+        }
+    }
+
+    /// Backend selected by the `MR_BACKEND` environment variable, falling
+    /// back to the default. Test suites use this so CI's `backend-parity`
+    /// job can re-run them wholesale on the sharded backend; an
+    /// unrecognized value panics rather than silently testing the default.
+    pub fn from_env() -> Self {
+        match std::env::var("MR_BACKEND") {
+            Ok(name) => Self::parse(&name).unwrap_or_else(|| {
+                panic!("bad MR_BACKEND={name:?} (expected simulated or sharded)")
+            }),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// The CLI-style name of this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Simulated => "simulated",
+            BackendKind::Sharded => "sharded",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything a backend needs to execute one job's map and reduce phases.
+/// Built by the driver in [`crate::Cluster::run`]; the shared structs
+/// borrow the job and the cluster.
+pub(crate) struct ExecParams<'a, M: Mapper, R: Reducer> {
+    pub(crate) map_items: Vec<MapItem<M>>,
+    pub(crate) map_shared: &'a MapShared<'a, M>,
+    pub(crate) reduce_shared: &'a ReduceShared<'a, M, R>,
+    pub(crate) reducer: R,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) threads: usize,
+    pub(crate) num_reducers: usize,
+    pub(crate) config: &'a ClusterConfig,
+}
+
+/// What a backend hands back to the driver. A top-level `Err` from
+/// [`ExecutionBackend::execute`] means the **map phase** failed (the
+/// driver propagates it without touching the output directory);
+/// `reduce_result` carries the reduce phase's outcome so the driver can
+/// run the job-level commit/abort protocol around it.
+pub(crate) struct ExecOutcome {
+    pub(crate) map_outs: Vec<MapTaskOut>,
+    pub(crate) map_stats: RetryStats,
+    pub(crate) shuffle_bytes: u64,
+    pub(crate) shuffle_records: u64,
+    pub(crate) spills: u64,
+    pub(crate) reduce_result: Result<(Vec<ReduceTaskOut>, RetryStats)>,
+}
+
+/// The backend contract: execute the map tasks, deliver every spill run to
+/// its reduce partition, execute the reduce tasks. See the module docs for
+/// the determinism obligations.
+pub(crate) trait ExecutionBackend {
+    /// Run one job's phases to completion (or classified failure).
+    fn execute<M, R>(&self, params: ExecParams<'_, M, R>) -> Result<ExecOutcome>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>;
+}
+
+/// The original deterministic executor (see [`BackendKind::Simulated`]).
+pub(crate) struct SimulatedBackend;
+
+impl ExecutionBackend for SimulatedBackend {
+    fn execute<M, R>(&self, params: ExecParams<'_, M, R>) -> Result<ExecOutcome>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+    {
+        let ExecParams {
+            map_items,
+            map_shared,
+            reduce_shared,
+            reducer,
+            policy,
+            threads,
+            num_reducers,
+            ..
+        } = params;
+        let (mut map_outs, map_stats): (Vec<MapTaskOut>, RetryStats) =
+            run_tasks(map_items, threads, policy, |item, attempt| {
+                run_map_task(item, attempt, map_shared)
+            })?;
+        map_outs.sort_by_key(|o| o.task_id);
+
+        // Shuffle: regroup runs by partition in one serial pass. Map
+        // outputs are visited in task order, runs within a task in spill
+        // order — the canonical run presentation order both backends
+        // reproduce.
+        let mut partition_runs: Vec<Vec<Run>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut shuffle_bytes = 0u64;
+        let mut shuffle_records = 0u64;
+        let mut spills = 0u64;
+        for out in &mut map_outs {
+            spills += out.spills;
+            for (p, runs) in out.runs.drain(..).enumerate() {
+                for run in runs {
+                    shuffle_bytes += run.len_bytes() as u64;
+                    shuffle_records += run.records as u64;
+                    partition_runs[p].push(run);
+                }
+            }
+        }
+
+        let reduce_items: Vec<ReduceItem<M, R>> = partition_runs
+            .into_iter()
+            .enumerate()
+            .map(|(task_id, runs)| ReduceItem::<M, R>::new(task_id, runs, reducer.clone()))
+            .collect();
+        let reduce_result = run_tasks(reduce_items, threads, policy, |item, attempt| {
+            run_reduce_task(item, attempt, reduce_shared)
+        });
+        Ok(ExecOutcome {
+            map_outs,
+            map_stats,
+            shuffle_bytes,
+            shuffle_records,
+            spills,
+            reduce_result,
+        })
+    }
+}
+
+/// The sharded streaming executor (see [`BackendKind::Sharded`]).
+pub(crate) struct ShardedBackend;
+
+impl ExecutionBackend for ShardedBackend {
+    fn execute<M, R>(&self, params: ExecParams<'_, M, R>) -> Result<ExecOutcome>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+    {
+        let ExecParams {
+            map_items,
+            map_shared,
+            reduce_shared,
+            reducer,
+            policy,
+            threads,
+            num_reducers,
+            config,
+        } = params;
+        let nodes = config.nodes;
+        let num_map_tasks = map_items.len();
+
+        // Per-shard map queues: a task lands on the shard of the node its
+        // split lives on (the same label `run_map_task` derives), reversed
+        // so `pop` serves ascending task ids.
+        let mut queues: Vec<Vec<MapItem<M>>> = (0..nodes).map(|_| Vec::new()).collect();
+        for item in map_items.into_iter().rev() {
+            let shard = item.split.node_hint.unwrap_or(item.task_id % nodes) % nodes;
+            queues[shard].push(item);
+        }
+        let queues: Vec<Mutex<Vec<MapItem<M>>>> = queues.into_iter().map(Mutex::new).collect();
+
+        let workers = threads.clamp(1, num_map_tasks.max(1));
+        let map_outs: Mutex<Vec<MapTaskOut>> = Mutex::new(Vec::with_capacity(num_map_tasks));
+        let map_stats: Mutex<RetryStats> = Mutex::new(RetryStats::default());
+        let map_error: Mutex<Option<MrError>> = Mutex::new(None);
+        let reduce_outs: Mutex<Vec<ReduceTaskOut>> = Mutex::new(Vec::with_capacity(num_reducers));
+        let reduce_stats: Mutex<RetryStats> = Mutex::new(RetryStats::default());
+        let reduce_error: Mutex<Option<MrError>> = Mutex::new(None);
+        let shuffle_bytes = AtomicU64::new(0);
+        let shuffle_records = AtomicU64::new(0);
+        // At most `threads` reduce bodies run at once; the per-partition
+        // drain threads themselves spend their life blocked in `recv`.
+        let reduce_gate = Semaphore::new(threads);
+
+        let mut channels = Vec::with_capacity(num_reducers);
+        let mut receivers = Vec::with_capacity(num_reducers);
+        for _ in 0..num_reducers {
+            let (tx, rx) = bounded::<(usize, usize, Run)>(config.shuffle_channel_capacity);
+            channels.push(tx);
+            receivers.push(rx);
+        }
+
+        crossbeam::thread::scope(|s| {
+            // -- map worker shards --------------------------------------
+            for w in 0..workers {
+                if num_map_tasks == 0 {
+                    break;
+                }
+                let senders: Vec<_> = channels.clone();
+                let queues = &queues;
+                let map_outs = &map_outs;
+                let map_stats = &map_stats;
+                let map_error = &map_error;
+                s.spawn(move |_| {
+                    let home = w % nodes;
+                    loop {
+                        if map_error.lock().is_some() {
+                            return;
+                        }
+                        // Own shard first, then steal round-robin.
+                        let mut item = None;
+                        for i in 0..nodes {
+                            if let Some(it) = queues[(home + i) % nodes].lock().pop() {
+                                item = Some(it);
+                                break;
+                            }
+                        }
+                        let Some(item) = item else { return };
+                        match run_with_retries(&item, &policy, &|item, attempt| {
+                            run_map_task(item, attempt, map_shared)
+                        }) {
+                            Ok((mut out, s)) => {
+                                // Stream the winning attempt's spill runs
+                                // to their partitions. A dead receiver
+                                // means another task already failed the
+                                // job; just bow out.
+                                for (p, runs) in out.runs.drain(..).enumerate() {
+                                    for (spill, run) in runs.into_iter().enumerate() {
+                                        if senders[p].send((out.task_id, spill, run)).is_err() {
+                                            return;
+                                        }
+                                    }
+                                }
+                                let mut stats = map_stats.lock();
+                                stats.retries += s.retries;
+                                stats.backoff_secs += s.backoff_secs;
+                                drop(stats);
+                                map_outs.lock().push(out);
+                            }
+                            Err(e) => {
+                                map_error.lock().get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            // The workers own the only senders now; every channel closes
+            // exactly when the map phase is over (or has bailed out).
+            drop(channels);
+
+            // -- per-partition merge queues + reduce --------------------
+            for (partition, rx) in receivers.into_iter().enumerate() {
+                let reducer = reducer.clone();
+                let reduce_gate = &reduce_gate;
+                let map_error = &map_error;
+                let reduce_outs = &reduce_outs;
+                let reduce_stats = &reduce_stats;
+                let reduce_error = &reduce_error;
+                let shuffle_bytes = &shuffle_bytes;
+                let shuffle_records = &shuffle_records;
+                s.spawn(move |_| {
+                    let mut collected: Vec<(usize, usize, Run)> = Vec::new();
+                    while let Some(entry) = rx.recv() {
+                        shuffle_bytes.fetch_add(entry.2.len_bytes() as u64, Ordering::Relaxed);
+                        shuffle_records.fetch_add(entry.2.records as u64, Ordering::Relaxed);
+                        collected.push(entry);
+                    }
+                    // Channel closed: the map phase is complete. A map
+                    // failure preempts reduce, exactly as in the
+                    // simulated backend.
+                    if map_error.lock().is_some() || reduce_error.lock().is_some() {
+                        return;
+                    }
+                    // Restore the canonical run presentation order —
+                    // (map task, spill) — for equal-key determinism.
+                    collected.sort_unstable_by_key(|(task, spill, _)| (*task, *spill));
+                    let runs: Vec<Run> = collected.into_iter().map(|(_, _, run)| run).collect();
+                    let item = ReduceItem::<M, R>::new(partition, runs, reducer);
+                    let _permit = reduce_gate.acquire();
+                    if map_error.lock().is_some() || reduce_error.lock().is_some() {
+                        return;
+                    }
+                    match run_with_retries(&item, &policy, &|item, attempt| {
+                        run_reduce_task(item, attempt, reduce_shared)
+                    }) {
+                        Ok((out, s)) => {
+                            let mut stats = reduce_stats.lock();
+                            stats.retries += s.retries;
+                            stats.backoff_secs += s.backoff_secs;
+                            drop(stats);
+                            reduce_outs.lock().push(out);
+                        }
+                        Err(e) => {
+                            reduce_error.lock().get_or_insert(e);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("sharded backend thread panicked");
+
+        if let Some(e) = map_error.into_inner() {
+            return Err(e);
+        }
+        let mut map_outs = map_outs.into_inner();
+        let spills = map_outs.iter().map(|o| o.spills).sum();
+        // The driver re-sorts, but do it here too so the outcome is
+        // well-formed regardless of completion order.
+        map_outs.sort_by_key(|o| o.task_id);
+        let reduce_result = match reduce_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok((reduce_outs.into_inner(), reduce_stats.into_inner())),
+        };
+        Ok(ExecOutcome {
+            map_outs,
+            map_stats: map_stats.into_inner(),
+            shuffle_bytes: shuffle_bytes.into_inner(),
+            shuffle_records: shuffle_records.into_inner(),
+            spills,
+            reduce_result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parses_cli_names() {
+        assert_eq!(
+            BackendKind::parse("simulated"),
+            Some(BackendKind::Simulated)
+        );
+        assert_eq!(BackendKind::parse("sharded"), Some(BackendKind::Sharded));
+        assert_eq!(BackendKind::parse("async"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Simulated);
+        assert_eq!(BackendKind::Sharded.to_string(), "sharded");
+    }
+}

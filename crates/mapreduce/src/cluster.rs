@@ -18,6 +18,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::backend::BackendKind;
 use crate::faults::FaultPlan;
 
 /// Simple network model for the shuffle phase.
@@ -98,6 +99,15 @@ pub struct ClusterConfig {
     /// carries more than this share of a job's shuffle records — the
     /// operational symptom of a bad token order. Set above 1.0 to disable.
     pub heavy_hitter_warn_share: f64,
+    /// Which execution backend runs the tasks (see [`crate::backend`]).
+    /// Both backends produce byte-identical output; they differ only in
+    /// how tasks are scheduled onto physical threads and how map output
+    /// reaches the reducers.
+    pub backend: BackendKind,
+    /// Capacity (in spill runs) of each per-partition shuffle channel used
+    /// by the [`BackendKind::Sharded`] backend. Bounds how far map tasks
+    /// can run ahead of a slow reducer before blocking (backpressure).
+    pub shuffle_channel_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -118,6 +128,8 @@ impl Default for ClusterConfig {
             faults: None,
             heavy_hitter_top_k: 10,
             heavy_hitter_warn_share: 0.5,
+            backend: BackendKind::Simulated,
+            shuffle_channel_capacity: 256,
         }
     }
 }
@@ -190,6 +202,9 @@ impl ClusterConfig {
                 "heavy_hitter_warn_share {} must be finite and > 0",
                 self.heavy_hitter_warn_share
             ));
+        }
+        if self.shuffle_channel_capacity == 0 {
+            return Err("shuffle_channel_capacity must be at least 1".into());
         }
         if let Some(plan) = &self.faults {
             plan.validate(self.nodes)?;

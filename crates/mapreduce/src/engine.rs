@@ -7,6 +7,9 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::backend::{
+    BackendKind, ExecOutcome, ExecParams, ExecutionBackend, ShardedBackend, SimulatedBackend,
+};
 use crate::cache::Cache;
 use crate::cluster::{
     list_schedule_makespan, list_schedule_speculative, schedule_map_tasks, ClusterConfig,
@@ -155,7 +158,7 @@ impl Cluster {
             }
         }
 
-        // ---- map phase ----------------------------------------------------
+        // ---- map, shuffle, reduce: delegated to the execution backend -----
         let map_items: Vec<MapItem<M>> = job
             .inputs
             .into_iter()
@@ -179,37 +182,6 @@ impl Cluster {
             num_reducers,
             job_name: &job.name,
         };
-        let policy = RetryPolicy::from_config(&self.config);
-        let (mut map_outs, map_stats): (Vec<MapTaskOut>, RetryStats) = run_tasks(
-            map_items,
-            self.config.physical_threads(),
-            policy,
-            |item, attempt| run_map_task(item, attempt, &shared),
-        )?;
-        map_outs.sort_by_key(|o| o.task_id);
-
-        // ---- shuffle: regroup runs by partition ----------------------------
-        let mut partition_runs: Vec<Vec<Run>> = (0..num_reducers).map(|_| Vec::new()).collect();
-        let mut shuffle_bytes = 0u64;
-        let mut shuffle_records = 0u64;
-        let mut spills = 0u64;
-        for out in &mut map_outs {
-            spills += out.spills;
-            for (p, runs) in out.runs.drain(..).enumerate() {
-                for run in runs {
-                    shuffle_bytes += run.len_bytes() as u64;
-                    shuffle_records += run.records as u64;
-                    partition_runs[p].push(run);
-                }
-            }
-        }
-
-        // ---- reduce phase ---------------------------------------------------
-        let reduce_items: Vec<ReduceItem<M, R>> = partition_runs
-            .into_iter()
-            .enumerate()
-            .map(|(task_id, runs)| ReduceItem::<M, R>::new(task_id, runs, job.reducer.clone()))
-            .collect();
         let rshared = ReduceShared {
             sort_cmp: &job.sort_cmp,
             group_eq: &job.group_eq,
@@ -223,12 +195,32 @@ impl Cluster {
             job_name: &job.name,
             key_label: job.key_label.as_ref(),
         };
-        let reduce_result: Result<(Vec<ReduceTaskOut>, RetryStats)> = run_tasks(
-            reduce_items,
-            self.config.physical_threads(),
-            policy,
-            |item, attempt| run_reduce_task(item, attempt, &rshared),
-        );
+        let params = ExecParams {
+            map_items,
+            map_shared: &shared,
+            reduce_shared: &rshared,
+            reducer: job.reducer.clone(),
+            policy: RetryPolicy::from_config(&self.config),
+            threads: self.config.physical_threads(),
+            num_reducers,
+            config: &self.config,
+        };
+        // A backend `Err` is a map-phase failure: propagate it without
+        // touching the output directory, exactly like the pre-backend
+        // engine did.
+        let outcome = match self.config.backend {
+            BackendKind::Simulated => SimulatedBackend.execute(params),
+            BackendKind::Sharded => ShardedBackend.execute(params),
+        }?;
+        let ExecOutcome {
+            mut map_outs,
+            map_stats,
+            shuffle_bytes,
+            shuffle_records,
+            spills,
+            reduce_result,
+        } = outcome;
+        map_outs.sort_by_key(|o| o.task_id);
         let faults = self.config.faults.as_ref();
         // Injected driver crash *mid-job*: all reduce tasks committed their
         // parts at task level, but the job-level commit (attempt sweep +
@@ -425,6 +417,18 @@ impl Cluster {
             }
         }
 
+        // Per-shard task counts (winning attempts), keyed by the
+        // deterministic node label — identical across backends, and the
+        // observability hook later PRs need to adapt partitioning.
+        let mut map_tasks_per_node = vec![0u64; self.config.nodes];
+        for o in &map_outs {
+            map_tasks_per_node[o.node % self.config.nodes] += 1;
+        }
+        let mut reduce_tasks_per_node = vec![0u64; self.config.nodes];
+        for o in &reduce_outs {
+            reduce_tasks_per_node[o.node % self.config.nodes] += 1;
+        }
+
         let metrics = JobMetrics {
             name: job.name,
             map: PhaseMetrics {
@@ -441,6 +445,8 @@ impl Cluster {
             },
             map_local_tasks: map_schedule.local_tasks,
             map_remote_tasks: map_schedule.remote_tasks,
+            map_tasks_per_node,
+            reduce_tasks_per_node,
             task_retries: map_stats.retries + reduce_stats.retries,
             backoff_secs: map_stats.backoff_secs + reduce_stats.backoff_secs,
             speculative_launched: map_spec.launched + reduce_spec.launched,
@@ -493,14 +499,14 @@ fn heavy_hitter_capacity(config: &ClusterConfig) -> usize {
 /// Retry behaviour shared by every task of a job: the attempt cap and the
 /// simulated exponential backoff between attempts.
 #[derive(Clone, Copy)]
-struct RetryPolicy {
+pub(crate) struct RetryPolicy {
     max_attempts: usize,
     backoff_secs: f64,
     backoff_cap_secs: f64,
 }
 
 impl RetryPolicy {
-    fn from_config(config: &ClusterConfig) -> Self {
+    pub(crate) fn from_config(config: &ClusterConfig) -> Self {
         RetryPolicy {
             max_attempts: config.max_task_attempts,
             backoff_secs: config.retry_backoff_secs,
@@ -521,13 +527,13 @@ impl RetryPolicy {
 
 /// Accumulated retry accounting for one phase.
 #[derive(Debug, Default, Clone, Copy)]
-struct RetryStats {
-    retries: u64,
-    backoff_secs: f64,
+pub(crate) struct RetryStats {
+    pub(crate) retries: u64,
+    pub(crate) backoff_secs: f64,
 }
 
 /// Task outputs that can absorb simulated time penalties (retry backoff).
-trait SimCharge {
+pub(crate) trait SimCharge {
     /// Add `secs` of simulated delay to this task's completion time.
     fn charge_sim(&mut self, secs: f64);
 }
@@ -631,7 +637,7 @@ fn traced_attempt<O>(
 /// transient ([`MrError::is_transient`]); permanent errors fail
 /// immediately. Every retry charges capped exponential backoff to the
 /// winning attempt's *simulated* time.
-fn run_with_retries<I, O: SimCharge>(
+pub(crate) fn run_with_retries<I, O: SimCharge>(
     item: &I,
     policy: &RetryPolicy,
     f: &(impl Fn(&I, usize) -> Result<O> + Sync),
@@ -661,7 +667,7 @@ fn run_with_retries<I, O: SimCharge>(
 /// Run `items` through `f` on up to `threads` worker threads with per-task
 /// retries, failing fast on the first exhausted task. Returns the outputs
 /// and the accumulated retry statistics.
-fn run_tasks<I, O, F>(
+pub(crate) fn run_tasks<I, O, F>(
     items: Vec<I>,
     threads: usize,
     policy: RetryPolicy,
@@ -759,13 +765,13 @@ fn inject_start_faults(
 
 // ---- map side ---------------------------------------------------------------
 
-struct MapItem<M: Mapper> {
-    task_id: usize,
-    split: SplitSource<M::InKey, M::InValue>,
-    mapper: M,
+pub(crate) struct MapItem<M: Mapper> {
+    pub(crate) task_id: usize,
+    pub(crate) split: SplitSource<M::InKey, M::InValue>,
+    pub(crate) mapper: M,
 }
 
-struct MapShared<'a, M: Mapper> {
+pub(crate) struct MapShared<'a, M: Mapper> {
     partitioner: &'a PartitionFn<M::OutKey>,
     sort_cmp: &'a SortCmp<M::OutKey>,
     combiner: Option<&'a CombineFn<M::OutKey, M::OutValue>>,
@@ -778,22 +784,24 @@ struct MapShared<'a, M: Mapper> {
     job_name: &'a str,
 }
 
-struct MapTaskOut {
-    task_id: usize,
+pub(crate) struct MapTaskOut {
+    pub(crate) task_id: usize,
     /// Simulated task seconds: measured execution, inflated by injected
     /// slow-downs and charged retry backoff.
     duration: f64,
     /// What a healthy attempt would have taken (speculation baseline).
     base_duration: f64,
     node_hint: Option<usize>,
+    /// Node label of the winning attempt (per-shard load accounting).
+    node: usize,
     input_bytes: u64,
     input_records: u64,
     output_records: u64,
-    spills: u64,
+    pub(crate) spills: u64,
     combine_in: u64,
     combine_out: u64,
     /// Spill runs per partition.
-    runs: Vec<Vec<Run>>,
+    pub(crate) runs: Vec<Vec<Run>>,
 }
 
 impl SimCharge for MapTaskOut {
@@ -881,7 +889,7 @@ impl<K: Key, V: Value> Emit<K, V> for MapEmitter<'_, K, V> {
     }
 }
 
-fn run_map_task<M: Mapper>(
+pub(crate) fn run_map_task<M: Mapper>(
     item: &MapItem<M>,
     attempt: usize,
     shared: &MapShared<'_, M>,
@@ -970,6 +978,7 @@ fn run_map_attempt<M: Mapper>(
         duration: elapsed * straggle,
         base_duration: elapsed,
         node_hint,
+        node,
         input_bytes,
         input_records,
         output_records: emitter.output_records,
@@ -982,7 +991,7 @@ fn run_map_attempt<M: Mapper>(
 
 // ---- reduce side -------------------------------------------------------------
 
-struct ReduceItem<M: Mapper, R: Reducer> {
+pub(crate) struct ReduceItem<M: Mapper, R: Reducer> {
     task_id: usize,
     runs: Vec<Run>,
     reducer: R,
@@ -991,7 +1000,7 @@ struct ReduceItem<M: Mapper, R: Reducer> {
 }
 
 impl<M: Mapper, R: Reducer> ReduceItem<M, R> {
-    fn new(task_id: usize, runs: Vec<Run>, reducer: R) -> Self {
+    pub(crate) fn new(task_id: usize, runs: Vec<Run>, reducer: R) -> Self {
         ReduceItem {
             task_id,
             runs,
@@ -1001,7 +1010,7 @@ impl<M: Mapper, R: Reducer> ReduceItem<M, R> {
     }
 }
 
-struct ReduceShared<'a, M: Mapper, R: Reducer> {
+pub(crate) struct ReduceShared<'a, M: Mapper, R: Reducer> {
     sort_cmp: &'a SortCmp<M::OutKey>,
     group_eq: &'a GroupEq<M::OutKey>,
     counters: &'a Counters,
@@ -1015,8 +1024,10 @@ struct ReduceShared<'a, M: Mapper, R: Reducer> {
     key_label: Option<&'a KeyLabel<M::OutKey>>,
 }
 
-struct ReduceTaskOut {
+pub(crate) struct ReduceTaskOut {
     task_id: usize,
+    /// Node label of the winning attempt (per-shard load accounting).
+    node: usize,
     /// Simulated task seconds (measured, plus straggle inflation and
     /// retry backoff).
     duration: f64,
@@ -1106,7 +1117,7 @@ impl<K: Value, V: Value> Emit<K, V> for ReduceEmitter<K, V> {
     }
 }
 
-fn run_reduce_task<M, R>(
+pub(crate) fn run_reduce_task<M, R>(
     item: &ReduceItem<M, R>,
     attempt: usize,
     shared: &ReduceShared<'_, M, R>,
@@ -1250,6 +1261,7 @@ where
     };
     Ok(ReduceTaskOut {
         task_id,
+        node,
         duration: elapsed * straggle,
         base_duration: elapsed,
         input_bytes,

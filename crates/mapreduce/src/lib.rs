@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod cache;
 pub mod cluster;
 pub mod codec;
@@ -83,9 +84,11 @@ pub mod metrics;
 pub mod partitioner;
 pub mod reducer;
 pub mod run;
+pub mod shuffle;
 pub mod task;
 pub mod trace;
 
+pub use backend::BackendKind;
 pub use cache::Cache;
 pub use cluster::{
     list_schedule_makespan, list_schedule_speculative, ClusterConfig, NetworkModel, SpecOutcome,

@@ -56,6 +56,12 @@ pub struct JobMetrics {
     pub map_local_tasks: u64,
     /// Map tasks that read their input across the simulated network.
     pub map_remote_tasks: u64,
+    /// Map tasks executed per node shard (winning attempts), indexed by
+    /// node id. Identical across execution backends because node labels
+    /// are derived from `(task, attempt)`, not from the executing thread.
+    pub map_tasks_per_node: Vec<u64>,
+    /// Reduce tasks executed per node shard, indexed by node id.
+    pub reduce_tasks_per_node: Vec<u64>,
     /// Failed task attempts that were retried (across both phases).
     pub task_retries: u64,
     /// Simulated seconds of retry backoff charged to this job.

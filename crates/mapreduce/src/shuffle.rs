@@ -1,0 +1,325 @@
+//! Bounded shuffle channels for the sharded execution backend.
+//!
+//! The sharded backend streams map-side spill runs to reducer-side merge
+//! queues instead of materializing all map output before any reduce work
+//! starts. Each reduce partition owns one bounded multi-producer
+//! single-consumer channel: map workers push `(map_task, spill, run)`
+//! triples as spills finish, and block when the queue is full — natural
+//! backpressure against a slow reducer. The channel **closes** when every
+//! sender has been dropped (i.e. every map task finished); the receiver
+//! then drains whatever is buffered and observes end-of-stream.
+//!
+//! Built directly on [`std::sync::Mutex`] + [`std::sync::Condvar`] so it
+//! works in this dependency-free build; the protocol is the classic
+//! two-condvar bounded queue (`not_full` / `not_empty`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Live [`Sender`] clones; 0 means the channel is closed for writing.
+    senders: usize,
+    /// Whether the [`Receiver`] still exists.
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Create a bounded MPSC channel with room for `capacity` queued items.
+///
+/// [`Sender::send`] blocks while the queue is full; [`Receiver::recv`]
+/// blocks while it is empty and at least one sender is alive, and returns
+/// `None` once the queue is drained **and** every sender has been dropped.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "shuffle channel capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The value handed back by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Producing half of a bounded shuffle channel. Cloneable; the channel
+/// closes when the last clone is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, blocking while the channel is at capacity. Returns
+    /// the value as `Err` if the receiver has been dropped (the run has no
+    /// destination — the caller is expected to abort).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        while state.queue.len() >= self.shared.capacity && state.receiver_alive {
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("shuffle channel poisoned");
+        }
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        debug_assert!(state.queue.len() <= self.shared.capacity);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        state.senders += 1;
+        drop(state);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        state.senders -= 1;
+        let closed = state.senders == 0;
+        drop(state);
+        if closed {
+            // Wake a receiver blocked in `recv` so it can observe close.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// Consuming half of a bounded shuffle channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next value, blocking while the channel is empty but
+    /// still open. Returns `None` only after the channel is closed (all
+    /// senders dropped) **and** every buffered value has been drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("shuffle channel poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        state.receiver_alive = false;
+        drop(state);
+        // Unblock producers so they can observe the dead receiver.
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// Counting semaphore gating how many reduce tasks execute concurrently in
+/// the sharded backend. Callers order their acquisitions (heaviest
+/// partition first) before contending, so a plain counting semaphore
+/// suffices — no queue fairness is needed for determinism because task
+/// *outputs* are order-independent.
+pub(crate) struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    pub(crate) fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is free; the permit is returned when the guard
+    /// drops.
+    pub(crate) fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+        SemaphoreGuard { semaphore: self }
+    }
+}
+
+pub(crate) struct SemaphoreGuard<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.semaphore.permits.lock().expect("semaphore poisoned");
+        *permits += 1;
+        drop(permits);
+        self.semaphore.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn close_then_drain_delivers_every_buffered_item() {
+        // Close/drain path: all senders drop *before* the receiver starts
+        // reading. Everything buffered must still come out, then `None`.
+        let (tx, rx) = bounded::<u32>(16);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.recv(), None, "closed channel stays closed");
+    }
+
+    /// Interleaving test for the close/drain race: senders drop at staggered,
+    /// injected delays while the receiver is mid-drain — sometimes blocking
+    /// on an empty-but-open channel, sometimes observing the close while
+    /// items are still buffered. No item may be lost and end-of-stream must
+    /// be reported exactly once, under every interleaving the delays create.
+    #[test]
+    fn staggered_sender_drops_never_lose_items_or_hang() {
+        for delay_us in [0u64, 50, 200, 1000] {
+            let (tx, rx) = bounded::<u64>(2);
+            let mut producers = Vec::new();
+            for p in 0..3u64 {
+                let tx = tx.clone();
+                producers.push(thread::spawn(move || {
+                    for i in 0..10u64 {
+                        tx.send(p * 100 + i).unwrap();
+                        if i % 3 == p % 3 {
+                            thread::sleep(Duration::from_micros(delay_us));
+                        }
+                    }
+                    // Injected delay between last send and the drop that
+                    // may close the channel: the receiver can block on an
+                    // empty queue in exactly this window.
+                    thread::sleep(Duration::from_micros(delay_us * p));
+                }));
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                got.push(v);
+                if got.len() % 7 == 0 {
+                    thread::sleep(Duration::from_micros(delay_us));
+                }
+            }
+            for producer in producers {
+                producer.join().unwrap();
+            }
+            got.sort_unstable();
+            let mut want: Vec<u64> = (0..3)
+                .flat_map(|p| (0..10).map(move |i| p * 100 + i))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "delay {delay_us}us lost or duplicated runs");
+            assert_eq!(rx.recv(), None);
+        }
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_receiver_drains() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let sent_second = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&sent_second);
+        let producer = thread::spawn(move || {
+            tx.send(2).unwrap(); // must block: capacity 1, queue full
+            flag.store(1, Ordering::SeqCst);
+        });
+        // Receiving the first item is what frees the producer.
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        producer.join().unwrap();
+        assert_eq!(sent_second.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let (tx, rx) = bounded::<String>(1);
+        drop(rx);
+        assert_eq!(
+            tx.send("orphan".to_string()),
+            Err(SendError("orphan".to_string()))
+        );
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_a_full_sender() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let producer = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(producer.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for _ in 0..8 {
+            let (sem, peak, live) = (Arc::clone(&sem), Arc::clone(&peak), Arc::clone(&live));
+            workers.push(thread::spawn(move || {
+                let _guard = sem.acquire();
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "semaphore leaked permits");
+    }
+}

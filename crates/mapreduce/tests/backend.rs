@@ -1,0 +1,220 @@
+//! Backend parity: the sharded executor must be byte-for-byte
+//! indistinguishable from the simulated one, under every cluster shape,
+//! under chaos, and across repeated runs.
+//!
+//! The probe job is deliberately order-sensitive: the reducer concatenates
+//! values in *arrival order*, so any difference in how a backend presents
+//! equal-key runs to the merge (task order, spill order, thread
+//! interleaving) becomes a visible output difference.
+
+use std::sync::Once;
+
+use mapreduce::{
+    text_input, BackendKind, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Emit,
+    FaultPlan, Job, MrError, TaskContext,
+};
+
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected user-code panic") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Many small lines so a tiny DFS block size yields many map tasks, and a
+/// tiny spill buffer yields several spill runs per task.
+fn corpus() -> Vec<String> {
+    (0..400).map(|i| format!("k{} v{i}", i % 13)).collect()
+}
+
+fn config(backend: BackendKind, nodes: usize, threads: usize) -> ClusterConfig {
+    ClusterConfig {
+        backend,
+        execution_threads: Some(threads),
+        spill_buffer_bytes: 1024,
+        ..ClusterConfig::with_nodes(nodes)
+    }
+}
+
+/// Run the order-sensitive probe job; returns reduce output in file order
+/// (NOT sorted — presentation order is exactly what's under test).
+fn run_probe(config: ClusterConfig, faults: Option<FaultPlan>) -> Vec<(String, String)> {
+    let config = ClusterConfig {
+        max_task_attempts: if faults.is_some() { 8 } else { 1 },
+        faults,
+        ..config
+    };
+    let cluster = Cluster::new(config, 256).unwrap();
+    cluster.dfs().write_text("/in", corpus()).unwrap();
+    let mapper = ClosureMapper::new(
+        |_off: &u64, line: &String, out: &mut dyn Emit<String, String>, _: &TaskContext| {
+            let (k, v) = line.split_once(' ').unwrap();
+            out.emit(k.to_string(), v.to_string())
+        },
+    );
+    let reducer = ClosureReducer::new(
+        |k: &String,
+         vs: &mut dyn Iterator<Item = (String, String)>,
+         out: &mut dyn Emit<String, String>,
+         _: &TaskContext| {
+            // Concatenate in arrival order: leaks run-presentation order
+            // straight into the committed bytes.
+            let joined: Vec<String> = vs.map(|(_, v)| v).collect();
+            out.emit(k.clone(), joined.join(","))
+        },
+    );
+    let job = Job::new("probe", mapper, reducer)
+        .inputs(text_input(cluster.dfs(), "/in").unwrap())
+        .output_seq("/out");
+    cluster.run(job).unwrap();
+    cluster.dfs().read_seq("/out").unwrap()
+}
+
+#[test]
+fn sharded_output_matches_simulated_across_cluster_shapes() {
+    // (nodes, threads) crosses 1-node and thread-oversubscribed shapes.
+    for (nodes, threads) in [(1, 1), (1, 4), (3, 1), (3, 4), (10, 2)] {
+        let simulated = run_probe(config(BackendKind::Simulated, nodes, threads), None);
+        let sharded = run_probe(config(BackendKind::Sharded, nodes, threads), None);
+        assert_eq!(
+            simulated, sharded,
+            "order-sensitive output diverged on nodes={nodes} threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn sharded_is_deterministic_across_repeated_runs() {
+    // 10x with 4 threads on 3 nodes: no interleaving may leak into the
+    // committed bytes.
+    let baseline = run_probe(config(BackendKind::Sharded, 3, 4), None);
+    assert!(!baseline.is_empty());
+    for rep in 0..9 {
+        let again = run_probe(config(BackendKind::Sharded, 3, 4), None);
+        assert_eq!(baseline, again, "sharded run {} diverged", rep + 2);
+    }
+}
+
+#[test]
+fn sharded_survives_chaos_identically_to_simulated() {
+    quiet_injected_panics();
+    let plan = FaultPlan::aggressive(0x0BAC_CE2D);
+    let clean = run_probe(config(BackendKind::Simulated, 3, 4), None);
+    let simulated = run_probe(config(BackendKind::Simulated, 3, 4), Some(plan.clone()));
+    let sharded = run_probe(config(BackendKind::Sharded, 3, 4), Some(plan));
+    assert_eq!(clean, simulated, "chaos changed simulated output");
+    assert_eq!(clean, sharded, "chaos changed sharded output");
+}
+
+#[test]
+fn sharded_map_failure_fails_the_job_with_a_classified_error() {
+    quiet_injected_panics();
+    let plan = FaultPlan {
+        p_transient: 1.0,
+        ..FaultPlan::quiet(7)
+    };
+    let config = ClusterConfig {
+        max_task_attempts: 2,
+        faults: Some(plan),
+        ..config(BackendKind::Sharded, 3, 4)
+    };
+    let cluster = Cluster::new(config, 256).unwrap();
+    cluster.dfs().write_text("/in", corpus()).unwrap();
+    let mapper = ClosureMapper::new(
+        |_off: &u64, line: &String, out: &mut dyn Emit<String, u64>, _: &TaskContext| {
+            out.emit(line.clone(), 1)
+        },
+    );
+    let reducer = ClosureReducer::new(
+        |k: &String,
+         vs: &mut dyn Iterator<Item = (String, u64)>,
+         out: &mut dyn Emit<String, u64>,
+         _: &TaskContext| out.emit(k.clone(), vs.count() as u64),
+    );
+    let job = Job::new("doomed", mapper, reducer)
+        .inputs(text_input(cluster.dfs(), "/in").unwrap())
+        .output_seq("/out");
+    let err = cluster.run(job).unwrap_err();
+    assert!(err.is_transient(), "exhausted retries keep their class");
+    assert!(
+        matches!(err, MrError::TaskFailed(_) | MrError::TaskPanicked(_)),
+        "classified failure, got {err:?}"
+    );
+}
+
+#[test]
+fn sharded_handles_empty_input_and_reports_identical_metrics() {
+    // Zero map tasks: channels close immediately, reducers still commit
+    // (empty) parts — matching the simulated backend.
+    let mut outputs = Vec::new();
+    for backend in [BackendKind::Simulated, BackendKind::Sharded] {
+        let cluster = Cluster::new(config(backend, 2, 2), 256).unwrap();
+        let mapper = ClosureMapper::new(
+            |_: &u64, _: &String, _: &mut dyn Emit<String, u64>, _: &TaskContext| Ok(()),
+        );
+        let reducer = ClosureReducer::new(
+            |k: &String,
+             vs: &mut dyn Iterator<Item = (String, u64)>,
+             out: &mut dyn Emit<String, u64>,
+             _: &TaskContext| out.emit(k.clone(), vs.count() as u64),
+        );
+        let job = Job::new("empty", mapper, reducer).output_seq("/out");
+        let m = cluster.run(job).unwrap();
+        assert_eq!(m.output_commits, m.reduce.tasks as u64);
+        let pairs: Vec<(String, u64)> = cluster.dfs().read_seq("/out").unwrap();
+        outputs.push(pairs);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn deterministic_metrics_agree_between_backends() {
+    let run = |backend| {
+        let config = config(backend, 3, 4);
+        let cluster = Cluster::new(config, 256).unwrap();
+        cluster.dfs().write_text("/in", corpus()).unwrap();
+        let mapper = ClosureMapper::new(
+            |_off: &u64, line: &String, out: &mut dyn Emit<String, u64>, _: &TaskContext| {
+                out.emit(line.split(' ').next().unwrap().to_string(), 1)
+            },
+        );
+        let reducer = ClosureReducer::new(
+            |k: &String,
+             vs: &mut dyn Iterator<Item = (String, u64)>,
+             out: &mut dyn Emit<String, u64>,
+             _: &TaskContext| out.emit(k.clone(), vs.count() as u64),
+        );
+        let job = Job::new("counts", mapper, reducer)
+            .inputs(text_input(cluster.dfs(), "/in").unwrap())
+            .output_seq("/out");
+        cluster.run(job).unwrap()
+    };
+    let a = run(BackendKind::Simulated);
+    let b = run(BackendKind::Sharded);
+    // Everything not derived from wall-clock must agree exactly.
+    assert_eq!(a.map.tasks, b.map.tasks);
+    assert_eq!(a.reduce.tasks, b.reduce.tasks);
+    assert_eq!(a.shuffle_bytes, b.shuffle_bytes);
+    assert_eq!(a.shuffle_records, b.shuffle_records);
+    assert_eq!(a.spills, b.spills);
+    assert_eq!(a.map_input_records, b.map_input_records);
+    assert_eq!(a.map_output_records, b.map_output_records);
+    assert_eq!(a.reduce_input_groups, b.reduce_input_groups);
+    assert_eq!(a.reduce_input_records, b.reduce_input_records);
+    assert_eq!(a.reduce_output_records, b.reduce_output_records);
+    assert_eq!(a.map_tasks_per_node, b.map_tasks_per_node);
+    assert_eq!(a.reduce_tasks_per_node, b.reduce_tasks_per_node);
+    assert_eq!(a.output_commits, b.output_commits);
+    assert!(a.map_tasks_per_node.iter().sum::<u64>() == a.map.tasks as u64);
+}

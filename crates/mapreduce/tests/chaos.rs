@@ -12,8 +12,8 @@ use std::sync::Once;
 use mapreduce::faults::{Fault, FaultPlan};
 use mapreduce::task::Phase;
 use mapreduce::{
-    sum_combiner, text_input, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Emit, Job,
-    JobMetrics, MrError, TaskContext,
+    sum_combiner, text_input, BackendKind, ClosureMapper, ClosureReducer, Cluster, ClusterConfig,
+    Emit, Job, JobMetrics, MrError, TaskContext,
 };
 
 /// Seed under test; CI sweeps several via `CHAOS_SEED`.
@@ -45,10 +45,13 @@ fn quiet_injected_panics() {
 }
 
 fn cluster_with(nodes: usize, max_attempts: usize, faults: Option<FaultPlan>) -> Cluster {
+    // `MR_BACKEND=sharded` (CI backend-parity job) re-runs this suite on
+    // the sharded executor; every assertion must hold unchanged.
     let config = ClusterConfig {
         nodes,
         max_task_attempts: max_attempts,
         faults,
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 256).unwrap()
@@ -289,6 +292,7 @@ fn late_fault_discards_uncommitted_output_and_retry_commits() {
         nodes: 2,
         max_task_attempts: 4,
         faults: Some(plan),
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(2)
     };
     let cluster = Cluster::new(config, 1 << 16).unwrap(); // one big block
@@ -324,6 +328,7 @@ fn gauge_oom_is_permanent_and_not_retried() {
         nodes: 2,
         task_memory: Some(64),
         max_task_attempts: 5,
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(2)
     };
     let cluster = Cluster::new(config, 256).unwrap();
@@ -408,6 +413,7 @@ fn backoff_is_charged_to_simulated_time_only() {
         nodes: 2,
         max_task_attempts: 3,
         retry_backoff_secs: 5.0,
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(2)
     };
     let cluster = Cluster::new(config, 1 << 16).unwrap();

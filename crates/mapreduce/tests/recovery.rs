@@ -4,8 +4,8 @@
 
 use mapreduce::faults::FaultPlan;
 use mapreduce::{
-    text_input, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Emit, Job, JobManifest,
-    ManifestCheck, MrError, TaskContext,
+    text_input, BackendKind, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Emit, Job,
+    JobManifest, ManifestCheck, MrError, TaskContext,
 };
 
 type WcMapper = ClosureMapper<
@@ -51,8 +51,11 @@ fn wc_reducer() -> ClosureReducer<
 }
 
 fn cluster(faults: Option<FaultPlan>) -> Cluster {
+    // `MR_BACKEND=sharded` (CI backend-parity job) re-runs this suite on
+    // the sharded executor; manifests and scavenging must behave the same.
     let config = ClusterConfig {
         faults,
+        backend: BackendKind::from_env(),
         ..ClusterConfig::with_nodes(2)
     };
     let c = Cluster::new(config, 1 << 16).unwrap();

@@ -189,6 +189,51 @@ pub fn shrink<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool) 
     cur
 }
 
+/// Two-level delta debugging: record-level [`shrink`] first, then ddmin
+/// over the *parts* of each surviving record (for a join corpus: the
+/// tokens of its join attribute), iterated to a fixpoint — dropping
+/// tokens can make whole records droppable again, and vice versa.
+///
+/// `split` decomposes an item into parts; `rebuild` reassembles an item
+/// from a subset of its parts (it receives the original item so ids and
+/// other fields survive). The result is locally minimal under both
+/// whole-item removal and single-part removal, which in practice turns
+/// "two 10-token titles disagree" into the two or three tokens that
+/// actually trigger the divergence.
+pub fn shrink_within<T: Clone, U: Clone>(
+    items: &[T],
+    mut still_fails: impl FnMut(&[T]) -> bool,
+    split: impl Fn(&T) -> Vec<U>,
+    rebuild: impl Fn(&T, &[U]) -> T,
+) -> Vec<T> {
+    let mut cur = shrink(items, &mut still_fails);
+    loop {
+        let mut changed = false;
+        for i in 0..cur.len() {
+            let parts = split(&cur[i]);
+            if parts.len() < 2 {
+                continue;
+            }
+            let base = cur.clone();
+            let minimal = shrink(&parts, |sub| {
+                let mut cand = base.clone();
+                cand[i] = rebuild(&base[i], sub);
+                still_fails(&cand)
+            });
+            if minimal.len() < parts.len() {
+                cur[i] = rebuild(&base[i], &minimal);
+                changed = true;
+            }
+        }
+        if !changed {
+            return cur;
+        }
+        // Token removals may have unlocked record removals; re-run the
+        // record level before the next token pass.
+        cur = shrink(&cur, &mut still_fails);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +297,71 @@ mod tests {
         let items: Vec<u32> = (0..31).collect();
         let minimal = shrink(&items, |s| s.contains(&17));
         assert_eq!(minimal, vec![17]);
+    }
+
+    /// Corpus-style fixtures for the two-level minimizer: records are
+    /// `(rid, attribute)`, parts are whitespace tokens.
+    fn split_tokens(r: &(u64, String)) -> Vec<String> {
+        r.1.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn rebuild_tokens(r: &(u64, String), toks: &[String]) -> (u64, String) {
+        (r.0, toks.join(" "))
+    }
+
+    #[test]
+    fn shrink_within_minimizes_past_the_record_level() {
+        // A planted divergence triggered by the *tokens* "needle" and
+        // "haystack" appearing anywhere in the corpus. Record-level ddmin
+        // can only get down to the two carrier records with all their
+        // tokens; token-level refinement must strip the bystander tokens
+        // too, yielding a strictly smaller counterexample.
+        let corpus: Vec<(u64, String)> = vec![
+            (1, "efficient parallel needle similarity joins using".into()),
+            (2, "set similarity joins appear everywhere today".into()),
+            (3, "a haystack of unrelated boilerplate tokens here".into()),
+            (4, "noise noise noise noise".into()),
+        ];
+        let fails = |c: &[(u64, String)]| {
+            let all = c.iter().flat_map(split_tokens).collect::<Vec<_>>();
+            all.iter().any(|t| t == "needle") && all.iter().any(|t| t == "haystack")
+        };
+        let record_level = shrink(&corpus, fails);
+        let token_count =
+            |c: &[(u64, String)]| c.iter().map(|r| split_tokens(r).len()).sum::<usize>();
+        assert_eq!(record_level.len(), 2, "record ddmin keeps both carriers");
+        assert_eq!(token_count(&record_level), 13, "but every token survives");
+
+        let two_level = shrink_within(&corpus, fails, split_tokens, rebuild_tokens);
+        assert_eq!(two_level.len(), 2);
+        assert_eq!(
+            token_count(&two_level),
+            2,
+            "token ddmin must strip all bystander tokens: {two_level:?}"
+        );
+        assert_eq!(two_level[0], (1, "needle".to_string()));
+        assert_eq!(two_level[1], (3, "haystack".to_string()));
+        assert!(
+            token_count(&two_level) < token_count(&record_level),
+            "strictly smaller than record-level shrinking alone"
+        );
+    }
+
+    #[test]
+    fn shrink_within_reaches_the_cross_level_fixpoint() {
+        // Predicate: fails iff total token count across the corpus is at
+        // least 3 AND record 1 is present. Token-level shrinking on its
+        // own leaves each record 1-minimal; the fixpoint loop must then
+        // drop record 2 entirely once its tokens stop being needed.
+        let corpus: Vec<(u64, String)> =
+            vec![(1, "alpha beta gamma".into()), (2, "delta epsilon".into())];
+        let fails = |c: &[(u64, String)]| {
+            c.iter().any(|r| r.0 == 1)
+                && c.iter().map(|r| split_tokens(r).len()).sum::<usize>() >= 3
+        };
+        let minimal = shrink_within(&corpus, fails, split_tokens, rebuild_tokens);
+        assert_eq!(minimal.len(), 1, "record 2 must be dropped: {minimal:?}");
+        assert_eq!(minimal[0].0, 1);
+        assert_eq!(split_tokens(&minimal[0]).len(), 3);
     }
 }
