@@ -41,7 +41,8 @@ commands:
             [--threshold T] [--measure jaccard|cosine|dice]
             [--combo bto-pk-brj] [--nodes N] [--qgram Q]
             [--rid-field I] [--join-fields 1,2] [--groups G] [--full yes]
-            [--backend simulated|sharded] [--fault-seed S] [--fault-plan SPEC]
+            [--backend simulated|sharded|process] [--dfs-root DIR]
+            [--fault-seed S] [--fault-plan SPEC]
   rsjoin    join two files (stage 1 runs on --r; make it the smaller one)
             --r FILE --s FILE --out FILE  [same options as selfjoin]
 
@@ -59,7 +60,14 @@ execution (selfjoin/rsjoin):
   --backend KIND  simulated (default): the deterministic in-process
                   executor with the cluster time model; sharded: per-node
                   worker shards with a real streaming shuffle over bounded
-                  channels. Join output is byte-identical either way.
+                  channels; process: process-isolated workers (this binary
+                  re-spawned) over a disk-backed DFS — remote-capable jobs
+                  run in worker processes, the rest fall back in-process on
+                  the same disk store. Join output is byte-identical in
+                  every case.
+  --dfs-root DIR  disk root for --backend process (created if missing and
+                  persistent across runs); without it a self-cleaning
+                  temporary directory is used
 
 recovery (selfjoin/rsjoin):
   --resume yes          after an injected driver crash or a detected
@@ -80,6 +88,17 @@ observability (selfjoin/rsjoin):
   --report yes        print the detailed per-job report (histogram
                       percentiles, hot keys, fault statistics)
 ";
+
+/// Hidden worker entry for `--backend process`: when this binary was
+/// re-spawned by a driver (the worker environment variable is set),
+/// register the job factories and hand the process over to the worker
+/// frame loop — this call never returns in that case. In a normal
+/// invocation it is a no-op; call it before argument parsing, since a
+/// worker's argv is libtest-shaped, not CLI-shaped.
+pub fn process_worker_entry() {
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
+}
 
 /// Entry point: parse and execute, returning the human-readable summary.
 pub fn run(argv: &[String]) -> Result<String, String> {
@@ -149,6 +168,7 @@ const JOIN_FLAGS: &[&str] = &[
     "groups",
     "full",
     "backend",
+    "dfs-root",
     "fault-seed",
     "fault-plan",
     "resume",
@@ -295,12 +315,13 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
     ))
 }
 
-/// Parse `--resume` (absent, or `yes`).
+/// Parse `--backend` (absent, or a [`BackendKind`] name).
 fn backend_flag(args: &Args) -> Result<BackendKind, String> {
     match args.get("backend") {
         None => Ok(BackendKind::default()),
-        Some(name) => BackendKind::parse(name)
-            .ok_or_else(|| format!("bad --backend {name:?} (expected simulated or sharded)")),
+        Some(name) => BackendKind::parse(name).ok_or_else(|| {
+            format!("bad --backend {name:?} (expected simulated, sharded, or process)")
+        }),
     }
 }
 
@@ -361,7 +382,12 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
     let (config, nodes) = join_config(args)?;
 
     let resume = resume_flag(args)?;
-    let mut cluster = make_cluster(nodes, fault_plan(args)?, backend_flag(args)?)?;
+    let mut cluster = make_cluster(
+        nodes,
+        fault_plan(args)?,
+        backend_flag(args)?,
+        args.get("dfs-root"),
+    )?;
     let sink = attach_trace(&mut cluster, args);
     let n = load_file(&cluster, input, "/input")?;
     let join = |cluster: &Cluster, resume: bool| {
@@ -396,7 +422,12 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let (config, nodes) = join_config(args)?;
 
     let resume = resume_flag(args)?;
-    let mut cluster = make_cluster(nodes, fault_plan(args)?, backend_flag(args)?)?;
+    let mut cluster = make_cluster(
+        nodes,
+        fault_plan(args)?,
+        backend_flag(args)?,
+        args.get("dfs-root"),
+    )?;
     let sink = attach_trace(&mut cluster, args);
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
@@ -473,13 +504,21 @@ fn make_cluster(
     nodes: usize,
     faults: Option<FaultPlan>,
     backend: BackendKind,
+    dfs_root: Option<&str>,
 ) -> Result<Cluster, String> {
     let config = ClusterConfig {
-        // Fault injection needs a retry budget; fault-free runs keep the
-        // strict default (any failure is a bug, surface it immediately).
-        max_task_attempts: if faults.is_some() { 8 } else { 1 },
+        // Fault injection needs a retry budget, and so does the process
+        // backend (a lost worker process is a retryable NodeLost, not a
+        // bug); fault-free in-process runs keep the strict default where
+        // any failure surfaces immediately.
+        max_task_attempts: if faults.is_some() || backend == BackendKind::Process {
+            8
+        } else {
+            1
+        },
         faults,
         backend,
+        dfs_root: dfs_root.map(std::path::PathBuf::from),
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 4 << 20).map_err(|e| e.to_string())

@@ -1,6 +1,8 @@
 //! Thin binary wrapper; all logic lives in the library for testability.
 
 fn main() {
+    // If a driver re-spawned this binary as a worker, this never returns.
+    fuzzyjoin_cli::process_worker_entry();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match fuzzyjoin_cli::run(&args) {
         Ok(summary) => print!("{summary}"),

@@ -42,6 +42,7 @@ pub use pipeline::{
 };
 pub use recovery::{job_fingerprint, Recovery, JOB_SKIPPED_COUNTER};
 pub use report::{run_report, run_report_resolved, REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
+pub use stage1::{register_process_jobs, BTO_COUNT_FACTORY, BTO_SORT_FACTORY};
 pub use stage3::{JoinedPair, PairKey};
 
 // Re-export the pieces callers need to drive a join.

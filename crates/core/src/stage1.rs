@@ -22,8 +22,8 @@
 use std::sync::Arc;
 
 use mapreduce::{
-    range_partitioner, sample_boundaries, seq_input, sum_combiner, text_input, Cluster, Emit, Job,
-    Mapper, PipelineMetrics, Reducer, Result, TaskContext,
+    range_partitioner, sample_boundaries, seq_input, sum_combiner, text_input, ByteReader, Cluster,
+    Codec, Dfs, Emit, Job, Mapper, MrError, PipelineMetrics, Reducer, Result, TaskContext,
 };
 
 use crate::config::{BadRecordPolicy, JoinConfig, RecordFormat, Stage1Algo, TokenizerKind};
@@ -194,6 +194,157 @@ impl Reducer for OptoReducer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Process-isolated execution
+// ---------------------------------------------------------------------------
+
+/// Factory name under which the BTO count job is registered for
+/// process-isolated workers (see [`register_process_jobs`]).
+pub const BTO_COUNT_FACTORY: &str = "core.stage1.bto-count";
+
+/// Factory name under which the BTO sort job is registered for
+/// process-isolated workers (see [`register_process_jobs`]).
+pub const BTO_SORT_FACTORY: &str = "core.stage1.bto-sort";
+
+/// Wire form of the count job's parameters: everything the worker-side
+/// factory needs to rebuild the job from scratch.
+struct CountPayload {
+    input: String,
+    output: String,
+    rid_field: u64,
+    join_fields: Vec<u64>,
+    tokenizer: u8,
+    qgram: u64,
+    bad_records: u8,
+    bad_limit: u64,
+}
+
+impl Codec for CountPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.input.encode(buf);
+        self.output.encode(buf);
+        self.rid_field.encode(buf);
+        self.join_fields.encode(buf);
+        self.tokenizer.encode(buf);
+        self.qgram.encode(buf);
+        self.bad_records.encode(buf);
+        self.bad_limit.encode(buf);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(CountPayload {
+            input: Codec::decode(r)?,
+            output: Codec::decode(r)?,
+            rid_field: Codec::decode(r)?,
+            join_fields: Codec::decode(r)?,
+            tokenizer: Codec::decode(r)?,
+            qgram: Codec::decode(r)?,
+            bad_records: Codec::decode(r)?,
+            bad_limit: Codec::decode(r)?,
+        })
+    }
+}
+
+impl CountPayload {
+    fn new(input: &str, output: &str, config: &JoinConfig) -> Self {
+        let (tokenizer, qgram) = match config.tokenizer {
+            TokenizerKind::Word => (0, 0),
+            TokenizerKind::QGram(q) => (1, q as u64),
+        };
+        let (bad_records, bad_limit) = match config.bad_records {
+            BadRecordPolicy::Strict => (0, 0),
+            BadRecordPolicy::Skip => (1, 0),
+            BadRecordPolicy::SkipUpTo(n) => (2, n),
+        };
+        CountPayload {
+            input: input.to_string(),
+            output: output.to_string(),
+            rid_field: config.format.rid_field as u64,
+            join_fields: config
+                .format
+                .join_fields
+                .iter()
+                .map(|&f| f as u64)
+                .collect(),
+            tokenizer,
+            qgram,
+            bad_records,
+            bad_limit,
+        }
+    }
+
+    fn mapper(&self) -> Result<TokenCountMapper> {
+        let tokenizer = match self.tokenizer {
+            0 => TokenizerKind::Word,
+            1 => TokenizerKind::QGram(self.qgram as usize),
+            t => return Err(MrError::Codec(format!("unknown tokenizer tag {t}"))),
+        };
+        let bad_records = match self.bad_records {
+            0 => BadRecordPolicy::Strict,
+            1 => BadRecordPolicy::Skip,
+            2 => BadRecordPolicy::SkipUpTo(self.bad_limit),
+            t => return Err(MrError::Codec(format!("unknown bad-record tag {t}"))),
+        };
+        let format = RecordFormat {
+            rid_field: self.rid_field as usize,
+            join_fields: self.join_fields.iter().map(|&f| f as usize).collect(),
+        };
+        Ok(TokenCountMapper::with_policy(
+            format,
+            tokenizer,
+            bad_records,
+        ))
+    }
+}
+
+/// BTO job 1, built through one function on both the driver and the
+/// worker-side factory so the two can never diverge.
+fn bto_count_job(
+    dfs: &Dfs,
+    input: &str,
+    output: &str,
+    mapper: TokenCountMapper,
+) -> Result<Job<TokenCountMapper, SumReducer>> {
+    Ok(Job::new("stage1-bto-count", mapper, SumReducer)
+        .inputs(text_input(dfs, input)?)
+        .combiner(sum_combiner())
+        .output_seq(output))
+}
+
+/// BTO job 2, shared the same way. The payload is just the two paths.
+fn bto_sort_job(
+    dfs: &Dfs,
+    counts: &str,
+    tokens: &str,
+) -> Result<Job<SwapForSortMapper, EmitTokenReducer>> {
+    Ok(
+        Job::new("stage1-bto-sort", SwapForSortMapper, EmitTokenReducer)
+            .inputs(seq_input::<String, u64>(dfs, counts)?)
+            .reducers(1)
+            .output_text(tokens, Arc::new(|k: &String, _v: &()| k.clone())),
+    )
+}
+
+/// Register the worker-side factories for the stage-1 jobs that can run
+/// process-isolated (the two BTO jobs; OPTO and the range-partitioned sort
+/// carry driver-computed closures and take the in-process fallback).
+///
+/// Any binary that should execute these jobs remotely must call this
+/// before [`mapreduce::process_worker_main`]. Idempotent.
+pub fn register_process_jobs() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        mapreduce::register_job_factory(BTO_COUNT_FACTORY, |payload, dfs| {
+            let p = CountPayload::from_bytes(payload)?;
+            bto_count_job(dfs, &p.input, &p.output, p.mapper()?)
+        });
+        mapreduce::register_job_factory(BTO_SORT_FACTORY, |payload, dfs| {
+            let (counts, tokens) = <(String, String)>::from_bytes(payload)?;
+            bto_sort_job(dfs, &counts, &tokens)
+        });
+    });
+}
+
 /// Run stage 1 over the records at `input`, writing the ordered token list
 /// (one token per line, ascending frequency) to `{work}/tokens`.
 ///
@@ -229,11 +380,10 @@ pub fn run_with(
             if rec.should_skip(cluster, "stage1-bto-count", &counts_path, fp1) {
                 metrics.push(Recovery::skipped_job_metrics("stage1-bto-count"));
             } else {
-                let job1 = Job::new("stage1-bto-count", mapper, SumReducer)
-                    .inputs(text_input(cluster.dfs(), input)?)
-                    .combiner(sum_combiner())
-                    .output_seq(&counts_path)
-                    .fingerprint(fp1);
+                let payload = CountPayload::new(input, &counts_path, config).to_bytes();
+                let job1 = bto_count_job(cluster.dfs(), input, &counts_path, mapper)?
+                    .fingerprint(fp1)
+                    .remote(BTO_COUNT_FACTORY, payload);
                 metrics.push(cluster.run(job1)?);
             }
 
@@ -242,11 +392,10 @@ pub fn run_with(
             if rec.should_skip(cluster, "stage1-bto-sort", &tokens_path, fp2) {
                 metrics.push(Recovery::skipped_job_metrics("stage1-bto-sort"));
             } else {
-                let job2 = Job::new("stage1-bto-sort", SwapForSortMapper, EmitTokenReducer)
-                    .inputs(seq_input::<String, u64>(cluster.dfs(), &counts_path)?)
-                    .reducers(1)
-                    .output_text(&tokens_path, Arc::new(|k: &String, _v: &()| k.clone()))
-                    .fingerprint(fp2);
+                let payload = (counts_path.clone(), tokens_path.clone()).to_bytes();
+                let job2 = bto_sort_job(cluster.dfs(), &counts_path, &tokens_path)?
+                    .fingerprint(fp2)
+                    .remote(BTO_SORT_FACTORY, payload);
                 metrics.push(cluster.run(job2)?);
             }
         }

@@ -60,3 +60,12 @@ fn sharded_join_matches_simulated_at_every_thread_count() {
         );
     }
 }
+
+/// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
+/// test binary as worker processes that land here. In a normal test run
+/// the worker env var is unset and this is an instant no-op pass.
+#[test]
+fn process_worker_entry() {
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
+}

@@ -3,9 +3,10 @@
 //! in both self-join and R-S mode, must produce **exactly** the
 //! `(rid1, rid2, sim)` set of the naive O(n²) oracle (`setsim::naive` via
 //! `setsim::oracle`) on the same corpus — similarity values compared
-//! bitwise. Every matrix cell additionally runs on **both execution
-//! backends** (simulated and sharded) and asserts the two committed pair
-//! sets are bitwise identical.
+//! bitwise. Every matrix cell additionally runs on **all three execution
+//! backends** (simulated, sharded, and process-isolated workers on a
+//! disk-backed DFS) and asserts the committed pair sets are bitwise
+//! identical.
 //!
 //! On a divergence the failing corpus is delta-debugged down to a
 //! locally-minimal counterexample (`setsim::oracle::shrink_within`) before
@@ -27,9 +28,10 @@ use setsim::oracle;
 const SEEDS: [u64; 3] = [11, 223, 3407];
 
 /// Backend for tests outside the explicit parity cells. The CI
-/// `backend-parity` job re-runs this suite with `MR_BACKEND=sharded` so
-/// the proptest/q-gram/pathological/duplicate tests get sharded coverage
-/// too; the matrix cells always run both backends regardless.
+/// `backend-parity` matrix re-runs this suite with `MR_BACKEND=sharded`
+/// and `MR_BACKEND=process` so the proptest/q-gram/pathological/duplicate
+/// tests get coverage on every executor too; the matrix cells always run
+/// all three backends regardless.
 fn default_backend() -> BackendKind {
     BackendKind::from_env()
 }
@@ -256,27 +258,26 @@ fn report_self_divergence(
     );
 }
 
-/// One matrix cell: run the pipeline under **both** backends on the same
-/// shape, assert the committed pair sets are bitwise identical, then
+/// One matrix cell: run the pipeline under **all three** backends on the
+/// same shape, assert the committed pair sets are bitwise identical, then
 /// check the simulated rows against the oracle.
 fn check_self_cell_on(shape: ClusterSpec, lines: &[String], config: &JoinConfig, label: &str) {
     let sim_spec = ClusterSpec {
         backend: BackendKind::Simulated,
         ..shape
     };
-    let sharded_spec = ClusterSpec {
-        backend: BackendKind::Sharded,
-        ..shape
-    };
     let simulated = pipeline_self_on(sim_spec, lines, config)
         .unwrap_or_else(|e| panic!("{label} [simulated]: pipeline: {e}"));
-    let sharded = pipeline_self_on(sharded_spec, lines, config)
-        .unwrap_or_else(|e| panic!("{label} [sharded]: pipeline: {e}"));
-    assert_eq!(
-        rows_bits(&simulated),
-        rows_bits(&sharded),
-        "{label}: sharded backend diverges from simulated"
-    );
+    for backend in [BackendKind::Sharded, BackendKind::Process] {
+        let spec = ClusterSpec { backend, ..shape };
+        let rows = pipeline_self_on(spec, lines, config)
+            .unwrap_or_else(|e| panic!("{label} [{backend:?}]: pipeline: {e}"));
+        assert_eq!(
+            rows_bits(&simulated),
+            rows_bits(&rows),
+            "{label}: {backend:?} backend diverges from simulated"
+        );
+    }
     report_self_divergence(sim_spec, lines, config, label, &simulated);
 }
 
@@ -362,7 +363,7 @@ fn report_rs_divergence(
     );
 }
 
-/// R-S counterpart of [`check_self_cell_on`]: both backends, bitwise
+/// R-S counterpart of [`check_self_cell_on`]: all three backends, bitwise
 /// parity, then the oracle.
 fn check_rs_cell_on(
     shape: ClusterSpec,
@@ -375,19 +376,18 @@ fn check_rs_cell_on(
         backend: BackendKind::Simulated,
         ..shape
     };
-    let sharded_spec = ClusterSpec {
-        backend: BackendKind::Sharded,
-        ..shape
-    };
     let simulated = pipeline_rs_on(sim_spec, r_lines, s_lines, config)
         .unwrap_or_else(|e| panic!("{label} [simulated]: pipeline: {e}"));
-    let sharded = pipeline_rs_on(sharded_spec, r_lines, s_lines, config)
-        .unwrap_or_else(|e| panic!("{label} [sharded]: pipeline: {e}"));
-    assert_eq!(
-        rows_bits(&simulated),
-        rows_bits(&sharded),
-        "{label}: sharded backend diverges from simulated"
-    );
+    for backend in [BackendKind::Sharded, BackendKind::Process] {
+        let spec = ClusterSpec { backend, ..shape };
+        let rows = pipeline_rs_on(spec, r_lines, s_lines, config)
+            .unwrap_or_else(|e| panic!("{label} [{backend:?}]: pipeline: {e}"));
+        assert_eq!(
+            rows_bits(&simulated),
+            rows_bits(&rows),
+            "{label}: {backend:?} backend diverges from simulated"
+        );
+    }
     report_rs_divergence(sim_spec, r_lines, s_lines, config, label, &simulated);
 }
 
@@ -421,7 +421,7 @@ fn rs_corpora(seed: u64) -> (Vec<String>, Vec<String>) {
 
 /// The full matrix for one kernel: stage-1 ordering × routing ×
 /// length-sub-routing × measure × {self-join, R-S} × 3 seeded corpora
-/// each — and every cell on both execution backends, bitwise.
+/// each — and every cell on all three execution backends, bitwise.
 fn kernel_matrix(stage2: Stage2Algo) {
     for stage1 in STAGE1S {
         for routing in ROUTINGS {
@@ -633,7 +633,7 @@ fn differential_pathological_rs_corpora() {
 /// cluster (no parallelism, every task on the same machine — a historical
 /// harness gap) and a tight per-task memory budget that makes every
 /// `MemoryGauge` charge site count without pushing the seeded corpora
-/// into OOM. Both shapes run on both execution backends with bitwise
+/// into OOM. Both shapes run on all three execution backends with bitwise
 /// parity asserted (the `backend` field of the spec is overridden per
 /// backend by the cell check). One routing × one measure × one seed per
 /// cell keeps the runtime proportionate; the full matrix above covers the
@@ -831,4 +831,13 @@ proptest! {
         check_rs(r, s, &config, &format!("proptest rs {}", config.combo_name()));
         prop_assert!(true);
     }
+}
+
+/// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
+/// test binary as worker processes that land here. In a normal test run
+/// the worker env var is unset and this is an instant no-op pass.
+#[test]
+fn process_worker_entry() {
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
 }

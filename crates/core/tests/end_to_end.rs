@@ -543,3 +543,12 @@ fn pipeline_survives_flaky_tasks() {
         .collect();
     assert_eq!(got, expected);
 }
+
+/// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
+/// test binary as worker processes that land here. In a normal test run
+/// the worker env var is unset and this is an instant no-op pass.
+#[test]
+fn process_worker_entry() {
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
+}

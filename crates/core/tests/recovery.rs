@@ -386,3 +386,12 @@ fn rs_join_crash_resume_is_bitwise_identical() {
     assert_eq!(outcome.recovery.jobs_skipped.len(), 2);
     assert_eq!(outcome.recovery.jobs_rerun.len(), total - 2);
 }
+
+/// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
+/// test binary as worker processes that land here. In a normal test run
+/// the worker env var is unset and this is an instant no-op pass.
+#[test]
+fn process_worker_entry() {
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
+}

@@ -67,26 +67,34 @@ pub enum BackendKind {
     Simulated,
     /// Per-node worker shards with a streaming bounded-channel shuffle.
     Sharded,
+    /// Process-isolated workers over a disk-backed DFS: the driver
+    /// re-spawns its own executable as worker processes and frames task
+    /// assignments over stdin/stdout pipes (see [`crate::remote`]). Jobs
+    /// without a [`crate::RemoteJobSpec`] run in-process on the same disk
+    /// DFS (the documented fallback, like Hadoop's `LocalJobRunner`).
+    Process,
 }
 
 impl BackendKind {
-    /// Parse a CLI-style backend name (`simulated` or `sharded`).
+    /// Parse a CLI-style backend name (`simulated`, `sharded`, or
+    /// `process`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "simulated" => Some(BackendKind::Simulated),
             "sharded" => Some(BackendKind::Sharded),
+            "process" => Some(BackendKind::Process),
             _ => None,
         }
     }
 
     /// Backend selected by the `MR_BACKEND` environment variable, falling
     /// back to the default. Test suites use this so CI's `backend-parity`
-    /// job can re-run them wholesale on the sharded backend; an
-    /// unrecognized value panics rather than silently testing the default.
+    /// job can re-run them wholesale on another backend; an unrecognized
+    /// value panics rather than silently testing the default.
     pub fn from_env() -> Self {
         match std::env::var("MR_BACKEND") {
             Ok(name) => Self::parse(&name).unwrap_or_else(|| {
-                panic!("bad MR_BACKEND={name:?} (expected simulated or sharded)")
+                panic!("bad MR_BACKEND={name:?} (expected simulated, sharded, or process)")
             }),
             Err(_) => Self::default(),
         }
@@ -97,6 +105,7 @@ impl BackendKind {
         match self {
             BackendKind::Simulated => "simulated",
             BackendKind::Sharded => "sharded",
+            BackendKind::Process => "process",
         }
     }
 }
@@ -119,6 +128,9 @@ pub(crate) struct ExecParams<'a, M: Mapper, R: Reducer> {
     pub(crate) threads: usize,
     pub(crate) num_reducers: usize,
     pub(crate) config: &'a ClusterConfig,
+    /// The job's worker-process reconstruction recipe, when it has one.
+    /// Only the process backend looks at this.
+    pub(crate) remote: Option<&'a crate::job::RemoteJobSpec>,
 }
 
 /// What a backend hands back to the driver. A top-level `Err` from
@@ -227,6 +239,7 @@ impl ExecutionBackend for ShardedBackend {
             threads,
             num_reducers,
             config,
+            ..
         } = params;
         let nodes = config.nodes;
         let num_map_tasks = map_items.len();
@@ -395,6 +408,44 @@ impl ExecutionBackend for ShardedBackend {
     }
 }
 
+/// The process-isolated executor (see [`BackendKind::Process`]).
+///
+/// Jobs that carry a [`crate::RemoteJobSpec`] — and run on a disk-backed
+/// DFS that worker processes can actually open — execute out-of-process
+/// via [`crate::remote`]. Everything else (closure-built jobs, an
+/// in-memory DFS, or a worker pool that fails to come up) falls back to
+/// the in-process [`SimulatedBackend`] on the same DFS, counted under
+/// `mr.process.fallback_jobs`. Output bytes are identical either way, so
+/// the fallback is a performance path, never a correctness one.
+pub(crate) struct ProcessBackend;
+
+impl ExecutionBackend for ProcessBackend {
+    fn execute<M, R>(&self, params: ExecParams<'_, M, R>) -> Result<ExecOutcome>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::OutKey, InValue = M::OutValue>,
+    {
+        let counters = params.map_shared.counters;
+        let remote_capable = params.remote.is_some() && params.map_shared.dfs.disk_root().is_some();
+        if !remote_capable {
+            counters.get("mr.process.fallback_jobs").incr();
+            return SimulatedBackend.execute(params);
+        }
+        match crate::remote::spawn_pool(&params) {
+            Ok(pool) => crate::remote::execute_remote(params, pool),
+            Err(why) => {
+                // Worker pool never came up (spawn or handshake failure):
+                // run in-process rather than failing a job that the
+                // simulated path can complete on the same DFS.
+                counters.get("mr.process.fallback_jobs").incr();
+                counters.get("mr.process.handshake_failures").incr();
+                eprintln!("[mr] process backend falling back in-process: {why}");
+                SimulatedBackend.execute(params)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,8 +457,10 @@ mod tests {
             Some(BackendKind::Simulated)
         );
         assert_eq!(BackendKind::parse("sharded"), Some(BackendKind::Sharded));
+        assert_eq!(BackendKind::parse("process"), Some(BackendKind::Process));
         assert_eq!(BackendKind::parse("async"), None);
         assert_eq!(BackendKind::default(), BackendKind::Simulated);
         assert_eq!(BackendKind::Sharded.to_string(), "sharded");
+        assert_eq!(BackendKind::Process.to_string(), "process");
     }
 }

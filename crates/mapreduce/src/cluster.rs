@@ -104,6 +104,12 @@ pub struct ClusterConfig {
     /// how tasks are scheduled onto physical threads and how map output
     /// reaches the reducers.
     pub backend: BackendKind,
+    /// Root directory of the disk-backed DFS used by the
+    /// [`BackendKind::Process`] backend. `None` puts the store in a
+    /// self-cleaning temp directory; set it to keep the filesystem around
+    /// across engine restarts (crash/resume). Ignored by the in-memory
+    /// backends.
+    pub dfs_root: Option<std::path::PathBuf>,
     /// Capacity (in spill runs) of each per-partition shuffle channel used
     /// by the [`BackendKind::Sharded`] backend. Bounds how far map tasks
     /// can run ahead of a slow reducer before blocking (backpressure).
@@ -129,6 +135,7 @@ impl Default for ClusterConfig {
             heavy_hitter_top_k: 10,
             heavy_hitter_warn_share: 0.5,
             backend: BackendKind::Simulated,
+            dfs_root: None,
             shuffle_channel_capacity: 256,
         }
     }

@@ -78,6 +78,11 @@ pub fn write_varint(mut v: u64, buf: &mut Vec<u8>) {
 }
 
 /// Read a LEB128 varint written by [`write_varint`].
+///
+/// Rejects non-canonical encodings that would overflow 64 bits: a varint
+/// may span at most 10 bytes, and the 10th byte carries only the single
+/// remaining high bit — anything else would silently truncate on the
+/// shift, turning corrupt input into a plausible-looking value.
 pub fn read_varint(r: &mut ByteReader<'_>) -> Result<u64> {
     let mut shift = 0u32;
     let mut out = 0u64;
@@ -86,7 +91,11 @@ pub fn read_varint(r: &mut ByteReader<'_>) -> Result<u64> {
         if shift >= 64 {
             return Err(MrError::Codec("varint too long".into()));
         }
-        out |= u64::from(byte & 0x7f) << shift;
+        let bits = u64::from(byte & 0x7f);
+        if shift == 63 && bits > 1 {
+            return Err(MrError::Codec("varint overflows u64".into()));
+        }
+        out |= bits << shift;
         if byte & 0x80 == 0 {
             return Ok(out);
         }
@@ -281,13 +290,31 @@ impl Codec for () {
     }
 }
 
+/// Validate a decoded length prefix against what the input can actually
+/// hold. A truncated or bit-flipped frame can declare any length at all;
+/// callers must never size buffers (or loop bounds) from it before this
+/// check, so a corrupt prefix fails with a clean decode error instead of a
+/// multi-GB allocation.
+fn checked_len(r: &ByteReader<'_>, declared: u64, what: &str) -> Result<usize> {
+    let len = usize::try_from(declared)
+        .map_err(|_| MrError::Codec(format!("{what} length {declared} exceeds address space")))?;
+    if len > r.remaining() {
+        return Err(MrError::Codec(format!(
+            "{what} length {len} exceeds remaining input ({})",
+            r.remaining()
+        )));
+    }
+    Ok(len)
+}
+
 impl Codec for String {
     fn encode(&self, buf: &mut Vec<u8>) {
         write_varint(self.len() as u64, buf);
         buf.extend_from_slice(self.as_bytes());
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
-        let len = read_varint(r)? as usize;
+        let declared = read_varint(r)?;
+        let len = checked_len(r, declared, "string")?;
         let bytes = r.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| MrError::Codec(format!("invalid utf-8 string: {e}")))
@@ -305,11 +332,12 @@ impl<T: Codec> Codec for Vec<T> {
         }
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
-        let len = read_varint(r)? as usize;
-        // Guard against hostile/corrupt lengths: cap the pre-allocation by
-        // what the remaining bytes could possibly hold (1 byte per element
-        // minimum for every codec except `()`-like zero-size payloads).
-        let mut out = Vec::with_capacity(len.min(r.remaining().max(16)));
+        // A corrupt element count cannot exceed the remaining bytes (every
+        // element besides `()`-like zero-size payloads occupies at least one
+        // byte), so reject inflated prefixes before any allocation.
+        let declared = read_varint(r)?;
+        let len = checked_len(r, declared, "vec")?;
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
         for _ in 0..len {
             out.push(T::decode(r)?);
         }
@@ -466,5 +494,81 @@ mod tests {
         let mut buf = Vec::new();
         write_varint(300, &mut buf);
         assert!(u8::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflowing_encodings() {
+        // 11 continuation bytes: more than any u64 needs.
+        let overlong = [0x80u8; 10]
+            .iter()
+            .copied()
+            .chain(std::iter::once(1u8))
+            .collect::<Vec<_>>();
+        assert!(u64::from_bytes(&overlong).is_err());
+        // Exactly 10 bytes but the 10th carries more than the one
+        // remaining bit: the value would silently truncate.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x02);
+        assert!(u64::from_bytes(&overflow).is_err());
+        // u64::MAX itself (10th byte = 0x01) still decodes.
+        let mut max = Vec::new();
+        write_varint(u64::MAX, &mut max);
+        assert_eq!(max.len(), 10);
+        assert_eq!(u64::from_bytes(&max).unwrap(), u64::MAX);
+        // Truncated mid-continuation.
+        assert!(u64::from_bytes(&max[..5]).is_err());
+    }
+
+    #[test]
+    fn inflated_length_prefixes_fail_without_allocating() {
+        // A string frame claiming u64::MAX bytes with a 3-byte payload:
+        // must error cleanly, not attempt the allocation.
+        let mut buf = Vec::new();
+        write_varint(u64::MAX - 1, &mut buf);
+        buf.extend_from_slice(b"abc");
+        assert!(String::from_bytes(&buf).is_err());
+        // Same for vectors of multi-byte elements.
+        let mut buf = Vec::new();
+        write_varint(1 << 40, &mut buf);
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(Vec::<u64>::from_bytes(&buf).is_err());
+        assert!(Vec::<String>::from_bytes(&buf).is_err());
+        // A modestly inflated count over truncated input also fails.
+        let mut buf = Vec::new();
+        write_varint(100, &mut buf);
+        buf.push(7);
+        assert!(Vec::<u32>::from_bytes(&buf).is_err());
+    }
+
+    /// Deterministic fuzz: encode valid values, then truncate at every
+    /// boundary and flip every bit; decodes must return `Err` or a value,
+    /// never panic. (Bit flips can legitimately decode — e.g. a flipped
+    /// payload byte inside a string — so only the no-panic and
+    /// no-overallocation properties are asserted.)
+    #[test]
+    fn mutated_frames_never_panic() {
+        fn assault<T: Codec + std::fmt::Debug>(bytes: &[u8]) {
+            for cut in 0..bytes.len() {
+                let _ = T::from_bytes(&bytes[..cut]);
+            }
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut mutated = bytes.to_vec();
+                    mutated[i] ^= 1 << bit;
+                    let _ = T::from_bytes(&mutated);
+                }
+            }
+        }
+        assault::<u64>(&u64::MAX.to_bytes());
+        assault::<i64>(&i64::MIN.to_bytes());
+        assault::<bool>(&true.to_bytes());
+        assault::<f64>(&3.25f64.to_bytes());
+        assault::<f32>(&1.5f32.to_bytes());
+        assault::<String>(&String::from("hello κόσμε").to_bytes());
+        assault::<Vec<u32>>(&vec![1u32, 200, 70000].to_bytes());
+        assault::<Vec<String>>(&vec!["a".to_string(), "bb".to_string()].to_bytes());
+        assault::<Option<u64>>(&Some(99u64).to_bytes());
+        assault::<(u32, String)>(&(7u32, "xy".to_string()).to_bytes());
+        assault::<(u64, u64, Vec<u8>)>(&(1u64, 2u64, vec![3u8, 4]).to_bytes());
     }
 }

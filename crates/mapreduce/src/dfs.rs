@@ -23,13 +23,15 @@
 //! as [`MrError::ChecksumMismatch`]; corrupt data is never returned.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
-use crate::codec::{ByteReader, Codec};
+use crate::codec::{read_varint, write_varint, ByteReader, Codec};
 use crate::error::{MrError, Result};
 
 /// What a file contains, for sanity-checking readers.
@@ -84,14 +86,14 @@ impl DfsFile {
 /// Incremental CRC-32 (IEEE 802.3 polynomial, reflected), the checksum HDFS
 /// uses per block. Bitwise — no table — since files here are small and the
 /// check runs once per read.
-struct Crc32(u32);
+pub(crate) struct Crc32(u32);
 
 impl Crc32 {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Crc32(0xFFFF_FFFF)
     }
 
-    fn update(&mut self, data: &[u8]) {
+    pub(crate) fn update(&mut self, data: &[u8]) {
         let mut crc = self.0;
         for &byte in data {
             crc ^= u32::from(byte);
@@ -103,7 +105,7 @@ impl Crc32 {
         self.0 = crc;
     }
 
-    fn finish(self) -> u32 {
+    pub(crate) fn finish(self) -> u32 {
         !self.0
     }
 }
@@ -113,11 +115,207 @@ struct DfsInner {
     files: BTreeMap<String, DfsFile>,
 }
 
+/// Where a [`Dfs`] keeps its files.
+enum Store {
+    /// The original in-process store: one map behind a lock.
+    Mem(RwLock<DfsInner>),
+    /// Disk-backed: every DFS file is a real container file under a root
+    /// directory, so independent *processes* opening the same root see the
+    /// same file system (the process execution backend's storage plane).
+    Disk(DiskStore),
+}
+
+/// Container-file magic: identifies (and versions) the on-disk format.
+const CONTAINER_MAGIC: &[u8; 8] = b"MRDFSv1\0";
+
+/// Monotonic discriminator for temp files and temp roots in this process.
+static DISK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Map an OS error on a DFS path to the closest classified [`MrError`].
+fn io_fail(path: &str, e: std::io::Error) -> MrError {
+    match e.kind() {
+        std::io::ErrorKind::NotFound => MrError::FileNotFound(path.to_string()),
+        std::io::ErrorKind::AlreadyExists => MrError::FileExists(path.to_string()),
+        _ => MrError::Codec(format!("dfs io failure on {path}: {e}")),
+    }
+}
+
+/// The disk-backed store: DFS files live under `<root>/fs/`, atomic-create
+/// temporaries under `<root>/tmp/`, and worker spill runs (owned by the
+/// process backend, not by this module) under `<root>/shuffle/`.
+struct DiskStore {
+    root: PathBuf,
+    /// Remove the whole root when the last handle drops (temp roots only).
+    cleanup: bool,
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        if self.cleanup {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+impl DiskStore {
+    fn fs_root(&self) -> PathBuf {
+        self.root.join("fs")
+    }
+
+    /// Real path for a DFS path, rejecting traversal and empty components.
+    fn target_path(&self, path: &str) -> Result<PathBuf> {
+        let rel = path.trim_start_matches('/');
+        if rel.is_empty() {
+            return Err(MrError::InvalidConfig(format!("invalid DFS path {path:?}")));
+        }
+        let mut out = self.fs_root();
+        for comp in rel.split('/') {
+            if comp.is_empty() || comp == "." || comp == ".." {
+                return Err(MrError::InvalidConfig(format!(
+                    "invalid DFS path component in {path:?}"
+                )));
+            }
+            out.push(comp);
+        }
+        Ok(out)
+    }
+
+    fn load(&self, path: &str) -> Result<DfsFile> {
+        let bytes = fs::read(self.target_path(path)?).map_err(|e| io_fail(path, e))?;
+        decode_container(path, &bytes)
+    }
+
+    /// Write a container file. Without `overwrite` the create is atomic and
+    /// exclusive (temp write + hard link), preserving the in-memory store's
+    /// create-or-`FileExists` semantics even across racing processes; with
+    /// it, an atomic `rename` replaces whatever is there.
+    fn save(&self, path: &str, file: &DfsFile, overwrite: bool) -> Result<()> {
+        let target = self.target_path(path)?;
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent).map_err(|e| io_fail(path, e))?;
+        }
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}",
+            std::process::id(),
+            DISK_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, encode_container(file)).map_err(|e| io_fail(path, e))?;
+        if overwrite {
+            fs::rename(&tmp, &target).map_err(|e| io_fail(path, e))
+        } else {
+            let linked = fs::hard_link(&tmp, &target).map_err(|e| io_fail(path, e));
+            let _ = fs::remove_file(&tmp);
+            linked
+        }
+    }
+
+    /// Every DFS path present on disk, name-ordered.
+    fn all_keys(&self) -> Vec<String> {
+        fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    walk(&p, root, out);
+                } else if let Ok(rel) = p.strip_prefix(root) {
+                    if let Some(rel) = rel.to_str() {
+                        out.push(format!("/{rel}"));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.fs_root(), &self.fs_root(), &mut out);
+        out.sort();
+        out
+    }
+}
+
+/// Serialize a [`DfsFile`] into the container format: magic, then a
+/// codec-encoded header (kind, CRC, length, block table), then the raw
+/// block payloads back to back.
+fn encode_container(file: &DfsFile) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + file.len as usize);
+    out.extend_from_slice(CONTAINER_MAGIC);
+    let kind: u8 = match file.kind {
+        FileKind::Text => 0,
+        FileKind::Seq => 1,
+    };
+    kind.encode(&mut out);
+    file.crc.encode(&mut out);
+    file.len.encode(&mut out);
+    write_varint(file.blocks.len() as u64, &mut out);
+    for b in &file.blocks {
+        write_varint(b.data.len() as u64, &mut out);
+        write_varint(b.node as u64, &mut out);
+    }
+    for b in &file.blocks {
+        out.extend_from_slice(&b.data);
+    }
+    out
+}
+
+/// Parse a container file. Structural damage (bad magic, truncated header,
+/// short payload) is a codec error; *payload* damage is intentionally left
+/// for the CRC check on read, exactly like the in-memory store.
+fn decode_container(path: &str, bytes: &[u8]) -> Result<DfsFile> {
+    let corrupt = |why: &str| MrError::Codec(format!("corrupt DFS container {path}: {why}"));
+    if bytes.len() < CONTAINER_MAGIC.len() || &bytes[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut r = ByteReader::new(&bytes[CONTAINER_MAGIC.len()..]);
+    let kind = match u8::decode(&mut r)? {
+        0 => FileKind::Text,
+        1 => FileKind::Seq,
+        k => return Err(corrupt(&format!("unknown file kind {k}"))),
+    };
+    let crc = u32::decode(&mut r)?;
+    let len = u64::decode(&mut r)?;
+    let n_blocks = read_varint(&mut r)?;
+    // Bound the table by what the input can hold (2 bytes minimum per
+    // entry) before any allocation — same discipline as the codec layer.
+    if n_blocks > (r.remaining() as u64) / 2 {
+        return Err(corrupt("block table longer than file"));
+    }
+    let mut table = Vec::with_capacity(n_blocks as usize);
+    for _ in 0..n_blocks {
+        let blen = read_varint(&mut r)?;
+        let node = read_varint(&mut r)?;
+        table.push((blen, node as usize));
+    }
+    let mut blocks = Vec::with_capacity(table.len());
+    let mut offset = 0u64;
+    for (blen, node) in table {
+        let blen = usize::try_from(blen).map_err(|_| corrupt("block length overflow"))?;
+        if blen > r.remaining() {
+            return Err(corrupt("payload shorter than block table"));
+        }
+        let data = r.take(blen)?;
+        blocks.push(Block {
+            data: Bytes::from(data.to_vec()),
+            node,
+            offset,
+        });
+        offset += blen as u64;
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes after payload"));
+    }
+    Ok(DfsFile {
+        kind,
+        blocks,
+        len,
+        crc,
+    })
+}
+
 /// Handle to the simulated distributed file system. Cloning is cheap and
 /// shares the underlying store.
 #[derive(Clone)]
 pub struct Dfs {
-    inner: Arc<RwLock<DfsInner>>,
+    store: Arc<Store>,
     block_size: usize,
     nodes: usize,
     next_node: Arc<AtomicUsize>,
@@ -146,10 +344,73 @@ impl Dfs {
         assert!(nodes > 0, "DFS needs at least one node");
         assert!(block_size >= 16, "block size too small");
         Dfs {
-            inner: Arc::new(RwLock::new(DfsInner::default())),
+            store: Arc::new(Store::Mem(RwLock::new(DfsInner::default()))),
             block_size,
             nodes,
             next_node: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Open (or create) a disk-backed DFS rooted at `root`. Independent
+    /// process handles opening the same root share the file system — this
+    /// is the storage plane of the process execution backend. The root is
+    /// left in place when the handle drops.
+    ///
+    /// Block *placement* counters are per-handle, so round-robin node
+    /// assignment restarts in every process; placement affects locality
+    /// accounting only, never file bytes, so backend parity is unaffected.
+    pub fn new_disk(nodes: usize, block_size: usize, root: impl AsRef<Path>) -> Result<Self> {
+        assert!(nodes > 0, "DFS needs at least one node");
+        assert!(block_size >= 16, "block size too small");
+        let root = root.as_ref().to_path_buf();
+        for sub in ["fs", "tmp", "shuffle"] {
+            fs::create_dir_all(root.join(sub))
+                .map_err(|e| io_fail(&root.join(sub).to_string_lossy(), e))?;
+        }
+        Ok(Dfs {
+            store: Arc::new(Store::Disk(DiskStore {
+                root,
+                cleanup: false,
+            })),
+            block_size,
+            nodes,
+            next_node: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// Disk-backed DFS under a fresh unique directory in the system temp
+    /// dir, removed when the last handle drops. Used when the process
+    /// backend runs without an explicit `--dfs-root`.
+    pub fn new_temp_disk(nodes: usize, block_size: usize) -> Result<Self> {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let root = std::env::temp_dir().join(format!(
+            "mrdfs-{}-{nanos}-{}",
+            std::process::id(),
+            DISK_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let dfs = Self::new_disk(nodes, block_size, &root)?;
+        if let Store::Disk(_) = &*dfs.store {
+            // Rebuild the Arc with cleanup enabled (no other handle exists
+            // yet, so this cannot race).
+            return Ok(Dfs {
+                store: Arc::new(Store::Disk(DiskStore {
+                    root,
+                    cleanup: true,
+                })),
+                ..dfs
+            });
+        }
+        Ok(dfs)
+    }
+
+    /// Root directory when disk-backed, `None` for the in-memory store.
+    pub fn disk_root(&self) -> Option<&Path> {
+        match &*self.store {
+            Store::Mem(_) => None,
+            Store::Disk(d) => Some(&d.root),
         }
     }
 
@@ -167,58 +428,96 @@ impl Dfs {
         self.next_node.fetch_add(1, Ordering::Relaxed) % self.nodes
     }
 
-    fn insert(&self, path: &str, file: DfsFile, overwrite: bool) -> Result<()> {
-        let mut inner = self.inner.write();
-        if !overwrite && inner.files.contains_key(path) {
-            return Err(MrError::FileExists(path.to_string()));
+    /// Fetch one file's metadata and bytes, whichever store holds them.
+    fn load(&self, path: &str) -> Result<DfsFile> {
+        match &*self.store {
+            Store::Mem(inner) => inner
+                .read()
+                .files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| MrError::FileNotFound(path.to_string())),
+            Store::Disk(d) => d.load(path),
         }
-        inner.files.insert(path.to_string(), file);
-        Ok(())
+    }
+
+    /// Every file path in the store, name-ordered.
+    fn all_keys(&self) -> Vec<String> {
+        match &*self.store {
+            Store::Mem(inner) => inner.read().files.keys().cloned().collect(),
+            Store::Disk(d) => d.all_keys(),
+        }
+    }
+
+    fn insert(&self, path: &str, file: DfsFile, overwrite: bool) -> Result<()> {
+        match &*self.store {
+            Store::Mem(inner) => {
+                let mut inner = inner.write();
+                if !overwrite && inner.files.contains_key(path) {
+                    return Err(MrError::FileExists(path.to_string()));
+                }
+                inner.files.insert(path.to_string(), file);
+                Ok(())
+            }
+            Store::Disk(d) => d.save(path, &file, overwrite),
+        }
     }
 
     /// True if `path` names an existing file.
     pub fn exists(&self, path: &str) -> bool {
-        self.inner.read().files.contains_key(path)
+        match &*self.store {
+            Store::Mem(inner) => inner.read().files.contains_key(path),
+            Store::Disk(d) => d.target_path(path).map(|p| p.is_file()).unwrap_or(false),
+        }
     }
 
     /// Atomically rename `from` to `to`, replacing any existing `to`. This
     /// is the commit step of the engine's output-commit protocol (Hadoop's
-    /// `OutputCommitter` renaming an attempt path into place): both the
+    /// `OutputCommitter` renaming an attempt path into place): in-memory the
     /// removal of `from` and the appearance of `to` happen under one write
-    /// lock, so no reader ever observes a half-committed output.
+    /// lock; on disk it is a single `rename(2)` — either way no reader ever
+    /// observes a half-committed output.
     pub fn rename(&self, from: &str, to: &str) -> Result<()> {
-        let mut inner = self.inner.write();
-        let file = inner
-            .files
-            .remove(from)
-            .ok_or_else(|| MrError::FileNotFound(from.to_string()))?;
-        inner.files.insert(to.to_string(), file);
-        Ok(())
+        match &*self.store {
+            Store::Mem(inner) => {
+                let mut inner = inner.write();
+                let file = inner
+                    .files
+                    .remove(from)
+                    .ok_or_else(|| MrError::FileNotFound(from.to_string()))?;
+                inner.files.insert(to.to_string(), file);
+                Ok(())
+            }
+            Store::Disk(d) => {
+                let src = d.target_path(from)?;
+                let dst = d.target_path(to)?;
+                if let Some(parent) = dst.parent() {
+                    fs::create_dir_all(parent).map_err(|e| io_fail(to, e))?;
+                }
+                fs::rename(&src, &dst).map_err(|e| io_fail(from, e))
+            }
+        }
     }
 
     /// Delete one file. Missing files are an error.
     pub fn delete(&self, path: &str) -> Result<()> {
-        let mut inner = self.inner.write();
-        inner
-            .files
-            .remove(path)
-            .map(|_| ())
-            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+        match &*self.store {
+            Store::Mem(inner) => inner
+                .write()
+                .files
+                .remove(path)
+                .map(|_| ())
+                .ok_or_else(|| MrError::FileNotFound(path.to_string())),
+            Store::Disk(d) => fs::remove_file(d.target_path(path)?).map_err(|e| io_fail(path, e)),
+        }
     }
 
     /// Delete every file under `prefix` (treated as a directory). Returns the
     /// number of files removed.
     pub fn delete_prefix(&self, prefix: &str) -> usize {
-        let dir = dir_prefix(prefix);
-        let mut inner = self.inner.write();
-        let doomed: Vec<String> = inner
-            .files
-            .keys()
-            .filter(|k| k.as_str() == prefix || k.starts_with(&dir))
-            .cloned()
-            .collect();
+        let doomed = self.list(prefix);
         for k in &doomed {
-            inner.files.remove(k);
+            let _ = self.delete(k);
         }
         doomed.len()
     }
@@ -226,58 +525,36 @@ impl Dfs {
     /// All file paths under `prefix` (or the file itself), name-ordered.
     pub fn list(&self, prefix: &str) -> Vec<String> {
         let dir = dir_prefix(prefix);
-        self.inner
-            .read()
-            .files
-            .keys()
+        self.all_keys()
+            .into_iter()
             .filter(|k| k.as_str() == prefix || k.starts_with(&dir))
-            .cloned()
             .collect()
     }
 
     /// Length of a single file in bytes.
     pub fn file_len(&self, path: &str) -> Result<u64> {
-        self.inner
-            .read()
-            .files
-            .get(path)
-            .map(|f| f.len)
-            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+        self.load(path).map(|f| f.len)
     }
 
     /// CRC-32 recorded when `path` was written. This is the *stored*
-    /// checksum (what commit manifests record); it does not re-read the
-    /// data — use [`Dfs::verify`] to check the bytes against it.
+    /// checksum (what commit manifests record); it does not compare against
+    /// the data — use [`Dfs::verify`] to check the bytes against it.
     pub fn file_crc(&self, path: &str) -> Result<u32> {
-        self.inner
-            .read()
-            .files
-            .get(path)
-            .map(|f| f.crc)
-            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+        self.load(path).map(|f| f.crc)
     }
 
     /// Re-read `path`'s bytes and compare against the stored CRC, exactly
     /// as every read does. Returns [`MrError::ChecksumMismatch`] on
     /// corruption.
     pub fn verify(&self, path: &str) -> Result<()> {
-        let inner = self.inner.read();
-        let file = inner
-            .files
-            .get(path)
-            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
-        file.check(path)
+        self.load(path)?.check(path)
     }
 
     /// Flip one bit of `path`'s first non-empty block *without* updating
     /// the stored CRC — fault injection's corrupt-a-committed-file knob.
     /// Empty files have no byte to flip and are rejected.
     pub fn corrupt(&self, path: &str) -> Result<()> {
-        let mut inner = self.inner.write();
-        let file = inner
-            .files
-            .get_mut(path)
-            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let mut file = self.load(path)?;
         let block = file
             .blocks
             .iter_mut()
@@ -286,7 +563,7 @@ impl Dfs {
         let mut data = block.data.to_vec();
         data[0] ^= 0x01;
         block.data = Bytes::from(data);
-        Ok(())
+        self.insert(path, file, true)
     }
 
     /// Non-hidden file paths under `prefix` (or the file itself),
@@ -301,11 +578,9 @@ impl Dfs {
 
     /// Total bytes stored under `prefix` (file or directory).
     pub fn len_under(&self, prefix: &str) -> u64 {
-        let paths = self.list(prefix);
-        let inner = self.inner.read();
-        paths
+        self.list(prefix)
             .iter()
-            .filter_map(|p| inner.files.get(p))
+            .filter_map(|p| self.load(p).ok())
             .map(|f| f.len)
             .sum()
     }
@@ -313,9 +588,11 @@ impl Dfs {
     /// Bytes resident on each node, for balance inspection.
     pub fn node_bytes(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.nodes];
-        for file in self.inner.read().files.values() {
-            for b in &file.blocks {
-                out[b.node] += b.data.len() as u64;
+        for path in self.all_keys() {
+            if let Ok(file) = self.load(&path) {
+                for b in &file.blocks {
+                    out[b.node] += b.data.len() as u64;
+                }
             }
         }
         out
@@ -356,12 +633,8 @@ impl Dfs {
     pub fn read_text(&self, path: &str) -> Result<Vec<String>> {
         let paths = self.resolve(path)?;
         let mut out = Vec::new();
-        let inner = self.inner.read();
         for p in &paths {
-            let file = inner
-                .files
-                .get(p)
-                .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            let file = self.load(p)?;
             if file.kind != FileKind::Text {
                 return Err(MrError::Codec(format!("{p} is not a text file")));
             }
@@ -405,12 +678,8 @@ impl Dfs {
     pub fn read_seq<K: Codec, V: Codec>(&self, path: &str) -> Result<Vec<(K, V)>> {
         let paths = self.resolve(path)?;
         let mut out = Vec::new();
-        let inner = self.inner.read();
         for p in &paths {
-            let file = inner
-                .files
-                .get(p)
-                .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            let file = self.load(p)?;
             if file.kind != FileKind::Seq {
                 return Err(MrError::Codec(format!("{p} is not a seq file")));
             }
@@ -432,13 +701,9 @@ impl Dfs {
     /// One split per block for a file or directory, for the map phase.
     pub fn splits(&self, path: &str) -> Result<Vec<BlockSplit>> {
         let paths = self.resolve(path)?;
-        let inner = self.inner.read();
         let mut out = Vec::new();
         for p in &paths {
-            let file = inner
-                .files
-                .get(p)
-                .ok_or_else(|| MrError::FileNotFound(p.clone()))?;
+            let file = self.load(p)?;
             file.check(p)?;
             for b in &file.blocks {
                 out.push(BlockSplit {
@@ -882,5 +1147,125 @@ mod tests {
         dfs.write_text("/empty", Vec::<String>::new()).unwrap();
         assert_eq!(dfs.read_text("/empty").unwrap(), Vec::<String>::new());
         assert_eq!(dfs.splits("/empty").unwrap().len(), 0);
+    }
+
+    // ---- disk-backed store ----------------------------------------------
+
+    #[test]
+    fn disk_store_round_trips_text_seq_and_splits() {
+        let dfs = Dfs::new_temp_disk(3, 16).unwrap();
+        assert!(dfs.disk_root().is_some());
+        let lines: Vec<String> = (0..20).map(|i| format!("line-{i}")).collect();
+        dfs.write_text("/data/a.txt", &lines).unwrap();
+        assert_eq!(dfs.read_text("/data/a.txt").unwrap(), lines);
+        let splits = dfs.splits("/data/a.txt").unwrap();
+        assert!(splits.len() > 1, "expected multiple blocks");
+        let pairs: Vec<(u64, String)> = (0..50).map(|i| (i, format!("v{i}"))).collect();
+        dfs.write_seq("/seq", &pairs).unwrap();
+        let back: Vec<(u64, String)> = dfs.read_seq("/seq").unwrap();
+        assert_eq!(back, pairs);
+        assert_eq!(dfs.file_len("/seq").unwrap(), dfs.len_under("/seq"));
+    }
+
+    #[test]
+    fn disk_store_is_shared_between_independent_handles() {
+        // Two handles on the same root simulate the driver and a worker
+        // process: a write through one is visible through the other.
+        let a = Dfs::new_temp_disk(2, 1024).unwrap();
+        let root = a.disk_root().unwrap().to_path_buf();
+        let b = Dfs::new_disk(2, 1024, &root).unwrap();
+        a.write_text("/out/part-00000", ["from-a"]).unwrap();
+        assert_eq!(b.read_text("/out").unwrap(), vec!["from-a"]);
+        b.write_text("/out/_attempt-00001-0", ["staged"]).unwrap();
+        b.rename("/out/_attempt-00001-0", "/out/part-00001")
+            .unwrap();
+        assert_eq!(a.read_text("/out").unwrap(), vec!["from-a", "staged"]);
+        assert_eq!(a.data_files("/out").len(), 2);
+        assert_eq!(a.delete_prefix("/out"), 2);
+        assert!(b.read_text("/out").is_err());
+    }
+
+    #[test]
+    fn disk_store_matches_mem_semantics_for_errors_and_hidden_files() {
+        let dfs = Dfs::new_temp_disk(1, 64).unwrap();
+        dfs.write_text("/f", ["x"]).unwrap();
+        assert!(matches!(
+            dfs.write_text("/f", ["y"]),
+            Err(MrError::FileExists(_))
+        ));
+        dfs.delete("/f").unwrap();
+        assert!(matches!(dfs.delete("/f"), Err(MrError::FileNotFound(_))));
+        assert!(matches!(
+            dfs.read_text("/missing"),
+            Err(MrError::FileNotFound(_))
+        ));
+        dfs.write_text("/out/part-00000", ["data"]).unwrap();
+        dfs.write_text("/out/_SUCCESS", ["m"]).unwrap();
+        assert_eq!(dfs.read_text("/out").unwrap(), vec!["data"]);
+        assert_eq!(dfs.data_files("/out"), vec!["/out/part-00000".to_string()]);
+        assert!(matches!(
+            dfs.rename("/nope", "/x"),
+            Err(MrError::FileNotFound(_))
+        ));
+        // Path traversal is rejected, not resolved.
+        assert!(dfs.write_text("/../escape", ["x"]).is_err());
+    }
+
+    #[test]
+    fn disk_store_detects_corruption_and_keeps_crcs_across_rename() {
+        let dfs = Dfs::new_temp_disk(2, 16).unwrap();
+        let lines: Vec<String> = (0..20).map(|i| format!("line-{i}")).collect();
+        dfs.write_text("/t", &lines).unwrap();
+        dfs.verify("/t").unwrap();
+        let crc = dfs.file_crc("/t").unwrap();
+        dfs.rename("/t", "/t2").unwrap();
+        assert_eq!(dfs.file_crc("/t2").unwrap(), crc);
+        dfs.corrupt("/t2").unwrap();
+        assert!(matches!(
+            dfs.read_text("/t2"),
+            Err(MrError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            dfs.splits("/t2"),
+            Err(MrError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disk_container_rejects_structural_damage() {
+        let dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        dfs.write_text("/f", ["hello"]).unwrap();
+        let real = dfs.disk_root().unwrap().join("fs/f");
+        let bytes = fs::read(&real).unwrap();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        fs::write(&real, &bad).unwrap();
+        assert!(matches!(dfs.read_text("/f"), Err(MrError::Codec(_))));
+
+        // Truncated payload (structural, caught before the CRC check).
+        fs::write(&real, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(dfs.read_text("/f"), Err(MrError::Codec(_))));
+
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        fs::write(&real, &long).unwrap();
+        assert!(matches!(dfs.read_text("/f"), Err(MrError::Codec(_))));
+
+        // Restored bytes read fine again.
+        fs::write(&real, &bytes).unwrap();
+        assert_eq!(dfs.read_text("/f").unwrap(), vec!["hello"]);
+    }
+
+    #[test]
+    fn temp_disk_root_is_removed_on_drop() {
+        let root = {
+            let dfs = Dfs::new_temp_disk(1, 64).unwrap();
+            dfs.write_text("/f", ["x"]).unwrap();
+            dfs.disk_root().unwrap().to_path_buf()
+        };
+        assert!(!root.exists(), "temp root should be cleaned up");
     }
 }

@@ -8,7 +8,8 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::backend::{
-    BackendKind, ExecOutcome, ExecParams, ExecutionBackend, ShardedBackend, SimulatedBackend,
+    BackendKind, ExecOutcome, ExecParams, ExecutionBackend, ProcessBackend, ShardedBackend,
+    SimulatedBackend,
 };
 use crate::cache::Cache;
 use crate::cluster::{
@@ -52,9 +53,19 @@ pub struct Cluster {
 
 impl Cluster {
     /// Create a cluster with a fresh DFS using the given block size.
+    ///
+    /// The process backend needs a DFS that worker processes can see, so it
+    /// gets a disk-backed store: at `config.dfs_root` when set, otherwise a
+    /// self-cleaning temp directory.
     pub fn new(config: ClusterConfig, dfs_block_size: usize) -> Result<Self> {
         config.validate().map_err(MrError::InvalidConfig)?;
-        let dfs = Dfs::new(config.nodes, dfs_block_size);
+        let dfs = match (&config.backend, &config.dfs_root) {
+            (BackendKind::Process, Some(root)) => {
+                Dfs::new_disk(config.nodes, dfs_block_size, root)?
+            }
+            (BackendKind::Process, None) => Dfs::new_temp_disk(config.nodes, dfs_block_size)?,
+            _ => Dfs::new(config.nodes, dfs_block_size),
+        };
         Ok(Cluster {
             config,
             dfs,
@@ -204,6 +215,7 @@ impl Cluster {
             threads: self.config.physical_threads(),
             num_reducers,
             config: &self.config,
+            remote: job.remote.as_ref(),
         };
         // A backend `Err` is a map-phase failure: propagate it without
         // touching the output directory, exactly like the pre-backend
@@ -211,6 +223,7 @@ impl Cluster {
         let outcome = match self.config.backend {
             BackendKind::Simulated => SimulatedBackend.execute(params),
             BackendKind::Sharded => ShardedBackend.execute(params),
+            BackendKind::Process => ProcessBackend.execute(params),
         }?;
         let ExecOutcome {
             mut map_outs,
@@ -540,7 +553,7 @@ pub(crate) trait SimCharge {
 
 /// Render a caught panic payload as a message (`&str` and `String`
 /// payloads are preserved, anything else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -772,34 +785,34 @@ pub(crate) struct MapItem<M: Mapper> {
 }
 
 pub(crate) struct MapShared<'a, M: Mapper> {
-    partitioner: &'a PartitionFn<M::OutKey>,
-    sort_cmp: &'a SortCmp<M::OutKey>,
-    combiner: Option<&'a CombineFn<M::OutKey, M::OutValue>>,
-    counters: &'a Counters,
-    histograms: &'a Histograms,
-    cache: &'a Cache,
-    dfs: &'a Dfs,
-    cluster: &'a Cluster,
-    num_reducers: usize,
-    job_name: &'a str,
+    pub(crate) partitioner: &'a PartitionFn<M::OutKey>,
+    pub(crate) sort_cmp: &'a SortCmp<M::OutKey>,
+    pub(crate) combiner: Option<&'a CombineFn<M::OutKey, M::OutValue>>,
+    pub(crate) counters: &'a Counters,
+    pub(crate) histograms: &'a Histograms,
+    pub(crate) cache: &'a Cache,
+    pub(crate) dfs: &'a Dfs,
+    pub(crate) cluster: &'a Cluster,
+    pub(crate) num_reducers: usize,
+    pub(crate) job_name: &'a str,
 }
 
 pub(crate) struct MapTaskOut {
     pub(crate) task_id: usize,
     /// Simulated task seconds: measured execution, inflated by injected
     /// slow-downs and charged retry backoff.
-    duration: f64,
+    pub(crate) duration: f64,
     /// What a healthy attempt would have taken (speculation baseline).
-    base_duration: f64,
-    node_hint: Option<usize>,
+    pub(crate) base_duration: f64,
+    pub(crate) node_hint: Option<usize>,
     /// Node label of the winning attempt (per-shard load accounting).
-    node: usize,
-    input_bytes: u64,
-    input_records: u64,
-    output_records: u64,
+    pub(crate) node: usize,
+    pub(crate) input_bytes: u64,
+    pub(crate) input_records: u64,
+    pub(crate) output_records: u64,
     pub(crate) spills: u64,
-    combine_in: u64,
-    combine_out: u64,
+    pub(crate) combine_in: u64,
+    pub(crate) combine_out: u64,
     /// Spill runs per partition.
     pub(crate) runs: Vec<Vec<Run>>,
 }
@@ -1011,37 +1024,37 @@ impl<M: Mapper, R: Reducer> ReduceItem<M, R> {
 }
 
 pub(crate) struct ReduceShared<'a, M: Mapper, R: Reducer> {
-    sort_cmp: &'a SortCmp<M::OutKey>,
-    group_eq: &'a GroupEq<M::OutKey>,
-    counters: &'a Counters,
-    histograms: &'a Histograms,
-    cache: &'a Cache,
-    dfs: &'a Dfs,
-    cluster: &'a Cluster,
-    num_reducers: usize,
-    output: &'a Output<R::OutKey, R::OutValue>,
-    job_name: &'a str,
-    key_label: Option<&'a KeyLabel<M::OutKey>>,
+    pub(crate) sort_cmp: &'a SortCmp<M::OutKey>,
+    pub(crate) group_eq: &'a GroupEq<M::OutKey>,
+    pub(crate) counters: &'a Counters,
+    pub(crate) histograms: &'a Histograms,
+    pub(crate) cache: &'a Cache,
+    pub(crate) dfs: &'a Dfs,
+    pub(crate) cluster: &'a Cluster,
+    pub(crate) num_reducers: usize,
+    pub(crate) output: &'a Output<R::OutKey, R::OutValue>,
+    pub(crate) job_name: &'a str,
+    pub(crate) key_label: Option<&'a KeyLabel<M::OutKey>>,
 }
 
 pub(crate) struct ReduceTaskOut {
-    task_id: usize,
+    pub(crate) task_id: usize,
     /// Node label of the winning attempt (per-shard load accounting).
-    node: usize,
+    pub(crate) node: usize,
     /// Simulated task seconds (measured, plus straggle inflation and
     /// retry backoff).
-    duration: f64,
+    pub(crate) duration: f64,
     /// What a healthy attempt would have taken (speculation baseline).
-    base_duration: f64,
-    input_bytes: u64,
-    groups: u64,
-    input_records: u64,
-    output_records: u64,
-    merge_passes: u64,
+    pub(crate) base_duration: f64,
+    pub(crate) input_bytes: u64,
+    pub(crate) groups: u64,
+    pub(crate) input_records: u64,
+    pub(crate) output_records: u64,
+    pub(crate) merge_passes: u64,
     /// Distribution of records per reduce group in this task.
-    group_records: HistogramSnapshot,
+    pub(crate) group_records: HistogramSnapshot,
     /// Shuffle records per labeled reduce key (jobs with a key labeler).
-    key_counts: Option<TopK>,
+    pub(crate) key_counts: Option<TopK>,
 }
 
 impl SimCharge for ReduceTaskOut {

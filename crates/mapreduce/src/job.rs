@@ -77,6 +77,26 @@ pub struct Job<M: Mapper, R: Reducer<Key = M::OutKey, InValue = M::OutValue>> {
     /// `None` records fingerprint 0 (manifest still written, never
     /// resumable-by-fingerprint).
     pub fingerprint: Option<u64>,
+    /// How a worker *process* rebuilds this job (see [`crate::backend`]'s
+    /// process backend): the name of a registered job factory plus an
+    /// opaque payload the factory decodes. Jobs without a remote spec run
+    /// in-process even under the process backend (documented fallback).
+    pub remote: Option<RemoteJobSpec>,
+}
+
+/// Recipe for reconstructing a job inside a worker process.
+///
+/// The driver cannot ship closures over a pipe, so remote-capable jobs
+/// instead register a named factory (see [`crate::register_job_factory`])
+/// that rebuilds the full [`Job`] — mapper, reducer, policies, *and*
+/// inputs — from this payload and the shared disk-backed DFS. Both sides
+/// derive splits from the same DFS state, so task ids line up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteJobSpec {
+    /// Registered factory name (must match on driver and worker).
+    pub factory: String,
+    /// Opaque factory input, typically a `Codec`-encoded parameter struct.
+    pub payload: Vec<u8>,
 }
 
 impl<M, R> Job<M, R>
@@ -101,7 +121,19 @@ where
             cache: Cache::new(),
             key_label: None,
             fingerprint: None,
+            remote: None,
         }
+    }
+
+    /// Declare how a worker process rebuilds this job: a registered factory
+    /// name plus the payload it decodes. Required for a job to execute
+    /// out-of-process under the process backend.
+    pub fn remote(mut self, factory: impl Into<String>, payload: Vec<u8>) -> Self {
+        self.remote = Some(RemoteJobSpec {
+            factory: factory.into(),
+            payload,
+        });
+        self
     }
 
     /// Add input splits.

@@ -83,6 +83,7 @@ pub mod memory;
 pub mod metrics;
 pub mod partitioner;
 pub mod reducer;
+pub mod remote;
 pub mod run;
 pub mod shuffle;
 pub mod task;
@@ -101,7 +102,7 @@ pub use engine::Cluster;
 pub use error::{ErrorClass, MrError, Result};
 pub use faults::{Fault, FaultPlan};
 pub use input::{mem_input, seq_input, text_input, SplitSource};
-pub use job::{Job, KeyLabel, Output, TextFormat};
+pub use job::{Job, KeyLabel, Output, RemoteJobSpec, TextFormat};
 pub use json::{obj, Json};
 pub use kv::{Key, Value};
 pub use manifest::{
@@ -116,6 +117,7 @@ pub use partitioner::{
     sample_boundaries, stable_hash, GroupEq, PartitionFn, SortCmp,
 };
 pub use reducer::{sum_combiner, ClosureReducer, CombineFn, IdentityReducer, Reducer};
+pub use remote::{process_worker_main, register_job_factory, CORRUPT_FRAME_ENV, WORKER_ENV};
 pub use run::{GroupValues, MergeStream, Run};
 pub use task::{Emit, Phase, TaskContext, VecEmitter};
 pub use trace::{

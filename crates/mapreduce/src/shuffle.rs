@@ -14,7 +14,22 @@
 //! two-condvar bounded queue (`not_full` / `not_empty`).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poisoning instead of propagating it.
+///
+/// A task-thread panic is a *classified* failure — the attempt boundary
+/// catches it and the job fails (or retries) with
+/// [`crate::MrError::TaskPanicked`]. If the panicking thread happened to
+/// hold a channel or semaphore lock, the shared state is still a plain
+/// queue/counter that every operation leaves consistent, so the poison flag
+/// carries no information here. Propagating it instead turned a classified
+/// task failure into an unclassified driver abort.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -71,13 +86,13 @@ impl<T> Sender<T> {
     /// the value as `Err` if the receiver has been dropped (the run has no
     /// destination — the caller is expected to abort).
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        let mut state = lock_recovering(&self.shared.state);
         while state.queue.len() >= self.shared.capacity && state.receiver_alive {
             state = self
                 .shared
                 .not_full
                 .wait(state)
-                .expect("shuffle channel poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         if !state.receiver_alive {
             return Err(SendError(value));
@@ -92,7 +107,7 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        let mut state = lock_recovering(&self.shared.state);
         state.senders += 1;
         drop(state);
         Sender {
@@ -103,7 +118,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        let mut state = lock_recovering(&self.shared.state);
         state.senders -= 1;
         let closed = state.senders == 0;
         drop(state);
@@ -124,7 +139,7 @@ impl<T> Receiver<T> {
     /// still open. Returns `None` only after the channel is closed (all
     /// senders dropped) **and** every buffered value has been drained.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        let mut state = lock_recovering(&self.shared.state);
         loop {
             if let Some(value) = state.queue.pop_front() {
                 drop(state);
@@ -138,14 +153,14 @@ impl<T> Receiver<T> {
                 .shared
                 .not_empty
                 .wait(state)
-                .expect("shuffle channel poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("shuffle channel poisoned");
+        let mut state = lock_recovering(&self.shared.state);
         state.receiver_alive = false;
         drop(state);
         // Unblock producers so they can observe the dead receiver.
@@ -174,9 +189,12 @@ impl Semaphore {
     /// Block until a permit is free; the permit is returned when the guard
     /// drops.
     pub(crate) fn acquire(&self) -> SemaphoreGuard<'_> {
-        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        let mut permits = lock_recovering(&self.permits);
         while *permits == 0 {
-            permits = self.available.wait(permits).expect("semaphore poisoned");
+            permits = self
+                .available
+                .wait(permits)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         *permits -= 1;
         SemaphoreGuard { semaphore: self }
@@ -189,7 +207,7 @@ pub(crate) struct SemaphoreGuard<'a> {
 
 impl Drop for SemaphoreGuard<'_> {
     fn drop(&mut self) {
-        let mut permits = self.semaphore.permits.lock().expect("semaphore poisoned");
+        let mut permits = lock_recovering(&self.semaphore.permits);
         *permits += 1;
         drop(permits);
         self.semaphore.available.notify_one();
@@ -299,6 +317,50 @@ mod tests {
         thread::sleep(Duration::from_millis(10));
         drop(rx);
         assert_eq!(producer.join().unwrap(), Err(SendError(2)));
+    }
+
+    /// Regression: a panic while holding the channel lock must not cascade
+    /// into every later send/recv panicking on poison. The queue state is
+    /// always consistent, so operations recover and proceed.
+    #[test]
+    fn channel_recovers_from_a_poisoned_lock() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(1).unwrap();
+        // Poison the state mutex: panic in a thread that holds it.
+        let shared = Arc::clone(&tx.shared);
+        let _ = thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("worker died holding the shuffle lock");
+        })
+        .join();
+        assert!(
+            tx.shared.state.is_poisoned(),
+            "setup: lock must be poisoned"
+        );
+        // Every operation still works: send, clone, recv, drops.
+        tx.send(2).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(3).unwrap();
+        drop(tx2);
+        drop(tx);
+        let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn semaphore_recovers_from_a_poisoned_lock() {
+        let sem = Arc::new(Semaphore::new(1));
+        let poisoner = Arc::clone(&sem);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.permits.lock().unwrap();
+            panic!("worker died holding the semaphore lock");
+        })
+        .join();
+        assert!(sem.permits.is_poisoned(), "setup: lock must be poisoned");
+        // Acquire and release still work; the permit count is intact.
+        drop(sem.acquire());
+        drop(sem.acquire());
     }
 
     #[test]

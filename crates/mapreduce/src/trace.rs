@@ -601,6 +601,28 @@ impl Histogram {
         self.record(n as f64);
     }
 
+    /// Fold a snapshot into this live histogram — how the driver merges
+    /// per-task histogram deltas shipped back from worker processes.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        let mut d = self.inner.lock();
+        if d.count == 0 {
+            d.min = snap.min;
+            d.max = snap.max;
+        } else {
+            d.min = d.min.min(snap.min);
+            d.max = d.max.max(snap.max);
+        }
+        d.count += snap.count;
+        d.sum += snap.sum;
+        d.zeros += snap.zeros;
+        for &(i, c) in &snap.buckets {
+            *d.buckets.entry(i).or_insert(0) += c;
+        }
+    }
+
     /// Immutable snapshot of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let d = self.inner.lock();
@@ -778,6 +800,18 @@ impl TopK {
         for (label, n) in &other.items {
             self.add(label, *n);
         }
+    }
+
+    /// Sketch capacity, for wire round-trips.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Every tracked `(label, count)` in insertion order, for wire
+    /// round-trips; [`TopK::new`] plus [`TopK::add`] over these entries
+    /// reconstructs the sketch exactly (they always fit within capacity).
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.items
     }
 
     /// The top `k` labels by count, descending (ties broken by label for

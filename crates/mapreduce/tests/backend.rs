@@ -1,11 +1,17 @@
-//! Backend parity: the sharded executor must be byte-for-byte
-//! indistinguishable from the simulated one, under every cluster shape,
-//! under chaos, and across repeated runs.
+//! Backend parity: the sharded and process executors must be
+//! byte-for-byte indistinguishable from the simulated one, under every
+//! cluster shape, under chaos, and across repeated runs.
 //!
 //! The probe job is deliberately order-sensitive: the reducer concatenates
 //! values in *arrival order*, so any difference in how a backend presents
 //! equal-key runs to the merge (task order, spill order, thread
 //! interleaving) becomes a visible output difference.
+//!
+//! The probe jobs here are closure-built (no registered factory), so the
+//! process backend takes its documented in-process fallback path — which
+//! still swaps the in-memory DFS for the disk-backed store, making this
+//! file the parity wall for the on-disk filesystem as well. Real
+//! out-of-process execution is covered by `tests/process.rs`.
 
 use std::sync::Once;
 
@@ -91,6 +97,11 @@ fn sharded_output_matches_simulated_across_cluster_shapes() {
             simulated, sharded,
             "order-sensitive output diverged on nodes={nodes} threads={threads}"
         );
+        let process = run_probe(config(BackendKind::Process, nodes, threads), None);
+        assert_eq!(
+            simulated, process,
+            "disk-backed output diverged on nodes={nodes} threads={threads}"
+        );
     }
 }
 
@@ -112,9 +123,11 @@ fn sharded_survives_chaos_identically_to_simulated() {
     let plan = FaultPlan::aggressive(0x0BAC_CE2D);
     let clean = run_probe(config(BackendKind::Simulated, 3, 4), None);
     let simulated = run_probe(config(BackendKind::Simulated, 3, 4), Some(plan.clone()));
-    let sharded = run_probe(config(BackendKind::Sharded, 3, 4), Some(plan));
+    let sharded = run_probe(config(BackendKind::Sharded, 3, 4), Some(plan.clone()));
+    let process = run_probe(config(BackendKind::Process, 3, 4), Some(plan));
     assert_eq!(clean, simulated, "chaos changed simulated output");
     assert_eq!(clean, sharded, "chaos changed sharded output");
+    assert_eq!(clean, process, "chaos changed disk-backed output");
 }
 
 #[test]
@@ -158,7 +171,11 @@ fn sharded_handles_empty_input_and_reports_identical_metrics() {
     // Zero map tasks: channels close immediately, reducers still commit
     // (empty) parts — matching the simulated backend.
     let mut outputs = Vec::new();
-    for backend in [BackendKind::Simulated, BackendKind::Sharded] {
+    for backend in [
+        BackendKind::Simulated,
+        BackendKind::Sharded,
+        BackendKind::Process,
+    ] {
         let cluster = Cluster::new(config(backend, 2, 2), 256).unwrap();
         let mapper = ClosureMapper::new(
             |_: &u64, _: &String, _: &mut dyn Emit<String, u64>, _: &TaskContext| Ok(()),
@@ -176,6 +193,7 @@ fn sharded_handles_empty_input_and_reports_identical_metrics() {
         outputs.push(pairs);
     }
     assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
 }
 
 #[test]
@@ -201,20 +219,21 @@ fn deterministic_metrics_agree_between_backends() {
         cluster.run(job).unwrap()
     };
     let a = run(BackendKind::Simulated);
-    let b = run(BackendKind::Sharded);
-    // Everything not derived from wall-clock must agree exactly.
-    assert_eq!(a.map.tasks, b.map.tasks);
-    assert_eq!(a.reduce.tasks, b.reduce.tasks);
-    assert_eq!(a.shuffle_bytes, b.shuffle_bytes);
-    assert_eq!(a.shuffle_records, b.shuffle_records);
-    assert_eq!(a.spills, b.spills);
-    assert_eq!(a.map_input_records, b.map_input_records);
-    assert_eq!(a.map_output_records, b.map_output_records);
-    assert_eq!(a.reduce_input_groups, b.reduce_input_groups);
-    assert_eq!(a.reduce_input_records, b.reduce_input_records);
-    assert_eq!(a.reduce_output_records, b.reduce_output_records);
-    assert_eq!(a.map_tasks_per_node, b.map_tasks_per_node);
-    assert_eq!(a.reduce_tasks_per_node, b.reduce_tasks_per_node);
-    assert_eq!(a.output_commits, b.output_commits);
+    for b in [run(BackendKind::Sharded), run(BackendKind::Process)] {
+        // Everything not derived from wall-clock must agree exactly.
+        assert_eq!(a.map.tasks, b.map.tasks);
+        assert_eq!(a.reduce.tasks, b.reduce.tasks);
+        assert_eq!(a.shuffle_bytes, b.shuffle_bytes);
+        assert_eq!(a.shuffle_records, b.shuffle_records);
+        assert_eq!(a.spills, b.spills);
+        assert_eq!(a.map_input_records, b.map_input_records);
+        assert_eq!(a.map_output_records, b.map_output_records);
+        assert_eq!(a.reduce_input_groups, b.reduce_input_groups);
+        assert_eq!(a.reduce_input_records, b.reduce_input_records);
+        assert_eq!(a.reduce_output_records, b.reduce_output_records);
+        assert_eq!(a.map_tasks_per_node, b.map_tasks_per_node);
+        assert_eq!(a.reduce_tasks_per_node, b.reduce_tasks_per_node);
+        assert_eq!(a.output_commits, b.output_commits);
+    }
     assert!(a.map_tasks_per_node.iter().sum::<u64>() == a.map.tasks as u64);
 }

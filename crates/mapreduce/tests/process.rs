@@ -1,0 +1,316 @@
+//! Real out-of-process execution: these tests register a job factory and
+//! run the probe job through `BackendKind::Process` with *actual worker
+//! processes* — the driver re-executes this test binary with
+//! `MR_PROCESS_WORKER=1`, libtest lands in [`process_worker_entry`], and
+//! the child hands itself over to the frame loop.
+//!
+//! Covered here (the closure-job fallback path is covered by
+//! `tests/backend.rs`):
+//!
+//! * committed output is byte-identical to the in-process backends, and
+//!   the worker-side counters prove the remote path really ran;
+//! * a job without a registered factory falls back in-process, correctly;
+//! * an unknown factory name fails the handshake and falls back;
+//! * a worker that dies mid-task (`abort()`, i.e. SIGKILL-grade: no
+//!   unwind, no goodbye frame) is classified as a lost node and the task
+//!   is retried on a fresh worker without taking down the driver;
+//! * a worker that responds with an undecodable frame is killed and
+//!   replaced the same way;
+//! * chaos parity: under an aggressive fault plan the remote path still
+//!   commits exactly the clean bytes.
+
+use std::sync::{Mutex, MutexGuard, Once};
+
+use mapreduce::{
+    text_input, BackendKind, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Codec, Dfs,
+    Emit, FaultPlan, Job, JobMetrics, Mapper, Reducer, Result, TaskContext, CORRUPT_FRAME_ENV,
+    WORKER_ENV,
+};
+
+const PROBE_FACTORY: &str = "process-probe";
+
+/// Hidden worker entry. When the driver spawns this binary with
+/// `MR_PROCESS_WORKER=1` set, this "test" registers the factories and
+/// never returns (the worker exits from inside `process_worker_main`).
+/// In a normal test run the variable is unset and this is a no-op pass.
+#[test]
+fn process_worker_entry() {
+    register_factories();
+    mapreduce::process_worker_main();
+}
+
+/// Spawned workers inherit this process's environment and the chaos knob
+/// is process-global, so every test that spawns workers serializes here.
+/// A poisoned lock is fine to reuse — the env guard below restores state
+/// on unwind.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_env() -> MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sets an env var for the guard's lifetime; removal on drop runs even
+/// when the test unwinds, so later tests never inherit the chaos knob.
+struct EnvGuard(&'static str);
+
+impl EnvGuard {
+    fn set(name: &'static str) -> Self {
+        std::env::set_var(name, "1");
+        EnvGuard(name)
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        std::env::remove_var(self.0);
+    }
+}
+
+fn register_factories() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        mapreduce::register_job_factory(PROBE_FACTORY, |payload, dfs| {
+            let (input, output, kill) = <(String, String, bool)>::from_bytes(payload)?;
+            build_probe_job(dfs, &input, &output, kill)
+        });
+    });
+}
+
+/// Many small lines so the tiny block size yields several map tasks and
+/// the tiny spill buffer yields several runs per task.
+fn corpus() -> Vec<String> {
+    (0..400).map(|i| format!("k{} v{i}", i % 13)).collect()
+}
+
+/// The same order-sensitive probe as `tests/backend.rs`: the reducer
+/// concatenates values in arrival order, so any divergence in how the
+/// remote path presents runs to the merge shows up in the output bytes.
+///
+/// Driver and worker both build the job through this one function (the
+/// worker via the registered factory), so they cannot drift apart.
+#[allow(clippy::type_complexity)]
+fn build_probe_job(
+    dfs: &Dfs,
+    input: &str,
+    output: &str,
+    kill: bool,
+) -> Result<
+    Job<
+        impl Mapper<InKey = u64, InValue = String, OutKey = String, OutValue = String>,
+        impl Reducer<Key = String, InValue = String, OutKey = String, OutValue = String>,
+    >,
+> {
+    let mapper = ClosureMapper::new(
+        move |_off: &u64, line: &String, out: &mut dyn Emit<String, String>, ctx: &TaskContext| {
+            // SIGKILL-grade death: no unwind, no error frame, the pipe
+            // just closes. Guarded on the worker env var so an
+            // in-process fallback run of this mapper never aborts the
+            // driver, and on (task 0, attempt 0) so the retry succeeds.
+            if kill
+                && ctx.task_id == 0
+                && ctx.attempt == 0
+                && std::env::var_os(WORKER_ENV).is_some()
+            {
+                std::process::abort();
+            }
+            let (k, v) = line.split_once(' ').unwrap();
+            out.emit(k.to_string(), v.to_string())
+        },
+    );
+    let reducer = ClosureReducer::new(
+        |k: &String,
+         vs: &mut dyn Iterator<Item = (String, String)>,
+         out: &mut dyn Emit<String, String>,
+         _: &TaskContext| {
+            let joined: Vec<String> = vs.map(|(_, v)| v).collect();
+            out.emit(k.clone(), joined.join(","))
+        },
+    );
+    Ok(Job::new("process-probe", mapper, reducer)
+        .inputs(text_input(dfs, input)?)
+        .output_seq(output))
+}
+
+struct ProbeRun {
+    output: Vec<(String, String)>,
+    metrics: JobMetrics,
+}
+
+fn run_probe(
+    backend: BackendKind,
+    remote: bool,
+    kill: bool,
+    faults: Option<FaultPlan>,
+    attempts: usize,
+) -> ProbeRun {
+    register_factories();
+    let config = ClusterConfig {
+        backend,
+        execution_threads: Some(4),
+        spill_buffer_bytes: 1024,
+        max_task_attempts: attempts,
+        faults,
+        ..ClusterConfig::with_nodes(3)
+    };
+    let cluster = Cluster::new(config, 256).unwrap();
+    cluster.dfs().write_text("/in", corpus()).unwrap();
+    let mut job = build_probe_job(cluster.dfs(), "/in", "/out", kill).unwrap();
+    if remote {
+        let payload = ("/in".to_string(), "/out".to_string(), kill).to_bytes();
+        job = job.remote(PROBE_FACTORY, payload);
+    }
+    let metrics = cluster.run(job).unwrap();
+    let output = cluster.dfs().read_seq("/out").unwrap();
+    ProbeRun { output, metrics }
+}
+
+fn counter(m: &JobMetrics, name: &str) -> u64 {
+    m.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn remote_output_matches_in_process_and_workers_really_ran() {
+    let _env = lock_env();
+    let local = run_probe(BackendKind::Simulated, false, false, None, 1);
+    let remote = run_probe(BackendKind::Process, true, false, None, 1);
+
+    assert!(!local.output.is_empty());
+    assert_eq!(local.output, remote.output, "remote output diverged");
+
+    // The worker-side counters only exist if map/reduce work actually
+    // happened in a child process.
+    assert_eq!(counter(&remote.metrics, "mr.process.remote_jobs"), 1);
+    assert_eq!(counter(&remote.metrics, "mr.process.fallback_jobs"), 0);
+    assert!(counter(&remote.metrics, "mr.process.workers_spawned") >= 1);
+    assert_eq!(
+        counter(&remote.metrics, "mr.process.worker_map_tasks"),
+        remote.metrics.map.tasks as u64
+    );
+    assert_eq!(
+        counter(&remote.metrics, "mr.process.worker_reduce_tasks"),
+        remote.metrics.reduce.tasks as u64
+    );
+
+    // Deterministic metrics must agree with the in-process run: the
+    // shuffle really was serialized through spill files, not faked.
+    assert_eq!(local.metrics.map.tasks, remote.metrics.map.tasks);
+    assert_eq!(local.metrics.reduce.tasks, remote.metrics.reduce.tasks);
+    assert_eq!(local.metrics.shuffle_bytes, remote.metrics.shuffle_bytes);
+    assert_eq!(
+        local.metrics.shuffle_records,
+        remote.metrics.shuffle_records
+    );
+    assert_eq!(local.metrics.spills, remote.metrics.spills);
+    assert_eq!(
+        local.metrics.map_output_records,
+        remote.metrics.map_output_records
+    );
+    assert_eq!(
+        local.metrics.reduce_input_groups,
+        remote.metrics.reduce_input_groups
+    );
+    assert_eq!(
+        local.metrics.reduce_output_records,
+        remote.metrics.reduce_output_records
+    );
+    assert_eq!(
+        remote.metrics.output_commits,
+        remote.metrics.reduce.tasks as u64
+    );
+}
+
+#[test]
+fn job_without_remote_spec_falls_back_in_process() {
+    let _env = lock_env();
+    let local = run_probe(BackendKind::Simulated, false, false, None, 1);
+    let fallback = run_probe(BackendKind::Process, false, false, None, 1);
+
+    assert_eq!(local.output, fallback.output);
+    assert_eq!(counter(&fallback.metrics, "mr.process.fallback_jobs"), 1);
+    assert_eq!(counter(&fallback.metrics, "mr.process.remote_jobs"), 0);
+    assert_eq!(counter(&fallback.metrics, "mr.process.worker_map_tasks"), 0);
+}
+
+#[test]
+fn unknown_factory_fails_the_handshake_and_falls_back() {
+    let _env = lock_env();
+    let local = run_probe(BackendKind::Simulated, false, false, None, 1);
+
+    let config = ClusterConfig {
+        backend: BackendKind::Process,
+        execution_threads: Some(4),
+        spill_buffer_bytes: 1024,
+        ..ClusterConfig::with_nodes(3)
+    };
+    let cluster = Cluster::new(config, 256).unwrap();
+    cluster.dfs().write_text("/in", corpus()).unwrap();
+    let job = build_probe_job(cluster.dfs(), "/in", "/out", false)
+        .unwrap()
+        .remote("no-such-factory", Vec::new());
+    let metrics = cluster.run(job).unwrap();
+    let output: Vec<(String, String)> = cluster.dfs().read_seq("/out").unwrap();
+
+    assert_eq!(local.output, output, "fallback must still commit the job");
+    assert_eq!(counter(&metrics, "mr.process.handshake_failures"), 1);
+    assert_eq!(counter(&metrics, "mr.process.fallback_jobs"), 1);
+    assert_eq!(counter(&metrics, "mr.process.remote_jobs"), 0);
+}
+
+#[test]
+fn killed_worker_is_classified_and_retried_on_a_fresh_worker() {
+    let _env = lock_env();
+    let clean = run_probe(BackendKind::Process, true, false, None, 1);
+    let killed = run_probe(BackendKind::Process, true, true, None, 4);
+
+    assert_eq!(
+        clean.output, killed.output,
+        "retry after worker death changed the committed bytes"
+    );
+    assert_eq!(counter(&killed.metrics, "mr.process.remote_jobs"), 1);
+    assert!(
+        counter(&killed.metrics, "mr.process.worker_lost") >= 1,
+        "the aborted worker was never noticed"
+    );
+    assert!(
+        counter(&killed.metrics, "mr.process.workers_spawned") >= 2,
+        "no replacement worker was spawned"
+    );
+}
+
+#[test]
+fn corrupted_response_frame_kills_the_worker_not_the_job() {
+    let _env = lock_env();
+    let clean = run_probe(BackendKind::Process, true, false, None, 1);
+    let corrupted = {
+        let _knob = EnvGuard::set(CORRUPT_FRAME_ENV);
+        run_probe(BackendKind::Process, true, false, None, 4)
+    };
+
+    assert_eq!(
+        clean.output, corrupted.output,
+        "corrupt frame recovery changed the committed bytes"
+    );
+    assert!(
+        counter(&corrupted.metrics, "mr.process.worker_lost") >= 1,
+        "the garbling worker was never killed"
+    );
+    assert_eq!(counter(&corrupted.metrics, "mr.process.remote_jobs"), 1);
+}
+
+#[test]
+fn chaos_parity_through_real_workers() {
+    let _env = lock_env();
+    let clean = run_probe(BackendKind::Process, true, false, None, 1);
+    let plan = FaultPlan::aggressive(0x0F00_D5EED);
+    let chaos = run_probe(BackendKind::Process, true, false, Some(plan), 8);
+
+    assert_eq!(
+        clean.output, chaos.output,
+        "chaos changed remotely committed bytes"
+    );
+    assert_eq!(counter(&chaos.metrics, "mr.process.remote_jobs"), 1);
+    assert_eq!(counter(&chaos.metrics, "mr.process.fallback_jobs"), 0);
+}
