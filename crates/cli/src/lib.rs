@@ -42,7 +42,8 @@ commands:
             [--combo bto-pk-brj] [--nodes N] [--qgram Q]
             [--rid-field I] [--join-fields 1,2] [--groups G] [--full yes]
             [--backend simulated|sharded|process] [--dfs-root DIR]
-            [--fault-seed S] [--fault-plan SPEC]
+            [--task-timeout-secs T] [--heartbeat-interval-secs H]
+            [--heartbeat-grace G] [--fault-seed S] [--fault-plan SPEC]
   rsjoin    join two files (stage 1 runs on --r; make it the smaller one)
             --r FILE --s FILE --out FILE  [same options as selfjoin]
 
@@ -50,6 +51,10 @@ fault injection (chaos testing; results are unaffected by design):
   --fault-seed S     run under the aggressive chaos preset with seed S
   --fault-plan SPEC  custom plan, e.g.
                      seed=42,transient=0.1,panic=0.05,oom=0.02,late=0.05,straggler=0.1x8,node_down=2
+                     plus wall-clock chaos: hang=P (worker stops responding;
+                     requires --task-timeout-secs on --backend process) and
+                     slow_heartbeat=P (worker suppresses heartbeats but keeps
+                     working — exercises the heartbeat detector)
                      (--fault-seed overrides the plan's seed); driver-level
                      points: crash_after=N / crash_mid=N (crash around the
                      N-th job; pair with --resume yes) and corrupt=/dfs/path
@@ -68,6 +73,20 @@ execution (selfjoin/rsjoin):
   --dfs-root DIR  disk root for --backend process (created if missing and
                   persistent across runs); without it a self-cleaning
                   temporary directory is used
+
+supervision (wall-clock watchdog for the real backends):
+  --task-timeout-secs T       kill any task attempt still running after T
+                              seconds of wall-clock time; the attempt is
+                              retried as a transient node loss (process
+                              backend kills the worker process; sharded
+                              fails fast since in-process workers cannot be
+                              killed). Off by default.
+  --heartbeat-interval-secs H process workers send a heartbeat every H
+                              seconds while busy (default 0.25; only active
+                              when --task-timeout-secs is set)
+  --heartbeat-grace G         a worker silent for G*H seconds is declared
+                              hung and killed before its deadline
+                              (default 8)
 
 recovery (selfjoin/rsjoin):
   --resume yes          after an injected driver crash or a detected
@@ -169,6 +188,9 @@ const JOIN_FLAGS: &[&str] = &[
     "full",
     "backend",
     "dfs-root",
+    "task-timeout-secs",
+    "heartbeat-interval-secs",
+    "heartbeat-grace",
     "fault-seed",
     "fault-plan",
     "resume",
@@ -382,12 +404,7 @@ fn cmd_selfjoin(args: &Args) -> Result<String, String> {
     let (config, nodes) = join_config(args)?;
 
     let resume = resume_flag(args)?;
-    let mut cluster = make_cluster(
-        nodes,
-        fault_plan(args)?,
-        backend_flag(args)?,
-        args.get("dfs-root"),
-    )?;
+    let mut cluster = make_cluster(nodes, args)?;
     let sink = attach_trace(&mut cluster, args);
     let n = load_file(&cluster, input, "/input")?;
     let join = |cluster: &Cluster, resume: bool| {
@@ -422,12 +439,7 @@ fn cmd_rsjoin(args: &Args) -> Result<String, String> {
     let (config, nodes) = join_config(args)?;
 
     let resume = resume_flag(args)?;
-    let mut cluster = make_cluster(
-        nodes,
-        fault_plan(args)?,
-        backend_flag(args)?,
-        args.get("dfs-root"),
-    )?;
+    let mut cluster = make_cluster(nodes, args)?;
     let sink = attach_trace(&mut cluster, args);
     let nr = load_file(&cluster, r, "/r")?;
     let ns = load_file(&cluster, s, "/s")?;
@@ -500,12 +512,29 @@ fn emit_observability(
 // plumbing
 // ---------------------------------------------------------------------------
 
-fn make_cluster(
-    nodes: usize,
-    faults: Option<FaultPlan>,
-    backend: BackendKind,
-    dfs_root: Option<&str>,
-) -> Result<Cluster, String> {
+fn make_cluster(nodes: usize, args: &Args) -> Result<Cluster, String> {
+    let faults = fault_plan(args)?;
+    let backend = backend_flag(args)?;
+    let defaults = ClusterConfig::default();
+    let task_timeout_secs = match args.get("task-timeout-secs") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|e| format!("bad --task-timeout-secs: {e}"))?,
+        ),
+        None => None,
+    };
+    let heartbeat_interval_secs = match args.get("heartbeat-interval-secs") {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|e| format!("bad --heartbeat-interval-secs: {e}"))?,
+        None => defaults.heartbeat_interval_secs,
+    };
+    let heartbeat_grace = match args.get("heartbeat-grace") {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|e| format!("bad --heartbeat-grace: {e}"))?,
+        None => defaults.heartbeat_grace,
+    };
     let config = ClusterConfig {
         // Fault injection needs a retry budget, and so does the process
         // backend (a lost worker process is a retryable NodeLost, not a
@@ -518,7 +547,10 @@ fn make_cluster(
         },
         faults,
         backend,
-        dfs_root: dfs_root.map(std::path::PathBuf::from),
+        dfs_root: args.get("dfs-root").map(std::path::PathBuf::from),
+        task_timeout_secs,
+        heartbeat_interval_secs,
+        heartbeat_grace,
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 4 << 20).map_err(|e| e.to_string())

@@ -42,8 +42,18 @@ pub use pipeline::{
 };
 pub use recovery::{job_fingerprint, Recovery, JOB_SKIPPED_COUNTER};
 pub use report::{run_report, run_report_resolved, REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
-pub use stage1::{register_process_jobs, BTO_COUNT_FACTORY, BTO_SORT_FACTORY};
+pub use stage1::{BTO_COUNT_FACTORY, BTO_SORT_FACTORY};
+pub use stage2::STAGE2_BK_FACTORY;
 pub use stage3::{JoinedPair, PairKey};
+
+/// Register every worker-side job factory this crate provides (the stage-1
+/// BTO jobs and the stage-2 BK kernel), so a binary can execute them in
+/// process-isolated workers. Any binary that should run these jobs remotely
+/// must call this before [`mapreduce::process_worker_main`]. Idempotent.
+pub fn register_process_jobs() {
+    stage1::register_process_jobs();
+    stage2::register_process_jobs();
+}
 
 // Re-export the pieces callers need to drive a join.
 pub use mapreduce::{

@@ -15,11 +15,15 @@ pub mod reducers;
 use std::sync::Arc;
 
 use mapreduce::{
-    text_input, Cluster, Job, KeyLabel, MrError, PipelineMetrics, Result, SplitSource,
+    text_input, ByteReader, Cluster, Codec, Dfs, Job, KeyLabel, MrError, PipelineMetrics, Reducer,
+    Result, SplitSource,
 };
+use setsim::{SimFunction, Threshold};
 
-use crate::config::{JoinConfig, Stage2Algo, TokenRouting};
-use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort, Stage2Key};
+use crate::config::{
+    BadRecordPolicy, JoinConfig, RecordFormat, Stage2Algo, TokenRouting, TokenizerKind,
+};
+use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort, Projection, Stage2Key};
 use crate::recovery::{self, Recovery};
 use crate::stage2::blocks::{MapBlocksReducer, ReduceBlocksReducer};
 use crate::stage2::mapper::{EmitMode, ProjectionMapper};
@@ -66,6 +70,234 @@ fn emit_mode(algo: &Stage2Algo) -> EmitMode {
     }
 }
 
+/// Build one stage-2 kernel job: every kernel variant shares this shape
+/// (composite-key partitioner/sort/grouping, heavy-hitter key labels, the
+/// pair-line text output). The driver and the worker-side factory both go
+/// through here, so the two can never diverge.
+fn kernel_job<R>(
+    name: &'static str,
+    inputs: Vec<SplitSource<u64, String>>,
+    mapper: ProjectionMapper,
+    reducer: R,
+    routing: TokenRouting,
+    pairs_path: &str,
+) -> Job<ProjectionMapper, R>
+where
+    R: Reducer<Key = Stage2Key, InValue = Projection, OutKey = (u64, u64), OutValue = f64>,
+{
+    // Label routing keys for the heavy-hitter report: with individual-token
+    // routing the group component *is* the prefix-token rank, so the report
+    // names the exact hot token; with grouped routing it names the group.
+    let key_label: KeyLabel<Stage2Key> = match routing {
+        TokenRouting::Individual => Arc::new(|k: &Stage2Key| format!("rank:{}", k.0)),
+        TokenRouting::Grouped { .. } => Arc::new(|k: &Stage2Key| format!("group:{}", k.0)),
+    };
+    Job::new(name, mapper, reducer)
+        .inputs(inputs)
+        .partitioner(stage2_partitioner())
+        .sort_cmp(stage2_sort())
+        .group_eq(stage2_grouping())
+        .key_label(key_label)
+        .output_text(pairs_path, Arc::new(format_pair_line))
+}
+
+// ---------------------------------------------------------------------------
+// Process-isolated execution
+// ---------------------------------------------------------------------------
+
+/// Factory name under which the BK kernel job is registered for
+/// process-isolated workers (see [`crate::register_process_jobs`]). The
+/// other kernels carry the same mapper but are exercised far less by the
+/// process suites; they take the documented in-process fallback.
+pub const STAGE2_BK_FACTORY: &str = "core.stage2.bk";
+
+/// Wire form of the BK kernel job's parameters: everything the worker-side
+/// factory needs to rebuild the job from scratch.
+struct BkPayload {
+    inputs: Vec<String>,
+    pairs: String,
+    tokens_path: String,
+    s_path: Option<String>,
+    rs: u8,
+    rid_field: u64,
+    join_fields: Vec<u64>,
+    tokenizer: u8,
+    qgram: u64,
+    sim_func: u8,
+    tau: f64,
+    /// `0` encodes individual-token routing, `g > 0` grouped routing.
+    routing_groups: u32,
+    length_sub_routing: Option<u64>,
+    bad_records: u8,
+    bad_limit: u64,
+}
+
+impl Codec for BkPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.inputs.encode(buf);
+        self.pairs.encode(buf);
+        self.tokens_path.encode(buf);
+        self.s_path.encode(buf);
+        self.rs.encode(buf);
+        self.rid_field.encode(buf);
+        self.join_fields.encode(buf);
+        self.tokenizer.encode(buf);
+        self.qgram.encode(buf);
+        self.sim_func.encode(buf);
+        self.tau.encode(buf);
+        self.routing_groups.encode(buf);
+        self.length_sub_routing.encode(buf);
+        self.bad_records.encode(buf);
+        self.bad_limit.encode(buf);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(BkPayload {
+            inputs: Codec::decode(r)?,
+            pairs: Codec::decode(r)?,
+            tokens_path: Codec::decode(r)?,
+            s_path: Codec::decode(r)?,
+            rs: Codec::decode(r)?,
+            rid_field: Codec::decode(r)?,
+            join_fields: Codec::decode(r)?,
+            tokenizer: Codec::decode(r)?,
+            qgram: Codec::decode(r)?,
+            sim_func: Codec::decode(r)?,
+            tau: Codec::decode(r)?,
+            routing_groups: Codec::decode(r)?,
+            length_sub_routing: Codec::decode(r)?,
+            bad_records: Codec::decode(r)?,
+            bad_limit: Codec::decode(r)?,
+        })
+    }
+}
+
+impl BkPayload {
+    fn new(
+        inputs: &[&str],
+        pairs: &str,
+        tokens_path: &str,
+        s_path: Option<&str>,
+        rs: bool,
+        config: &JoinConfig,
+    ) -> Self {
+        let (tokenizer, qgram) = match config.tokenizer {
+            TokenizerKind::Word => (0, 0),
+            TokenizerKind::QGram(q) => (1, q as u64),
+        };
+        let sim_func = match config.threshold.func() {
+            SimFunction::Jaccard => 0,
+            SimFunction::Cosine => 1,
+            SimFunction::Dice => 2,
+            SimFunction::Overlap => 3,
+        };
+        let routing_groups = match config.routing {
+            TokenRouting::Individual => 0,
+            TokenRouting::Grouped { groups } => groups.max(1),
+        };
+        let (bad_records, bad_limit) = match config.bad_records {
+            BadRecordPolicy::Strict => (0, 0),
+            BadRecordPolicy::Skip => (1, 0),
+            BadRecordPolicy::SkipUpTo(n) => (2, n),
+        };
+        BkPayload {
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            pairs: pairs.to_string(),
+            tokens_path: tokens_path.to_string(),
+            s_path: s_path.map(str::to_string),
+            rs: rs as u8,
+            rid_field: config.format.rid_field as u64,
+            join_fields: config
+                .format
+                .join_fields
+                .iter()
+                .map(|&f| f as u64)
+                .collect(),
+            tokenizer,
+            qgram,
+            sim_func,
+            tau: config.threshold.tau(),
+            routing_groups,
+            length_sub_routing: config.length_sub_routing.map(u64::from),
+            bad_records,
+            bad_limit,
+        }
+    }
+
+    fn threshold(&self) -> Result<Threshold> {
+        let func = match self.sim_func {
+            0 => SimFunction::Jaccard,
+            1 => SimFunction::Cosine,
+            2 => SimFunction::Dice,
+            3 => SimFunction::Overlap,
+            t => return Err(MrError::Codec(format!("unknown similarity tag {t}"))),
+        };
+        Threshold::new(func, self.tau).map_err(MrError::Codec)
+    }
+
+    fn routing(&self) -> TokenRouting {
+        match self.routing_groups {
+            0 => TokenRouting::Individual,
+            groups => TokenRouting::Grouped { groups },
+        }
+    }
+
+    fn mapper(&self) -> Result<ProjectionMapper> {
+        let tokenizer = match self.tokenizer {
+            0 => TokenizerKind::Word,
+            1 => TokenizerKind::QGram(self.qgram as usize),
+            t => return Err(MrError::Codec(format!("unknown tokenizer tag {t}"))),
+        };
+        let bad_records = match self.bad_records {
+            0 => BadRecordPolicy::Strict,
+            1 => BadRecordPolicy::Skip,
+            2 => BadRecordPolicy::SkipUpTo(self.bad_limit),
+            t => return Err(MrError::Codec(format!("unknown bad-record tag {t}"))),
+        };
+        let format = RecordFormat {
+            rid_field: self.rid_field as usize,
+            join_fields: self.join_fields.iter().map(|&f| f as usize).collect(),
+        };
+        Ok(ProjectionMapper::new(
+            format,
+            tokenizer,
+            self.threshold()?,
+            self.routing(),
+            self.tokens_path.clone(),
+            self.s_path.clone(),
+            EmitMode::Plain,
+            self.length_sub_routing.map(|w| w as u32),
+        )
+        .bad_records(bad_records))
+    }
+
+    fn job(&self, dfs: &Dfs) -> Result<Job<ProjectionMapper, BkReducer>> {
+        let mut inputs = Vec::new();
+        for path in &self.inputs {
+            inputs.extend(text_input(dfs, path)?);
+        }
+        Ok(kernel_job(
+            "stage2-bk",
+            inputs,
+            self.mapper()?,
+            BkReducer::new(self.threshold()?, self.rs != 0),
+            self.routing(),
+            &self.pairs,
+        ))
+    }
+}
+
+/// Register the worker-side factory for the BK kernel. Idempotent; called
+/// through [`crate::register_process_jobs`].
+pub(crate) fn register_process_jobs() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        mapreduce::register_job_factory(STAGE2_BK_FACTORY, |payload, dfs| {
+            BkPayload::from_bytes(payload)?.job(dfs)
+        });
+    });
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_kernel(
     cluster: &Cluster,
@@ -75,16 +307,9 @@ fn run_kernel(
     config: &JoinConfig,
     rs: bool,
     pairs_path: &str,
+    remote_payload: Option<Vec<u8>>,
     rec: &mut Recovery,
 ) -> Result<PipelineMetrics> {
-    let fmt = Arc::new(format_pair_line);
-    // Label routing keys for the heavy-hitter report: with individual-token
-    // routing the group component *is* the prefix-token rank, so the report
-    // names the exact hot token; with grouped routing it names the group.
-    let key_label: KeyLabel<Stage2Key> = match config.routing {
-        TokenRouting::Individual => Arc::new(|k: &Stage2Key| format!("rank:{}", k.0)),
-        TokenRouting::Grouped { .. } => Arc::new(|k: &Stage2Key| format!("group:{}", k.0)),
-    };
     let tag = recovery::stage2_tag(config, rs);
     let mut metrics = PipelineMetrics::default();
     macro_rules! run_with {
@@ -93,14 +318,12 @@ fn run_kernel(
             if rec.should_skip(cluster, $name, pairs_path, fp) {
                 metrics.push(Recovery::skipped_job_metrics($name));
             } else {
-                let job = Job::new($name, mapper, $reducer)
-                    .inputs(inputs)
-                    .partitioner(stage2_partitioner())
-                    .sort_cmp(stage2_sort())
-                    .group_eq(stage2_grouping())
-                    .key_label(key_label)
-                    .output_text(pairs_path, fmt)
-                    .fingerprint(fp);
+                let mut job =
+                    kernel_job($name, inputs, mapper, $reducer, config.routing, pairs_path)
+                        .fingerprint(fp);
+                if let Some(payload) = remote_payload {
+                    job = job.remote(STAGE2_BK_FACTORY, payload);
+                }
                 metrics.push(cluster.run(job)?);
             }
         }};
@@ -163,6 +386,12 @@ pub fn run_self_with(
     )
     .bad_records(config.bad_records);
     let inputs = text_input(cluster.dfs(), input)?;
+    let remote_payload = match config.stage2 {
+        Stage2Algo::Bk => {
+            Some(BkPayload::new(&[input], &pairs_path, tokens_path, None, false, config).to_bytes())
+        }
+        _ => None,
+    };
     let metrics = run_kernel(
         cluster,
         inputs,
@@ -171,6 +400,7 @@ pub fn run_self_with(
         config,
         false,
         &pairs_path,
+        remote_payload,
         rec,
     )?;
     Ok((pairs_path, metrics))
@@ -222,6 +452,20 @@ pub fn run_rs_with(
     .bad_records(config.bad_records);
     let mut inputs = text_input(cluster.dfs(), r_input)?;
     inputs.extend(text_input(cluster.dfs(), s_input)?);
+    let remote_payload = match config.stage2 {
+        Stage2Algo::Bk => Some(
+            BkPayload::new(
+                &[r_input, s_input],
+                &pairs_path,
+                tokens_path,
+                Some(s_input),
+                true,
+                config,
+            )
+            .to_bytes(),
+        ),
+        _ => None,
+    };
     let metrics = run_kernel(
         cluster,
         inputs,
@@ -230,6 +474,7 @@ pub fn run_rs_with(
         config,
         true,
         &pairs_path,
+        remote_payload,
         rec,
     )?;
     Ok((pairs_path, metrics))

@@ -243,6 +243,52 @@ impl ExecutionBackend for ShardedBackend {
         } = params;
         let nodes = config.nodes;
         let num_map_tasks = map_items.len();
+        let counters = map_shared.counters;
+        let trace = map_shared.cluster.trace();
+        let job_name = map_shared.job_name;
+
+        // Wall-clock supervision, sharded flavour: scoped worker threads
+        // cannot be killed, so an expired deadline trips a cooperative
+        // [`CancelToken`] — workers stop picking up tasks and reduce
+        // drains refuse to start bodies — and the job fails fast with a
+        // classified error. A task body that itself never returns is not
+        // recoverable on this backend (use the process backend for that);
+        // supervision here bounds everything cooperative around it.
+        let supervision = config.task_timeout_secs.map(|secs| {
+            let deadline = std::time::Duration::from_secs_f64(secs);
+            (
+                crate::supervise::Supervisor::new(deadline / 4),
+                deadline,
+                crate::supervise::CancelToken::new(),
+            )
+        });
+        let cancel = supervision
+            .as_ref()
+            .map(|(_, _, t)| t.clone())
+            .unwrap_or_default();
+        // Registers a deadline watch around one task execution (all its
+        // attempts: retry backoff is charged to sim time, not the wall).
+        let watch_task = |phase: crate::task::Phase, task: usize| {
+            supervision.as_ref().map(|(sup, deadline, token)| {
+                let token = token.clone();
+                let counters = counters.clone();
+                let trace = trace.cloned();
+                let job = job_name.to_string();
+                sup.watch(Some(*deadline), None, move |reason| {
+                    token.cancel();
+                    counters.get("mr.supervise.task_timeout").incr();
+                    if let Some(sink) = &trace {
+                        let mut ev = crate::trace::TraceEvent::new(
+                            crate::trace::EventKind::TaskTimeout,
+                            job.as_str(),
+                        )
+                        .at_task(phase, task, 0, task % nodes);
+                        ev.detail = Some(format!("sharded fail-fast: {}", reason.as_str()));
+                        sink.emit(ev);
+                    }
+                })
+            })
+        };
 
         // Per-shard map queues: a task lands on the shard of the node its
         // split lives on (the same label `run_map_task` derives), reversed
@@ -286,10 +332,12 @@ impl ExecutionBackend for ShardedBackend {
                 let map_outs = &map_outs;
                 let map_stats = &map_stats;
                 let map_error = &map_error;
+                let cancel = &cancel;
+                let watch_task = &watch_task;
                 s.spawn(move |_| {
                     let home = w % nodes;
                     loop {
-                        if map_error.lock().is_some() {
+                        if map_error.lock().is_some() || cancel.is_cancelled() {
                             return;
                         }
                         // Own shard first, then steal round-robin.
@@ -301,17 +349,24 @@ impl ExecutionBackend for ShardedBackend {
                             }
                         }
                         let Some(item) = item else { return };
-                        match run_with_retries(&item, &policy, &|item, attempt| {
+                        let guard = watch_task(crate::task::Phase::Map, item.task_id);
+                        let attempt_result = run_with_retries(&item, &policy, &|item, attempt| {
                             run_map_task(item, attempt, map_shared)
-                        }) {
+                        });
+                        drop(guard);
+                        match attempt_result {
                             Ok((mut out, s)) => {
                                 // Stream the winning attempt's spill runs
                                 // to their partitions. A dead receiver
                                 // means another task already failed the
-                                // job; just bow out.
+                                // job — and a tripped cancel token means
+                                // this result arrived past its deadline;
+                                // either way, just bow out.
                                 for (p, runs) in out.runs.drain(..).enumerate() {
                                     for (spill, run) in runs.into_iter().enumerate() {
-                                        if senders[p].send((out.task_id, spill, run)).is_err() {
+                                        if cancel.is_cancelled()
+                                            || senders[p].send((out.task_id, spill, run)).is_err()
+                                        {
                                             return;
                                         }
                                     }
@@ -344,6 +399,8 @@ impl ExecutionBackend for ShardedBackend {
                 let reduce_error = &reduce_error;
                 let shuffle_bytes = &shuffle_bytes;
                 let shuffle_records = &shuffle_records;
+                let cancel = &cancel;
+                let watch_task = &watch_task;
                 s.spawn(move |_| {
                     let mut collected: Vec<(usize, usize, Run)> = Vec::new();
                     while let Some(entry) = rx.recv() {
@@ -354,7 +411,10 @@ impl ExecutionBackend for ShardedBackend {
                     // Channel closed: the map phase is complete. A map
                     // failure preempts reduce, exactly as in the
                     // simulated backend.
-                    if map_error.lock().is_some() || reduce_error.lock().is_some() {
+                    if map_error.lock().is_some()
+                        || reduce_error.lock().is_some()
+                        || cancel.is_cancelled()
+                    {
                         return;
                     }
                     // Restore the canonical run presentation order —
@@ -363,12 +423,18 @@ impl ExecutionBackend for ShardedBackend {
                     let runs: Vec<Run> = collected.into_iter().map(|(_, _, run)| run).collect();
                     let item = ReduceItem::<M, R>::new(partition, runs, reducer);
                     let _permit = reduce_gate.acquire();
-                    if map_error.lock().is_some() || reduce_error.lock().is_some() {
+                    if map_error.lock().is_some()
+                        || reduce_error.lock().is_some()
+                        || cancel.is_cancelled()
+                    {
                         return;
                     }
-                    match run_with_retries(&item, &policy, &|item, attempt| {
+                    let guard = watch_task(crate::task::Phase::Reduce, partition);
+                    let attempt_result = run_with_retries(&item, &policy, &|item, attempt| {
                         run_reduce_task(item, attempt, reduce_shared)
-                    }) {
+                    });
+                    drop(guard);
+                    match attempt_result {
                         Ok((out, s)) => {
                             let mut stats = reduce_stats.lock();
                             stats.retries += s.retries;
@@ -387,6 +453,15 @@ impl ExecutionBackend for ShardedBackend {
 
         if let Some(e) = map_error.into_inner() {
             return Err(e);
+        }
+        if cancel.is_cancelled() {
+            // A deadline expired somewhere and nothing else classified it
+            // first: fail the job with an explicit timeout error instead
+            // of committing output that arrived past its deadline.
+            return Err(MrError::TaskFailed(format!(
+                "{job_name}: task wall-clock deadline exceeded (sharded backend fails fast; \
+                 in-process workers cannot be killed)"
+            )));
         }
         let mut map_outs = map_outs.into_inner();
         let spills = map_outs.iter().map(|o| o.spills).sum();

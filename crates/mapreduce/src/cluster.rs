@@ -114,6 +114,30 @@ pub struct ClusterConfig {
     /// by the [`BackendKind::Sharded`] backend. Bounds how far map tasks
     /// can run ahead of a slow reducer before blocking (backpressure).
     pub shuffle_channel_capacity: usize,
+    /// Wall-clock deadline for one task attempt on the real backends
+    /// ([`BackendKind::Sharded`] and [`BackendKind::Process`]). When an
+    /// attempt exceeds the deadline the supervisor kills the worker
+    /// (process backend) or cancels the shard (sharded backend) and the
+    /// attempt is retried as a transient `NodeLost`. `None` (the default)
+    /// disables wall-clock supervision entirely. Never affects simulated
+    /// time or committed bytes.
+    pub task_timeout_secs: Option<f64>,
+    /// Interval at which process workers emit heartbeat frames on the
+    /// pipe protocol while a task runs. Only meaningful when
+    /// [`ClusterConfig::task_timeout_secs`] is set.
+    pub heartbeat_interval_secs: f64,
+    /// Grace multiplier for heartbeat expiry: a worker whose last
+    /// heartbeat is older than `heartbeat_interval_secs * heartbeat_grace`
+    /// is presumed hung and killed, even before its task deadline.
+    pub heartbeat_grace: f64,
+    /// A process worker slot that suffers this many transport/timeout
+    /// losses within [`ClusterConfig::worker_quarantine_window_secs`] is
+    /// quarantined: removed from rotation for the rest of the job. When
+    /// every slot is quarantined the remaining tasks run in-process on the
+    /// driver over the same DFS store (byte-identical output).
+    pub worker_quarantine_losses: usize,
+    /// Sliding wall-clock window for the quarantine ledger.
+    pub worker_quarantine_window_secs: f64,
 }
 
 impl Default for ClusterConfig {
@@ -137,6 +161,11 @@ impl Default for ClusterConfig {
             backend: BackendKind::Simulated,
             dfs_root: None,
             shuffle_channel_capacity: 256,
+            task_timeout_secs: None,
+            heartbeat_interval_secs: 0.25,
+            heartbeat_grace: 8.0,
+            worker_quarantine_losses: 3,
+            worker_quarantine_window_secs: 60.0,
         }
     }
 }
@@ -213,8 +242,51 @@ impl ClusterConfig {
         if self.shuffle_channel_capacity == 0 {
             return Err("shuffle_channel_capacity must be at least 1".into());
         }
+        if let Some(timeout) = self.task_timeout_secs {
+            if !timeout.is_finite() || timeout <= 0.0 {
+                return Err(format!(
+                    "task_timeout_secs {timeout} must be finite and > 0"
+                ));
+            }
+        }
+        if !self.heartbeat_interval_secs.is_finite() || self.heartbeat_interval_secs <= 0.0 {
+            return Err(format!(
+                "heartbeat_interval_secs {} must be finite and > 0",
+                self.heartbeat_interval_secs
+            ));
+        }
+        if !self.heartbeat_grace.is_finite() || self.heartbeat_grace < 1.0 {
+            return Err(format!(
+                "heartbeat_grace {} must be finite and >= 1",
+                self.heartbeat_grace
+            ));
+        }
+        if self.worker_quarantine_losses == 0 {
+            return Err("worker_quarantine_losses must be at least 1".into());
+        }
+        if !self.worker_quarantine_window_secs.is_finite()
+            || self.worker_quarantine_window_secs <= 0.0
+        {
+            return Err(format!(
+                "worker_quarantine_window_secs {} must be finite and > 0",
+                self.worker_quarantine_window_secs
+            ));
+        }
         if let Some(plan) = &self.faults {
             plan.validate(self.nodes)?;
+            // On the process backend an injected hang really is a worker
+            // that never answers; without a deadline nothing ever kills
+            // it and the driver blocks forever.
+            if plan.p_hang > 0.0
+                && self.backend == BackendKind::Process
+                && self.task_timeout_secs.is_none()
+            {
+                return Err(
+                    "fault plan injects hangs (hang= > 0) on the process backend: \
+                     set task_timeout_secs so hung workers can be recovered"
+                        .into(),
+                );
+            }
         }
         Ok(())
     }

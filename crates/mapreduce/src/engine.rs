@@ -772,6 +772,19 @@ fn inject_start_faults(
             budget: 0,
             transient: true,
         }),
+        // In a worker process the serve loop already acted on these two
+        // *before* dispatch (a real sleep / suppressed heartbeats); here
+        // they fall through so the body is not faulted twice. In-process
+        // executors have no wall clock to hang on, so a hang degrades to
+        // an immediate transient loss — same retry decision the process
+        // backend's supervisor reaches, without the wait.
+        Some(Fault::Hang) if std::env::var_os(crate::remote::WORKER_ENV).is_none() => {
+            Err(MrError::NodeLost {
+                node,
+                task: label.to_string(),
+            })
+        }
+        Some(Fault::Hang) | Some(Fault::SlowHeartbeat) => Ok(None),
         other => Ok(other),
     }
 }

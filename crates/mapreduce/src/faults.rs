@@ -37,6 +37,16 @@ pub enum Fault {
     /// The attempt succeeds but its simulated duration is multiplied by the
     /// given factor (a straggler; speculative execution's prey).
     Straggle(f64),
+    /// The worker stalls forever mid-task without dying — no error frame,
+    /// no pipe close, no progress. Only wall-clock supervision (task
+    /// deadlines, heartbeat expiry) can notice it; the supervisor kills
+    /// the worker and the attempt retries as a transient `NodeLost`.
+    Hang,
+    /// The worker keeps working but stops emitting heartbeat frames for
+    /// longer than the heartbeat window, so the supervisor presumes it
+    /// hung and kills it mid-task. Exercises heartbeat expiry (as opposed
+    /// to the task deadline).
+    SlowHeartbeat,
 }
 
 /// A deterministic fault plan: per-attempt fault probabilities plus an
@@ -55,6 +65,14 @@ pub struct FaultPlan {
     pub p_late: f64,
     /// Probability a surviving attempt is a straggler.
     pub p_straggler: f64,
+    /// Probability an attempt hangs forever mid-task (process workers
+    /// stall without dying; in-process attempts model the supervisor's
+    /// kill directly). Needs a task deadline to be survivable.
+    pub p_hang: f64,
+    /// Probability a process worker suppresses heartbeats long enough to
+    /// be presumed hung and killed. Ignored by in-process attempts (no
+    /// heartbeat protocol to starve).
+    pub p_slow_heartbeat: f64,
     /// Simulated-duration multiplier for stragglers (≥ 1).
     pub straggler_factor: f64,
     /// A node that is down for the whole job: every attempt scheduled on it
@@ -82,6 +100,8 @@ impl Default for FaultPlan {
             p_oom: 0.0,
             p_late: 0.0,
             p_straggler: 0.0,
+            p_hang: 0.0,
+            p_slow_heartbeat: 0.0,
             straggler_factor: 1.0,
             dead_node: None,
             crash_after: None,
@@ -115,9 +135,10 @@ impl FaultPlan {
         }
     }
 
-    /// Total probability that an attempt fails outright.
+    /// Total probability that an attempt fails outright (a hang counts:
+    /// the supervisor turns it into a kill-and-retry).
     pub fn failure_probability(&self) -> f64 {
-        self.p_transient + self.p_panic + self.p_oom + self.p_late
+        self.p_transient + self.p_panic + self.p_oom + self.p_late + self.p_hang
     }
 
     /// Validate probabilities and the dead-node index against a topology.
@@ -128,15 +149,17 @@ impl FaultPlan {
             ("oom", self.p_oom),
             ("late", self.p_late),
             ("straggler", self.p_straggler),
+            ("hang", self.p_hang),
+            ("slow_heartbeat", self.p_slow_heartbeat),
         ] {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                 return Err(format!("fault probability {name}={p} must be in [0, 1]"));
             }
         }
-        if self.failure_probability() > 1.0 {
+        if self.failure_probability() + self.p_slow_heartbeat > 1.0 {
             return Err(format!(
                 "fault failure probabilities sum to {} (> 1)",
-                self.failure_probability()
+                self.failure_probability() + self.p_slow_heartbeat
             ));
         }
         if !self.straggler_factor.is_finite() || self.straggler_factor < 1.0 {
@@ -215,6 +238,8 @@ impl FaultPlan {
                         format!("fault plan: crash_mid `{value}` is not a job index")
                     })?);
                 }
+                "hang" => plan.p_hang = parse_f64(value.trim())?,
+                "slow_heartbeat" => plan.p_slow_heartbeat = parse_f64(value.trim())?,
                 "corrupt" => {
                     let v = value.trim();
                     if v.is_empty() {
@@ -236,7 +261,10 @@ impl FaultPlan {
     /// Decide the fault (if any) for one task attempt. Pure in
     /// `(seed, job, phase, task_id, attempt)`.
     pub fn decide(&self, job: &str, phase: Phase, task_id: usize, attempt: usize) -> Option<Fault> {
-        if self.failure_probability() == 0.0 && self.p_straggler == 0.0 {
+        if self.failure_probability() == 0.0
+            && self.p_straggler == 0.0
+            && self.p_slow_heartbeat == 0.0
+        {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(self.attempt_seed(job, phase, task_id, attempt));
@@ -256,6 +284,17 @@ impl FaultPlan {
         edge += self.p_late;
         if u < edge {
             return Some(Fault::LateFail);
+        }
+        // New fault kinds extend the chain *after* the original edges, so a
+        // plan that leaves them at 0.0 makes exactly the decisions it made
+        // before they existed.
+        edge += self.p_hang;
+        if u < edge {
+            return Some(Fault::Hang);
+        }
+        edge += self.p_slow_heartbeat;
+        if u < edge {
+            return Some(Fault::SlowHeartbeat);
         }
         // Survivors may straggle (independent draw).
         if self.p_straggler > 0.0 && rng.random_bool(self.p_straggler) {
@@ -300,6 +339,12 @@ impl fmt::Display for FaultPlan {
             self.p_straggler,
             self.straggler_factor,
         )?;
+        if self.p_hang > 0.0 {
+            write!(f, " hang={}", self.p_hang)?;
+        }
+        if self.p_slow_heartbeat > 0.0 {
+            write!(f, " slow_heartbeat={}", self.p_slow_heartbeat)?;
+        }
         if let Some(n) = self.dead_node {
             write!(f, " node_down={n}")?;
         }
@@ -448,6 +493,60 @@ mod tests {
         assert!(FaultPlan::parse("crash_after=x").is_err());
         assert!(FaultPlan::parse("crash_mid=-1").is_err());
         assert!(FaultPlan::parse("corrupt=").is_err());
+    }
+
+    #[test]
+    fn hang_and_slow_heartbeat_parse_decide_and_display() {
+        let plan = FaultPlan::parse("seed=5,hang=0.3,slow_heartbeat=0.2").unwrap();
+        assert_eq!(plan.p_hang, 0.3);
+        assert_eq!(plan.p_slow_heartbeat, 0.2);
+        plan.validate(4).unwrap();
+        let shown = plan.to_string();
+        assert!(shown.contains("hang=0.3"), "{shown}");
+        assert!(shown.contains("slow_heartbeat=0.2"), "{shown}");
+        // Default plans print neither key (keeps old goldens stable).
+        let quiet = FaultPlan::quiet(5).to_string();
+        assert!(!quiet.contains("hang"), "{quiet}");
+
+        // Both kinds are actually drawn at their configured rates.
+        let sure = FaultPlan {
+            seed: 5,
+            p_hang: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(sure.decide("j", Phase::Map, 0, 0), Some(Fault::Hang));
+        let sure = FaultPlan {
+            seed: 5,
+            p_slow_heartbeat: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            sure.decide("j", Phase::Map, 0, 0),
+            Some(Fault::SlowHeartbeat)
+        );
+
+        // Chain-sum validation covers the new probabilities.
+        let mut p = FaultPlan::quiet(0);
+        p.p_hang = 0.6;
+        p.p_slow_heartbeat = 0.6;
+        assert!(p.validate(4).is_err(), "chain sum > 1");
+        p.p_slow_heartbeat = f64::NAN;
+        assert!(p.validate(4).is_err());
+    }
+
+    #[test]
+    fn new_fault_kinds_do_not_perturb_existing_plans() {
+        // A plan with hang/slow_heartbeat at 0.0 must make exactly the
+        // decisions it made before those fields existed: the edge chain
+        // only grows past `late`, never shifts.
+        let plan = FaultPlan::aggressive(42);
+        for task in 0..300 {
+            let d = plan.decide("job", Phase::Map, task, 0);
+            assert!(
+                !matches!(d, Some(Fault::Hang | Fault::SlowHeartbeat)),
+                "zero-probability fault drawn at task {task}"
+            );
+        }
     }
 
     #[test]

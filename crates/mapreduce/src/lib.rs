@@ -86,6 +86,7 @@ pub mod reducer;
 pub mod remote;
 pub mod run;
 pub mod shuffle;
+pub mod supervise;
 pub mod task;
 pub mod trace;
 
@@ -117,8 +118,11 @@ pub use partitioner::{
     sample_boundaries, stable_hash, GroupEq, PartitionFn, SortCmp,
 };
 pub use reducer::{sum_combiner, ClosureReducer, CombineFn, IdentityReducer, Reducer};
-pub use remote::{process_worker_main, register_job_factory, CORRUPT_FRAME_ENV, WORKER_ENV};
+pub use remote::{
+    process_worker_main, register_job_factory, CORRUPT_FRAME_ENV, HANG_ENV, WORKER_ENV,
+};
 pub use run::{GroupValues, MergeStream, Run};
+pub use supervise::{Activity, CancelToken, ExpireReason, Supervisor, WatchGuard};
 pub use task::{Emit, Phase, TaskContext, VecEmitter};
 pub use trace::{
     EventKind, Histogram, HistogramSnapshot, Histograms, Outcome, TopK, TraceEvent, TraceSink,

@@ -70,13 +70,15 @@ use crate::engine::{
     MapTaskOut, ReduceItem, ReduceShared, ReduceTaskOut,
 };
 use crate::error::{MrError, Result};
-use crate::faults::FaultPlan;
+use crate::faults::{Fault, FaultPlan};
 use crate::input::SplitSource;
 use crate::job::Job;
 use crate::mapper::Mapper;
 use crate::reducer::Reducer;
 use crate::run::Run;
-use crate::trace::{HistogramSnapshot, Histograms, TopK};
+use crate::supervise::Supervisor;
+use crate::task::Phase;
+use crate::trace::{EventKind, HistogramSnapshot, Histograms, TopK, TraceEvent, TraceSink};
 
 /// Environment variable that turns a spawned copy of this executable into
 /// a worker process.
@@ -91,6 +93,12 @@ pub const WORKER_BANNER: &str = "MR_WORKER_READY";
 /// map task 0, attempt 0 with a deliberately undecodable frame — the
 /// corrupted-pipe cell of the chaos suite.
 pub const CORRUPT_FRAME_ENV: &str = "MR_CHAOS_CORRUPT_FRAME";
+
+/// Chaos knob: a worker with this environment variable set hangs forever
+/// (a real `sleep` loop, heartbeats suppressed) on map task 0, attempt 0 —
+/// the hung-worker cell of the supervision suite. Only survivable with
+/// [`ClusterConfig::task_timeout_secs`] set.
+pub const HANG_ENV: &str = "MR_CHAOS_HANG";
 
 /// Upper bound on a single frame's declared length. A corrupt length
 /// prefix must fail here, not in an allocation.
@@ -137,6 +145,8 @@ struct FaultWire {
     p_oom: f64,
     p_late: f64,
     p_straggler: f64,
+    p_hang: f64,
+    p_slow_heartbeat: f64,
     straggler_factor: f64,
     dead_node: Option<u64>,
     crash_after: Option<u64>,
@@ -150,6 +160,8 @@ wire_codec!(FaultWire {
     p_oom,
     p_late,
     p_straggler,
+    p_hang,
+    p_slow_heartbeat,
     straggler_factor,
     dead_node,
     crash_after,
@@ -166,6 +178,8 @@ impl FaultWire {
             p_oom: p.p_oom,
             p_late: p.p_late,
             p_straggler: p.p_straggler,
+            p_hang: p.p_hang,
+            p_slow_heartbeat: p.p_slow_heartbeat,
             straggler_factor: p.straggler_factor,
             dead_node: p.dead_node.map(|n| n as u64),
             crash_after: p.crash_after.map(|n| n as u64),
@@ -182,6 +196,8 @@ impl FaultWire {
             p_oom: self.p_oom,
             p_late: self.p_late,
             p_straggler: self.p_straggler,
+            p_hang: self.p_hang,
+            p_slow_heartbeat: self.p_slow_heartbeat,
             straggler_factor: self.straggler_factor,
             dead_node: self.dead_node.map(|n| n as usize),
             crash_after: self.crash_after.map(|n| n as usize),
@@ -278,6 +294,9 @@ struct HandshakeReq {
     heavy_hitter_warn_share: f64,
     shuffle_tag: String,
     faults: Option<FaultWire>,
+    /// Milliseconds between worker heartbeat frames while a task runs;
+    /// `0` disables the heartbeat thread entirely (supervision off).
+    heartbeat_interval_ms: u64,
 }
 wire_codec!(HandshakeReq {
     job_name,
@@ -294,6 +313,7 @@ wire_codec!(HandshakeReq {
     heavy_hitter_warn_share,
     shuffle_tag,
     faults,
+    heartbeat_interval_ms,
 });
 
 struct MapReq {
@@ -554,44 +574,61 @@ fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     Ok(Some(buf))
 }
 
-/// Worker→driver response envelope: tag `0` + body, or tag `1` + a
-/// classified [`MrError`] from a failed (but cleanly handled) task.
+/// Worker→driver response envelope: tag `0` + body, tag `1` + a
+/// classified [`MrError`] from a failed (but cleanly handled) task, or a
+/// bare tag `2` — a heartbeat interleaved with task execution, consumed
+/// by the driver's read loop without ending the request.
+const RESP_OK: u8 = 0;
+const RESP_ERR: u8 = 1;
+const RESP_HEARTBEAT: u8 = 2;
+
 fn write_ok_frame<T: Codec>(w: &mut impl Write, body: &T) -> Result<()> {
     let mut buf = Vec::with_capacity(64);
-    buf.push(0);
+    buf.push(RESP_OK);
     body.encode(&mut buf);
     write_frame(w, &buf)
 }
 
 fn write_err_frame(w: &mut impl Write, e: &MrError) -> Result<()> {
     let mut buf = Vec::with_capacity(64);
-    buf.push(1);
+    buf.push(RESP_ERR);
     e.encode(&mut buf);
     write_frame(w, &buf)
 }
 
-/// Driver side: read a response. Outer `Err` is a transport failure (the
+/// Driver side: read a response, invoking `on_heartbeat` for every
+/// interleaved heartbeat frame. Outer `Err` is a transport failure (the
 /// worker is unusable); inner `Err` is a task-level error from a healthy
 /// worker.
-fn read_response<T: Codec>(r: &mut impl Read) -> Result<std::result::Result<T, MrError>> {
-    let Some(frame) = read_frame(r)? else {
-        return Err(MrError::Codec("worker closed pipe mid-conversation".into()));
-    };
-    let mut rd = ByteReader::new(&frame);
-    match rd.take_u8()? {
-        0 => {
-            let body = T::decode(&mut rd)?;
-            if !rd.is_empty() {
-                return Err(MrError::Codec(format!(
-                    "{} trailing bytes in response frame",
-                    rd.remaining()
-                )));
+fn read_response_with<T: Codec>(
+    r: &mut impl Read,
+    mut on_heartbeat: impl FnMut(),
+) -> Result<std::result::Result<T, MrError>> {
+    loop {
+        let Some(frame) = read_frame(r)? else {
+            return Err(MrError::Codec("worker closed pipe mid-conversation".into()));
+        };
+        let mut rd = ByteReader::new(&frame);
+        match rd.take_u8()? {
+            RESP_OK => {
+                let body = T::decode(&mut rd)?;
+                if !rd.is_empty() {
+                    return Err(MrError::Codec(format!(
+                        "{} trailing bytes in response frame",
+                        rd.remaining()
+                    )));
+                }
+                return Ok(Ok(body));
             }
-            Ok(Ok(body))
+            RESP_ERR => return Ok(Err(MrError::decode(&mut rd)?)),
+            RESP_HEARTBEAT if rd.is_empty() => on_heartbeat(),
+            t => return Err(MrError::Codec(format!("invalid response tag {t}"))),
         }
-        1 => Ok(Err(MrError::decode(&mut rd)?)),
-        t => Err(MrError::Codec(format!("invalid response tag {t}"))),
     }
+}
+
+fn read_response<T: Codec>(r: &mut impl Read) -> Result<std::result::Result<T, MrError>> {
+    read_response_with(r, || {})
 }
 
 // ---------------------------------------------------------------------------
@@ -912,11 +949,71 @@ pub fn process_worker_main() {
     std::process::exit(code);
 }
 
-fn worker_serve() -> Result<()> {
+/// Shared heartbeat state between the worker's serve loop and its
+/// heartbeat thread.
+struct Pulse {
+    /// A task is in flight (heartbeats are only meaningful — and only
+    /// read — while the driver blocks on a response).
+    busy: std::sync::atomic::AtomicBool,
+    /// Chaos: suppress heartbeats even while busy (the slow-heartbeat
+    /// and hang cells).
+    suppress: std::sync::atomic::AtomicBool,
+    /// Worker is shutting down; the heartbeat thread exits.
+    stop: std::sync::atomic::AtomicBool,
+}
+
+impl Pulse {
+    fn new() -> Arc<Self> {
+        Arc::new(Pulse {
+            busy: std::sync::atomic::AtomicBool::new(false),
+            suppress: std::sync::atomic::AtomicBool::new(false),
+            stop: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+}
+
+/// Write one frame to stdout under a fresh lock and flush it. Stdout is a
+/// `LineWriter`: binary frames rarely contain b'\n', so every frame must
+/// be flushed explicitly or it sits in the worker's userspace buffer
+/// while the driver blocks reading the pipe — a deadlock, not an error.
+/// Locking per frame (instead of for the serve loop's lifetime) is what
+/// lets the heartbeat thread interleave whole frames safely.
+fn send_stdout_frame(payload: &[u8]) -> Result<()> {
     let stdout = io::stdout();
     let mut out = stdout.lock();
-    writeln!(out, "{WORKER_BANNER}").map_err(|e| pipe_err("banner", &e))?;
-    out.flush().map_err(|e| pipe_err("banner flush", &e))?;
+    write_frame(&mut out, payload)
+}
+
+fn send_ok<T: Codec>(body: &T) -> Result<()> {
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    write_ok_frame(&mut out, body)
+}
+
+fn send_err(e: &MrError) -> Result<()> {
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    write_err_frame(&mut out, e)
+}
+
+/// Stall this worker forever: the driver's supervisor is the only way
+/// out. Heartbeats are suppressed so both expiry paths can catch it.
+fn hang_forever(pulse: &Pulse) -> ! {
+    pulse
+        .suppress
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
+}
+
+fn worker_serve() -> Result<()> {
+    {
+        let stdout = io::stdout();
+        let mut out = stdout.lock();
+        writeln!(out, "{WORKER_BANNER}").map_err(|e| pipe_err("banner", &e))?;
+        out.flush().map_err(|e| pipe_err("banner flush", &e))?;
+    }
     let stdin = io::stdin();
     let mut inp = stdin.lock();
 
@@ -924,53 +1021,116 @@ fn worker_serve() -> Result<()> {
         return Ok(()); // driver went away before the handshake
     };
     let req = HandshakeReq::from_bytes(&frame)?;
-    // Stdout is a `LineWriter`: binary frames rarely contain b'\n', so
-    // every response must be flushed explicitly or it sits in the
-    // worker's userspace buffer while the driver blocks reading the
-    // pipe — a deadlock, not an error.
-    let flush =
-        |out: &mut io::StdoutLock<'_>| out.flush().map_err(|e| pipe_err("response flush", &e));
     let (cluster, mut job, spill_dir) = match worker_setup(&req) {
         Ok(state) => {
-            write_ok_frame(&mut out, &())?;
-            flush(&mut out)?;
+            send_ok(&())?;
             state
         }
         Err(e) => {
-            write_err_frame(&mut out, &e)?;
-            flush(&mut out)?;
+            send_err(&e)?;
             return Ok(());
         }
     };
     let corrupt_once = std::env::var_os(CORRUPT_FRAME_ENV).is_some();
+    let hang_once = std::env::var_os(HANG_ENV).is_some();
+    let faults = cluster.config().faults.clone();
+    let job_name = req.job_name.clone();
 
-    while let Some(frame) = read_frame(&mut inp)? {
-        match Request::from_bytes(&frame)? {
-            Request::Shutdown => break,
-            Request::Map(m) => {
-                if corrupt_once && m.task_id == 0 && m.attempt == 0 {
-                    // Chaos cell: a response the driver cannot decode.
-                    // Attempt 1 of the same task responds normally.
-                    write_frame(&mut out, &[0xEE; 8])?;
-                    flush(&mut out)?;
-                    continue;
-                }
-                match job.run_map(&cluster, &m, &spill_dir) {
-                    Ok(resp) => write_ok_frame(&mut out, &resp)?,
-                    Err(e) => write_err_frame(&mut out, &e)?,
-                }
-                flush(&mut out)?;
+    // Heartbeat thread: while a task runs, emit a bare heartbeat frame
+    // every interval so the driver can tell "slow" from "hung". Never
+    // spawned when supervision is off — zero protocol overhead.
+    let pulse = Pulse::new();
+    let beat = if req.heartbeat_interval_ms > 0 {
+        let pulse = Arc::clone(&pulse);
+        let interval = std::time::Duration::from_millis(req.heartbeat_interval_ms);
+        Some(std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if pulse.stop.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
             }
-            Request::Reduce(r) => {
-                match job.run_reduce(&cluster, &r, &spill_dir) {
-                    Ok(resp) => write_ok_frame(&mut out, &resp)?,
-                    Err(e) => write_err_frame(&mut out, &e)?,
+            if pulse.busy.load(std::sync::atomic::Ordering::Relaxed)
+                && !pulse.suppress.load(std::sync::atomic::Ordering::Relaxed)
+            {
+                // A dead driver pipe shows up on the serve loop's next
+                // read; the heartbeat thread just stops trying.
+                if send_stdout_frame(&[RESP_HEARTBEAT]).is_err() {
+                    return;
                 }
-                flush(&mut out)?;
             }
+        }))
+    } else {
+        None
+    };
+    // Decide the chaos treatment for one request *before* dispatching it:
+    // the same pure `decide()` the engine uses, so hang/slow-heartbeat
+    // cells are reproducible per (job, phase, task, attempt).
+    let chaos = |phase: crate::task::Phase, task: u64, attempt: u64| {
+        faults
+            .as_ref()
+            .and_then(|p| p.decide(&job_name, phase, task as usize, attempt as usize))
+    };
+
+    fn serve<T: Codec>(pulse: &Pulse, resp: Result<T>) -> Result<()> {
+        pulse
+            .busy
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        pulse
+            .suppress
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        match resp {
+            Ok(body) => send_ok(&body),
+            Err(e) => send_err(&e),
         }
     }
-    Ok(())
+
+    let result = (|| -> Result<()> {
+        while let Some(frame) = read_frame(&mut inp)? {
+            match Request::from_bytes(&frame)? {
+                Request::Shutdown => break,
+                Request::Map(m) => {
+                    if corrupt_once && m.task_id == 0 && m.attempt == 0 {
+                        // Chaos cell: a response the driver cannot decode.
+                        // Attempt 1 of the same task responds normally.
+                        send_stdout_frame(&[0xEE; 8])?;
+                        continue;
+                    }
+                    if hang_once && m.task_id == 0 && m.attempt == 0 {
+                        hang_forever(&pulse);
+                    }
+                    match chaos(crate::task::Phase::Map, m.task_id, m.attempt) {
+                        Some(Fault::Hang) => hang_forever(&pulse),
+                        Some(Fault::SlowHeartbeat) => {
+                            pulse
+                                .suppress
+                                .store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    pulse.busy.store(true, std::sync::atomic::Ordering::Relaxed);
+                    serve(&pulse, job.run_map(&cluster, &m, &spill_dir))?;
+                }
+                Request::Reduce(r) => {
+                    match chaos(crate::task::Phase::Reduce, r.task_id, r.attempt) {
+                        Some(Fault::Hang) => hang_forever(&pulse),
+                        Some(Fault::SlowHeartbeat) => {
+                            pulse
+                                .suppress
+                                .store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    pulse.busy.store(true, std::sync::atomic::Ordering::Relaxed);
+                    serve(&pulse, job.run_reduce(&cluster, &r, &spill_dir))?;
+                }
+            }
+        }
+        Ok(())
+    })();
+    pulse.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = beat {
+        let _ = handle.join();
+    }
+    result
 }
 
 fn worker_setup(req: &HandshakeReq) -> Result<(Cluster, Box<dyn WorkerJob>, PathBuf)> {
@@ -1019,30 +1179,53 @@ static SHUFFLE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// One live worker process with its pipes.
 struct Worker {
-    child: Child,
+    /// Shared with supervisor expiry callbacks, which SIGKILL a hung
+    /// child from the monitor thread while the owning request blocks on
+    /// the pipe (the kill surfaces there as a transport error).
+    child: Arc<Mutex<Child>>,
     stdin: ChildStdin,
     stdout: BufReader<ChildStdout>,
+    /// Pool slot this worker occupies (quarantine ledger key).
+    slot: usize,
 }
 
 impl Worker {
     fn request<T: Codec>(&mut self, req: &Request) -> Result<std::result::Result<T, MrError>> {
-        write_frame(&mut self.stdin, &req.to_bytes())?;
-        read_response(&mut self.stdout)
+        self.request_with(req, || {})
     }
 
-    fn kill(mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
+    /// Send one request and read its response, invoking `on_heartbeat`
+    /// for every heartbeat frame the worker interleaves while busy.
+    fn request_with<T: Codec>(
+        &mut self,
+        req: &Request,
+        on_heartbeat: impl FnMut(),
+    ) -> Result<std::result::Result<T, MrError>> {
+        write_frame(&mut self.stdin, &req.to_bytes())?;
+        read_response_with(&mut self.stdout, on_heartbeat)
+    }
+
+    /// A handle an expiry callback can use to kill the child without
+    /// owning the worker.
+    fn kill_handle(&self) -> Arc<Mutex<Child>> {
+        Arc::clone(&self.child)
+    }
+
+    fn kill(self) {
+        let mut child = self.child.lock();
+        let _ = child.kill();
+        let _ = child.wait();
     }
 
     fn shutdown(mut self) {
         let ok = write_frame(&mut self.stdin, &Request::Shutdown.to_bytes()).is_ok();
         drop(self.stdin); // EOF backstop if the frame was lost
+        let mut child = self.child.lock();
         if ok {
-            let _ = self.child.wait();
+            let _ = child.wait();
         } else {
-            let _ = self.child.kill();
-            let _ = self.child.wait();
+            let _ = child.kill();
+            let _ = child.wait();
         }
     }
 }
@@ -1054,10 +1237,11 @@ struct SpawnSpec {
 }
 
 impl SpawnSpec {
-    /// Spawn `current_exe` as a worker and complete the handshake.
-    /// Errors are strings, not `MrError`s: before the first worker is up
-    /// they mean "fall back in-process", never "fail the job".
-    fn spawn(&self) -> std::result::Result<Worker, String> {
+    /// Spawn `current_exe` as a worker on pool slot `slot` and complete
+    /// the handshake. Errors are strings, not `MrError`s: before the
+    /// first worker is up they mean "fall back in-process", never "fail
+    /// the job".
+    fn spawn(&self, slot: usize) -> std::result::Result<Worker, String> {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         let mut child = Command::new(&exe)
             .env(WORKER_ENV, "1")
@@ -1099,9 +1283,10 @@ impl SpawnSpec {
         }
         match read_response::<()>(&mut stdout) {
             Ok(Ok(())) => Ok(Worker {
-                child,
+                child: Arc::new(Mutex::new(child)),
                 stdin,
                 stdout,
+                slot,
             }),
             Ok(Err(e)) => Err(fail(&mut child, format!("worker rejected handshake: {e}"))),
             Err(e) => Err(fail(&mut child, format!("handshake response: {e}"))),
@@ -1109,33 +1294,115 @@ impl SpawnSpec {
     }
 }
 
+/// Per-slot health ledger. A live worker (idle or checked out) holds its
+/// slot; a worker loss frees the slot and charges it one loss. Enough
+/// losses inside the sliding window quarantine the slot: no replacement
+/// is ever spawned on it again this job.
+#[derive(Default)]
+struct SlotState {
+    in_use: bool,
+    quarantined: bool,
+    losses: Vec<std::time::Instant>,
+}
+
+/// What [`WorkerPool::checkout`] hands out.
+enum CheckedOut {
+    /// A live worker process.
+    Worker(Worker),
+    /// Every slot is quarantined (or otherwise unavailable): the caller
+    /// runs this task attempt in-process against the same on-disk DFS,
+    /// producing byte-identical output.
+    Fallback,
+}
+
 /// A checkout/return pool of worker processes. Lost workers are simply
-/// not returned; the next checkout spawns a replacement.
+/// not returned; the next checkout spawns a replacement on a healthy
+/// slot, with bounded, backed-off retries.
 pub(crate) struct WorkerPool {
     spec: SpawnSpec,
     idle: Mutex<Vec<Worker>>,
+    slots: Mutex<Vec<SlotState>>,
     size: usize,
     spill_dir: PathBuf,
     /// Total processes spawned over the pool's lifetime, replacements
     /// for lost workers included.
     spawned: AtomicU64,
+    /// Transport/timeout losses within the window that quarantine a slot.
+    quarantine_losses: usize,
+    /// Sliding window for the loss ledger.
+    quarantine_window: std::time::Duration,
 }
 
+/// Respawn attempts per checkout before giving up on a slot.
+const RESPAWN_ATTEMPTS: u32 = 3;
+
 impl WorkerPool {
-    fn checkout(&self) -> Result<Worker> {
+    fn checkout(&self, counters: &Counters) -> Result<CheckedOut> {
         if let Some(w) = self.idle.lock().pop() {
-            return Ok(w);
+            return Ok(CheckedOut::Worker(w));
         }
-        let w = self
-            .spec
-            .spawn()
-            .map_err(|e| MrError::TaskFailed(format!("worker respawn failed: {e}")))?;
-        self.spawned.fetch_add(1, Ordering::Relaxed);
-        Ok(w)
+        // Claim a free, healthy slot for the replacement. None free —
+        // every slot quarantined, or all transiently occupied — means
+        // this attempt runs in-process instead of failing the job.
+        let slot = {
+            let mut slots = self.slots.lock();
+            match slots.iter().position(|s| !s.in_use && !s.quarantined) {
+                Some(i) => {
+                    slots[i].in_use = true;
+                    i
+                }
+                None => return Ok(CheckedOut::Fallback),
+            }
+        };
+        let mut delay = std::time::Duration::from_millis(50);
+        let mut last_err = String::new();
+        for attempt in 0..RESPAWN_ATTEMPTS {
+            if attempt > 0 {
+                counters.get("mr.process.respawn_retries").incr();
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(std::time::Duration::from_secs(1));
+            }
+            match self.spec.spawn(slot) {
+                Ok(w) => {
+                    self.spawned.fetch_add(1, Ordering::Relaxed);
+                    return Ok(CheckedOut::Worker(w));
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        self.slots.lock()[slot].in_use = false;
+        Err(MrError::TaskFailed(format!(
+            "worker respawn failed after {RESPAWN_ATTEMPTS} attempts: {last_err}"
+        )))
     }
 
     fn put_back(&self, w: Worker) {
         self.idle.lock().push(w);
+    }
+
+    /// A worker died (transport error or supervised kill): free its slot
+    /// and charge one loss against it. Crossing the threshold inside the
+    /// window quarantines the slot.
+    fn record_loss(&self, slot: usize, counters: &Counters, trace: Option<&TraceSink>, job: &str) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[slot];
+        s.in_use = false;
+        let now = std::time::Instant::now();
+        s.losses
+            .retain(|t| now.duration_since(*t) <= self.quarantine_window);
+        s.losses.push(now);
+        if !s.quarantined && s.losses.len() >= self.quarantine_losses {
+            s.quarantined = true;
+            counters.get("mr.supervise.quarantined").incr();
+            if let Some(sink) = trace {
+                let mut ev = TraceEvent::new(EventKind::Quarantine, job);
+                ev.detail = Some(format!(
+                    "worker slot {slot} quarantined after {} losses",
+                    s.losses.len()
+                ));
+                sink.emit(ev);
+            }
+        }
     }
 
     fn shutdown(&self) {
@@ -1189,19 +1456,32 @@ where
         heavy_hitter_warn_share: config.heavy_hitter_warn_share,
         shuffle_tag: tag,
         faults: config.faults.as_ref().map(FaultWire::from_plan),
+        // Workers only emit heartbeats when the driver supervises; an
+        // unsupervised job keeps the exact pre-supervision protocol.
+        heartbeat_interval_ms: if config.task_timeout_secs.is_some() {
+            ((config.heartbeat_interval_secs * 1000.0).round() as u64).max(1)
+        } else {
+            0
+        },
     };
+    let size = params.threads.clamp(1, 8);
+    let mut slots: Vec<SlotState> = (0..size).map(|_| SlotState::default()).collect();
+    slots[0].in_use = true; // the eager first worker below
     let pool = WorkerPool {
         spec: SpawnSpec {
             handshake: handshake.to_bytes(),
         },
         idle: Mutex::new(Vec::new()),
-        size: params.threads.clamp(1, 8),
+        slots: Mutex::new(slots),
+        size,
         spill_dir,
         spawned: AtomicU64::new(1),
+        quarantine_losses: config.worker_quarantine_losses.max(1),
+        quarantine_window: std::time::Duration::from_secs_f64(config.worker_quarantine_window_secs),
     };
     // Bring up (and handshake) the first worker eagerly: this validates
     // the factory exists in the worker executable before any task runs.
-    let first = pool.spec.spawn()?;
+    let first = pool.spec.spawn(0)?;
     pool.idle.lock().push(first);
     Ok(pool)
 }
@@ -1241,6 +1521,7 @@ where
         map_items,
         map_shared,
         reduce_shared,
+        reducer,
         policy,
         num_reducers,
         config,
@@ -1250,8 +1531,53 @@ where
     let threads = pool.size;
     let counters = map_shared.counters;
     let histograms = map_shared.histograms;
+    let trace = map_shared.cluster.trace();
     let job_name = map_shared.job_name.to_string();
+    // `Reducer: Clone + Send` but not `Sync`; the fallback reduce path
+    // clones it from inside worker-thread closures, so park it behind a
+    // lock.
+    let reducer = Mutex::new(reducer);
     counters.get("mr.process.remote_jobs").incr();
+
+    // Wall-clock supervision: one monitor thread for the whole job, one
+    // watch per in-flight request. Expiry SIGKILLs the child; the owning
+    // request's blocked read then errors into the transport-failure
+    // branch below, which classifies it as a transient `NodeLost`.
+    let supervision = config.task_timeout_secs.map(|secs| {
+        let deadline = std::time::Duration::from_secs_f64(secs);
+        let hb_window = std::time::Duration::from_secs_f64(
+            config.heartbeat_interval_secs * config.heartbeat_grace,
+        );
+        let tick = deadline.min(hb_window) / 4;
+        (Supervisor::new(tick), deadline, hb_window)
+    });
+    // Registers a supervision watch for one request; the guard must stay
+    // alive exactly as long as the pipe conversation.
+    let watch_request = |w: &Worker, phase: Phase, task: usize, attempt: usize| {
+        supervision.as_ref().map(|(sup, deadline, hb_window)| {
+            let handle = w.kill_handle();
+            let counters = counters.clone();
+            let trace = trace.cloned();
+            let job = job_name.clone();
+            sup.watch(Some(*deadline), Some(*hb_window), move |reason| {
+                {
+                    let mut child = handle.lock();
+                    let _ = child.kill();
+                }
+                counters.get("mr.supervise.task_timeout").incr();
+                if let Some(sink) = &trace {
+                    let mut ev = TraceEvent::new(EventKind::TaskTimeout, job.as_str()).at_task(
+                        phase,
+                        task,
+                        attempt,
+                        task % nodes,
+                    );
+                    ev.detail = Some(reason.as_str().to_string());
+                    sink.emit(ev);
+                }
+            })
+        })
+    };
 
     // Spill-run refs per completed map task, collected out-of-band from
     // the fabricated MapTaskOuts (outer index = partition).
@@ -1259,12 +1585,42 @@ where
 
     let result = (|| {
         let (mut map_outs, map_stats) = run_tasks(map_items, threads, policy, |item, attempt| {
-            let mut w = pool.checkout()?;
+            let mut w = match pool.checkout(counters)? {
+                CheckedOut::Worker(w) => w,
+                CheckedOut::Fallback => {
+                    // No healthy worker slot left: run this map attempt
+                    // in-process on the same DFS and park its runs under
+                    // the exact names a worker would have used.
+                    counters.get("mr.supervise.fallback_tasks").incr();
+                    let mut out = run_map_task(item, attempt, map_shared)?;
+                    let task_id = item.task_id;
+                    let mut refs: Vec<Vec<RunRef>> = Vec::with_capacity(out.runs.len());
+                    for (p, runs) in out.runs.drain(..).enumerate() {
+                        let mut part = Vec::with_capacity(runs.len());
+                        for (s, run) in runs.iter().enumerate() {
+                            let name = format!("map-{task_id:05}-a{attempt}-p{p:03}-s{s:03}.run");
+                            part.push(write_run_file(&pool.spill_dir, &name, run)?);
+                        }
+                        refs.push(part);
+                    }
+                    refs_table.lock().push((task_id, refs));
+                    return Ok(out);
+                }
+            };
             let req = Request::Map(MapReq {
                 task_id: item.task_id as u64,
                 attempt: attempt as u64,
             });
-            match w.request::<MapResp>(&req) {
+            let guard = watch_request(&w, Phase::Map, item.task_id, attempt);
+            let resp = match &guard {
+                Some(g) => {
+                    let activity = g.activity();
+                    w.request_with::<MapResp>(&req, || activity.touch())
+                }
+                None => w.request::<MapResp>(&req),
+            };
+            drop(guard);
+            match resp {
                 Ok(Ok(resp)) => {
                     pool.put_back(w);
                     absorb_metrics(counters, histograms, &resp.counters, resp.histograms);
@@ -1291,9 +1647,12 @@ where
                 }
                 Err(_) => {
                     // Transport failure: the worker process is gone or
-                    // corrupt. Classify as a lost node so the retry runs
-                    // on a fresh worker.
+                    // corrupt (including a supervised timeout kill).
+                    // Classify as a lost node so the retry runs on a
+                    // fresh worker.
+                    let slot = w.slot;
                     w.kill();
+                    pool.record_loss(slot, counters, trace, &job_name);
                     counters.get("mr.process.worker_lost").incr();
                     Err(MrError::NodeLost {
                         node: item.task_id % nodes,
@@ -1326,13 +1685,35 @@ where
         let reduce_items: Vec<(usize, Vec<RunRef>)> =
             partition_refs.into_iter().enumerate().collect();
         let reduce_result = run_tasks(reduce_items, threads, policy, |(p, refs), attempt| {
-            let mut w = pool.checkout()?;
+            let mut w = match pool.checkout(counters)? {
+                CheckedOut::Worker(w) => w,
+                CheckedOut::Fallback => {
+                    // In-process reduce over the same parked spill runs:
+                    // identical merge order, identical committed bytes.
+                    counters.get("mr.supervise.fallback_tasks").incr();
+                    let mut runs = Vec::with_capacity(refs.len());
+                    for rref in refs {
+                        runs.push(read_run_file(&pool.spill_dir, rref)?);
+                    }
+                    let item = ReduceItem::<M, R>::new(*p, runs, reducer.lock().clone());
+                    return run_reduce_task(&item, attempt, reduce_shared);
+                }
+            };
             let req = Request::Reduce(ReduceReq {
                 task_id: *p as u64,
                 attempt: attempt as u64,
                 refs: refs.clone(),
             });
-            match w.request::<ReduceResp>(&req) {
+            let guard = watch_request(&w, Phase::Reduce, *p, attempt);
+            let resp = match &guard {
+                Some(g) => {
+                    let activity = g.activity();
+                    w.request_with::<ReduceResp>(&req, || activity.touch())
+                }
+                None => w.request::<ReduceResp>(&req),
+            };
+            drop(guard);
+            match resp {
                 Ok(Ok(resp)) => {
                     pool.put_back(w);
                     absorb_metrics(counters, histograms, &resp.counters, resp.histograms);
@@ -1355,7 +1736,9 @@ where
                     Err(e)
                 }
                 Err(_) => {
+                    let slot = w.slot;
                     w.kill();
+                    pool.record_loss(slot, counters, trace, &job_name);
                     counters.get("mr.process.worker_lost").incr();
                     Err(MrError::NodeLost {
                         node: *p % nodes,
@@ -1364,7 +1747,6 @@ where
                 }
             }
         });
-        let _ = reduce_shared; // reduce bodies run worker-side
         Ok(ExecOutcome {
             map_outs,
             map_stats,
@@ -1544,6 +1926,8 @@ mod tests {
             p_panic: 0.2,
             p_oom: 0.3,
             p_late: 0.4,
+            p_hang: 0.05,
+            p_slow_heartbeat: 0.02,
             p_straggler: 0.5,
             straggler_factor: 4.0,
             dead_node: Some(1),
@@ -1566,13 +1950,17 @@ mod tests {
             heavy_hitter_warn_share: 0.5,
             shuffle_tag: "stage1-1-0".into(),
             faults: Some(FaultWire::from_plan(&plan)),
+            heartbeat_interval_ms: 250,
         };
         let back = HandshakeReq::from_bytes(&req.to_bytes()).unwrap();
         assert_eq!(back.job_name, "stage1");
         assert_eq!(back.payload, vec![1, 2, 3]);
         assert_eq!(back.num_reducers, 4);
+        assert_eq!(back.heartbeat_interval_ms, 250);
         let plan_back = back.faults.unwrap().into_plan();
         assert_eq!(plan_back.seed, plan.seed);
+        assert_eq!(plan_back.p_hang, plan.p_hang);
+        assert_eq!(plan_back.p_slow_heartbeat, plan.p_slow_heartbeat);
         assert_eq!(plan_back.dead_node, plan.dead_node);
         assert_eq!(plan_back.crash_mid, plan.crash_mid);
         assert_eq!(plan_back.corrupt_path, plan.corrupt_path);

@@ -74,6 +74,14 @@ pub enum EventKind {
     /// A checksum/manifest validation failure was detected (`detail` names
     /// the file or reason); the producing stage will be re-executed.
     ChecksumFail,
+    /// Wall-clock supervision killed a task attempt: its deadline passed
+    /// or its worker's heartbeats went stale (`detail` says which). The
+    /// attempt retries through the classified-retry machinery.
+    TaskTimeout,
+    /// A process worker slot accumulated enough transport/timeout losses
+    /// inside the quarantine window and was removed from rotation
+    /// (`detail` carries the loss count).
+    Quarantine,
 }
 
 impl EventKind {
@@ -91,6 +99,8 @@ impl EventKind {
             EventKind::ResumeSkip => "resume_skip",
             EventKind::Scavenge => "scavenge",
             EventKind::ChecksumFail => "checksum_fail",
+            EventKind::TaskTimeout => "task_timeout",
+            EventKind::Quarantine => "quarantine",
         }
     }
 
@@ -108,6 +118,8 @@ impl EventKind {
             "resume_skip" => EventKind::ResumeSkip,
             "scavenge" => EventKind::Scavenge,
             "checksum_fail" => EventKind::ChecksumFail,
+            "task_timeout" => EventKind::TaskTimeout,
+            "quarantine" => EventKind::Quarantine,
             _ => return None,
         })
     }

@@ -24,7 +24,7 @@ use std::sync::{Mutex, MutexGuard, Once};
 use mapreduce::{
     text_input, BackendKind, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Codec, Dfs,
     Emit, FaultPlan, Job, JobMetrics, Mapper, Reducer, Result, TaskContext, CORRUPT_FRAME_ENV,
-    WORKER_ENV,
+    HANG_ENV, WORKER_ENV,
 };
 
 const PROBE_FACTORY: &str = "process-probe";
@@ -70,8 +70,8 @@ fn register_factories() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         mapreduce::register_job_factory(PROBE_FACTORY, |payload, dfs| {
-            let (input, output, kill) = <(String, String, bool)>::from_bytes(payload)?;
-            build_probe_job(dfs, &input, &output, kill)
+            let (input, output, kill_attempts) = <(String, String, u64)>::from_bytes(payload)?;
+            build_probe_job(dfs, &input, &output, kill_attempts)
         });
     });
 }
@@ -93,7 +93,7 @@ fn build_probe_job(
     dfs: &Dfs,
     input: &str,
     output: &str,
-    kill: bool,
+    kill_attempts: u64,
 ) -> Result<
     Job<
         impl Mapper<InKey = u64, InValue = String, OutKey = String, OutValue = String>,
@@ -105,10 +105,10 @@ fn build_probe_job(
             // SIGKILL-grade death: no unwind, no error frame, the pipe
             // just closes. Guarded on the worker env var so an
             // in-process fallback run of this mapper never aborts the
-            // driver, and on (task 0, attempt 0) so the retry succeeds.
-            if kill
-                && ctx.task_id == 0
-                && ctx.attempt == 0
+            // driver, and on task 0's first `kill_attempts` attempts so
+            // a retry (or the in-process fallback) eventually succeeds.
+            if ctx.task_id == 0
+                && (ctx.attempt as u64) < kill_attempts
                 && std::env::var_os(WORKER_ENV).is_some()
             {
                 std::process::abort();
@@ -143,20 +143,35 @@ fn run_probe(
     faults: Option<FaultPlan>,
     attempts: usize,
 ) -> ProbeRun {
+    let kill_attempts = u64::from(kill);
+    run_probe_with(remote, kill_attempts, |config| {
+        config.backend = backend;
+        config.max_task_attempts = attempts;
+        config.faults = faults;
+    })
+}
+
+/// Like [`run_probe`], but the caller gets to adjust the full
+/// [`ClusterConfig`] — the supervision cells below need timeouts,
+/// heartbeat cadence, and quarantine thresholds on top of the basics.
+fn run_probe_with(
+    remote: bool,
+    kill_attempts: u64,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> ProbeRun {
     register_factories();
-    let config = ClusterConfig {
-        backend,
+    let mut config = ClusterConfig {
+        backend: BackendKind::Process,
         execution_threads: Some(4),
         spill_buffer_bytes: 1024,
-        max_task_attempts: attempts,
-        faults,
         ..ClusterConfig::with_nodes(3)
     };
+    tweak(&mut config);
     let cluster = Cluster::new(config, 256).unwrap();
     cluster.dfs().write_text("/in", corpus()).unwrap();
-    let mut job = build_probe_job(cluster.dfs(), "/in", "/out", kill).unwrap();
+    let mut job = build_probe_job(cluster.dfs(), "/in", "/out", kill_attempts).unwrap();
     if remote {
-        let payload = ("/in".to_string(), "/out".to_string(), kill).to_bytes();
+        let payload = ("/in".to_string(), "/out".to_string(), kill_attempts).to_bytes();
         job = job.remote(PROBE_FACTORY, payload);
     }
     let metrics = cluster.run(job).unwrap();
@@ -247,7 +262,7 @@ fn unknown_factory_fails_the_handshake_and_falls_back() {
     };
     let cluster = Cluster::new(config, 256).unwrap();
     cluster.dfs().write_text("/in", corpus()).unwrap();
-    let job = build_probe_job(cluster.dfs(), "/in", "/out", false)
+    let job = build_probe_job(cluster.dfs(), "/in", "/out", 0)
         .unwrap()
         .remote("no-such-factory", Vec::new());
     let metrics = cluster.run(job).unwrap();
@@ -313,4 +328,100 @@ fn chaos_parity_through_real_workers() {
     );
     assert_eq!(counter(&chaos.metrics, "mr.process.remote_jobs"), 1);
     assert_eq!(counter(&chaos.metrics, "mr.process.fallback_jobs"), 0);
+}
+
+/// `hang=` in the fault plan makes workers stop responding mid-task; the
+/// supervisor must notice (heartbeats dry up), kill them, and retry —
+/// with the committed bytes untouched.
+#[test]
+fn injected_hang_is_deadline_killed_retried_and_byte_identical() {
+    let _env = lock_env();
+    let clean = run_probe(BackendKind::Process, true, false, None, 1);
+    let plan = FaultPlan::parse("seed=77,hang=0.3,slow_heartbeat=0.1").unwrap();
+    let hung = run_probe_with(true, 0, |config| {
+        config.max_task_attempts = 8;
+        config.faults = Some(plan);
+        config.task_timeout_secs = Some(2.0);
+        config.heartbeat_interval_secs = 0.05;
+        config.heartbeat_grace = 6.0;
+    });
+
+    assert_eq!(
+        clean.output, hung.output,
+        "hang recovery changed the committed bytes"
+    );
+    assert!(
+        counter(&hung.metrics, "mr.supervise.task_timeout") >= 1,
+        "no hung task was ever timed out"
+    );
+    assert!(
+        counter(&hung.metrics, "mr.process.worker_lost") >= 1,
+        "the hung worker was never classified as lost"
+    );
+    assert_eq!(counter(&hung.metrics, "mr.process.remote_jobs"), 1);
+}
+
+/// The real thing, no fault plan: `MR_CHAOS_HANG` makes the first worker
+/// genuinely sleep forever on (map task 0, attempt 0). The watchdog must
+/// kill the process, spawn a replacement, and commit identical bytes.
+#[test]
+fn real_hung_worker_is_killed_and_replaced() {
+    let _env = lock_env();
+    let clean = run_probe(BackendKind::Process, true, false, None, 1);
+    let hung = {
+        let _knob = EnvGuard::set(HANG_ENV);
+        run_probe_with(true, 0, |config| {
+            config.max_task_attempts = 4;
+            config.task_timeout_secs = Some(2.0);
+            config.heartbeat_interval_secs = 0.05;
+            config.heartbeat_grace = 6.0;
+        })
+    };
+
+    assert_eq!(
+        clean.output, hung.output,
+        "hung-worker recovery changed the committed bytes"
+    );
+    assert!(
+        counter(&hung.metrics, "mr.supervise.task_timeout") >= 1,
+        "the hung worker was never timed out"
+    );
+    assert!(
+        counter(&hung.metrics, "mr.process.workers_spawned") >= 2,
+        "no replacement worker was spawned"
+    );
+}
+
+/// A worker slot that keeps losing workers gets quarantined; once every
+/// slot is quarantined the pool is out of the game and tasks fall back
+/// in-process on the same DFS — completing the job byte-identically.
+#[test]
+fn quarantined_pool_falls_back_in_process_byte_identically() {
+    let _env = lock_env();
+    let clean = run_probe(BackendKind::Process, true, false, None, 1);
+    // Task 0 aborts the worker on every attempt, so each retry burns a
+    // fresh slot (threshold 1 quarantines on the first loss) until no
+    // healthy slot remains and the in-process fallback finishes the task.
+    let quarantined = run_probe_with(true, u64::MAX, |config| {
+        config.max_task_attempts = 8;
+        config.worker_quarantine_losses = 1;
+        config.worker_quarantine_window_secs = 3600.0;
+    });
+
+    assert_eq!(
+        clean.output, quarantined.output,
+        "quarantine fallback changed the committed bytes"
+    );
+    assert!(
+        counter(&quarantined.metrics, "mr.supervise.quarantined") >= 1,
+        "no worker slot was ever quarantined"
+    );
+    assert!(
+        counter(&quarantined.metrics, "mr.supervise.fallback_tasks") >= 1,
+        "no task ran through the in-process fallback"
+    );
+    assert!(
+        counter(&quarantined.metrics, "mr.process.worker_lost") >= 1,
+        "the aborting workers were never noticed"
+    );
 }
