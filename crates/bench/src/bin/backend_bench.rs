@@ -1,6 +1,6 @@
 //! Backend perf baseline: the full 3-stage self-join and R-S join under
 //! **all three** execution backends, reported as provenance-tagged JSON
-//! (`BENCH_pr6.json`).
+//! (`BENCH_pr8.json`).
 //!
 //! Unlike the figure benches (which report *simulated* cluster seconds,
 //! backend-independent by construction), this harness compares real
@@ -17,7 +17,7 @@
 //! Knobs (env): `BENCH_BASE` (base DBLP records, default 2000),
 //! `BENCH_REPS` (best-of repetitions, default 3), `BENCH_NODES` (default
 //! 4), `BENCH_THREADS` (worker threads; default: host parallelism),
-//! `BENCH_OUT` (output path, default `BENCH_pr6.json`), `REPRO_SEED`.
+//! `BENCH_OUT` (output path, default `BENCH_pr8.json`), `REPRO_SEED`.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -149,7 +149,7 @@ fn main() {
     let threads = std::env::var("BENCH_THREADS")
         .ok()
         .and_then(|s| s.parse().ok());
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
 
     let dblp = datagen::dblp(base, seed());
     let cite = datagen::citeseerx(base, seed());

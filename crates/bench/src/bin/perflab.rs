@@ -1,0 +1,421 @@
+//! `fuzzyjoin-perflab` — statistically sound wall-clock benchmarking with
+//! a CI regression gate and per-phase profiling, across all three
+//! execution backends.
+//!
+//! ```text
+//! perflab run     --out perflab.jsonl [--samples 5] [--warmup 1]
+//!                 [--workloads selfjoin,rsjoin]
+//!                 [--backends simulated,sharded,process]
+//!                 [--threads 4,8] [--scales 1,2]
+//! perflab compare --baseline old.jsonl --candidate new.jsonl
+//!                 [--rel 0.20] [--mad-k 5]
+//! perflab derive  --in a.jsonl --out b.jsonl --scale-wall 2.0
+//! perflab profile --out PROFILE.json [--backends sharded,process]
+//! ```
+//!
+//! `run` measures every (workload × backend × threads × scale) cell:
+//! `--warmup` discarded runs, then `--samples` timed runs, each logged as
+//! a v3 sample line; cell medians/mins/MADs land in summary lines
+//! (`fuzzyjoin.bench` v3 JSONL — see `fuzzyjoin_bench::perflab`).
+//!
+//! `compare` exits 2 when any cell's candidate median wall exceeds the
+//! baseline median by more than `max(rel × median, mad_k × MAD)` — the
+//! noise-scaled CI gate. `derive --scale-wall` manufactures a known
+//! slowdown from a real log so the gate's failing path stays exercised.
+//!
+//! `profile` runs one self-join per backend with trace profiling enabled
+//! and writes the per-job phase attribution (`fuzzyjoin.profile` v1),
+//! exiting 2 if any backend attributes less than 95 % of its wall time to
+//! named phases.
+//!
+//! Corpus knobs ride the same env as the other harnesses: `BENCH_BASE`
+//! (default 2000), `BENCH_NODES` (default 4), `REPRO_SEED`.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use fuzzyjoin::{rs_join, self_join, BackendKind, Cluster, ClusterConfig, JoinConfig, JoinOutcome};
+use fuzzyjoin_bench::perflab::{
+    aggregate_profile, compare, peak_rss_bytes, Cell, CompareConfig, PerflabDoc, Sample,
+    DEFAULT_MAD_K, DEFAULT_REL_SLACK,
+};
+use fuzzyjoin_bench::{load_corpus, seed};
+use mapreduce::{obj, Json};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Minimal `--flag value` parser for one subcommand's argv tail.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(argv: &[String]) -> Result<Flags, String> {
+        let mut flags = Vec::new();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags(flags))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        }
+    }
+
+    fn list(&self, name: &str, default: &[&str]) -> Vec<String> {
+        match self.get(name) {
+            None => default.iter().map(|s| s.to_string()).collect(),
+            Some(csv) => csv.split(',').map(|s| s.trim().to_string()).collect(),
+        }
+    }
+
+    fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.0 {
+            if !known.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_backend(name: &str) -> Result<BackendKind, String> {
+    BackendKind::parse(name).ok_or_else(|| format!("unknown backend {name:?}"))
+}
+
+fn make_cluster(backend: BackendKind, threads: usize, nodes: usize, profile: bool) -> Cluster {
+    let config = ClusterConfig {
+        backend,
+        execution_threads: Some(threads),
+        profile,
+        // A lost worker process is retryable, not a bug (same rationale as
+        // the CLI): give the process backend a retry budget.
+        max_task_attempts: if backend == BackendKind::Process {
+            8
+        } else {
+            1
+        },
+        ..ClusterConfig::with_nodes(nodes)
+    };
+    Cluster::new(config, 256 << 10).expect("valid cluster")
+}
+
+/// One measured join of a cell. Fresh cluster every time so no DFS state
+/// leaks between samples.
+fn run_cell_once(cell: &Cell, nodes: usize, base: usize, config: &JoinConfig) -> JoinOutcome {
+    let backend = parse_backend(&cell.backend).expect("validated earlier");
+    let cluster = make_cluster(backend, cell.threads, nodes, false);
+    match cell.workload.as_str() {
+        "selfjoin" => {
+            let dblp = datagen::dblp(base, seed());
+            load_corpus(&cluster, &dblp, cell.scale, "/dblp");
+            self_join(&cluster, "/dblp", "/work", config).expect("self-join")
+        }
+        "rsjoin" => {
+            let dblp = datagen::dblp(base, seed());
+            let cite = datagen::citeseerx(base, seed());
+            load_corpus(&cluster, &dblp, cell.scale, "/dblp");
+            load_corpus(&cluster, &cite, cell.scale, "/citeseerx");
+            rs_join(&cluster, "/dblp", "/citeseerx", "/work", config).expect("rs-join")
+        }
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn cmd_run(flags: &Flags) -> Result<i32, String> {
+    flags.ensure_known(&[
+        "out",
+        "samples",
+        "warmup",
+        "workloads",
+        "backends",
+        "threads",
+        "scales",
+    ])?;
+    let out = flags.require("out")?;
+    let samples: usize = flags.parsed("samples", 5)?;
+    let warmup: usize = flags.parsed("warmup", 1)?;
+    if samples == 0 {
+        return Err("--samples must be at least 1".into());
+    }
+    let workloads = flags.list("workloads", &["selfjoin", "rsjoin"]);
+    let backends = flags.list("backends", &["simulated", "sharded", "process"]);
+    for b in &backends {
+        parse_backend(b)?;
+    }
+    for w in &workloads {
+        if w != "selfjoin" && w != "rsjoin" {
+            return Err(format!("unknown workload {w:?}"));
+        }
+    }
+    let default_threads = host_parallelism().to_string();
+    let threads: Vec<usize> = flags
+        .list("threads", &[&default_threads])
+        .iter()
+        .map(|t| t.parse().map_err(|e| format!("bad --threads: {e}")))
+        .collect::<Result<_, _>>()?;
+    let scales: Vec<usize> = flags
+        .list("scales", &["1"])
+        .iter()
+        .map(|s| s.parse().map_err(|e| format!("bad --scales: {e}")))
+        .collect::<Result<_, _>>()?;
+
+    let base = env_usize("BENCH_BASE", 2_000);
+    let nodes = env_usize("BENCH_NODES", 4);
+    let join_config = JoinConfig::recommended();
+
+    let mut doc = PerflabDoc {
+        provenance: obj(vec![
+            ("generated_unix_secs", Json::Num(unix_now() as f64)),
+            ("host_parallelism", Json::Num(host_parallelism() as f64)),
+            ("nodes", Json::Num(nodes as f64)),
+            ("base_records", Json::Num(base as f64)),
+            ("seed", Json::Num(seed() as f64)),
+            ("warmup", Json::Num(warmup as f64)),
+            ("samples", Json::Num(samples as f64)),
+            ("combo", Json::Str(join_config.combo_name())),
+        ]),
+        samples: Vec::new(),
+        summaries: Vec::new(),
+    };
+
+    for workload in &workloads {
+        for backend in &backends {
+            for &t in &threads {
+                for &scale in &scales {
+                    let cell = Cell {
+                        workload: workload.clone(),
+                        backend: backend.clone(),
+                        threads: t,
+                        scale,
+                    };
+                    eprintln!(
+                        "perflab: {} warmup={warmup} samples={samples} (base={base})...",
+                        cell.label()
+                    );
+                    for _ in 0..warmup {
+                        run_cell_once(&cell, nodes, base, &join_config);
+                    }
+                    for index in 0..samples {
+                        let outcome = run_cell_once(&cell, nodes, base, &join_config);
+                        let (profile, wall) = aggregate_profile(&outcome);
+                        doc.samples.push(Sample {
+                            cell: cell.clone(),
+                            index,
+                            wall_secs: outcome.wall_secs(),
+                            sim_secs: outcome.sim_secs(),
+                            shuffle_bytes: outcome.shuffle_bytes(),
+                            peak_rss_bytes: peak_rss_bytes(),
+                            stage_wall_secs: [
+                                outcome.stage1.wall_secs(),
+                                outcome.stage2.wall_secs(),
+                                outcome.stage3.wall_secs(),
+                            ],
+                            profile: Some(profile.to_json(wall)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    doc.summarize();
+    for s in &doc.summaries {
+        eprintln!(
+            "perflab: {}: median {:.4}s, min {:.4}s, mad {:.4}s over {} samples",
+            s.cell.label(),
+            s.wall_secs.median,
+            s.wall_secs.min,
+            s.wall_secs.mad,
+            s.samples
+        );
+    }
+    std::fs::write(out, doc.to_jsonl()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("perflab: wrote {out}");
+    Ok(0)
+}
+
+fn cmd_compare(flags: &Flags) -> Result<i32, String> {
+    flags.ensure_known(&["baseline", "candidate", "rel", "mad-k"])?;
+    let baseline_path = flags.require("baseline")?;
+    let candidate_path = flags.require("candidate")?;
+    let config = CompareConfig {
+        rel: flags.parsed("rel", DEFAULT_REL_SLACK)?,
+        mad_k: flags.parsed("mad-k", DEFAULT_MAD_K)?,
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| PerflabDoc::parse(&text).map_err(|e| format!("{path}: {e}")))
+    };
+    let baseline = read(baseline_path)?;
+    let candidate = read(candidate_path)?;
+    let (text, regressions) = compare(&baseline, &candidate, &config);
+    print!("{text}");
+    Ok(if regressions.is_empty() { 0 } else { 2 })
+}
+
+fn cmd_derive(flags: &Flags) -> Result<i32, String> {
+    flags.ensure_known(&["in", "out", "scale-wall"])?;
+    let input = flags.require("in")?;
+    let out = flags.require("out")?;
+    let factor: f64 = flags.parsed("scale-wall", 1.0)?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let mut doc = PerflabDoc::parse(&text).map_err(|e| format!("{input}: {e}"))?;
+    doc.scale_wall(factor);
+    std::fs::write(out, doc.to_jsonl()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("perflab: wrote {out} (wall x{factor})");
+    Ok(0)
+}
+
+fn cmd_profile(flags: &Flags) -> Result<i32, String> {
+    flags.ensure_known(&["out", "backends"])?;
+    let out = flags.require("out")?;
+    let backends = flags.list("backends", &["simulated", "sharded", "process"]);
+    let base = env_usize("BENCH_BASE", 2_000);
+    let nodes = env_usize("BENCH_NODES", 4);
+    let threads = host_parallelism();
+    let join_config = JoinConfig::recommended();
+    let dblp = datagen::dblp(base, seed());
+
+    let mut failed = false;
+    let mut backend_objs = Vec::new();
+    for name in &backends {
+        let backend = parse_backend(name)?;
+        let cluster = make_cluster(backend, threads, nodes, true);
+        load_corpus(&cluster, &dblp, 1, "/dblp");
+        let outcome = self_join(&cluster, "/dblp", "/work", &join_config).expect("self-join");
+        let (total, wall) = aggregate_profile(&outcome);
+        let coverage = total.coverage(wall);
+        // The merged-over-the-pipe proof: spill bytes always flow through
+        // the shuffle transport counters, which on the process backend are
+        // recorded inside worker processes.
+        let transported = total.busy_shuffle_transport_bytes;
+        eprintln!(
+            "perflab profile: {name}: {:.1}% of {wall:.3}s attributed, {transported} B transported",
+            coverage * 100.0
+        );
+        if coverage < 0.95 {
+            eprintln!("perflab profile: {name}: coverage below the 95% contract");
+            failed = true;
+        }
+        if backend != BackendKind::Simulated && transported == 0 {
+            eprintln!("perflab profile: {name}: no shuffle transport attributed");
+            failed = true;
+        }
+        let jobs = outcome
+            .all_jobs()
+            .map(|job| {
+                let p = mapreduce::JobProfile::from_metrics(job);
+                obj(vec![
+                    ("name", Json::Str(job.name.clone())),
+                    ("wall_secs", Json::Num(job.wall_secs)),
+                    ("coverage", Json::Num(p.coverage(job.wall_secs))),
+                    ("profile", p.to_json(job.wall_secs)),
+                ])
+            })
+            .collect();
+        backend_objs.push((
+            name.clone(),
+            obj(vec![
+                ("wall_secs", Json::Num(wall)),
+                ("coverage", Json::Num(coverage)),
+                ("aggregate", total.to_json(wall)),
+                ("jobs", Json::Arr(jobs)),
+            ]),
+        ));
+    }
+
+    let report = obj(vec![
+        ("schema", Json::Str("fuzzyjoin.profile".into())),
+        ("v", Json::Num(1.0)),
+        (
+            "provenance",
+            obj(vec![
+                ("generated_unix_secs", Json::Num(unix_now() as f64)),
+                ("host_parallelism", Json::Num(host_parallelism() as f64)),
+                ("threads", Json::Num(threads as f64)),
+                ("nodes", Json::Num(nodes as f64)),
+                ("base_records", Json::Num(base as f64)),
+                ("seed", Json::Num(seed() as f64)),
+                ("combo", Json::Str(join_config.combo_name())),
+            ]),
+        ),
+        ("backends", Json::Obj(backend_objs)),
+    ]);
+    std::fs::write(out, format!("{report}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("perflab profile: wrote {out}");
+    Ok(if failed { 2 } else { 0 })
+}
+
+const USAGE: &str = "\
+usage: perflab <run|compare|derive|profile> [--flag value ...]
+  run     --out FILE [--samples N] [--warmup N] [--workloads CSV]
+          [--backends CSV] [--threads CSV] [--scales CSV]
+  compare --baseline FILE --candidate FILE [--rel R] [--mad-k K]
+  derive  --in FILE --out FILE --scale-wall F
+  profile --out FILE [--backends CSV]
+env: BENCH_BASE, BENCH_NODES, REPRO_SEED
+";
+
+fn main() {
+    // If a driver re-spawned this binary as a process-backend worker, hand
+    // it over to the frame loop; never returns in that case.
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some(cmd) => Flags::parse(&argv[1..]).and_then(|flags| match cmd {
+            "run" => cmd_run(&flags),
+            "compare" => cmd_compare(&flags),
+            "derive" => cmd_derive(&flags),
+            "profile" => cmd_profile(&flags),
+            other => Err(format!("unknown subcommand {other:?}")),
+        }),
+        None => Err("missing subcommand".into()),
+    };
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("perflab: {e}\n{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //! 2 000; the paper's base is 1.2 M — shapes, not absolute seconds, are the
 //! reproduction target) and `REPRO_SEED`.
 
+pub mod perflab;
+pub mod stats;
+
 use datagen::DataRecord;
 use fuzzyjoin::{
     rs_join, run_report_resolved, self_join, Cluster, ClusterConfig, FilterConfig, JoinConfig,

@@ -1,0 +1,674 @@
+//! The perf lab: statistically sound wall-clock benchmarking with a
+//! schema-versioned sample log and a noise-scaled regression gate.
+//!
+//! # The `fuzzyjoin.bench` v3 JSONL format
+//!
+//! A perflab file is JSONL: one JSON document per line, discriminated by a
+//! `"t"` tag. Unlike the v1/v2 `fuzzyjoin.bench-backends` single-document
+//! reports (which keep only a best-of aggregate), v3 records **every timed
+//! sample** so later analysis can re-derive any statistic:
+//!
+//! * `{"t":"header", "schema":"fuzzyjoin.bench", "v":3, "provenance":{...}}`
+//!   — exactly one, first line. Provenance carries host parallelism,
+//!   thread/node counts, corpus base/seed, and warmup/sample counts.
+//! * `{"t":"sample", "cell":{...}, "sample":i, "wall_secs":w, ...}` — one
+//!   per timed sample, with simulated seconds, shuffle bytes, peak RSS,
+//!   the per-stage wall breakdown, and the summed per-phase profile.
+//! * `{"t":"summary", "cell":{...}, "samples":n, "wall_secs":{"median":m,
+//!   "min":lo, "mad":d}, ...}` — one per cell, the noise-aware statistics
+//!   over that cell's samples.
+//!
+//! A *cell* is one (workload × backend × threads × corpus-scale)
+//! combination. Consumers must ignore unknown fields; `v` is bumped only
+//! when a field is removed or changes meaning.
+//!
+//! # The regression rule
+//!
+//! `compare` flags a cell when the candidate median exceeds the baseline
+//! median by more than the larger of a relative slack and a noise slack:
+//!
+//! ```text
+//! new_median > old_median + max(rel * old_median, mad_k * old_mad)
+//! ```
+//!
+//! The MAD term makes the gate self-calibrating: a cell whose baseline
+//! samples are noisy gets proportionally more headroom, while a tight cell
+//! is held to the relative threshold alone. Cells present on only one side
+//! are reported but never gate.
+
+use fuzzyjoin::JoinOutcome;
+use mapreduce::{obj, JobProfile, Json};
+
+use crate::stats;
+
+/// The v3 sample-log schema name (`schema` field of the header line).
+pub const PERFLAB_SCHEMA: &str = "fuzzyjoin.bench";
+
+/// Current perflab schema version (the `v` field of the header line).
+pub const PERFLAB_SCHEMA_VERSION: u64 = 3;
+
+/// Default relative regression slack (fraction of the baseline median).
+pub const DEFAULT_REL_SLACK: f64 = 0.20;
+
+/// Default noise slack multiplier (baseline MADs of headroom).
+pub const DEFAULT_MAD_K: f64 = 5.0;
+
+/// One benchmark cell: a (workload × backend × threads × scale) point.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cell {
+    /// Workload name (`selfjoin` or `rsjoin`).
+    pub workload: String,
+    /// Backend name (`simulated`, `sharded`, `process`).
+    pub backend: String,
+    /// Worker thread count the cell ran with.
+    pub threads: usize,
+    /// Corpus scale factor (×n over the base record count).
+    pub scale: usize,
+}
+
+impl Cell {
+    /// Stable human-readable label, also used as the join key in compare.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/t{}/x{}",
+            self.workload, self.backend, self.threads, self.scale
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("backend", Json::Str(self.backend.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("scale", Json::Num(self.scale as f64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Cell> {
+        Some(Cell {
+            workload: j.get("workload")?.as_str()?.to_string(),
+            backend: j.get("backend")?.as_str()?.to_string(),
+            threads: j.get("threads")?.as_u64()? as usize,
+            scale: j.get("scale")?.as_u64()? as usize,
+        })
+    }
+}
+
+/// One timed sample of a cell.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The cell this sample belongs to.
+    pub cell: Cell,
+    /// Zero-based sample index within the cell (warmups are not logged).
+    pub index: usize,
+    /// Total measured wall seconds of the join (sum of job walls).
+    pub wall_secs: f64,
+    /// Simulated cluster seconds (backend-invariant by construction).
+    pub sim_secs: f64,
+    /// Total shuffle bytes moved.
+    pub shuffle_bytes: u64,
+    /// Process peak RSS in bytes at the end of the sample (`VmHWM`; a
+    /// process-lifetime high-water mark, so within one run it is
+    /// monotone across samples — comparable between runs, not samples).
+    pub peak_rss_bytes: u64,
+    /// Per-stage wall seconds `[stage1, stage2, stage3]`.
+    pub stage_wall_secs: [f64; 3],
+    /// Summed per-phase profile across the join's jobs (the
+    /// `JobProfile::to_json` shape), when profiling data was collected.
+    pub profile: Option<Json>,
+}
+
+impl Sample {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("t", Json::Str("sample".into())),
+            ("cell", self.cell.to_json()),
+            ("sample", Json::Num(self.index as f64)),
+            ("wall_secs", Json::Num(self.wall_secs)),
+            ("sim_secs", Json::Num(self.sim_secs)),
+            ("shuffle_bytes", Json::Num(self.shuffle_bytes as f64)),
+            ("peak_rss_bytes", Json::Num(self.peak_rss_bytes as f64)),
+            (
+                "stages",
+                obj(vec![
+                    ("stage1_wall_secs", Json::Num(self.stage_wall_secs[0])),
+                    ("stage2_wall_secs", Json::Num(self.stage_wall_secs[1])),
+                    ("stage3_wall_secs", Json::Num(self.stage_wall_secs[2])),
+                ]),
+            ),
+        ];
+        if let Some(profile) = &self.profile {
+            fields.push(("profile", profile.clone()));
+        }
+        obj(fields)
+    }
+
+    fn from_json(j: &Json) -> Option<Sample> {
+        let stages = j.get("stages")?;
+        let stage = |name: &str| stages.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+        Some(Sample {
+            cell: Cell::from_json(j.get("cell")?)?,
+            index: j.get("sample")?.as_u64()? as usize,
+            wall_secs: j.get("wall_secs")?.as_f64()?,
+            sim_secs: j.get("sim_secs")?.as_f64()?,
+            shuffle_bytes: j.get("shuffle_bytes")?.as_u64()?,
+            peak_rss_bytes: j.get("peak_rss_bytes").and_then(Json::as_u64).unwrap_or(0),
+            stage_wall_secs: [
+                stage("stage1_wall_secs"),
+                stage("stage2_wall_secs"),
+                stage("stage3_wall_secs"),
+            ],
+            profile: j.get("profile").cloned(),
+        })
+    }
+}
+
+/// Noise-aware statistics over one metric of a cell's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median sample (the gate's comparison point).
+    pub median: f64,
+    /// Smallest sample (the least-noise observation).
+    pub min: f64,
+    /// Median absolute deviation (the gate's noise scale).
+    pub mad: f64,
+}
+
+impl Stats {
+    /// Compute the summary statistics of `samples`.
+    pub fn of(samples: &[f64]) -> Stats {
+        Stats {
+            median: stats::median(samples),
+            min: stats::min(samples),
+            mad: stats::mad(samples),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("median", Json::Num(self.median)),
+            ("min", Json::Num(self.min)),
+            ("mad", Json::Num(self.mad)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Stats> {
+        Some(Stats {
+            median: j.get("median")?.as_f64()?,
+            min: j.get("min")?.as_f64()?,
+            mad: j.get("mad").and_then(Json::as_f64).unwrap_or(0.0),
+        })
+    }
+}
+
+/// Per-cell summary line: the statistics `compare` gates on.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The summarized cell.
+    pub cell: Cell,
+    /// Number of timed samples behind the statistics.
+    pub samples: usize,
+    /// Wall-clock statistics (the gated metric).
+    pub wall_secs: Stats,
+    /// Simulated-seconds statistics (diagnostic; backend-invariant).
+    pub sim_secs: Stats,
+    /// Shuffle bytes (identical across samples by determinism).
+    pub shuffle_bytes: u64,
+}
+
+impl Summary {
+    /// Summarize one cell's samples.
+    pub fn of(cell: Cell, samples: &[&Sample]) -> Summary {
+        let walls: Vec<f64> = samples.iter().map(|s| s.wall_secs).collect();
+        let sims: Vec<f64> = samples.iter().map(|s| s.sim_secs).collect();
+        Summary {
+            cell,
+            samples: samples.len(),
+            wall_secs: Stats::of(&walls),
+            sim_secs: Stats::of(&sims),
+            shuffle_bytes: samples.first().map_or(0, |s| s.shuffle_bytes),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("t", Json::Str("summary".into())),
+            ("cell", self.cell.to_json()),
+            ("samples", Json::Num(self.samples as f64)),
+            ("wall_secs", self.wall_secs.to_json()),
+            ("sim_secs", self.sim_secs.to_json()),
+            ("shuffle_bytes", Json::Num(self.shuffle_bytes as f64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Summary> {
+        Some(Summary {
+            cell: Cell::from_json(j.get("cell")?)?,
+            samples: j.get("samples")?.as_u64()? as usize,
+            wall_secs: Stats::from_json(j.get("wall_secs")?)?,
+            sim_secs: Stats::from_json(j.get("sim_secs")?)?,
+            shuffle_bytes: j.get("shuffle_bytes").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// A parsed (or freshly measured) perflab document.
+#[derive(Debug, Clone)]
+pub struct PerflabDoc {
+    /// The header's provenance object, verbatim.
+    pub provenance: Json,
+    /// Every timed sample, in measurement order.
+    pub samples: Vec<Sample>,
+    /// Per-cell summaries, in cell order.
+    pub summaries: Vec<Summary>,
+}
+
+impl Default for PerflabDoc {
+    fn default() -> Self {
+        PerflabDoc {
+            provenance: Json::Null,
+            samples: Vec::new(),
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl PerflabDoc {
+    /// Build the per-cell summaries from `self.samples` (replacing any
+    /// existing ones), keeping cells in first-seen order.
+    pub fn summarize(&mut self) {
+        let mut cells: Vec<Cell> = Vec::new();
+        for s in &self.samples {
+            if !cells.contains(&s.cell) {
+                cells.push(s.cell.clone());
+            }
+        }
+        self.summaries = cells
+            .into_iter()
+            .map(|cell| {
+                let of_cell: Vec<&Sample> =
+                    self.samples.iter().filter(|s| s.cell == cell).collect();
+                Summary::of(cell, &of_cell)
+            })
+            .collect();
+    }
+
+    /// Serialize to the v3 JSONL format (header, samples, summaries).
+    pub fn to_jsonl(&self) -> String {
+        let header = obj(vec![
+            ("t", Json::Str("header".into())),
+            ("schema", Json::Str(PERFLAB_SCHEMA.into())),
+            ("v", Json::Num(PERFLAB_SCHEMA_VERSION as f64)),
+            ("provenance", self.provenance.clone()),
+        ]);
+        let mut out = format!("{header}\n");
+        for s in &self.samples {
+            out.push_str(&s.to_json().to_string());
+            out.push('\n');
+        }
+        for s in &self.summaries {
+            out.push_str(&s.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a v3 JSONL document, validating the header's schema and
+    /// version. Unknown `"t"` tags and unknown fields are ignored (the
+    /// additive-compatibility contract).
+    pub fn parse(text: &str) -> Result<PerflabDoc, String> {
+        let mut doc = PerflabDoc::default();
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let j = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            match j.get("t").and_then(Json::as_str) {
+                Some("header") => {
+                    let schema = j.get("schema").and_then(Json::as_str).unwrap_or("");
+                    if schema != PERFLAB_SCHEMA {
+                        return Err(format!("line {}: schema {schema:?}", lineno + 1));
+                    }
+                    let v = j.get("v").and_then(Json::as_u64).unwrap_or(0);
+                    if v != PERFLAB_SCHEMA_VERSION {
+                        return Err(format!(
+                            "line {}: unsupported version {v} (expected {PERFLAB_SCHEMA_VERSION})",
+                            lineno + 1
+                        ));
+                    }
+                    doc.provenance = j.get("provenance").cloned().unwrap_or(Json::Null);
+                    saw_header = true;
+                }
+                Some("sample") => {
+                    let s = Sample::from_json(&j)
+                        .ok_or_else(|| format!("line {}: malformed sample", lineno + 1))?;
+                    doc.samples.push(s);
+                }
+                Some("summary") => {
+                    let s = Summary::from_json(&j)
+                        .ok_or_else(|| format!("line {}: malformed summary", lineno + 1))?;
+                    doc.summaries.push(s);
+                }
+                // Forward compatibility: skip unknown record types.
+                Some(_) => {}
+                None => return Err(format!("line {}: missing \"t\" tag", lineno + 1)),
+            }
+        }
+        if !saw_header {
+            return Err("no header line (expected fuzzyjoin.bench v3 JSONL)".into());
+        }
+        Ok(doc)
+    }
+
+    /// Multiply every wall-clock figure (samples and summaries) by
+    /// `factor`, leaving simulated seconds and byte counts untouched.
+    /// Used by `perflab derive --scale-wall` to manufacture a known
+    /// regression for gate testing.
+    pub fn scale_wall(&mut self, factor: f64) {
+        for s in &mut self.samples {
+            s.wall_secs *= factor;
+            for w in &mut s.stage_wall_secs {
+                *w *= factor;
+            }
+        }
+        for s in &mut self.summaries {
+            s.wall_secs.median *= factor;
+            s.wall_secs.min *= factor;
+            s.wall_secs.mad *= factor;
+        }
+    }
+}
+
+/// Gate configuration for [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Relative slack: fraction of the baseline median always allowed.
+    pub rel: f64,
+    /// Noise slack: baseline MADs of additional headroom.
+    pub mad_k: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            rel: DEFAULT_REL_SLACK,
+            mad_k: DEFAULT_MAD_K,
+        }
+    }
+}
+
+/// One gated cell that exceeded its allowance.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// The regressed cell.
+    pub cell: Cell,
+    /// Baseline median wall seconds.
+    pub old_median: f64,
+    /// Candidate median wall seconds.
+    pub new_median: f64,
+    /// The maximum median the gate would have allowed.
+    pub allowed: f64,
+}
+
+/// Compare candidate summaries against baseline summaries cell-by-cell.
+///
+/// Returns the human-readable comparison table and the list of regressed
+/// cells (empty = gate passes). Cells present in only one document are
+/// listed but never gate — a new cell has no baseline to regress from.
+pub fn compare(
+    baseline: &PerflabDoc,
+    candidate: &PerflabDoc,
+    config: &CompareConfig,
+) -> (String, Vec<Regression>) {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(
+        text,
+        "perflab compare: gate = median > baseline + max({:.0}% of baseline, {} MAD)",
+        config.rel * 100.0,
+        config.mad_k
+    );
+    for b in &baseline.summaries {
+        let Some(c) = candidate.summaries.iter().find(|c| c.cell == b.cell) else {
+            let _ = writeln!(text, "  {}: only in baseline (skipped)", b.cell.label());
+            continue;
+        };
+        let slack = (config.rel * b.wall_secs.median).max(config.mad_k * b.wall_secs.mad);
+        let allowed = b.wall_secs.median + slack;
+        let delta = if b.wall_secs.median > 0.0 {
+            100.0 * (c.wall_secs.median - b.wall_secs.median) / b.wall_secs.median
+        } else {
+            0.0
+        };
+        let verdict = if c.wall_secs.median > allowed {
+            regressions.push(Regression {
+                cell: b.cell.clone(),
+                old_median: b.wall_secs.median,
+                new_median: c.wall_secs.median,
+                allowed,
+            });
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            text,
+            "  {}: {:.4}s -> {:.4}s ({delta:+.1}%, allowed <= {allowed:.4}s, mad {:.4}s) {verdict}",
+            b.cell.label(),
+            b.wall_secs.median,
+            c.wall_secs.median,
+            b.wall_secs.mad,
+        );
+    }
+    for c in &candidate.summaries {
+        if !baseline.summaries.iter().any(|b| b.cell == c.cell) {
+            let _ = writeln!(text, "  {}: new cell (not gated)", c.cell.label());
+        }
+    }
+    let _ = writeln!(
+        text,
+        "perflab compare: {} cell(s) regressed",
+        regressions.len()
+    );
+    (text, regressions)
+}
+
+/// Sum the per-job phase profiles of a join into one aggregate, returning
+/// the aggregate and the summed job wall seconds it covers. Coverage of
+/// the aggregate against that wall is the join-level ≥95 % contract.
+pub fn aggregate_profile(outcome: &JoinOutcome) -> (JobProfile, f64) {
+    let mut total = JobProfile::default();
+    let mut wall = 0.0;
+    for job in outcome.all_jobs() {
+        let p = JobProfile::from_metrics(job);
+        total.wall_setup_us += p.wall_setup_us;
+        total.wall_spawn_us += p.wall_spawn_us;
+        total.wall_map_us += p.wall_map_us;
+        total.wall_regroup_us += p.wall_regroup_us;
+        total.wall_reduce_us += p.wall_reduce_us;
+        total.wall_commit_us += p.wall_commit_us;
+        total.wall_finalize_us += p.wall_finalize_us;
+        total.busy_map_exec_us += p.busy_map_exec_us;
+        total.busy_spill_us += p.busy_spill_us;
+        total.busy_spill_bytes += p.busy_spill_bytes;
+        total.busy_shuffle_transport_us += p.busy_shuffle_transport_us;
+        total.busy_shuffle_transport_bytes += p.busy_shuffle_transport_bytes;
+        total.busy_regroup_us += p.busy_regroup_us;
+        total.busy_merge_us += p.busy_merge_us;
+        total.busy_reduce_exec_us += p.busy_reduce_exec_us;
+        wall += job.wall_secs;
+    }
+    (total, wall)
+}
+
+/// Process peak RSS (`VmHWM`) in bytes, read from `/proc/self/status`.
+/// Returns 0 where the procfs field is unavailable (non-Linux).
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(backend: &str) -> Cell {
+        Cell {
+            workload: "selfjoin".into(),
+            backend: backend.into(),
+            threads: 4,
+            scale: 1,
+        }
+    }
+
+    fn sample(cell: &Cell, index: usize, wall: f64) -> Sample {
+        Sample {
+            cell: cell.clone(),
+            index,
+            wall_secs: wall,
+            sim_secs: 2.5,
+            shuffle_bytes: 4096,
+            peak_rss_bytes: 1 << 20,
+            stage_wall_secs: [wall * 0.5, wall * 0.3, wall * 0.2],
+            profile: None,
+        }
+    }
+
+    fn doc_with_walls(walls: &[f64]) -> PerflabDoc {
+        let c = cell("sharded");
+        let mut doc = PerflabDoc {
+            provenance: obj(vec![("host_parallelism", Json::Num(8.0))]),
+            samples: walls
+                .iter()
+                .enumerate()
+                .map(|(i, w)| sample(&c, i, *w))
+                .collect(),
+            summaries: Vec::new(),
+        };
+        doc.summarize();
+        doc
+    }
+
+    #[test]
+    fn jsonl_round_trips_header_samples_and_summaries() {
+        let doc = doc_with_walls(&[1.0, 1.2, 1.1]);
+        let text = doc.to_jsonl();
+        assert!(text.starts_with("{\"t\":\"header\""), "{text}");
+        assert!(text.contains("\"schema\":\"fuzzyjoin.bench\""));
+        let back = PerflabDoc::parse(&text).unwrap();
+        assert_eq!(back.samples.len(), 3);
+        assert_eq!(back.summaries.len(), 1);
+        let s = &back.summaries[0];
+        assert_eq!(s.cell.label(), "selfjoin/sharded/t4/x1");
+        assert!((s.wall_secs.median - 1.1).abs() < 1e-12);
+        assert!((s.wall_secs.min - 1.0).abs() < 1e-12);
+        assert_eq!(s.shuffle_bytes, 4096);
+        assert_eq!(back.samples[0].peak_rss_bytes, 1 << 20);
+        assert!((back.samples[0].stage_wall_secs[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_version_and_missing_header() {
+        let doc = doc_with_walls(&[1.0]);
+        let v4 = doc.to_jsonl().replacen("\"v\":3", "\"v\":4", 1);
+        assert!(PerflabDoc::parse(&v4).unwrap_err().contains("version 4"));
+        assert!(PerflabDoc::parse("").unwrap_err().contains("no header"));
+        // Unknown record types and fields are ignored (additive contract).
+        let mut text = doc.to_jsonl();
+        text.push_str("{\"t\":\"from_the_future\",\"x\":1}\n");
+        let text = text.replacen(
+            "{\"t\":\"sample\"",
+            "{\"novel_field\":true,\"t\":\"sample\"",
+            1,
+        );
+        let back = PerflabDoc::parse(&text).unwrap();
+        assert_eq!(back.samples.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_2x_regression_fails_the_gate() {
+        let baseline = doc_with_walls(&[1.0, 1.05, 0.95, 1.0, 1.02]);
+        let mut candidate = baseline.clone();
+        candidate.scale_wall(2.0);
+        let (text, regressions) = compare(&baseline, &candidate, &CompareConfig::default());
+        assert_eq!(regressions.len(), 1, "{text}");
+        let r = &regressions[0];
+        assert!((r.new_median - 2.0 * r.old_median).abs() < 1e-9);
+        assert!(r.new_median > r.allowed);
+        assert!(text.contains("REGRESSED"), "{text}");
+    }
+
+    #[test]
+    fn identical_and_noise_level_runs_pass_the_gate() {
+        let baseline = doc_with_walls(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        // Identical candidate: trivially passes.
+        let (text, regressions) = compare(&baseline, &baseline, &CompareConfig::default());
+        assert!(regressions.is_empty(), "{text}");
+        // Candidate within the relative slack: passes.
+        let mut close = baseline.clone();
+        close.scale_wall(1.1);
+        let (text, regressions) = compare(&baseline, &close, &CompareConfig::default());
+        assert!(regressions.is_empty(), "{text}");
+    }
+
+    #[test]
+    fn mad_slack_gives_noisy_baselines_headroom() {
+        // Tight baseline: MAD 0, so the relative slack (20%) governs and
+        // a 1.5x candidate regresses.
+        let tight = doc_with_walls(&[1.0, 1.0, 1.0]);
+        let mut cand = tight.clone();
+        cand.scale_wall(1.5);
+        let (_, r) = compare(&tight, &cand, &CompareConfig::default());
+        assert_eq!(r.len(), 1);
+        // Noisy baseline (MAD 0.5): 5 MADs = 2.5s headroom, the same 1.5x
+        // median shift stays inside it.
+        let noisy = doc_with_walls(&[1.0, 0.5, 1.5, 0.4, 1.6]);
+        let mut cand = noisy.clone();
+        cand.scale_wall(1.5);
+        let (text, r) = compare(&noisy, &cand, &CompareConfig::default());
+        assert!(r.is_empty(), "{text}");
+    }
+
+    #[test]
+    fn missing_and_new_cells_never_gate() {
+        let baseline = doc_with_walls(&[1.0]);
+        let mut candidate = PerflabDoc::default();
+        let other = cell("process");
+        candidate.samples = vec![sample(&other, 0, 9.0)];
+        candidate.summarize();
+        let (text, regressions) = compare(&baseline, &candidate, &CompareConfig::default());
+        assert!(regressions.is_empty(), "{text}");
+        assert!(text.contains("only in baseline"), "{text}");
+        assert!(text.contains("new cell"), "{text}");
+    }
+
+    #[test]
+    fn peak_rss_reads_a_plausible_value_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 1 << 20, "test process surely exceeds 1 MiB: {rss}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Noise-aware summary statistics for benchmark samples.
+//!
+//! The perf lab deliberately avoids the mean: a single OS-scheduler hiccup
+//! inflates it arbitrarily. Following the practice of robust benchmarking
+//! harnesses, every cell is summarized by its **median** (the central
+//! tendency the gate compares), its **min** (the least-noise observation,
+//! useful for eyeballing the floor), and its **MAD** — the median absolute
+//! deviation from the median — which scales the gate's regression
+//! threshold to the cell's actually-observed run-to-run noise.
+
+/// Median of the samples: the mean of the two middle order statistics for
+/// even `n`. Returns 0.0 for an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Smallest sample. Returns 0.0 for an empty slice.
+pub fn min(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Median absolute deviation from the median: `median(|x - median(xs)|)`.
+/// Zero for empty or single-sample input (no observable noise).
+pub fn mad(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: median via explicit sort and index arithmetic.
+    fn oracle_median(samples: &[f64]) -> f64 {
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        match s.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => s[n / 2],
+            n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+        }
+    }
+
+    #[test]
+    fn median_matches_sorted_oracle_for_odd_and_even_n() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![3.0],
+            vec![2.0, 1.0],
+            vec![9.0, 1.0, 5.0],
+            vec![4.0, 1.0, 3.0, 2.0],
+            vec![10.0, 10.0, 10.0, 10.0, 0.1],
+            (0..17).map(|i| ((i * 7919) % 23) as f64).collect(),
+        ];
+        for xs in &cases {
+            assert_eq!(median(xs), oracle_median(xs), "{xs:?}");
+        }
+        // Input order must not matter.
+        let shuffled = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(median(&shuffled), 3.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn even_n_median_is_the_mean_of_the_middle_two() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[1.0, 100.0]), 50.5);
+    }
+
+    #[test]
+    fn min_is_the_smallest_sample() {
+        assert_eq!(min(&[3.0, 1.0, 2.0]), 1.0);
+        assert_eq!(min(&[7.5]), 7.5);
+        assert_eq!(min(&[]), 0.0);
+    }
+
+    #[test]
+    fn mad_measures_spread_around_the_median() {
+        // median = 3, |x-3| = [2,1,0,1,2], median of that = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+        // Constant series has zero deviation.
+        assert_eq!(mad(&[4.0, 4.0, 4.0]), 0.0);
+        // A single outlier does not explode the MAD (unlike stddev):
+        // median = 1, deviations [0,0,0,0,99] → median deviation 0.
+        assert_eq!(mad(&[1.0, 1.0, 1.0, 1.0, 100.0]), 0.0);
+        assert_eq!(mad(&[5.0]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
+    }
+}

@@ -106,6 +106,13 @@ observability (selfjoin/rsjoin):
                       report (fuzzyjoin.run-report v1)
   --report yes        print the detailed per-job report (histogram
                       percentiles, hot keys, fault statistics)
+  --profile yes       print the per-job phase profile: wall time split into
+                      setup/spawn/map/regroup/reduce/commit/finalize
+                      windows plus busy attribution (map-exec, spill,
+                      shuffle transport, regroup, merge, reduce-exec) —
+                      measured on every backend, merged back from worker
+                      processes; with --trace-out, one \"profile\" trace
+                      event per job carries the same data as JSON
 ";
 
 /// Hidden worker entry for `--backend process`: when this binary was
@@ -198,6 +205,7 @@ const JOIN_FLAGS: &[&str] = &[
     "trace-out",
     "metrics-json",
     "report",
+    "profile",
 ];
 
 /// Parse the fault-injection flags: `--fault-plan` gives the rates (and
@@ -505,6 +513,13 @@ fn emit_observability(
         text.push('\n');
         text.push_str(&outcome.report());
     }
+    if args.get("profile").is_some() {
+        text.push_str("\nphase profile (wall windows + busy attribution):\n");
+        for job in outcome.all_jobs() {
+            let profile = mapreduce::JobProfile::from_metrics(job);
+            text.push_str(&profile.render(&job.name, job.wall_secs));
+        }
+    }
     Ok(())
 }
 
@@ -551,6 +566,7 @@ fn make_cluster(nodes: usize, args: &Args) -> Result<Cluster, String> {
         task_timeout_secs,
         heartbeat_interval_secs,
         heartbeat_grace,
+        profile: args.get("profile").is_some(),
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 4 << 20).map_err(|e| e.to_string())
@@ -987,6 +1003,30 @@ mod more_tests {
         assert!(err.contains("bad --bad-records"), "{err}");
         let err = run(&argv("selfjoin --input a --out b --resume maybe")).unwrap_err();
         assert!(err.contains("bad --resume"), "{err}");
+    }
+
+    #[test]
+    fn profile_flag_prints_phase_attribution_and_keeps_output_identical() {
+        let corpus = tmp("pf.tsv");
+        run(&argv(&format!(
+            "gen --kind dblp --records 200 --seed 13 --out {corpus}"
+        )))
+        .unwrap();
+        let run_with = |extra: &str, out: &str| {
+            let msg = run(&argv(&format!(
+                "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 2 \
+                 --backend sharded {extra}"
+            )))
+            .unwrap();
+            (msg, fs::read_to_string(out).unwrap())
+        };
+        let (plain_msg, plain) = run_with("", &tmp("pf-plain.tsv"));
+        assert!(!plain_msg.contains("phase profile"), "{plain_msg}");
+        let (msg, profiled) = run_with("--profile yes", &tmp("pf-prof.tsv"));
+        assert_eq!(profiled, plain, "profiling must not change the pairs");
+        assert!(msg.contains("phase profile"), "{msg}");
+        assert!(msg.contains("wall attributed"), "{msg}");
+        assert!(msg.contains("map "), "{msg}");
     }
 
     #[test]

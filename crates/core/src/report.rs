@@ -14,7 +14,9 @@
 //! fields; [`REPORT_SCHEMA_VERSION`] is bumped only when an existing field
 //! is removed or changes meaning, never for additions.
 
-use mapreduce::{obj, Cluster, HistogramSnapshot, JobMetrics, Json, PipelineMetrics, Result};
+use mapreduce::{
+    obj, Cluster, HistogramSnapshot, JobMetrics, JobProfile, Json, PipelineMetrics, Result,
+};
 
 use crate::config::JoinConfig;
 use crate::pipeline::JoinOutcome;
@@ -52,12 +54,19 @@ fn resolve_label(label: &str, tokens: Option<&[String]>) -> Option<String> {
 }
 
 fn job_json(job: &JobMetrics, tokens: Option<&[String]>) -> Json {
-    let phase = |p: &mapreduce::PhaseMetrics| {
+    // Additive (no `v` bump): phase objects carry the *measured* wall
+    // window alongside the modeled makespan. `makespan_secs` is simulated
+    // schedule time, which on the sharded/process backends says nothing
+    // about how long the phase really took on this host; `wall_secs` is
+    // the driver-observed window from the per-phase profiler.
+    let profile = JobProfile::from_metrics(job);
+    let phase = |p: &mapreduce::PhaseMetrics, wall_us: u64| {
         obj(vec![
             ("tasks", num(p.tasks as u64)),
             ("total_task_secs", Json::Num(p.total_task_secs)),
             ("max_task_secs", Json::Num(p.max_task_secs)),
             ("makespan_secs", Json::Num(p.makespan_secs)),
+            ("wall_secs", Json::Num(wall_us as f64 / 1e6)),
             ("skew", Json::Num(p.skew())),
         ])
     };
@@ -94,8 +103,8 @@ fn job_json(job: &JobMetrics, tokens: Option<&[String]>) -> Json {
         ("wall_secs", Json::Num(job.wall_secs)),
         ("shuffle_bytes", num(job.shuffle_bytes)),
         ("shuffle_records", num(job.shuffle_records)),
-        ("map", phase(&job.map)),
-        ("reduce", phase(&job.reduce)),
+        ("map", phase(&job.map, profile.wall_map_us)),
+        ("reduce", phase(&job.reduce, profile.wall_reduce_us)),
         ("reduce_input_groups", num(job.reduce_input_groups)),
         ("reduce_output_records", num(job.reduce_output_records)),
         ("task_retries", num(job.task_retries)),
@@ -113,6 +122,8 @@ fn job_json(job: &JobMetrics, tokens: Option<&[String]>) -> Json {
         ("counters", counters),
         ("histograms", histograms),
         ("reduce_key_heavy_hitters", hitters),
+        // Additive (no `v` bump): the full per-phase profile object.
+        ("profile", profile.to_json(job.wall_secs)),
     ])
 }
 
@@ -242,7 +253,11 @@ mod tests {
             shuffle_records: 40,
             task_retries: 1,
             output_commits: 2,
-            counters: vec![("stage2.candidates".into(), 9)],
+            counters: vec![
+                ("profile.wall.map_us".into(), 1_500_000),
+                ("profile.wall.reduce_us".into(), 500_000),
+                ("stage2.candidates".into(), 9),
+            ],
             reduce_key_heavy_hitters: vec![("rank:1".into(), 30), ("rank:0".into(), 10)],
             ..Default::default()
         });
@@ -335,6 +350,50 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(640)
         );
+        // The per-phase `wall_secs` / `profile` additions are themselves
+        // additive: every pre-existing field is still found after they
+        // landed, and a consumer that knows about them finds them too.
+        let jobs = reparsed.get("stages").and_then(Json::as_arr).unwrap()[1]
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .unwrap();
+        let map = jobs[0].get("map").unwrap();
+        assert!(map.get("makespan_secs").is_some());
+        assert!(map.get("wall_secs").is_some());
+        assert!(jobs[0].get("profile").is_some());
+    }
+
+    #[test]
+    fn phase_objects_carry_measured_wall_and_a_profile_object() {
+        // The v1 gap this closes: on the sharded/process backends
+        // `makespan_secs` is modeled schedule time, so reports carried no
+        // *measured* per-phase wall at all. The phase windows recorded by
+        // the profiler now surface as `wall_secs` without a `v` bump.
+        let outcome = outcome_with_hitters();
+        let report = run_report(&outcome, &JoinConfig::recommended(), None);
+        assert_eq!(report.get("v").and_then(Json::as_u64), Some(1));
+        let jobs = report.get("stages").and_then(Json::as_arr).unwrap()[1]
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .unwrap();
+        let map_wall = jobs[0]
+            .get("map")
+            .unwrap()
+            .get("wall_secs")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((map_wall - 1.5).abs() < 1e-9, "{map_wall}");
+        let reduce_wall = jobs[0]
+            .get("reduce")
+            .unwrap()
+            .get("wall_secs")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((reduce_wall - 0.5).abs() < 1e-9, "{reduce_wall}");
+        let profile = jobs[0].get("profile").unwrap();
+        assert!(profile.get("wall_us").is_some());
+        assert!(profile.get("busy_us").is_some());
+        assert!(profile.get("coverage").and_then(Json::as_f64).is_some());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! construction (wall-clock, of course, is not).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -54,6 +55,7 @@ use crate::engine::{
 };
 use crate::error::{MrError, Result};
 use crate::mapper::Mapper;
+use crate::profile::{self, secs_to_us};
 use crate::reducer::Reducer;
 use crate::run::Run;
 use crate::shuffle::{bounded, Semaphore};
@@ -177,11 +179,16 @@ impl ExecutionBackend for SimulatedBackend {
             num_reducers,
             ..
         } = params;
+        // The three phases run strictly back-to-back here, so the map /
+        // regroup / reduce wall windows are exact sequential spans.
+        let exec_start = Instant::now();
+        let counters = map_shared.counters;
         let (mut map_outs, map_stats): (Vec<MapTaskOut>, RetryStats) =
             run_tasks(map_items, threads, policy, |item, attempt| {
                 run_map_task(item, attempt, map_shared)
             })?;
         map_outs.sort_by_key(|o| o.task_id);
+        let map_done = exec_start.elapsed().as_secs_f64();
 
         // Shuffle: regroup runs by partition in one serial pass. Map
         // outputs are visited in task order, runs within a task in spill
@@ -201,6 +208,7 @@ impl ExecutionBackend for SimulatedBackend {
                 }
             }
         }
+        let regroup_done = exec_start.elapsed().as_secs_f64();
 
         let reduce_items: Vec<ReduceItem<M, R>> = partition_runs
             .into_iter()
@@ -210,6 +218,16 @@ impl ExecutionBackend for SimulatedBackend {
         let reduce_result = run_tasks(reduce_items, threads, policy, |item, attempt| {
             run_reduce_task(item, attempt, reduce_shared)
         });
+        counters.get(profile::WALL_MAP_US).add(secs_to_us(map_done));
+        counters
+            .get(profile::WALL_REGROUP_US)
+            .add(secs_to_us(regroup_done - map_done));
+        counters
+            .get(profile::BUSY_REGROUP_US)
+            .add(secs_to_us(regroup_done - map_done));
+        counters.get(profile::WALL_REDUCE_US).add(secs_to_us(
+            exec_start.elapsed().as_secs_f64() - regroup_done,
+        ));
         Ok(ExecOutcome {
             map_outs,
             map_stats,
@@ -246,6 +264,20 @@ impl ExecutionBackend for ShardedBackend {
         let counters = map_shared.counters;
         let trace = map_shared.cluster.trace();
         let job_name = map_shared.job_name;
+
+        // Per-phase profile. Map and reduce overlap in wall time on this
+        // backend (drains collect while maps still run), so the wall split
+        // point is defined as the instant the *last* map worker exits —
+        // its channel senders drop there, which is exactly what unblocks
+        // the reduce bodies. Workers race `fetch_max` with their exit
+        // offset; the max is the split. Transport time is the blocking
+        // portion of bounded-channel sends; regroup is the drain-side
+        // restore of canonical run order.
+        let exec_start = Instant::now();
+        let maps_done_ns = AtomicU64::new(0);
+        let transport_us = counters.get(profile::BUSY_SHUFFLE_TRANSPORT_US);
+        let transport_bytes = counters.get(profile::BUSY_SHUFFLE_TRANSPORT_BYTES);
+        let regroup_ctr = counters.get(profile::BUSY_REGROUP_US);
 
         // Wall-clock supervision, sharded flavour: scoped worker threads
         // cannot be killed, so an expired deadline trips a cooperative
@@ -334,11 +366,14 @@ impl ExecutionBackend for ShardedBackend {
                 let map_error = &map_error;
                 let cancel = &cancel;
                 let watch_task = &watch_task;
+                let maps_done_ns = &maps_done_ns;
+                let transport_us = &transport_us;
+                let transport_bytes = &transport_bytes;
                 s.spawn(move |_| {
                     let home = w % nodes;
                     loop {
                         if map_error.lock().is_some() || cancel.is_cancelled() {
-                            return;
+                            break;
                         }
                         // Own shard first, then steal round-robin.
                         let mut item = None;
@@ -348,7 +383,7 @@ impl ExecutionBackend for ShardedBackend {
                                 break;
                             }
                         }
-                        let Some(item) = item else { return };
+                        let Some(item) = item else { break };
                         let guard = watch_task(crate::task::Phase::Map, item.task_id);
                         let attempt_result = run_with_retries(&item, &policy, &|item, attempt| {
                             run_map_task(item, attempt, map_shared)
@@ -362,14 +397,24 @@ impl ExecutionBackend for ShardedBackend {
                                 // job — and a tripped cancel token means
                                 // this result arrived past its deadline;
                                 // either way, just bow out.
-                                for (p, runs) in out.runs.drain(..).enumerate() {
+                                let mut bailed = false;
+                                'send: for (p, runs) in out.runs.drain(..).enumerate() {
                                     for (spill, run) in runs.into_iter().enumerate() {
-                                        if cancel.is_cancelled()
-                                            || senders[p].send((out.task_id, spill, run)).is_err()
-                                        {
-                                            return;
+                                        let len = run.len_bytes() as u64;
+                                        let send_start = Instant::now();
+                                        let sent = !cancel.is_cancelled()
+                                            && senders[p].send((out.task_id, spill, run)).is_ok();
+                                        transport_us
+                                            .add(secs_to_us(send_start.elapsed().as_secs_f64()));
+                                        if !sent {
+                                            bailed = true;
+                                            break 'send;
                                         }
+                                        transport_bytes.add(len);
                                     }
+                                }
+                                if bailed {
+                                    break;
                                 }
                                 let mut stats = map_stats.lock();
                                 stats.retries += s.retries;
@@ -379,10 +424,15 @@ impl ExecutionBackend for ShardedBackend {
                             }
                             Err(e) => {
                                 map_error.lock().get_or_insert(e);
-                                return;
+                                break;
                             }
                         }
                     }
+                    // This worker is done; its senders drop when the
+                    // closure returns. The slowest worker's exit time is
+                    // the map→reduce wall split.
+                    maps_done_ns
+                        .fetch_max(exec_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 });
             }
             // The workers own the only senders now; every channel closes
@@ -401,6 +451,7 @@ impl ExecutionBackend for ShardedBackend {
                 let shuffle_records = &shuffle_records;
                 let cancel = &cancel;
                 let watch_task = &watch_task;
+                let regroup_ctr = &regroup_ctr;
                 s.spawn(move |_| {
                     let mut collected: Vec<(usize, usize, Run)> = Vec::new();
                     while let Some(entry) = rx.recv() {
@@ -419,8 +470,10 @@ impl ExecutionBackend for ShardedBackend {
                     }
                     // Restore the canonical run presentation order —
                     // (map task, spill) — for equal-key determinism.
+                    let regroup_start = Instant::now();
                     collected.sort_unstable_by_key(|(task, spill, _)| (*task, *spill));
                     let runs: Vec<Run> = collected.into_iter().map(|(_, _, run)| run).collect();
+                    regroup_ctr.add(secs_to_us(regroup_start.elapsed().as_secs_f64()));
                     let item = ReduceItem::<M, R>::new(partition, runs, reducer);
                     let _permit = reduce_gate.acquire();
                     if map_error.lock().is_some()
@@ -450,6 +503,15 @@ impl ExecutionBackend for ShardedBackend {
             }
         })
         .expect("sharded backend thread panicked");
+
+        // Wall split: [exec start, last map-worker exit] is the map
+        // window, the remainder until here is the reduce window.
+        let exec_us = secs_to_us(exec_start.elapsed().as_secs_f64());
+        let map_us = (maps_done_ns.into_inner() / 1_000).min(exec_us);
+        counters.get(profile::WALL_MAP_US).add(map_us);
+        counters
+            .get(profile::WALL_REDUCE_US)
+            .add(exec_us.saturating_sub(map_us));
 
         if let Some(e) = map_error.into_inner() {
             return Err(e);
@@ -506,8 +568,14 @@ impl ExecutionBackend for ProcessBackend {
             counters.get("mr.process.fallback_jobs").incr();
             return SimulatedBackend.execute(params);
         }
+        let spawn_start = Instant::now();
         match crate::remote::spawn_pool(&params) {
-            Ok(pool) => crate::remote::execute_remote(params, pool),
+            Ok(pool) => {
+                counters
+                    .get(profile::WALL_SPAWN_US)
+                    .add(secs_to_us(spawn_start.elapsed().as_secs_f64()));
+                crate::remote::execute_remote(params, pool)
+            }
             Err(why) => {
                 // Worker pool never came up (spawn or handshake failure):
                 // run in-process rather than failing a job that the

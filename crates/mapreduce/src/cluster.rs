@@ -138,6 +138,12 @@ pub struct ClusterConfig {
     pub worker_quarantine_losses: usize,
     /// Sliding wall-clock window for the quarantine ledger.
     pub worker_quarantine_window_secs: f64,
+    /// Emit a [`crate::trace::EventKind::Profile`] trace event per job
+    /// carrying the per-phase [`crate::JobProfile`] JSON. Phase counters
+    /// are collected regardless (they are a handful of clock reads per
+    /// attempt); this flag only controls the extra trace event. Profiling
+    /// never changes committed output.
+    pub profile: bool,
 }
 
 impl Default for ClusterConfig {
@@ -166,6 +172,7 @@ impl Default for ClusterConfig {
             heartbeat_grace: 8.0,
             worker_quarantine_losses: 3,
             worker_quarantine_window_secs: 60.0,
+            profile: false,
         }
     }
 }

@@ -28,6 +28,7 @@ use crate::mapper::Mapper;
 use crate::memory::MemoryGauge;
 use crate::metrics::{JobMetrics, PhaseMetrics};
 use crate::partitioner::{GroupEq, PartitionFn, SortCmp};
+use crate::profile::{self, secs_to_us, JobProfile};
 use crate::reducer::{CombineFn, Reducer};
 use crate::run::{merge_to_factor, sort_and_combine, GroupValues, MergeStream, Run};
 use crate::task::{Emit, Phase, TaskContext};
@@ -217,6 +218,9 @@ impl Cluster {
             config: &self.config,
             remote: job.remote.as_ref(),
         };
+        counters
+            .get(profile::WALL_SETUP_US)
+            .add(secs_to_us(wall_start.elapsed().as_secs_f64()));
         // A backend `Err` is a map-phase failure: propagate it without
         // touching the output directory, exactly like the pre-backend
         // engine did.
@@ -234,6 +238,7 @@ impl Cluster {
             reduce_result,
         } = outcome;
         map_outs.sort_by_key(|o| o.task_id);
+        let commit_start = Instant::now();
         let faults = self.config.faults.as_ref();
         // Injected driver crash *mid-job*: all reduce tasks committed their
         // parts at task level, but the job-level commit (attempt sweep +
@@ -297,6 +302,10 @@ impl Cluster {
         }
         let (mut reduce_outs, reduce_stats) = reduce_result?;
         reduce_outs.sort_by_key(|o| o.task_id);
+        counters
+            .get(profile::WALL_COMMIT_US)
+            .add(secs_to_us(commit_start.elapsed().as_secs_f64()));
+        let finalize_start = Instant::now();
 
         // ---- metrics --------------------------------------------------------
         let overhead = self.config.network.task_overhead_secs;
@@ -442,6 +451,9 @@ impl Cluster {
             reduce_tasks_per_node[o.node % self.config.nodes] += 1;
         }
 
+        counters
+            .get(profile::WALL_FINALIZE_US)
+            .add(secs_to_us(finalize_start.elapsed().as_secs_f64()));
         let metrics = JobMetrics {
             name: job.name,
             map: PhaseMetrics {
@@ -496,6 +508,16 @@ impl Cluster {
             e.records = Some(shuffle_records);
             e.detail = Some(format!("sim {:.3}s", metrics.sim_secs));
             t.emit(e);
+        }
+        if self.config.profile {
+            if let Some(t) = &self.trace {
+                let prof = JobProfile::from_metrics(&metrics);
+                let mut e = TraceEvent::new(EventKind::Profile, &metrics.name);
+                e.dur_us = Some((prof.covered_secs() * 1e6) as u64);
+                e.bytes = Some(prof.busy_shuffle_transport_bytes);
+                e.detail = Some(prof.to_json(metrics.wall_secs).to_string());
+                t.emit(e);
+            }
         }
         Ok(metrics)
     }
@@ -852,6 +874,12 @@ struct MapEmitter<'a, K: Key, V: Value> {
     spills: u64,
     combine_in: u64,
     combine_out: u64,
+    /// Seconds spent in `spill()` (sort + combine + encode), for the
+    /// per-phase profile; subtracted from the attempt's elapsed time to
+    /// isolate user map execution.
+    spill_secs: f64,
+    /// Encoded bytes produced by `spill()`.
+    spill_bytes: u64,
 }
 
 impl<'a, K: Key, V: Value> MapEmitter<'a, K, V> {
@@ -874,10 +902,13 @@ impl<'a, K: Key, V: Value> MapEmitter<'a, K, V> {
             spills: 0,
             combine_in: 0,
             combine_out: 0,
+            spill_secs: 0.0,
+            spill_bytes: 0,
         }
     }
 
     fn spill(&mut self) {
+        let spill_start = Instant::now();
         let mut spilled_any = false;
         for p in 0..self.parts.len() {
             if self.parts[p].is_empty() {
@@ -892,12 +923,15 @@ impl<'a, K: Key, V: Value> MapEmitter<'a, K, V> {
                 &mut self.combine_in,
                 &mut self.combine_out,
             );
-            self.runs[p].push(Run::encode(&sorted));
+            let run = Run::encode(&sorted);
+            self.spill_bytes += run.len_bytes() as u64;
+            self.runs[p].push(run);
         }
         if spilled_any {
             self.spills += 1;
         }
         self.buffered_bytes = 0;
+        self.spill_secs += spill_start.elapsed().as_secs_f64();
     }
 }
 
@@ -995,6 +1029,22 @@ fn run_map_attempt<M: Mapper>(
         )));
     }
     let elapsed = start.elapsed().as_secs_f64();
+    // Per-phase profile: the attempt's time splits into spill encode and
+    // everything else (read + user map function). Recorded only for
+    // attempts that got this far, so failed attempts never skew the
+    // attribution.
+    shared
+        .counters
+        .get(profile::BUSY_SPILL_US)
+        .add(secs_to_us(emitter.spill_secs));
+    shared
+        .counters
+        .get(profile::BUSY_SPILL_BYTES)
+        .add(emitter.spill_bytes);
+    shared
+        .counters
+        .get(profile::BUSY_MAP_EXEC_US)
+        .add(secs_to_us((elapsed - emitter.spill_secs).max(0.0)));
     let straggle = match fault {
         Some(Fault::Straggle(factor)) => factor,
         _ => 1.0,
@@ -1223,12 +1273,14 @@ where
     ctx.set_histograms(shared.histograms.clone());
     // Multi-pass merge when this partition has more runs than the factor
     // allows in a single pass (Hadoop's io.sort.factor).
+    let merge_start = Instant::now();
     let (runs, merge_passes) = merge_to_factor::<M::OutKey, M::OutValue>(
         runs,
         shared.sort_cmp,
         shared.cluster.config.merge_factor,
     )?;
     let mut stream = MergeStream::new(runs, shared.sort_cmp.clone())?;
+    let merge_secs = merge_start.elapsed().as_secs_f64();
     let mut emitter = ReduceEmitter::open(shared.dfs, shared.output, task_id, attempt)?;
     reducer.setup(&ctx)?;
     let mut groups = 0u64;
@@ -1264,6 +1316,16 @@ where
             "injected late fault: died before commit ({label} attempt {attempt})"
         )));
     }
+    // Per-phase profile: merge vs. user reduce execution, recorded only
+    // for attempts that survived (failed attempts never skew attribution).
+    shared
+        .counters
+        .get(profile::BUSY_MERGE_US)
+        .add(secs_to_us(merge_secs));
+    shared
+        .counters
+        .get(profile::BUSY_REDUCE_EXEC_US)
+        .add(secs_to_us((elapsed - merge_secs).max(0.0)));
     // Task commit: atomically promote the attempt file to the part file.
     // Exactly one attempt per task ever gets here, so commits == tasks.
     if let Some(dir) = shared.output.dir() {

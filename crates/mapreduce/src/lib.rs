@@ -82,6 +82,7 @@ pub mod mapper;
 pub mod memory;
 pub mod metrics;
 pub mod partitioner;
+pub mod profile;
 pub mod reducer;
 pub mod remote;
 pub mod run;
@@ -117,6 +118,7 @@ pub use partitioner::{
     group_by, hash_partitioner, natural_grouping, natural_sort, partition_by, range_partitioner,
     sample_boundaries, stable_hash, GroupEq, PartitionFn, SortCmp,
 };
+pub use profile::JobProfile;
 pub use reducer::{sum_combiner, ClosureReducer, CombineFn, IdentityReducer, Reducer};
 pub use remote::{
     process_worker_main, register_job_factory, CORRUPT_FRAME_ENV, HANG_ENV, WORKER_ENV,

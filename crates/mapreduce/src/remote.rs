@@ -57,6 +57,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -826,15 +827,30 @@ where
             Ok(r) => r?,
             Err(payload) => return Err(MrError::TaskPanicked(panic_message(&*payload))),
         };
+        // Shuffle transport, process flavour: spill runs travel between
+        // worker processes as files in the spill directory. Timing the
+        // write loop into the per-request counters rides the existing
+        // counter merge back to the driver's job counters.
+        let transport_start = Instant::now();
+        let mut transport_bytes = 0u64;
         let mut refs: Vec<Vec<RunRef>> = Vec::with_capacity(out.runs.len());
         for (p, runs) in out.runs.drain(..).enumerate() {
             let mut part = Vec::with_capacity(runs.len());
             for (s, run) in runs.iter().enumerate() {
                 let name = format!("map-{task_id:05}-a{attempt}-p{p:03}-s{s:03}.run");
+                transport_bytes += run.len_bytes() as u64;
                 part.push(write_run_file(spill_dir, &name, run)?);
             }
             refs.push(part);
         }
+        counters
+            .get(crate::profile::BUSY_SHUFFLE_TRANSPORT_US)
+            .add(crate::profile::secs_to_us(
+                transport_start.elapsed().as_secs_f64(),
+            ));
+        counters
+            .get(crate::profile::BUSY_SHUFFLE_TRANSPORT_BYTES)
+            .add(transport_bytes);
         Ok(MapResp {
             duration: out.duration,
             base_duration: out.base_duration,
@@ -873,10 +889,17 @@ where
         let counters = Counters::new();
         let histograms = Histograms::new();
         counters.get("mr.process.worker_reduce_tasks").incr();
+        // Reduce-side shuffle transport: reading the run files back.
+        let transport_start = Instant::now();
         let mut runs = Vec::with_capacity(req.refs.len());
         for rref in &req.refs {
             runs.push(read_run_file(spill_dir, rref)?);
         }
+        counters
+            .get(crate::profile::BUSY_SHUFFLE_TRANSPORT_US)
+            .add(crate::profile::secs_to_us(
+                transport_start.elapsed().as_secs_f64(),
+            ));
         let item = ReduceItem::<M, R>::new(task_id, runs, self.job.reducer.clone());
         let shared = ReduceShared::<M, R> {
             sort_cmp: &self.job.sort_cmp,
@@ -1539,6 +1562,15 @@ where
     let reducer = Mutex::new(reducer);
     counters.get("mr.process.remote_jobs").incr();
 
+    // Per-phase wall attribution: the map window ends when the map
+    // `run_tasks` barrier returns, the refs-routing span is the regroup
+    // window, and everything after it (reduce tasks, pool shutdown, spill
+    // cleanup) lands in the reduce window so the three spans tile the
+    // backend's whole execution. `accounted_us` carries the running total
+    // across the closure boundary.
+    let exec_start = std::time::Instant::now();
+    let accounted_us = std::cell::Cell::new(0u64);
+
     // Wall-clock supervision: one monitor thread for the whole job, one
     // watch per in-flight request. Expiry SIGKILLs the child; the owning
     // request's blocked read then errors into the transport-failure
@@ -1594,15 +1626,24 @@ where
                     counters.get("mr.supervise.fallback_tasks").incr();
                     let mut out = run_map_task(item, attempt, map_shared)?;
                     let task_id = item.task_id;
+                    let transport_start = std::time::Instant::now();
+                    let mut transport_bytes = 0u64;
                     let mut refs: Vec<Vec<RunRef>> = Vec::with_capacity(out.runs.len());
                     for (p, runs) in out.runs.drain(..).enumerate() {
                         let mut part = Vec::with_capacity(runs.len());
                         for (s, run) in runs.iter().enumerate() {
                             let name = format!("map-{task_id:05}-a{attempt}-p{p:03}-s{s:03}.run");
+                            transport_bytes += run.len_bytes() as u64;
                             part.push(write_run_file(&pool.spill_dir, &name, run)?);
                         }
                         refs.push(part);
                     }
+                    counters.get(crate::profile::BUSY_SHUFFLE_TRANSPORT_US).add(
+                        crate::profile::secs_to_us(transport_start.elapsed().as_secs_f64()),
+                    );
+                    counters
+                        .get(crate::profile::BUSY_SHUFFLE_TRANSPORT_BYTES)
+                        .add(transport_bytes);
                     refs_table.lock().push((task_id, refs));
                     return Ok(out);
                 }
@@ -1663,6 +1704,9 @@ where
         })?;
         map_outs.sort_by_key(|o| o.task_id);
         let spills = map_outs.iter().map(|o| o.spills).sum();
+        let map_us = crate::profile::secs_to_us(exec_start.elapsed().as_secs_f64());
+        counters.get(crate::profile::WALL_MAP_US).add(map_us);
+        accounted_us.set(map_us);
 
         // Route refs: canonical run presentation order is (map task,
         // spill index) within each partition, exactly the order the
@@ -1682,6 +1726,16 @@ where
             }
         }
 
+        let regroup_us = crate::profile::secs_to_us(exec_start.elapsed().as_secs_f64())
+            .saturating_sub(accounted_us.get());
+        counters
+            .get(crate::profile::WALL_REGROUP_US)
+            .add(regroup_us);
+        counters
+            .get(crate::profile::BUSY_REGROUP_US)
+            .add(regroup_us);
+        accounted_us.set(accounted_us.get() + regroup_us);
+
         let reduce_items: Vec<(usize, Vec<RunRef>)> =
             partition_refs.into_iter().enumerate().collect();
         let reduce_result = run_tasks(reduce_items, threads, policy, |(p, refs), attempt| {
@@ -1691,10 +1745,14 @@ where
                     // In-process reduce over the same parked spill runs:
                     // identical merge order, identical committed bytes.
                     counters.get("mr.supervise.fallback_tasks").incr();
+                    let transport_start = std::time::Instant::now();
                     let mut runs = Vec::with_capacity(refs.len());
                     for rref in refs {
                         runs.push(read_run_file(&pool.spill_dir, rref)?);
                     }
+                    counters.get(crate::profile::BUSY_SHUFFLE_TRANSPORT_US).add(
+                        crate::profile::secs_to_us(transport_start.elapsed().as_secs_f64()),
+                    );
                     let item = ReduceItem::<M, R>::new(*p, runs, reducer.lock().clone());
                     return run_reduce_task(&item, attempt, reduce_shared);
                 }
@@ -1762,6 +1820,13 @@ where
     counters
         .get("mr.process.workers_spawned")
         .add(pool.spawned.load(Ordering::Relaxed));
+    if result.is_ok() {
+        // Everything since the regroup window closed — reduce tasks, pool
+        // shutdown, spill cleanup — is the reduce wall window.
+        let reduce_us = crate::profile::secs_to_us(exec_start.elapsed().as_secs_f64())
+            .saturating_sub(accounted_us.get());
+        counters.get(crate::profile::WALL_REDUCE_US).add(reduce_us);
+    }
     result
 }
 

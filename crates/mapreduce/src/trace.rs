@@ -82,6 +82,10 @@ pub enum EventKind {
     /// inside the quarantine window and was removed from rotation
     /// (`detail` carries the loss count).
     Quarantine,
+    /// A job's per-phase profile (`detail` carries the
+    /// [`crate::JobProfile`] JSON). Emitted once per job, after `JobEnd`,
+    /// only when [`crate::ClusterConfig::profile`] is set.
+    Profile,
 }
 
 impl EventKind {
@@ -101,6 +105,7 @@ impl EventKind {
             EventKind::ChecksumFail => "checksum_fail",
             EventKind::TaskTimeout => "task_timeout",
             EventKind::Quarantine => "quarantine",
+            EventKind::Profile => "profile",
         }
     }
 
@@ -120,6 +125,7 @@ impl EventKind {
             "checksum_fail" => EventKind::ChecksumFail,
             "task_timeout" => EventKind::TaskTimeout,
             "quarantine" => EventKind::Quarantine,
+            "profile" => EventKind::Profile,
             _ => return None,
         })
     }

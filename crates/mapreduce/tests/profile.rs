@@ -1,0 +1,154 @@
+//! Per-phase profiling: wall-window coverage, output neutrality, and the
+//! gated trace event.
+//!
+//! The profiler rides the ordinary counter channel, so it must hold on
+//! every backend — including the process backend's in-process fallback
+//! path, which these closure-built jobs exercise (no registered factory).
+//! Real out-of-process counter merging is covered by `tests/process.rs`
+//! and the committed `PROFILE_pr8.json` artifact.
+
+use mapreduce::{
+    text_input, BackendKind, ClosureMapper, ClosureReducer, Cluster, ClusterConfig, Emit,
+    EventKind, Job, JobMetrics, JobProfile, TaskContext, TraceEvent, TraceSink,
+};
+
+fn corpus() -> Vec<String> {
+    (0..400).map(|i| format!("k{} v{i}", i % 13)).collect()
+}
+
+fn config(backend: BackendKind, profile: bool) -> ClusterConfig {
+    ClusterConfig {
+        backend,
+        execution_threads: Some(4),
+        spill_buffer_bytes: 1024,
+        profile,
+        ..ClusterConfig::with_nodes(3)
+    }
+}
+
+/// Run the standard probe job; returns (metrics, committed pairs).
+fn run_probe(config: ClusterConfig) -> (JobMetrics, Vec<(String, String)>) {
+    let cluster = Cluster::new(config, 256).unwrap();
+    cluster.dfs().write_text("/in", corpus()).unwrap();
+    let mapper = ClosureMapper::new(
+        |_off: &u64, line: &String, out: &mut dyn Emit<String, String>, _: &TaskContext| {
+            let (k, v) = line.split_once(' ').unwrap();
+            out.emit(k.to_string(), v.to_string())
+        },
+    );
+    let reducer = ClosureReducer::new(
+        |k: &String,
+         vs: &mut dyn Iterator<Item = (String, String)>,
+         out: &mut dyn Emit<String, String>,
+         _: &TaskContext| {
+            let joined: Vec<String> = vs.map(|(_, v)| v).collect();
+            out.emit(k.clone(), joined.join(","))
+        },
+    );
+    let job = Job::new("probe", mapper, reducer)
+        .inputs(text_input(cluster.dfs(), "/in").unwrap())
+        .output_seq("/out");
+    let metrics = cluster.run(job).unwrap();
+    let pairs = cluster.dfs().read_seq("/out").unwrap();
+    (metrics, pairs)
+}
+
+#[test]
+fn wall_windows_cover_job_wall_on_every_backend() {
+    for backend in [
+        BackendKind::Simulated,
+        BackendKind::Sharded,
+        BackendKind::Process,
+    ] {
+        let (metrics, _) = run_probe(config(backend, false));
+        let prof = JobProfile::from_metrics(&metrics);
+        assert!(!prof.is_empty(), "{backend:?}: no phase counters recorded");
+        let coverage = prof.coverage(metrics.wall_secs);
+        assert!(
+            coverage >= 0.95,
+            "{backend:?}: wall windows cover {:.1}% of {:.4}s job wall ({:?})",
+            coverage * 100.0,
+            metrics.wall_secs,
+            prof.wall_phases(),
+        );
+        // Non-overlapping windows can never exceed the job wall by more
+        // than scheduling noise.
+        assert!(
+            coverage <= 1.05,
+            "{backend:?}: windows overlap: coverage {coverage:.3}"
+        );
+    }
+}
+
+#[test]
+fn busy_attribution_is_recorded_and_consistent() {
+    let (metrics, _) = run_probe(config(BackendKind::Sharded, false));
+    let prof = JobProfile::from_metrics(&metrics);
+    // The probe spills (1 KiB buffer over 400 records), so spill bytes and
+    // map-exec time must both be visible.
+    assert!(prof.busy_spill_bytes > 0, "no spill bytes attributed");
+    assert!(prof.busy_map_exec_us > 0, "no map-exec time attributed");
+    assert!(
+        prof.busy_reduce_exec_us > 0,
+        "no reduce-exec time attributed"
+    );
+    // Spilled bytes travel the shuffle: transport bytes match spill bytes
+    // on the sharded backend (every run crosses a channel exactly once).
+    assert_eq!(prof.busy_shuffle_transport_bytes, prof.busy_spill_bytes);
+}
+
+#[test]
+fn profiling_flag_never_changes_committed_output() {
+    for backend in [
+        BackendKind::Simulated,
+        BackendKind::Sharded,
+        BackendKind::Process,
+    ] {
+        let (_, off) = run_probe(config(backend, false));
+        let (_, on) = run_probe(config(backend, true));
+        assert_eq!(off, on, "{backend:?}: profiling changed committed bytes");
+    }
+}
+
+fn profile_events(profile: bool) -> Vec<TraceEvent> {
+    let mut cluster = Cluster::new(config(BackendKind::Sharded, profile), 256).unwrap();
+    let sink = TraceSink::new();
+    cluster.set_trace(sink.clone());
+    cluster.dfs().write_text("/in", corpus()).unwrap();
+    let mapper = ClosureMapper::new(
+        |_off: &u64, line: &String, out: &mut dyn Emit<String, u64>, _: &TaskContext| {
+            out.emit(line.split(' ').next().unwrap().to_string(), 1)
+        },
+    );
+    let reducer = ClosureReducer::new(
+        |k: &String,
+         vs: &mut dyn Iterator<Item = (String, u64)>,
+         out: &mut dyn Emit<String, u64>,
+         _: &TaskContext| out.emit(k.clone(), vs.count() as u64),
+    );
+    let job = Job::new("traced", mapper, reducer)
+        .inputs(text_input(cluster.dfs(), "/in").unwrap())
+        .output_seq("/out");
+    cluster.run(job).unwrap();
+    sink.events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Profile)
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn profile_trace_event_is_gated_on_the_config_flag() {
+    assert!(
+        profile_events(false).is_empty(),
+        "profile event emitted with the flag off"
+    );
+    let events = profile_events(true);
+    assert_eq!(events.len(), 1, "exactly one profile event per job");
+    let detail = events[0].detail.as_deref().expect("profile detail json");
+    let json = mapreduce::Json::parse(detail).expect("detail parses as json");
+    let coverage = json.get("coverage").and_then(|c| c.as_f64()).unwrap();
+    assert!(coverage >= 0.95, "traced coverage {coverage:.3} below 95%");
+    assert!(json.get("wall_us").is_some());
+    assert!(json.get("busy_us").is_some());
+}
