@@ -1,6 +1,8 @@
 //! Backend perf baseline: the full 3-stage self-join and R-S join under
 //! **all three** execution backends, reported as provenance-tagged JSON
-//! (`BENCH_pr8.json`).
+//! (`BENCH_pr9.json`), with a durability axis pricing the process
+//! backend's fsync-per-publish commit discipline against
+//! `--durable-commits no`.
 //!
 //! Unlike the figure benches (which report *simulated* cluster seconds,
 //! backend-independent by construction), this harness compares real
@@ -17,7 +19,7 @@
 //! Knobs (env): `BENCH_BASE` (base DBLP records, default 2000),
 //! `BENCH_REPS` (best-of repetitions, default 3), `BENCH_NODES` (default
 //! 4), `BENCH_THREADS` (worker threads; default: host parallelism),
-//! `BENCH_OUT` (output path, default `BENCH_pr8.json`), `REPRO_SEED`.
+//! `BENCH_OUT` (output path, default `BENCH_pr9.json`), `REPRO_SEED`.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -38,10 +40,19 @@ fn host_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-fn make_cluster(nodes: usize, backend: BackendKind, threads: Option<usize>) -> Cluster {
+fn make_cluster(
+    nodes: usize,
+    backend: BackendKind,
+    threads: Option<usize>,
+    durable: bool,
+) -> Cluster {
     let config = ClusterConfig {
         backend,
         execution_threads: threads,
+        // Only the process backend touches a real disk by default, so the
+        // write→sync→rename→dir-sync discipline is priced there and a
+        // no-op for the in-memory backends.
+        durable_commits: durable,
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 256 << 10).expect("valid cluster")
@@ -149,22 +160,22 @@ fn main() {
     let threads = std::env::var("BENCH_THREADS")
         .ok()
         .and_then(|s| s.parse().ok());
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
 
     let dblp = datagen::dblp(base, seed());
     let cite = datagen::citeseerx(base, seed());
     let join_config = JoinConfig::recommended();
 
-    let run_self = |backend: BackendKind| -> JoinOutcome {
+    let run_self = |backend: BackendKind, durable: bool| -> JoinOutcome {
         best_by_wall(reps, || {
-            let cluster = make_cluster(nodes, backend, threads);
+            let cluster = make_cluster(nodes, backend, threads, durable);
             load_corpus(&cluster, &dblp, 1, "/dblp");
             self_join(&cluster, "/dblp", "/work", &join_config).expect("self-join")
         })
     };
-    let run_rs = |backend: BackendKind| -> JoinOutcome {
+    let run_rs = |backend: BackendKind, durable: bool| -> JoinOutcome {
         best_by_wall(reps, || {
-            let cluster = make_cluster(nodes, backend, threads);
+            let cluster = make_cluster(nodes, backend, threads, durable);
             load_corpus(&cluster, &dblp, 1, "/dblp");
             load_corpus(&cluster, &cite, 1, "/citeseerx");
             rs_join(&cluster, "/dblp", "/citeseerx", "/work", &join_config).expect("rs-join")
@@ -173,13 +184,27 @@ fn main() {
 
     let mut joins = Vec::new();
     for (kind, run) in [
-        ("selfjoin", &run_self as &dyn Fn(BackendKind) -> JoinOutcome),
+        (
+            "selfjoin",
+            &run_self as &dyn Fn(BackendKind, bool) -> JoinOutcome,
+        ),
         ("rsjoin", &run_rs),
     ] {
         eprintln!("backend_bench: {kind} x{reps} per backend (base={base})...");
-        let simulated = run(BackendKind::Simulated);
-        let sharded = run(BackendKind::Sharded);
-        let process = run(BackendKind::Process);
+        let simulated = run(BackendKind::Simulated, true);
+        let sharded = run(BackendKind::Sharded, true);
+        let process = run(BackendKind::Process, true);
+        // The durability axis: the same process-backend join without the
+        // fsync-per-publish discipline, pricing what `--durable-commits no`
+        // buys (and what the default costs).
+        let process_relaxed = run(BackendKind::Process, false);
+        let durable_cost = process.wall_secs() / process_relaxed.wall_secs().max(1e-9);
+        eprintln!(
+            "backend_bench: {kind}: process durable {:.3}s vs relaxed {:.3}s \
+             ({durable_cost:.2}x fsync cost)",
+            process.wall_secs(),
+            process_relaxed.wall_secs()
+        );
         let sharded_speedup = simulated.wall_secs() / sharded.wall_secs().max(1e-9);
         let process_speedup = simulated.wall_secs() / process.wall_secs().max(1e-9);
         eprintln!(
@@ -201,6 +226,17 @@ fn main() {
             ),
             ("sharded_wall_speedup", Json::Num(sharded_speedup)),
             ("process_wall_speedup", Json::Num(process_speedup)),
+            (
+                "durability",
+                obj(vec![
+                    ("process_durable_wall_secs", Json::Num(process.wall_secs())),
+                    (
+                        "process_relaxed_wall_secs",
+                        Json::Num(process_relaxed.wall_secs()),
+                    ),
+                    ("durable_over_relaxed", Json::Num(durable_cost)),
+                ]),
+            ),
         ]));
     }
 

@@ -125,6 +125,12 @@ fn make_cluster(backend: BackendKind, threads: usize, nodes: usize, profile: boo
         } else {
             1
         },
+        // The perf lab measures execution, not crash-safety: skip the
+        // fsync-per-publish commit discipline so its numbers stay
+        // comparable with baselines recorded before durable commits
+        // existed (and across machines with wildly different fsync
+        // costs). `backend_bench` prices the fsyncs explicitly instead.
+        durable_commits: false,
         ..ClusterConfig::with_nodes(nodes)
     };
     Cluster::new(config, 256 << 10).expect("valid cluster")

@@ -60,6 +60,13 @@ fault injection (chaos testing; results are unaffected by design):
                      N-th job; pair with --resume yes) and corrupt=/dfs/path
                      (flip a bit in a committed file; the CRC layer must
                      catch it on the next read)
+                     storage faults (need --dfs-root or --backend process):
+                     enospc=N (disk full after N bytes; enospc=N+heal lets a
+                     scavenger pass reset the budget), eio=P (seeded
+                     read/write/rename I/O errors, retried as transient) and
+                     torn=P (a write persists only a prefix; the CRC wall
+                     catches it on read and --resume yes re-runs the
+                     producing stage)
 
 execution (selfjoin/rsjoin):
   --backend KIND  simulated (default): the deterministic in-process
@@ -70,9 +77,16 @@ execution (selfjoin/rsjoin):
                   run in worker processes, the rest fall back in-process on
                   the same disk store. Join output is byte-identical in
                   every case.
-  --dfs-root DIR  disk root for --backend process (created if missing and
-                  persistent across runs); without it a self-cleaning
-                  temporary directory is used
+  --dfs-root DIR  put the DFS on disk at DIR for any backend (created if
+                  missing and persistent across runs, which is what lets a
+                  killed driver --resume); without it the process backend
+                  uses a self-cleaning temporary directory and the others
+                  stay in memory
+  --durable-commits no  skip the write->sync->rename->dir-sync fsync
+                  discipline on the disk store (default yes). A killed
+                  process never loses acknowledged commits either way (the
+                  page cache survives); only power loss can, so benches opt
+                  out to skip the fsync tax
 
 supervision (wall-clock watchdog for the real backends):
   --task-timeout-secs T       kill any task attempt still running after T
@@ -195,6 +209,7 @@ const JOIN_FLAGS: &[&str] = &[
     "full",
     "backend",
     "dfs-root",
+    "durable-commits",
     "task-timeout-secs",
     "heartbeat-interval-secs",
     "heartbeat-grace",
@@ -550,6 +565,15 @@ fn make_cluster(nodes: usize, args: &Args) -> Result<Cluster, String> {
             .map_err(|e| format!("bad --heartbeat-grace: {e}"))?,
         None => defaults.heartbeat_grace,
     };
+    let durable_commits = match args.get("durable-commits") {
+        None | Some("yes") => true,
+        Some("no") => false,
+        Some(other) => {
+            return Err(format!(
+                "bad --durable-commits {other:?} (expected yes or no)"
+            ));
+        }
+    };
     let config = ClusterConfig {
         // Fault injection needs a retry budget, and so does the process
         // backend (a lost worker process is a retryable NodeLost, not a
@@ -563,6 +587,7 @@ fn make_cluster(nodes: usize, args: &Args) -> Result<Cluster, String> {
         faults,
         backend,
         dfs_root: args.get("dfs-root").map(std::path::PathBuf::from),
+        durable_commits,
         task_timeout_secs,
         heartbeat_interval_secs,
         heartbeat_grace,
@@ -574,6 +599,13 @@ fn make_cluster(nodes: usize, args: &Args) -> Result<Cluster, String> {
 
 fn load_file(cluster: &Cluster, path: &str, dfs_path: &str) -> Result<usize, String> {
     let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    // A persistent --dfs-root carries the previous run's input across
+    // drivers (the --resume path after a kill). Reload it: identical bytes
+    // produce identical block CRCs, so manifest fingerprints stay valid
+    // and committed stages still skip.
+    if cluster.dfs().exists(dfs_path) {
+        cluster.dfs().delete(dfs_path).map_err(|e| e.to_string())?;
+    }
     let mut writer = cluster
         .dfs()
         .text_writer(dfs_path)

@@ -194,6 +194,97 @@ fn chaos_pipeline_exhausting_attempts_fails_clean() {
     assert!(leftovers.is_empty(), "attempt files leaked: {leftovers:?}");
 }
 
+/// Storage-storm cell: seeded EIO and torn-write injection on a
+/// disk-backed store. Worker-side hits are retried inside the engine; an
+/// unlucky driver-side read can still surface as a classified error, so
+/// the test does what a real operator does — resume a fresh driver over
+/// the surviving DFS, with a re-rolled fault seed each launch (draws are
+/// keyed on (seed, op, path), so a fixed seed would replay the identical
+/// fault forever) — until the join completes. The result must be bitwise
+/// identical to the fault-free run, with the injector demonstrably fired.
+#[test]
+fn chaos_pipeline_survives_storage_storm_bitwise_identical() {
+    quiet_injected_panics();
+    let config = JoinConfig::recommended();
+    let (baseline, _) = self_outputs(&cluster_with(None), &config);
+
+    // Input goes through a fault-free handle; faults are installed on the
+    // per-cluster handles below, so only pipeline traffic sees the storm.
+    let dfs = mapreduce::Dfs::new_temp_disk(3, 2048).unwrap();
+    let lines = datagen::to_lines(&datagen::dblp(80, 11));
+    dfs.write_text("/records", &lines).unwrap();
+
+    let mut injections = 0u64;
+    let mut finished = None;
+    for launch in 0..24u64 {
+        let plan = FaultPlan {
+            p_disk_eio: 0.01,
+            p_torn_write: 0.03,
+            ..FaultPlan::quiet(chaos_seed().wrapping_add(launch))
+        };
+        let cluster_config = ClusterConfig {
+            max_task_attempts: 8,
+            faults: Some(plan),
+            backend: BackendKind::from_env(),
+            ..ClusterConfig::with_nodes(3)
+        };
+        let cluster = Cluster::with_dfs(cluster_config, dfs.clone()).unwrap();
+        let result = fuzzyjoin::self_join_resume(&cluster, "/records", "/work", &config);
+        injections += cluster.dfs().storage_fault_injections();
+        match result {
+            Ok(outcome) => {
+                // Read the committed output back through a calm cluster so
+                // a read-side EIO cannot fire while checking the result. A
+                // torn write on the *final* stage commits successfully (the
+                // damage is only visible to readers, via the CRC wall), so
+                // a checksum error here sends the loop around again — the
+                // next resume invalidates that manifest and re-runs the
+                // producer, just as the CLI's resume path does.
+                let calm = Cluster::with_dfs(
+                    ClusterConfig {
+                        backend: BackendKind::from_env(),
+                        ..ClusterConfig::with_nodes(3)
+                    },
+                    dfs.clone(),
+                )
+                .unwrap();
+                let rid_pairs = read_rid_pairs(&calm, &outcome.ridpairs_path);
+                let joined = read_joined(&calm, &outcome.joined_path);
+                match (rid_pairs, joined) {
+                    (Ok(rid_pairs), Ok(joined)) => {
+                        finished = Some(RunOutput {
+                            rid_pairs,
+                            joined: joined
+                                .into_iter()
+                                .map(|((a, b), (_, _, sim))| (a, b, sim))
+                                .collect(),
+                        });
+                        break;
+                    }
+                    (r, j) => {
+                        for e in [r.err(), j.err()].into_iter().flatten() {
+                            assert!(
+                                e.is_checksum_mismatch(),
+                                "committed output may only fail the CRC wall, got {e:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            Err(e) => assert!(
+                // Transient (EIO, exhausted retries) or a torn write caught
+                // by the CRC wall — both heal on the next resume; anything
+                // else (Codec, InvalidConfig, ...) is a real bug.
+                e.is_transient() || e.is_checksum_mismatch() || matches!(e, MrError::TaskFailed(_)),
+                "storm may only surface recoverable classes, got {e:?}"
+            ),
+        }
+    }
+    let out = finished.expect("join never completed under the storage storm");
+    assert_eq!(out, baseline, "storage storm changed the join result");
+    assert!(injections > 0, "storm plan never fired");
+}
+
 /// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
 /// test binary as worker processes that land here. In a normal test run
 /// the worker env var is unset and this is an instant no-op pass.

@@ -387,6 +387,69 @@ fn rs_join_crash_resume_is_bitwise_identical() {
     assert_eq!(outcome.recovery.jobs_rerun.len(), total - 2);
 }
 
+/// A disk that fills up mid-pipeline with a *healing* budget: every write
+/// past the budget fails ENOSPC (classified transient), the failure site
+/// runs an immediate scavenger pass, the freed budget lets the retried
+/// attempt through. Engine-retried writes heal in place; if the fill lands
+/// on an unretried driver-side write, the surfaced error is transient and
+/// a resume over the surviving DFS finishes the job — either way the
+/// pipeline completes bitwise identical to fault-free without operator
+/// intervention.
+#[test]
+fn enospc_with_healing_scavenger_resumes_to_completion() {
+    let config = JoinConfig::recommended();
+    let base_cluster = cluster_with(None);
+    write_self_input(&base_cluster);
+    let base = self_join(&base_cluster, "/records", "/work", &config).unwrap();
+    let baseline = collect(&base_cluster, &base);
+
+    let dfs = mapreduce::Dfs::new_temp_disk(3, 2048).unwrap();
+    let lines = datagen::to_lines(&datagen::dblp(80, 11));
+    dfs.write_text("/records", &lines).unwrap();
+
+    let mut injections = 0u64;
+    let mut finished = None;
+    for _launch in 0..24 {
+        let plan = FaultPlan {
+            // The engine scavenges (and so heals the budget) at every job
+            // start, so what matters is per-job write volume: above the
+            // largest single file this corpus produces (~3 KB, so a healed
+            // retry always fits) but below the ~4.4 KB the busiest job
+            // writes, so the budget provably trips mid-job.
+            enospc_after_bytes: Some(3_500),
+            enospc_heals: true,
+            ..FaultPlan::quiet(chaos_seed())
+        };
+        let cluster_config = ClusterConfig {
+            max_task_attempts: 8,
+            faults: Some(plan),
+            backend: mapreduce::BackendKind::from_env(),
+            ..ClusterConfig::with_nodes(3)
+        };
+        let cluster = Cluster::with_dfs(cluster_config, dfs.clone()).unwrap();
+        let result = self_join_resume(&cluster, "/records", "/work", &config);
+        injections += cluster.dfs().storage_fault_injections();
+        match result {
+            Ok(outcome) => {
+                finished = Some((collect(&cluster, &outcome), outcome));
+                break;
+            }
+            Err(e) => assert!(e.is_transient(), "ENOSPC must stay transient, got {e:?}"),
+        }
+    }
+    let (out, _) = finished.expect("join never completed under the healing ENOSPC budget");
+    assert_eq!(out, baseline, "ENOSPC storm changed the join result");
+    // Storage injection is a driver-side instrument: process workers open
+    // fresh fault-free handles, so the bulk part writes bypass the budget
+    // there and only the (small) driver-side commits are charged.
+    if !matches!(
+        mapreduce::BackendKind::from_env(),
+        mapreduce::BackendKind::Process
+    ) {
+        assert!(injections > 0, "the byte budget never fired");
+    }
+}
+
 /// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
 /// test binary as worker processes that land here. In a normal test run
 /// the worker env var is unset and this is an instant no-op pass.

@@ -104,12 +104,22 @@ pub struct ClusterConfig {
     /// how tasks are scheduled onto physical threads and how map output
     /// reaches the reducers.
     pub backend: BackendKind,
-    /// Root directory of the disk-backed DFS used by the
-    /// [`BackendKind::Process`] backend. `None` puts the store in a
-    /// self-cleaning temp directory; set it to keep the filesystem around
-    /// across engine restarts (crash/resume). Ignored by the in-memory
-    /// backends.
+    /// Root directory of a disk-backed DFS. Setting it puts the store on
+    /// disk for *any* backend — the in-process backends gain a persistent,
+    /// kill-survivable store, and the [`BackendKind::Process`] backend
+    /// uses it as its storage plane. `None` keeps the in-memory store for
+    /// the in-process backends and gives the process backend a
+    /// self-cleaning temp directory. Set it to keep the filesystem around
+    /// across engine restarts (crash/resume).
     pub dfs_root: Option<std::path::PathBuf>,
+    /// Follow the write→sync→rename→dir-sync durable-commit discipline on
+    /// the disk store: data files are fsynced before being renamed into
+    /// place, and the parent directory is fsynced before a rename (a part
+    /// commit, a `_SUCCESS` manifest) counts as committed. On by default;
+    /// benches opt out to measure the fsync tax — with it off, a killed
+    /// *process* still never loses acknowledged commits (the page cache
+    /// survives), but power loss can. No effect on the in-memory store.
+    pub durable_commits: bool,
     /// Capacity (in spill runs) of each per-partition shuffle channel used
     /// by the [`BackendKind::Sharded`] backend. Bounds how far map tasks
     /// can run ahead of a slow reducer before blocking (backpressure).
@@ -166,6 +176,7 @@ impl Default for ClusterConfig {
             heavy_hitter_warn_share: 0.5,
             backend: BackendKind::Simulated,
             dfs_root: None,
+            durable_commits: true,
             shuffle_channel_capacity: 256,
             task_timeout_secs: None,
             heartbeat_interval_secs: 0.25,

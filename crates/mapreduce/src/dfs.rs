@@ -30,9 +30,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::codec::{read_varint, write_varint, ByteReader, Codec};
 use crate::error::{MrError, Result};
+use crate::faults::FaultPlan;
 
 /// What a file contains, for sanity-checking readers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,11 +135,119 @@ const CONTAINER_MAGIC: &[u8; 8] = b"MRDFSv1\0";
 static DISK_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Map an OS error on a DFS path to the closest classified [`MrError`].
+/// `StorageFull` (ENOSPC) and `Interrupted` (EINTR) from the real disk are
+/// *transient* — the retry path scavenges and re-issues — while anything
+/// else unrecognized stays a deterministic [`MrError::Codec`] failure.
 fn io_fail(path: &str, e: std::io::Error) -> MrError {
     match e.kind() {
         std::io::ErrorKind::NotFound => MrError::FileNotFound(path.to_string()),
         std::io::ErrorKind::AlreadyExists => MrError::FileExists(path.to_string()),
+        std::io::ErrorKind::StorageFull => MrError::StorageFull {
+            path: path.to_string(),
+        },
+        std::io::ErrorKind::Interrupted => MrError::StorageIo {
+            path: path.to_string(),
+            op: "io".to_string(),
+        },
         _ => MrError::Codec(format!("dfs io failure on {path}: {e}")),
+    }
+}
+
+/// Fsync a file or directory by path — the directory flavor is what makes
+/// a preceding `rename(2)` itself durable across power loss.
+fn fsync_path(p: &Path) -> std::io::Result<()> {
+    fs::File::open(p)?.sync_all()
+}
+
+/// Seeded per-operation storage-fault state for the disk store, installed
+/// from a [`FaultPlan`]'s `enospc=` / `eio=` / `torn=` keys and shared by
+/// every clone of the handle — the operation counter and the ENOSPC byte
+/// budget are global to the installing process. Worker processes open
+/// their own handles and never install fault state: injection is a
+/// driver-side instrument.
+struct StorageFaults {
+    seed: u64,
+    p_eio: f64,
+    p_torn: f64,
+    enospc_after_bytes: Option<u64>,
+    enospc_heals: bool,
+    /// Payload bytes written through this handle family since the last
+    /// healing scavenge.
+    bytes_written: AtomicU64,
+    /// Monotonic operation index: every draw is independent.
+    ops: AtomicU64,
+    /// Faults actually injected, so tests can assert the plan fired.
+    injected: AtomicU64,
+}
+
+impl StorageFaults {
+    /// Seed one operation's RNG: FNV-1a over `(plan seed, op index,
+    /// op kind, path)`, the same mixing discipline as
+    /// `FaultPlan::attempt_seed`.
+    fn op_rng(&self, op: &str, path: &str) -> StdRng {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let idx = self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut h = FNV_OFFSET ^ self.seed;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&idx.to_le_bytes());
+        eat(op.as_bytes());
+        eat(path.as_bytes());
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Draw the per-operation EIO fault for `op` on `path`.
+    fn eio(&self, op: &str, path: &str) -> bool {
+        if self.p_eio <= 0.0 {
+            return false;
+        }
+        let hit = self.op_rng(op, path).random_bool(self.p_eio);
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Charge `len` payload bytes against the ENOSPC budget; true if this
+    /// write must fail with [`MrError::StorageFull`].
+    fn charge(&self, len: u64) -> bool {
+        let Some(budget) = self.enospc_after_bytes else {
+            return false;
+        };
+        let before = self.bytes_written.fetch_add(len, Ordering::Relaxed);
+        if before + len > budget {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Decide whether a write of `total` payload bytes is torn; if so,
+    /// return how many bytes survive (strictly fewer than `total`, so the
+    /// CRC wall is guaranteed to notice).
+    fn torn_keep(&self, path: &str, total: u64) -> Option<u64> {
+        if self.p_torn <= 0.0 || total == 0 {
+            return None;
+        }
+        let mut rng = self.op_rng("torn", path);
+        if !rng.random_bool(self.p_torn) {
+            return None;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(rng.random_range(0..total))
+    }
+
+    /// A scavenger pass freed space: reset the byte budget when the plan
+    /// says ENOSPC heals.
+    fn heal(&self) {
+        if self.enospc_heals {
+            self.bytes_written.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -189,7 +300,26 @@ impl DiskStore {
     /// exclusive (temp write + hard link), preserving the in-memory store's
     /// create-or-`FileExists` semantics even across racing processes; with
     /// it, an atomic `rename` replaces whatever is there.
-    fn save(&self, path: &str, file: &DfsFile, overwrite: bool) -> Result<()> {
+    ///
+    /// Commit ordering with `durable` on — **write → sync → rename →
+    /// dir-sync**, the classic crash-consistent publish:
+    ///
+    /// 1. write the whole container to a fresh temp file under `tmp/`;
+    /// 2. `fsync` the temp file, so the payload is on stable storage
+    ///    before any visible name can point at it;
+    /// 3. `rename(2)` / `link(2)` the temp into place — atomic, so a
+    ///    reader sees the old state or the whole new file, never a prefix;
+    /// 4. `fsync` the target's *parent directory*, so the rename itself
+    ///    survives power loss — without this the name can be lost even
+    ///    though the data blocks were synced.
+    ///
+    /// A crash between (1) and (3) leaves only an orphaned temp file (the
+    /// scavenger's prey); a crash after (3) before (4) can lose the name
+    /// but never publishes a torn file. With `durable` off, steps (2) and
+    /// (4) are skipped: process kills stay safe (the page cache survives
+    /// the process), power loss does not — that is the bench opt-out
+    /// ([`crate::ClusterConfig::durable_commits`]).
+    fn save(&self, path: &str, file: &DfsFile, overwrite: bool, durable: bool) -> Result<()> {
         let target = self.target_path(path)?;
         if let Some(parent) = target.parent() {
             fs::create_dir_all(parent).map_err(|e| io_fail(path, e))?;
@@ -200,13 +330,22 @@ impl DiskStore {
             DISK_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         fs::write(&tmp, encode_container(file)).map_err(|e| io_fail(path, e))?;
+        if durable {
+            fsync_path(&tmp).map_err(|e| io_fail(path, e))?;
+        }
         if overwrite {
-            fs::rename(&tmp, &target).map_err(|e| io_fail(path, e))
+            fs::rename(&tmp, &target).map_err(|e| io_fail(path, e))?;
         } else {
             let linked = fs::hard_link(&tmp, &target).map_err(|e| io_fail(path, e));
             let _ = fs::remove_file(&tmp);
-            linked
+            linked?;
         }
+        if durable {
+            if let Some(parent) = target.parent() {
+                fsync_path(parent).map_err(|e| io_fail(path, e))?;
+            }
+        }
+        Ok(())
     }
 
     /// Every DFS path present on disk, name-ordered.
@@ -319,6 +458,13 @@ pub struct Dfs {
     block_size: usize,
     nodes: usize,
     next_node: Arc<AtomicUsize>,
+    /// Follow the write→sync→rename→dir-sync commit discipline on the disk
+    /// store (see [`DiskStore::save`]); no effect in-memory. Copied into
+    /// clones, so set it before sharing the handle.
+    durable: bool,
+    /// Injected storage faults (disk store only); shared across clones so
+    /// the operation counter and ENOSPC budget are process-global.
+    faults: Option<Arc<StorageFaults>>,
 }
 
 /// One input split: a single block of a single file, pinned to a node.
@@ -348,6 +494,8 @@ impl Dfs {
             block_size,
             nodes,
             next_node: Arc::new(AtomicUsize::new(0)),
+            durable: true,
+            faults: None,
         }
     }
 
@@ -375,6 +523,8 @@ impl Dfs {
             block_size,
             nodes,
             next_node: Arc::new(AtomicUsize::new(0)),
+            durable: true,
+            faults: None,
         })
     }
 
@@ -414,6 +564,70 @@ impl Dfs {
         }
     }
 
+    /// Toggle the durable-commit discipline (see [`DiskStore::save`] and
+    /// [`crate::ClusterConfig::durable_commits`]). Applies to this handle
+    /// and every clone taken afterwards.
+    pub fn set_durable(&mut self, durable: bool) {
+        self.durable = durable;
+    }
+
+    /// True if disk writes follow the write→sync→rename→dir-sync commit
+    /// discipline.
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Install the storage-fault keys of `plan` (`enospc=` / `eio=` /
+    /// `torn=`) on this handle. A no-op for the in-memory store (no disk
+    /// to fail) or a plan without storage keys. Fault state is shared with
+    /// every clone taken afterwards; worker processes open fresh handles
+    /// and never install it — storage injection is a driver-side
+    /// instrument.
+    pub fn install_storage_faults(&mut self, plan: &FaultPlan) {
+        if !plan.has_storage_faults() || self.disk_root().is_none() {
+            return;
+        }
+        self.faults = Some(Arc::new(StorageFaults {
+            seed: plan.seed,
+            p_eio: plan.p_disk_eio,
+            p_torn: plan.p_torn_write,
+            enospc_after_bytes: plan.enospc_after_bytes,
+            enospc_heals: plan.enospc_heals,
+            bytes_written: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }));
+    }
+
+    /// Number of storage faults injected so far through this handle family
+    /// (tests assert an active plan really fired).
+    pub fn storage_fault_injections(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.injected.load(Ordering::Relaxed))
+    }
+
+    /// Sweep storage orphans under a disk root: `tmp/<pid>-<seq>` container
+    /// temporaries and `shuffle/<job>-<pid>-<seq>/` spill directories (the
+    /// `*.run` files inside) whose owning process is dead — the debris a
+    /// SIGKILLed driver or a quarantined worker leaves behind. Live
+    /// processes' files are never touched, so concurrent clusters sharing
+    /// a root are safe. Returns the number of files removed. Also lets an
+    /// injected healing ENOSPC budget reset ("the disk has room again"):
+    /// the engine runs this pass at job start and on every
+    /// [`MrError::StorageFull`] before the retry.
+    pub fn scavenge_orphans(&self) -> usize {
+        let mut removed = 0;
+        if let Store::Disk(d) = &*self.store {
+            removed += sweep_dead_owners(&d.root.join("tmp"), false);
+            removed += sweep_dead_owners(&d.root.join("shuffle"), true);
+        }
+        if let Some(f) = &self.faults {
+            f.heal();
+        }
+        removed
+    }
+
     /// Block size in bytes.
     pub fn block_size(&self) -> usize {
         self.block_size
@@ -437,7 +651,17 @@ impl Dfs {
                 .get(path)
                 .cloned()
                 .ok_or_else(|| MrError::FileNotFound(path.to_string())),
-            Store::Disk(d) => d.load(path),
+            Store::Disk(d) => {
+                if let Some(f) = &self.faults {
+                    if f.eio("read", path) {
+                        return Err(MrError::StorageIo {
+                            path: path.to_string(),
+                            op: "read".to_string(),
+                        });
+                    }
+                }
+                d.load(path)
+            }
         }
     }
 
@@ -459,7 +683,38 @@ impl Dfs {
                 inner.files.insert(path.to_string(), file);
                 Ok(())
             }
-            Store::Disk(d) => d.save(path, &file, overwrite),
+            Store::Disk(d) => {
+                if let Some(f) = &self.faults {
+                    if f.eio("write", path) {
+                        return Err(MrError::StorageIo {
+                            path: path.to_string(),
+                            op: "write".to_string(),
+                        });
+                    }
+                    if f.charge(file.len) {
+                        // ENOSPC is transient-after-cleanup: sweep dead
+                        // orphans *now* (which also lets a healing budget
+                        // reset), so the attempt retry writes into a disk
+                        // with room again.
+                        self.scavenge_orphans();
+                        return Err(MrError::StorageFull {
+                            path: path.to_string(),
+                        });
+                    }
+                    if let Some(keep) = f.torn_keep(path, file.len) {
+                        // The torn write *reports success*: the damage only
+                        // surfaces at read time, through the CRC wall.
+                        return d.save(path, &torn_copy(&file, keep), overwrite, self.durable);
+                    }
+                }
+                let res = d.save(path, &file, overwrite, self.durable);
+                if matches!(res, Err(MrError::StorageFull { .. })) {
+                    // A *real* full disk gets the same treatment as an
+                    // injected one: free dead debris before the retry.
+                    self.scavenge_orphans();
+                }
+                res
+            }
         }
     }
 
@@ -489,12 +744,29 @@ impl Dfs {
                 Ok(())
             }
             Store::Disk(d) => {
+                if let Some(f) = &self.faults {
+                    if f.eio("rename", from) {
+                        return Err(MrError::StorageIo {
+                            path: from.to_string(),
+                            op: "rename".to_string(),
+                        });
+                    }
+                }
                 let src = d.target_path(from)?;
                 let dst = d.target_path(to)?;
                 if let Some(parent) = dst.parent() {
                     fs::create_dir_all(parent).map_err(|e| io_fail(to, e))?;
                 }
-                fs::rename(&src, &dst).map_err(|e| io_fail(from, e))
+                fs::rename(&src, &dst).map_err(|e| io_fail(from, e))?;
+                // The commit step of the output protocol: with durability
+                // on, the rename must itself reach stable storage before
+                // the caller treats the part as committed.
+                if self.durable {
+                    if let Some(parent) = dst.parent() {
+                        fsync_path(parent).map_err(|e| io_fail(to, e))?;
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -769,6 +1041,113 @@ impl Dfs {
             false,
         )
     }
+}
+
+/// The torn image of `file`: a *structurally valid* container holding only
+/// the first `keep` payload bytes, with the original CRC and length — what
+/// a crash between write and sync leaves once the filesystem journal
+/// settles. Reads decode fine and then fail the CRC wall as a classified
+/// [`MrError::ChecksumMismatch`] (never a permanent `Codec` error), which
+/// resume heals by re-running the producing stage.
+fn torn_copy(file: &DfsFile, keep: u64) -> DfsFile {
+    let mut blocks = Vec::new();
+    let mut left = keep;
+    for b in &file.blocks {
+        if left == 0 {
+            break;
+        }
+        if (b.data.len() as u64) <= left {
+            left -= b.data.len() as u64;
+            blocks.push(b.clone());
+        } else {
+            blocks.push(Block {
+                data: Bytes::from(b.data[..left as usize].to_vec()),
+                node: b.node,
+                offset: b.offset,
+            });
+            left = 0;
+        }
+    }
+    DfsFile {
+        kind: file.kind,
+        blocks,
+        len: file.len,
+        crc: file.crc,
+    }
+}
+
+/// True when `pid` names a live process. Checked through `/proc`; on a
+/// system without procfs everything is presumed alive — never sweep what
+/// cannot be verified dead.
+fn pid_is_live(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// Owner pid embedded in an orphan candidate's name: `<pid>-<seq>` for
+/// temp files, `<job>-<pid>-<seq>` for shuffle spill directories.
+fn owner_pid(name: &str, is_spill_dir: bool) -> Option<u32> {
+    if is_spill_dir {
+        let mut it = name.rsplit('-');
+        let _seq = it.next()?;
+        it.next()?.parse().ok()
+    } else {
+        name.split('-').next()?.parse().ok()
+    }
+}
+
+/// Files under `dir`, recursively.
+fn count_files(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .map(|e| {
+            let p = e.path();
+            if p.is_dir() {
+                count_files(&p)
+            } else {
+                1
+            }
+        })
+        .sum()
+}
+
+/// Remove every entry of `dir` whose embedded owner pid is dead. Returns
+/// the number of *files* freed (for spill directories, the run files
+/// inside). Entries without a parseable pid are left alone.
+fn sweep_dead_owners(dir: &Path, spill_dirs: bool) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = owner_pid(name, spill_dirs) else {
+            continue;
+        };
+        if pid_is_live(pid) {
+            continue;
+        }
+        let p = entry.path();
+        if spill_dirs && p.is_dir() {
+            let files = count_files(&p);
+            if fs::remove_dir_all(&p).is_ok() {
+                removed += files;
+            }
+        } else if p.is_file() && fs::remove_file(&p).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// True for paths whose basename marks them hidden (`_attempt-*`, `_logs`,
@@ -1257,6 +1636,150 @@ mod tests {
         // Restored bytes read fine again.
         fs::write(&real, &bytes).unwrap();
         assert_eq!(dfs.read_text("/f").unwrap(), vec!["hello"]);
+    }
+
+    // ---- storage faults & durability ------------------------------------
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn mem_store_ignores_storage_faults() {
+        let mut dfs = Dfs::new(1, 64);
+        dfs.install_storage_faults(&plan("seed=1,eio=1.0,torn=1.0,enospc=0"));
+        dfs.write_text("/f", ["x"]).unwrap();
+        assert_eq!(dfs.read_text("/f").unwrap(), vec!["x"]);
+        assert_eq!(dfs.storage_fault_injections(), 0);
+    }
+
+    #[test]
+    fn injected_eio_is_transient_and_seeded() {
+        let mut dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        dfs.install_storage_faults(&plan("seed=1,eio=1.0"));
+        let err = dfs.write_text("/f", ["x"]).unwrap_err();
+        assert!(matches!(err, MrError::StorageIo { .. }), "{err}");
+        assert!(err.is_transient());
+        assert!(dfs.storage_fault_injections() > 0);
+        // At p=0.4 some operations must survive and some must fail —
+        // the draws are per-op, not sticky.
+        let mut dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        dfs.install_storage_faults(&plan("seed=2,eio=0.4"));
+        let (mut ok, mut fail) = (0, 0);
+        for i in 0..60 {
+            match dfs.write_text(&format!("/f{i}"), ["x"]) {
+                Ok(()) => ok += 1,
+                Err(MrError::StorageIo { .. }) => fail += 1,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(ok > 5, "some writes survive: {ok}");
+        assert!(fail > 5, "some writes fail: {fail}");
+        // Reads draw too.
+        let mut dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        dfs.write_text("/r", ["x"]).unwrap();
+        dfs.install_storage_faults(&plan("seed=3,eio=1.0"));
+        let err = dfs.read_text("/r").unwrap_err();
+        assert!(matches!(
+            err,
+            MrError::StorageIo { ref op, .. } if op == "read"
+        ));
+    }
+
+    #[test]
+    fn torn_write_reports_success_and_fails_the_crc_wall() {
+        let mut dfs = Dfs::new_temp_disk(2, 16).unwrap();
+        dfs.install_storage_faults(&plan("seed=5,torn=1.0"));
+        let lines: Vec<String> = (0..40).map(|i| format!("line-{i}")).collect();
+        // The write itself succeeds — that is the point of a torn write.
+        dfs.write_text("/t", &lines).unwrap();
+        assert!(dfs.storage_fault_injections() > 0);
+        // The damage is structurally clean (decodes) but checksum-dead:
+        // a classified ChecksumMismatch, never a permanent Codec error.
+        let err = dfs.read_text("/t").unwrap_err();
+        assert!(matches!(err, MrError::ChecksumMismatch { .. }), "{err}");
+        let err = dfs.verify("/t").unwrap_err();
+        assert!(matches!(err, MrError::ChecksumMismatch { .. }), "{err}");
+        // The producing stage re-runs (delete + rewrite) and heals it.
+        let mut clean = Dfs::new_disk(2, 16, dfs.disk_root().unwrap()).unwrap();
+        clean.set_durable(false);
+        clean.delete("/t").unwrap();
+        clean.write_text("/t", &lines).unwrap();
+        assert_eq!(clean.read_text("/t").unwrap(), lines);
+    }
+
+    #[test]
+    fn enospc_budget_fires_and_heals_on_scavenge() {
+        let mut dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        dfs.install_storage_faults(&plan("seed=7,enospc=64+heal"));
+        dfs.write_text("/a", ["small"]).unwrap();
+        // The budget runs out mid-stream; the error is transient.
+        let big: Vec<String> = (0..40).map(|i| format!("record-{i:04}")).collect();
+        let err = dfs.write_text("/b", &big).unwrap_err();
+        assert!(matches!(err, MrError::StorageFull { .. }), "{err}");
+        assert!(err.is_transient());
+        assert!(err.is_storage_full());
+        // The failing write ran an immediate scavenger pass, which let the
+        // healing budget reset: the (small) retry fits again.
+        dfs.write_text("/c", ["x"]).unwrap();
+        assert_eq!(dfs.read_text("/c").unwrap(), vec!["x"]);
+        // ...but a write past the refreshed budget still fails.
+        assert!(dfs.write_text("/d", &big).is_err());
+        assert!(dfs.storage_fault_injections() >= 2);
+
+        // Without `+heal`, neither the automatic pass nor an explicit one
+        // resets the budget: once dry, always dry.
+        let mut dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        dfs.install_storage_faults(&plan("seed=7,enospc=4"));
+        assert!(dfs.write_text("/a", &big).is_err());
+        assert!(dfs.write_text("/b", ["y"]).is_err());
+        dfs.scavenge_orphans();
+        assert!(dfs.write_text("/c", ["y"]).is_err(), "budget must stay dry");
+    }
+
+    #[test]
+    fn scavenger_sweeps_dead_owners_and_spares_live_ones() {
+        let dfs = Dfs::new_temp_disk(1, 1024).unwrap();
+        let root = dfs.disk_root().unwrap().to_path_buf();
+        // A pid far above any real pid_max: parseable, definitely dead.
+        let dead = 4_000_000_000u32;
+        let live = std::process::id();
+        fs::write(root.join("tmp").join(format!("{dead}-0")), b"orphan").unwrap();
+        fs::write(root.join("tmp").join(format!("{live}-7")), b"inflight").unwrap();
+        let dead_spill = root.join("shuffle").join(format!("job-{dead}-3"));
+        fs::create_dir_all(&dead_spill).unwrap();
+        fs::write(dead_spill.join("map-00000-a0-p000-s000.run"), b"r1").unwrap();
+        fs::write(dead_spill.join("map-00001-a0-p000-s000.run"), b"r2").unwrap();
+        let live_spill = root.join("shuffle").join(format!("job-{live}-4"));
+        fs::create_dir_all(&live_spill).unwrap();
+        fs::write(live_spill.join("map-00002-a0-p000-s000.run"), b"keep").unwrap();
+        // A name without a parseable pid is left alone.
+        fs::create_dir_all(root.join("shuffle").join("odd")).unwrap();
+
+        let removed = dfs.scavenge_orphans();
+        assert_eq!(removed, 3, "one tmp file + two run files");
+        assert!(!root.join("tmp").join(format!("{dead}-0")).exists());
+        assert!(root.join("tmp").join(format!("{live}-7")).exists());
+        assert!(!dead_spill.exists());
+        assert!(live_spill.join("map-00002-a0-p000-s000.run").exists());
+        assert!(root.join("shuffle").join("odd").exists());
+        // Nothing left to sweep.
+        assert_eq!(dfs.scavenge_orphans(), 0);
+    }
+
+    #[test]
+    fn durable_and_relaxed_commits_read_back_identically() {
+        for durable in [true, false] {
+            let mut dfs = Dfs::new_temp_disk(2, 16).unwrap();
+            dfs.set_durable(durable);
+            assert_eq!(dfs.durable(), durable);
+            let lines: Vec<String> = (0..20).map(|i| format!("line-{i}")).collect();
+            dfs.write_text("/out/_attempt-00000-0", &lines).unwrap();
+            dfs.rename("/out/_attempt-00000-0", "/out/part-00000")
+                .unwrap();
+            assert_eq!(dfs.read_text("/out").unwrap(), lines);
+            dfs.verify("/out/part-00000").unwrap();
+        }
     }
 
     #[test]

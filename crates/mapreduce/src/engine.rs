@@ -55,31 +55,32 @@ pub struct Cluster {
 impl Cluster {
     /// Create a cluster with a fresh DFS using the given block size.
     ///
-    /// The process backend needs a DFS that worker processes can see, so it
-    /// gets a disk-backed store: at `config.dfs_root` when set, otherwise a
-    /// self-cleaning temp directory.
+    /// An explicit `config.dfs_root` puts the store on disk for *any*
+    /// backend — that is what lets crash-torture harnesses SIGKILL a
+    /// simulated or sharded driver and resume over the surviving files. The
+    /// process backend additionally needs a DFS its worker processes can
+    /// see, so without a root it still gets a self-cleaning temp directory.
     pub fn new(config: ClusterConfig, dfs_block_size: usize) -> Result<Self> {
         config.validate().map_err(MrError::InvalidConfig)?;
         let dfs = match (&config.backend, &config.dfs_root) {
-            (BackendKind::Process, Some(root)) => {
-                Dfs::new_disk(config.nodes, dfs_block_size, root)?
-            }
+            (_, Some(root)) => Dfs::new_disk(config.nodes, dfs_block_size, root)?,
             (BackendKind::Process, None) => Dfs::new_temp_disk(config.nodes, dfs_block_size)?,
             _ => Dfs::new(config.nodes, dfs_block_size),
         };
-        Ok(Cluster {
-            config,
-            dfs,
-            trace: None,
-            jobs_run: AtomicUsize::new(0),
-        })
+        Self::with_dfs(config, dfs)
     }
 
     /// Create a cluster around an existing DFS (e.g. to re-run with a
     /// different topology over the same data, or to resume a crashed
-    /// pipeline in a fresh engine).
-    pub fn with_dfs(config: ClusterConfig, dfs: Dfs) -> Result<Self> {
+    /// pipeline in a fresh engine). The config's storage policy is applied
+    /// to the handle: durable-commit discipline and, when the fault plan
+    /// carries storage keys, driver-side disk fault injection.
+    pub fn with_dfs(config: ClusterConfig, mut dfs: Dfs) -> Result<Self> {
         config.validate().map_err(MrError::InvalidConfig)?;
+        dfs.set_durable(config.durable_commits);
+        if let Some(plan) = &config.faults {
+            dfs.install_storage_faults(plan);
+        }
         Ok(Cluster {
             config,
             dfs,
@@ -147,6 +148,9 @@ impl Cluster {
         // Both are deleted before any task of this run starts, so a stale
         // attempt file can never be renamed over fresh output and a stale
         // manifest can never vouch for output this run is about to replace.
+        // Killed or quarantined process workers additionally leak `*.run`
+        // spill files (and driver temps) on the disk store; the DFS-level
+        // scavenger sweeps everything owned by dead pids.
         if let Some(dir) = job.output.dir() {
             let mut scavenged = 0u64;
             for path in self.dfs.list(dir) {
@@ -159,12 +163,13 @@ impl Cluster {
                     let _ = self.dfs.delete(&path);
                 }
             }
+            scavenged += self.dfs.scavenge_orphans() as u64;
             if scavenged > 0 {
                 counters.get("mr.recovery.scavenged").add(scavenged);
                 if let Some(t) = &self.trace {
                     let mut e = TraceEvent::new(EventKind::Scavenge, &job.name);
                     e.records = Some(scavenged);
-                    e.detail = Some(format!("orphaned attempt file(s) under {dir}"));
+                    e.detail = Some(format!("orphaned attempt/spill file(s) under {dir}"));
                     t.emit(e);
                 }
             }
@@ -271,8 +276,19 @@ impl Cluster {
                             let _ = self.dfs.delete(&path);
                         }
                     }
-                    JobManifest::collect(&self.dfs, &job.name, job.fingerprint.unwrap_or(0), dir)?
-                        .write(&self.dfs, dir)?;
+                    // The commit itself can hit a transient storage fault
+                    // (injected EIO on the manifest write, ENOSPC freed by
+                    // the scavenger): re-issue it a bounded number of times
+                    // rather than failing a job whose parts all committed.
+                    commit_with_retries(|| {
+                        JobManifest::collect(
+                            &self.dfs,
+                            &job.name,
+                            job.fingerprint.unwrap_or(0),
+                            dir,
+                        )?
+                        .write(&self.dfs, dir)
+                    })?;
                     // Injected post-commit corruption: flip a bit in a
                     // committed part so the next read (or manifest check)
                     // of this directory must detect it.
@@ -697,6 +713,27 @@ pub(crate) fn run_with_retries<I, O: SimCharge>(
         }
     }
     unreachable!("retry loop always returns")
+}
+
+/// Re-issue the job-level commit (manifest collect + write) on transient
+/// storage faults. The commit is idempotent — `JobManifest::write` replaces
+/// any half-written `_SUCCESS` — so a bounded retry is safe. Permanent
+/// errors (a corrupt part failing its CRC during collect) propagate
+/// immediately.
+fn commit_with_retries(mut f: impl FnMut() -> Result<()>) -> Result<()> {
+    const MAX_COMMIT_ATTEMPTS: usize = 8;
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                attempt += 1;
+                if !e.is_transient() || attempt >= MAX_COMMIT_ATTEMPTS {
+                    return Err(e);
+                }
+            }
+        }
+    }
 }
 
 /// Run `items` through `f` on up to `threads` worker threads with per-task

@@ -65,6 +65,22 @@ pub enum MrError {
     /// exactly as it was — partial parts, orphaned attempts and all — so
     /// recovery tests can resume over the surviving DFS.
     DriverCrash(String),
+    /// The disk backing the DFS is full (`ENOSPC`, real or injected).
+    /// Transient-after-cleanup: the engine runs a scavenger pass to free
+    /// orphaned attempt/spill files and retries the attempt.
+    StorageFull {
+        /// The path whose write hit the full disk.
+        path: String,
+    },
+    /// A retryable I/O error from the disk store (`EINTR`, injected
+    /// `EIO`): the operation may succeed when re-issued, unlike a
+    /// deterministic [`MrError::Codec`] decode failure.
+    StorageIo {
+        /// The path the operation targeted.
+        path: String,
+        /// The operation that failed (`read`, `write`, `rename`).
+        op: String,
+    },
 }
 
 /// Retry classification of an [`MrError`] — Hadoop distinguishes attempt
@@ -107,6 +123,12 @@ impl fmt::Display for MrError {
                 "DFS checksum mismatch reading {path}: expected {expected:08x}, found {found:08x}"
             ),
             MrError::DriverCrash(msg) => write!(f, "driver crashed (injected): {msg}"),
+            MrError::StorageFull { path } => {
+                write!(f, "storage full (ENOSPC) writing {path}")
+            }
+            MrError::StorageIo { path, op } => {
+                write!(f, "storage I/O error during {op} of {path}")
+            }
         }
     }
 }
@@ -126,9 +148,15 @@ impl MrError {
     pub fn class(&self) -> ErrorClass {
         match self {
             // Environmental / nondeterministic: a new attempt may succeed.
-            MrError::TaskFailed(_) | MrError::TaskPanicked(_) | MrError::NodeLost { .. } => {
-                ErrorClass::Transient
-            }
+            // StorageFull is transient-after-cleanup: the retry path runs a
+            // scavenger pass first, so a re-attempt writes into freed space.
+            // StorageIo covers interrupted/flaky disk operations (EINTR,
+            // injected EIO) where re-issuing the syscall can succeed.
+            MrError::TaskFailed(_)
+            | MrError::TaskPanicked(_)
+            | MrError::NodeLost { .. }
+            | MrError::StorageFull { .. }
+            | MrError::StorageIo { .. } => ErrorClass::Transient,
             MrError::OutOfMemory { transient, .. } => {
                 if *transient {
                     ErrorClass::Transient
@@ -167,6 +195,13 @@ impl MrError {
     /// manifest and re-executes that stage.
     pub fn is_checksum_mismatch(&self) -> bool {
         matches!(self, MrError::ChecksumMismatch { .. })
+    }
+
+    /// True if this is a disk-full failure ([`MrError::StorageFull`]), the
+    /// signal on which the engine runs an immediate scavenger pass before
+    /// the retry.
+    pub fn is_storage_full(&self) -> bool {
+        matches!(self, MrError::StorageFull { .. })
     }
 }
 
@@ -208,6 +243,21 @@ mod tests {
         assert_eq!(e.to_string(), "driver crashed (injected): after job 2");
         assert!(e.is_driver_crash());
         assert!(!MrError::Codec("x".into()).is_driver_crash());
+        let e = MrError::StorageFull {
+            path: "/out/_attempt-00001-0".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "storage full (ENOSPC) writing /out/_attempt-00001-0"
+        );
+        let e = MrError::StorageIo {
+            path: "/out/part-00001".into(),
+            op: "rename".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "storage I/O error during rename of /out/part-00001"
+        );
     }
 
     #[test]
@@ -225,6 +275,20 @@ mod tests {
             requested: 1,
             budget: 0,
             transient: true,
+        }
+        .is_transient());
+        // Storage faults from the real disk store: ENOSPC is
+        // transient-after-cleanup (scavenge then retry), EINTR/EIO is
+        // retryable as-is.
+        assert!(MrError::StorageFull {
+            path: "/out/_attempt-00001-0".into()
+        }
+        .is_transient());
+        assert!(MrError::StorageFull { path: "/x".into() }.is_storage_full());
+        assert!(!MrError::Codec("x".into()).is_storage_full());
+        assert!(MrError::StorageIo {
+            path: "/out/part-00001".into(),
+            op: "read".into()
         }
         .is_transient());
         // Permanent: deterministic failures retries cannot fix.

@@ -89,6 +89,27 @@ pub struct FaultPlan {
     /// Silently flip a bit in this committed file right after the job that
     /// produced it commits — the corruption the CRC layer must catch.
     pub corrupt_path: Option<String>,
+    /// Storage fault: the disk store reports `ENOSPC` once this many
+    /// payload bytes have been written through it (`enospc=N`). Unlike
+    /// the attempt-level probabilities above, this is a per-*operation*
+    /// fault on the disk [`crate::Dfs`]: it fires wherever the byte budget
+    /// runs out, not at a task boundary.
+    pub enospc_after_bytes: Option<u64>,
+    /// Whether an injected `ENOSPC` heals after a scavenger pass frees
+    /// space (`enospc=N+heal`): the byte budget resets, modeling a disk
+    /// that has room again once orphaned attempt/spill files are removed.
+    /// Without `+heal`, every write past the budget keeps failing.
+    pub enospc_heals: bool,
+    /// Storage fault: probability that one disk read/write/rename fails
+    /// with a retryable I/O error (`eio=P`). Drawn per operation, pure in
+    /// `(seed, op-index, op-kind, path)`.
+    pub p_disk_eio: f64,
+    /// Storage fault: probability that one disk write is *torn* —
+    /// persists only a prefix of the payload but reports success
+    /// (`torn=P`), simulating a crash mid-write. The CRC wall catches the
+    /// damage at read time as a checksum mismatch, which resume heals by
+    /// re-running the producing stage.
+    pub p_torn_write: f64,
 }
 
 impl Default for FaultPlan {
@@ -107,6 +128,10 @@ impl Default for FaultPlan {
             crash_after: None,
             crash_mid: None,
             corrupt_path: None,
+            enospc_after_bytes: None,
+            enospc_heals: false,
+            p_disk_eio: 0.0,
+            p_torn_write: 0.0,
         }
     }
 }
@@ -141,6 +166,12 @@ impl FaultPlan {
         self.p_transient + self.p_panic + self.p_oom + self.p_late + self.p_hang
     }
 
+    /// True if the plan injects storage faults on the disk store
+    /// (`enospc=` / `eio=` / `torn=`).
+    pub fn has_storage_faults(&self) -> bool {
+        self.enospc_after_bytes.is_some() || self.p_disk_eio > 0.0 || self.p_torn_write > 0.0
+    }
+
     /// Validate probabilities and the dead-node index against a topology.
     pub fn validate(&self, nodes: usize) -> Result<(), String> {
         for (name, p) in [
@@ -151,6 +182,11 @@ impl FaultPlan {
             ("straggler", self.p_straggler),
             ("hang", self.p_hang),
             ("slow_heartbeat", self.p_slow_heartbeat),
+            // Per-operation storage draws: probabilities, but not part of
+            // the attempt-level chain sum below (a storage op is not a
+            // task attempt).
+            ("eio", self.p_disk_eio),
+            ("torn", self.p_torn_write),
         ] {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                 return Err(format!("fault probability {name}={p} must be in [0, 1]"));
@@ -167,6 +203,9 @@ impl FaultPlan {
                 "straggler_factor {} must be finite and >= 1",
                 self.straggler_factor
             ));
+        }
+        if self.enospc_heals && self.enospc_after_bytes.is_none() {
+            return Err("fault plan: enospc heal flag without an enospc byte budget".into());
         }
         if let Some(dead) = self.dead_node {
             if dead >= nodes {
@@ -247,6 +286,25 @@ impl FaultPlan {
                     }
                     plan.corrupt_path = Some(v.to_string());
                 }
+                "enospc" => {
+                    // `N` (bytes) or `N+heal`, e.g. `enospc=200000+heal`.
+                    let v = value.trim();
+                    let (bytes, heal) = match v.split_once('+') {
+                        Some((bytes, "heal")) => (bytes, true),
+                        Some((_, other)) => {
+                            return Err(format!(
+                                "fault plan: enospc modifier `{other}` (expected `heal`)"
+                            ));
+                        }
+                        None => (v, false),
+                    };
+                    plan.enospc_after_bytes = Some(bytes.parse::<u64>().map_err(|_| {
+                        format!("fault plan: enospc `{bytes}` is not a byte count")
+                    })?);
+                    plan.enospc_heals = heal;
+                }
+                "eio" => plan.p_disk_eio = parse_f64(value.trim())?,
+                "torn" => plan.p_torn_write = parse_f64(value.trim())?,
                 other => return Err(format!("fault plan: unknown key `{other}`")),
             }
         }
@@ -356,6 +414,18 @@ impl fmt::Display for FaultPlan {
         }
         if let Some(p) = &self.corrupt_path {
             write!(f, " corrupt={p}")?;
+        }
+        if let Some(n) = self.enospc_after_bytes {
+            write!(f, " enospc={n}")?;
+            if self.enospc_heals {
+                write!(f, "+heal")?;
+            }
+        }
+        if self.p_disk_eio > 0.0 {
+            write!(f, " eio={}", self.p_disk_eio)?;
+        }
+        if self.p_torn_write > 0.0 {
+            write!(f, " torn={}", self.p_torn_write)?;
         }
         Ok(())
     }
@@ -545,6 +615,82 @@ mod tests {
             assert!(
                 !matches!(d, Some(Fault::Hang | Fault::SlowHeartbeat)),
                 "zero-probability fault drawn at task {task}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_keys_parse_validate_and_display() {
+        let plan = FaultPlan::parse("seed=11,enospc=200000+heal,eio=0.05,torn=0.1").unwrap();
+        assert_eq!(plan.enospc_after_bytes, Some(200_000));
+        assert!(plan.enospc_heals);
+        assert_eq!(plan.p_disk_eio, 0.05);
+        assert_eq!(plan.p_torn_write, 0.1);
+        assert!(plan.has_storage_faults());
+        plan.validate(4).unwrap();
+        let shown = plan.to_string();
+        assert!(shown.contains("enospc=200000+heal"), "{shown}");
+        assert!(shown.contains("eio=0.05"), "{shown}");
+        assert!(shown.contains("torn=0.1"), "{shown}");
+
+        // Without `+heal` the budget never resets.
+        let plan = FaultPlan::parse("enospc=512").unwrap();
+        assert_eq!(plan.enospc_after_bytes, Some(512));
+        assert!(!plan.enospc_heals);
+        assert!(!plan.to_string().contains("heal"));
+
+        // Default plans print none of the storage keys and report no
+        // storage faults (keeps old goldens stable).
+        let quiet = FaultPlan::quiet(11);
+        assert!(!quiet.has_storage_faults());
+        let shown = quiet.to_string();
+        assert!(!shown.contains("enospc"), "{shown}");
+        assert!(!shown.contains("eio"), "{shown}");
+        assert!(!shown.contains("torn"), "{shown}");
+
+        // Storage probabilities are validated like the attempt-level ones,
+        // but do not count against the attempt chain sum: a full-throttle
+        // attempt plan plus storage faults is still valid.
+        let mut p = FaultPlan::quiet(0);
+        p.p_disk_eio = 1.5;
+        assert!(p.validate(4).is_err());
+        p.p_disk_eio = 0.0;
+        p.p_torn_write = f64::NAN;
+        assert!(p.validate(4).is_err());
+        let mut p = FaultPlan::quiet(0);
+        p.p_transient = 0.6;
+        p.p_panic = 0.4;
+        p.p_disk_eio = 0.9;
+        p.p_torn_write = 0.9;
+        assert!(
+            p.validate(4).is_ok(),
+            "storage draws are per-op, not chained"
+        );
+        let mut p = FaultPlan::quiet(0);
+        p.enospc_heals = true;
+        assert!(p.validate(4).is_err(), "heal flag needs a byte budget");
+
+        // Malformed storage specs are rejected like any other key.
+        assert!(FaultPlan::parse("enospc=lots").is_err());
+        assert!(FaultPlan::parse("enospc=100+later").is_err());
+        assert!(FaultPlan::parse("eio=maybe").is_err());
+        assert!(FaultPlan::parse("torn=").is_err());
+    }
+
+    #[test]
+    fn storage_keys_do_not_perturb_attempt_decisions() {
+        // Storage faults live outside the attempt edge chain: adding them
+        // to a plan must not change any task-attempt decision.
+        let base = FaultPlan::aggressive(42);
+        let mut with_storage = base.clone();
+        with_storage.enospc_after_bytes = Some(1);
+        with_storage.p_disk_eio = 0.9;
+        with_storage.p_torn_write = 0.9;
+        for task in 0..300 {
+            assert_eq!(
+                base.decide("job", Phase::Map, task, 0),
+                with_storage.decide("job", Phase::Map, task, 0),
+                "attempt decision changed at task {task}"
             );
         }
     }

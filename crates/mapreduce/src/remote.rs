@@ -204,6 +204,10 @@ impl FaultWire {
             crash_after: self.crash_after.map(|n| n as usize),
             crash_mid: self.crash_mid.map(|n| n as usize),
             corrupt_path: self.corrupt_path,
+            // Storage faults (enospc/eio/torn) stay driver-side by design:
+            // the driver's Dfs handle injects them, so worker processes get
+            // the default (quiet) storage keys and a clean disk view.
+            ..FaultPlan::default()
         }
     }
 }
@@ -298,6 +302,10 @@ struct HandshakeReq {
     /// Milliseconds between worker heartbeat frames while a task runs;
     /// `0` disables the heartbeat thread entirely (supervision off).
     heartbeat_interval_ms: u64,
+    /// Mirror of [`crate::ClusterConfig::durable_commits`]: workers must
+    /// follow the same write→sync→rename→dir-sync discipline as the driver
+    /// or task-level part commits would be weaker than job-level ones.
+    durable: bool,
 }
 wire_codec!(HandshakeReq {
     job_name,
@@ -315,6 +323,7 @@ wire_codec!(HandshakeReq {
     shuffle_tag,
     faults,
     heartbeat_interval_ms,
+    durable,
 });
 
 struct MapReq {
@@ -488,6 +497,15 @@ impl Codec for MrError {
                 buf.push(9);
                 s.encode(buf);
             }
+            MrError::StorageFull { path } => {
+                buf.push(10);
+                path.encode(buf);
+            }
+            MrError::StorageIo { path, op } => {
+                buf.push(11);
+                path.encode(buf);
+                op.encode(buf);
+            }
         }
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
@@ -514,6 +532,13 @@ impl Codec for MrError {
                 found: u32::decode(r)?,
             },
             9 => MrError::DriverCrash(String::decode(r)?),
+            10 => MrError::StorageFull {
+                path: String::decode(r)?,
+            },
+            11 => MrError::StorageIo {
+                path: String::decode(r)?,
+                op: String::decode(r)?,
+            },
             t => return Err(MrError::Codec(format!("invalid error tag {t}"))),
         })
     }
@@ -1180,6 +1205,7 @@ fn worker_setup(req: &HandshakeReq) -> Result<(Cluster, Box<dyn WorkerJob>, Path
         max_task_attempts: 1,
         speculation: false,
         faults: req.faults.clone().map(FaultWire::into_plan),
+        durable_commits: req.durable,
         ..ClusterConfig::default()
     };
     let dfs = Dfs::new_disk(req.nodes as usize, req.block_size as usize, &req.dfs_root)?;
@@ -1486,6 +1512,7 @@ where
         } else {
             0
         },
+        durable: config.durable_commits,
     };
     let size = params.threads.clamp(1, 8);
     let mut slots: Vec<SlotState> = (0..size).map(|_| SlotState::default()).collect();
@@ -1999,6 +2026,7 @@ mod tests {
             crash_after: None,
             crash_mid: Some(7),
             corrupt_path: Some("/out/part-00000".into()),
+            ..FaultPlan::default()
         };
         let req = HandshakeReq {
             job_name: "stage1".into(),
@@ -2016,12 +2044,14 @@ mod tests {
             shuffle_tag: "stage1-1-0".into(),
             faults: Some(FaultWire::from_plan(&plan)),
             heartbeat_interval_ms: 250,
+            durable: false,
         };
         let back = HandshakeReq::from_bytes(&req.to_bytes()).unwrap();
         assert_eq!(back.job_name, "stage1");
         assert_eq!(back.payload, vec![1, 2, 3]);
         assert_eq!(back.num_reducers, 4);
         assert_eq!(back.heartbeat_interval_ms, 250);
+        assert!(!back.durable);
         let plan_back = back.faults.unwrap().into_plan();
         assert_eq!(plan_back.seed, plan.seed);
         assert_eq!(plan_back.p_hang, plan.p_hang);

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use mapreduce::{
     list_schedule_makespan, mem_input, text_input, ClosureMapper, ClosureReducer, Cluster,
-    ClusterConfig, Codec, Dfs, Emit, Job, NetworkModel, TaskContext,
+    ClusterConfig, Codec, Dfs, Emit, Job, JobManifest, ManifestCheck, NetworkModel, TaskContext,
 };
 
 // ---------------------------------------------------------------------------
@@ -267,5 +267,119 @@ proptest! {
             out
         };
         prop_assert_eq!(run(1), run(splits));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// commit manifests under damage
+// ---------------------------------------------------------------------------
+
+/// Commit a two-part output directory with a valid `_SUCCESS` manifest and
+/// return the manifest's JSON text.
+fn committed_output(dfs: &Dfs) -> String {
+    dfs.write_text("/out/part-00000", ["alpha", "beta"])
+        .unwrap();
+    dfs.write_text("/out/part-00001", ["gamma"]).unwrap();
+    JobManifest::collect(dfs, "stage", 7, "/out")
+        .unwrap()
+        .write(dfs, "/out")
+        .unwrap();
+    dfs.read_text("/out/_SUCCESS").unwrap().join("\n")
+}
+
+/// Exactly what a resume driver does with `/out`: read the manifest and
+/// validate it. `true` means the directory would be trusted and skipped.
+fn would_trust(dfs: &Dfs) -> bool {
+    match JobManifest::read(dfs, "/out") {
+        Ok(Some(m)) => m.validate(dfs, "/out", 7) == ManifestCheck::Valid,
+        Ok(None) | Err(_) => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A `_SUCCESS` holding any strict prefix of the manifest document — a
+    /// driver killed mid-manifest-write — never validates and never panics;
+    /// the job re-runs.
+    #[test]
+    fn truncated_manifest_never_validates(frac in 0.0f64..1.0) {
+        let dfs = Dfs::new(1, 32);
+        let text = committed_output(&dfs);
+        let cut = ((text.len() as f64) * frac) as usize;
+        prop_assert!(cut < text.len());
+        let prefix = &text[..cut];
+        dfs.delete("/out/_SUCCESS").unwrap();
+        dfs.write_text("/out/_SUCCESS", [prefix]).unwrap();
+        prop_assert!(
+            !would_trust(&dfs),
+            "a {cut}/{}-byte manifest prefix must not validate",
+            text.len()
+        );
+    }
+
+    /// Flipping any single bit of the *stored* `_SUCCESS` container on disk
+    /// never tricks validation into trusting altered content. CRC-32
+    /// detects every single-bit payload error, so a flip that touches the
+    /// manifest bytes (or the stored CRC, kind, magic, or block table
+    /// structure) is rejected before the manifest is parsed. The only flips
+    /// that can still validate land in header metadata the reader does not
+    /// consume — the `len` field and per-block node placements — and those
+    /// leave the decoded manifest byte-identical, which the test checks.
+    #[test]
+    fn bit_flipped_success_container_never_validates(
+        idx in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let dfs = Dfs::new_temp_disk(1, 32).unwrap();
+        let original = committed_output(&dfs);
+        let path = dfs.disk_root().unwrap().join("fs/out/_SUCCESS");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = (idx % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        if would_trust(&dfs) {
+            let reread = dfs.read_text("/out/_SUCCESS").unwrap().join("\n");
+            prop_assert_eq!(
+                reread,
+                original,
+                "container byte {} bit {} validated with altered content",
+                i,
+                bit
+            );
+        }
+    }
+
+    /// Fuzzing the manifest *text* (as if the damage slipped past the
+    /// container CRC): never panics, and the only single-byte flips that
+    /// can still validate are in the two fields validation deliberately
+    /// ignores — the job name (informational) and the schema-version digit
+    /// (forward-compatibility allows older versions).
+    #[test]
+    fn byte_flipped_manifest_json_is_detected_or_ignored_field(
+        idx in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let dfs = Dfs::new(1, 32);
+        let text = committed_output(&dfs);
+        let i = (idx % text.len() as u64) as usize;
+        let mut bytes = text.clone().into_bytes();
+        bytes[i] ^= 1 << bit;
+        let Ok(flipped) = String::from_utf8(bytes) else {
+            // Not representable as a text line; the container layer would
+            // have to carry it, and the test above covers raw bytes.
+            return Ok(());
+        };
+        dfs.delete("/out/_SUCCESS").unwrap();
+        dfs.write_text("/out/_SUCCESS", [flipped.as_str()]).unwrap();
+        if would_trust(&dfs) {
+            let job_val = text.find("\"job\":\"").unwrap() + "\"job\":\"".len();
+            let job_span = job_val..job_val + "stage".len();
+            let v_digit = text.find("\"v\":").unwrap() + "\"v\":".len();
+            prop_assert!(
+                job_span.contains(&i) || i == v_digit,
+                "flip at byte {i} bit {bit} validated outside the ignored fields"
+            );
+        }
     }
 }
