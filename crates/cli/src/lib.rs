@@ -23,8 +23,8 @@ use args::Args;
 use fuzzyjoin::{
     read_joined, rs_join, rs_join_resume, run_report_resolved, self_join, self_join_resume,
     BadRecordPolicy, Cluster, ClusterConfig, FaultPlan, FilterConfig, JoinConfig, JoinOutcome,
-    RecordFormat, SimFunction, Stage1Algo, Stage2Algo, Stage3Algo, Threshold, TokenRouting,
-    TokenizerKind,
+    RecordFormat, SimFunction, SkewConfig, SkewMode, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
+    TokenRouting, TokenizerKind,
 };
 use mapreduce::{BackendKind, TraceSink};
 
@@ -35,7 +35,7 @@ usage: fuzzyjoin-cli <command> [--flag value ...]
 commands:
   gen       generate a synthetic corpus
             --kind dblp|citeseerx|dna  --records N  --out FILE
-            [--scale F] [--seed S]
+            [--scale F] [--seed S] [--skew-exponent Z]
   selfjoin  self-join one file
             --input FILE  --out FILE
             [--threshold T] [--measure jaccard|cosine|dice]
@@ -44,6 +44,8 @@ commands:
             [--backend simulated|sharded|process] [--dfs-root DIR]
             [--task-timeout-secs T] [--heartbeat-interval-secs H]
             [--heartbeat-grace G] [--fault-seed S] [--fault-plan SPEC]
+            [--skew adaptive|off] [--skew-split-max B]
+            [--skew-hot-threshold N]
   rsjoin    join two files (stage 1 runs on --r; make it the smaller one)
             --r FILE --s FILE --out FILE  [same options as selfjoin]
 
@@ -87,6 +89,17 @@ execution (selfjoin/rsjoin):
                   process never loses acknowledged commits either way (the
                   page cache survives); only power loss can, so benches opt
                   out to skip the fsync tax
+
+skew handling (selfjoin/rsjoin):
+  --skew adaptive     sample the input before stage 2 and split hot routing
+                      groups into bucket-pair reduce keys (mappers replicate
+                      hot records; every candidate pair still meets in at
+                      least one reducer, so the output is byte-identical to
+                      --skew off — only the per-reducer load changes)
+  --skew-split-max B  cap on buckets (= replication factor) per split group
+                      (default 8)
+  --skew-hot-threshold N  split a group when its estimated routed record
+                      count reaches N (default 4096)
 
 supervision (wall-clock watchdog for the real backends):
   --task-timeout-secs T       kill any task attempt still running after T
@@ -157,20 +170,35 @@ pub fn run(argv: &[String]) -> Result<String, String> {
 // ---------------------------------------------------------------------------
 
 fn cmd_gen(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["kind", "records", "out", "scale", "seed"])?;
+    args.ensure_known(&["kind", "records", "out", "scale", "seed", "skew-exponent"])?;
     let kind = args.get("kind").unwrap_or("dblp");
     let records: usize = args.get_parsed("records", 10_000)?;
     let scale: usize = args.get_parsed("scale", 1)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     let out = args.require("out")?;
+    // Token-frequency Zipf exponent override: higher values concentrate
+    // mass on the hottest tokens (the skew-bench workload).
+    let skew_exponent: Option<f64> = match args.get("skew-exponent") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --skew-exponent: {e}"))?),
+        None => None,
+    };
 
     let lines = match kind {
-        "dblp" => datagen::to_lines(&datagen::increase(&datagen::dblp(records, seed), scale)),
-        "citeseerx" => datagen::to_lines(&datagen::increase(
-            &datagen::citeseerx(records, seed),
-            scale,
-        )),
+        "dblp" | "citeseerx" => {
+            let mut config = if kind == "dblp" {
+                datagen::GeneratorConfig::dblp(records, seed)
+            } else {
+                datagen::citeseerx_config(records, seed)
+            };
+            if let Some(z) = skew_exponent {
+                config.zipf_exponent = z;
+            }
+            datagen::to_lines(&datagen::increase(&datagen::generate(&config), scale))
+        }
         "dna" => {
+            if skew_exponent.is_some() {
+                return Err("--skew-exponent only applies to dblp/citeseerx".into());
+            }
             let config = datagen::DnaConfig {
                 records: records * scale,
                 seed,
@@ -215,6 +243,9 @@ const JOIN_FLAGS: &[&str] = &[
     "heartbeat-grace",
     "fault-seed",
     "fault-plan",
+    "skew",
+    "skew-split-max",
+    "skew-hot-threshold",
     "resume",
     "bad-records",
     "trace-out",
@@ -341,6 +372,29 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
         return Err("--nodes must be at least 1".into());
     }
 
+    let mut skew = SkewConfig::off();
+    if let Some(mode) = args.get("skew") {
+        skew.mode = SkewMode::parse(mode).map_err(|e| format!("bad --skew: {e}"))?;
+    }
+    if let Some(v) = args.get("skew-split-max") {
+        let b: u32 = v
+            .parse()
+            .map_err(|e| format!("bad --skew-split-max: {e}"))?;
+        if b < 2 {
+            return Err("--skew-split-max must be at least 2".into());
+        }
+        skew.split_max = b;
+    }
+    if let Some(v) = args.get("skew-hot-threshold") {
+        let t: u64 = v
+            .parse()
+            .map_err(|e| format!("bad --skew-hot-threshold: {e}"))?;
+        if t == 0 {
+            return Err("--skew-hot-threshold must be positive".into());
+        }
+        skew.hot_threshold = t;
+    }
+
     Ok((
         JoinConfig {
             threshold,
@@ -355,6 +409,7 @@ fn join_config(args: &Args) -> Result<(JoinConfig, usize), String> {
             stage3,
             length_sub_routing: None,
             bad_records,
+            skew,
         },
         nodes,
     ))
@@ -1059,6 +1114,43 @@ mod more_tests {
         assert!(msg.contains("phase profile"), "{msg}");
         assert!(msg.contains("wall attributed"), "{msg}");
         assert!(msg.contains("map "), "{msg}");
+    }
+
+    #[test]
+    fn skew_adaptive_flag_keeps_pairs_identical() {
+        let corpus = tmp("sk.tsv");
+        // A high Zipf exponent concentrates tokens, so forced splitting has
+        // real hot groups to act on.
+        run(&argv(&format!(
+            "gen --kind dblp --records 250 --seed 17 --skew-exponent 1.2 --out {corpus}"
+        )))
+        .unwrap();
+        let run_with = |extra: &str, out: &str| {
+            run(&argv(&format!(
+                "selfjoin --input {corpus} --out {out} --threshold 0.8 --nodes 3 {extra}"
+            )))
+            .unwrap();
+            fs::read_to_string(out).unwrap()
+        };
+        let off = run_with("--skew off", &tmp("sk-off.tsv"));
+        let adaptive = run_with(
+            "--skew adaptive --skew-hot-threshold 8 --skew-split-max 4",
+            &tmp("sk-on.tsv"),
+        );
+        assert_eq!(adaptive, off, "splitting must not change the pairs");
+        assert!(!off.is_empty(), "expected pairs");
+    }
+
+    #[test]
+    fn bad_skew_flags_are_clean_errors() {
+        let err = run(&argv("selfjoin --input a --out b --skew maybe")).unwrap_err();
+        assert!(err.contains("bad --skew"), "{err}");
+        let err = run(&argv("selfjoin --input a --out b --skew-split-max 1")).unwrap_err();
+        assert!(err.contains("--skew-split-max"), "{err}");
+        let err = run(&argv("selfjoin --input a --out b --skew-hot-threshold 0")).unwrap_err();
+        assert!(err.contains("--skew-hot-threshold"), "{err}");
+        let err = run(&argv("gen --kind dna --out x --skew-exponent 1.1")).unwrap_err();
+        assert!(err.contains("--skew-exponent"), "{err}");
     }
 
     #[test]

@@ -6,6 +6,8 @@ use setsim::{FilterConfig, Threshold};
 
 use mapreduce::{MrError, Result, TaskContext};
 
+use crate::skew::SkewConfig;
+
 /// Counter recording input records skipped under a lenient
 /// [`BadRecordPolicy`]; surfaced per job in `JobMetrics::counters` and
 /// summed into the run report's `recovery` section.
@@ -253,6 +255,10 @@ pub struct JoinConfig {
     /// Policy for malformed input records (stages parsing original dataset
     /// lines).
     pub bad_records: BadRecordPolicy,
+    /// Skew-adaptive routing: sample the input before stage 2 and split
+    /// hot routing groups into bucket-pair reduce keys (see
+    /// [`crate::skew`]). Off by default.
+    pub skew: SkewConfig,
 }
 
 impl JoinConfig {
@@ -271,6 +277,7 @@ impl JoinConfig {
             stage3: Stage3Algo::Brj,
             length_sub_routing: None,
             bad_records: BadRecordPolicy::Strict,
+            skew: SkewConfig::off(),
         }
     }
 

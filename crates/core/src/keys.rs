@@ -22,7 +22,12 @@
 //! * `rel` — relation tag: 0 = R (or self), 1 = S. Sorting places R before
 //!   S within a length class.
 
-use mapreduce::{group_by, partition_by, GroupEq, PartitionFn, SortCmp};
+use std::collections::BTreeSet;
+
+use mapreduce::{group_by, partition_by, stable_hash, GroupEq, PartitionFn, SortCmp};
+use setsim::Threshold;
+
+use crate::config::TokenRouting;
 
 /// The composite stage-2 key.
 pub type Stage2Key = (u32, u32, u8, u32, u8);
@@ -66,6 +71,43 @@ pub fn stage2_sort() -> SortCmp<Stage2Key> {
 /// The value routed with each key: a record projection (RID + sorted token
 /// ranks) — the paper's "record projections" of stage 2.
 pub type Projection = (u64, Vec<u32>);
+
+/// Routing groups for a record's probe prefix: one group per prefix token
+/// (individual or round-robin grouped), optionally fanned into the length
+/// buckets of Section 5's sub-routing. This is the *pre-skew* key scheme;
+/// it is shared verbatim between the stage-2 mapper and the skew
+/// estimator's sampling pre-pass ([`crate::skew::build_plan`]) so the
+/// plan's group ids always match what the mapper routes.
+pub fn routing_groups(
+    threshold: &Threshold,
+    routing: TokenRouting,
+    length_sub_routing: Option<u32>,
+    ranks: &[u32],
+) -> BTreeSet<u32> {
+    let len = ranks.len();
+    let prefix_len = threshold.probe_prefix_len(len);
+    let mut groups = BTreeSet::new();
+    for &rank in &ranks[..prefix_len] {
+        let g = routing.group_of(rank);
+        match length_sub_routing {
+            None => {
+                groups.insert(g);
+            }
+            Some(width) => {
+                // Replicate into every length bucket the record's
+                // compatible-partner range covers, so any similar pair
+                // shares the bucket of its shorter member.
+                let width = width.max(1) as usize;
+                let lo = threshold.lower_bound(len) / width;
+                let hi = len / width;
+                for bucket in lo..=hi {
+                    groups.insert(stable_hash(&(g, bucket as u32)) as u32);
+                }
+            }
+        }
+    }
+    groups
+}
 
 #[cfg(test)]
 mod tests {

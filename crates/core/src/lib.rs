@@ -26,6 +26,7 @@ pub mod keys;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
+pub mod skew;
 pub mod stage1;
 pub mod stage2;
 pub mod stage3;
@@ -35,13 +36,14 @@ pub use config::{
     BadRecordPolicy, JoinConfig, RecordFormat, Stage1Algo, Stage2Algo, Stage3Algo, TokenRouting,
     TokenizerKind, BAD_RECORDS_COUNTER,
 };
-pub use keys::{Projection, Stage2Key};
+pub use keys::{routing_groups, Projection, Stage2Key};
 pub use pipeline::{
     read_joined, read_rid_pairs, rs_join, rs_join_resume, self_join, self_join_resume, JoinOutcome,
     RecoverySummary,
 };
 pub use recovery::{job_fingerprint, Recovery, JOB_SKIPPED_COUNTER};
 pub use report::{run_report, run_report_resolved, REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
+pub use skew::{build_plan as build_skew_plan, SkewConfig, SkewMode, SkewPlan};
 pub use stage1::{BTO_COUNT_FACTORY, BTO_SORT_FACTORY};
 pub use stage2::STAGE2_BK_FACTORY;
 pub use stage3::{JoinedPair, PairKey};

@@ -163,17 +163,22 @@ pub fn stage1_tag(config: &JoinConfig) -> String {
     )
 }
 
-/// Config tag covering everything that changes stage-2 output.
+/// Config tag covering everything that changes stage-2 output. The skew
+/// config is part of the tag even though splitting never changes committed
+/// *pairs*: the job's intermediate shape (and its metrics) differ, and the
+/// skew plan itself is a pure function of the inputs (covered by content
+/// fingerprinting) and this config, so tagging the config pins the plan.
 pub fn stage2_tag(config: &JoinConfig, rs: bool) -> String {
     format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|rs={rs}",
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|skew={:?}|rs={rs}",
         config.threshold,
         config.stage2,
         config.routing,
         config.length_sub_routing,
         config.tokenizer,
         config.format,
-        config.bad_records
+        config.bad_records,
+        config.skew
     )
 }
 
@@ -281,5 +286,17 @@ mod tests {
         assert_ne!(t2, stage2_tag(&cfg, false));
         assert_ne!(t3, stage3_tag(&cfg));
         assert_ne!(stage2_tag(&cfg, false), stage2_tag(&cfg, true));
+    }
+
+    #[test]
+    fn stage2_tag_covers_the_skew_config() {
+        let mut cfg = JoinConfig::recommended();
+        let base = stage2_tag(&cfg, false);
+        cfg.skew = crate::skew::SkewConfig::forced(8, 4);
+        let forced = stage2_tag(&cfg, false);
+        assert_ne!(base, forced, "enabling skew must invalidate stage 2");
+        cfg.skew.split_max = 6;
+        assert_ne!(forced, stage2_tag(&cfg, false), "knobs are covered too");
+        assert_eq!(stage1_tag(&cfg), stage1_tag(&JoinConfig::recommended()));
     }
 }

@@ -47,9 +47,11 @@ fn histogram_json(h: &HistogramSnapshot) -> Json {
 }
 
 /// Resolve a heavy-hitter label against the stage-1 token list: a
-/// `rank:N` label names line `N` of the ordered token file.
+/// `rank:N` label names line `N` of the ordered token file. Skew split
+/// keys (`rank:N/split:i-j`) resolve to the same token as their parent.
 fn resolve_label(label: &str, tokens: Option<&[String]>) -> Option<String> {
-    let rank: usize = label.strip_prefix("rank:")?.parse().ok()?;
+    let rank_part = label.strip_prefix("rank:")?.split('/').next()?;
+    let rank: usize = rank_part.parse().ok()?;
     tokens?.get(rank).cloned()
 }
 
@@ -155,6 +157,12 @@ pub fn run_report(outcome: &JoinOutcome, config: &JoinConfig, tokens: Option<&[S
         ("stage2", Json::Str(format!("{:?}", config.stage2))),
         ("stage3", Json::Str(format!("{:?}", config.stage3))),
         ("routing", Json::Str(format!("{:?}", config.routing))),
+        // Additive (no `v` bump): skew-adaptive routing configuration. The
+        // per-job `skew.*` counters and the `skew.replication_factor`
+        // histogram surface through the generic counters/histograms
+        // sections; split reduce keys appear in `reduce_key_heavy_hitters`
+        // under `…/split:i-j` labels.
+        ("skew", Json::Str(format!("{:?}", config.skew))),
     ]);
     let totals = obj(vec![
         ("sim_secs", Json::Num(outcome.sim_secs())),

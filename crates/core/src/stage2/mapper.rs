@@ -13,7 +13,8 @@ use mapreduce::{stable_hash, Emit, Mapper, Result, TaskContext};
 use setsim::{Threshold, TokenOrder};
 
 use crate::config::{BadRecordPolicy, RecordFormat, TokenRouting, TokenizerKind};
-use crate::keys::{Projection, Stage2Key, KIND_LOAD, KIND_STREAM, REL_R, REL_S};
+use crate::keys::{routing_groups, Projection, Stage2Key, KIND_LOAD, KIND_STREAM, REL_R, REL_S};
+use crate::skew::SkewPlan;
 use crate::tokenizer_cache::CachedTokenizer;
 
 /// How projections are replicated across block-processing passes.
@@ -49,6 +50,7 @@ pub struct ProjectionMapper {
     emit_mode: EmitMode,
     length_sub_routing: Option<u32>,
     bad_records: BadRecordPolicy,
+    skew: Arc<SkewPlan>,
     order: Option<Arc<TokenOrder>>,
 }
 
@@ -75,6 +77,7 @@ impl ProjectionMapper {
             emit_mode,
             length_sub_routing,
             bad_records: BadRecordPolicy::Strict,
+            skew: Arc::new(SkewPlan::empty()),
             order: None,
         }
     }
@@ -85,31 +88,42 @@ impl ProjectionMapper {
         self
     }
 
+    /// Install a skew-splitting plan (default: empty, routing unchanged).
+    pub fn skew(mut self, plan: Arc<SkewPlan>) -> Self {
+        self.skew = plan;
+        self
+    }
+
     /// Routing groups for a record's probe prefix, including the optional
-    /// length-bucket sub-routing of Section 5.
+    /// length-bucket sub-routing of Section 5 (pre-skew).
     fn groups_for(&self, ranks: &[u32]) -> BTreeSet<u32> {
-        let len = ranks.len();
-        let prefix_len = self.threshold.probe_prefix_len(len);
-        let mut groups = BTreeSet::new();
-        for &rank in &ranks[..prefix_len] {
-            let g = self.routing.group_of(rank);
-            match self.length_sub_routing {
-                None => {
-                    groups.insert(g);
-                }
-                Some(width) => {
-                    // Replicate into every length bucket the record's
-                    // compatible-partner range covers, so any similar pair
-                    // shares the bucket of its shorter member.
-                    let width = width.max(1) as usize;
-                    let lo = self.threshold.lower_bound(len) / width;
-                    let hi = len / width;
-                    for bucket in lo..=hi {
-                        groups.insert(stable_hash(&(g, bucket as u32)) as u32);
-                    }
-                }
-            }
+        routing_groups(
+            &self.threshold,
+            self.routing,
+            self.length_sub_routing,
+            ranks,
+        )
+    }
+
+    /// Final routing keys for a record: prefix groups, then the skew plan's
+    /// bucket-pair splitting. Bucketing is by RID only — never by relation
+    /// or length class — so both members of any candidate pair land in the
+    /// bucket pair `(min(bx,by), max(bx,by))` and pair completeness holds
+    /// in every emit mode, self-join and R-S alike.
+    fn route_groups(&self, ranks: &[u32], rid: u64, ctx: &TaskContext) -> BTreeSet<u32> {
+        let base = self.groups_for(ranks);
+        if self.skew.is_empty() {
+            return base;
         }
+        let before = base.len();
+        let (groups, hot) = self.skew.route(base, rid);
+        if hot > 0 {
+            ctx.counter("skew.split_records").incr();
+            ctx.counter("skew.split_emits")
+                .add(groups.len().saturating_sub(before) as u64);
+        }
+        ctx.histogram("skew.replication_factor")
+            .record(groups.len() as f64 / before.max(1) as f64);
         groups
     }
 }
@@ -170,7 +184,7 @@ impl Mapper for ProjectionMapper {
         } else {
             len
         };
-        let groups = self.groups_for(&ranks);
+        let groups = self.route_groups(&ranks, rid, ctx);
         ctx.counter("stage2.projections").incr();
         for g in groups {
             match self.emit_mode {

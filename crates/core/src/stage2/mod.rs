@@ -25,6 +25,7 @@ use crate::config::{
 };
 use crate::keys::{stage2_grouping, stage2_partitioner, stage2_sort, Projection, Stage2Key};
 use crate::recovery::{self, Recovery};
+use crate::skew::{self, SkewPlan};
 use crate::stage2::blocks::{MapBlocksReducer, ReduceBlocksReducer};
 use crate::stage2::mapper::{EmitMode, ProjectionMapper};
 use crate::stage2::reducers::{BkReducer, PkReducer};
@@ -80,6 +81,7 @@ fn kernel_job<R>(
     mapper: ProjectionMapper,
     reducer: R,
     routing: TokenRouting,
+    skew_plan: &SkewPlan,
     pairs_path: &str,
 ) -> Job<ProjectionMapper, R>
 where
@@ -88,9 +90,22 @@ where
     // Label routing keys for the heavy-hitter report: with individual-token
     // routing the group component *is* the prefix-token rank, so the report
     // names the exact hot token; with grouped routing it names the group.
+    // Synthesized skew split keys get their own `…/split:i-j` labels so the
+    // report shows per-split reduce-key load instead of opaque hashes.
+    let split_labels = skew_plan.split_key_labels(routing);
     let key_label: KeyLabel<Stage2Key> = match routing {
-        TokenRouting::Individual => Arc::new(|k: &Stage2Key| format!("rank:{}", k.0)),
-        TokenRouting::Grouped { .. } => Arc::new(|k: &Stage2Key| format!("group:{}", k.0)),
+        TokenRouting::Individual => Arc::new(move |k: &Stage2Key| {
+            split_labels
+                .get(&k.0)
+                .cloned()
+                .unwrap_or_else(|| format!("rank:{}", k.0))
+        }),
+        TokenRouting::Grouped { .. } => Arc::new(move |k: &Stage2Key| {
+            split_labels
+                .get(&k.0)
+                .cloned()
+                .unwrap_or_else(|| format!("group:{}", k.0))
+        }),
     };
     Job::new(name, mapper, reducer)
         .inputs(inputs)
@@ -130,6 +145,10 @@ struct BkPayload {
     length_sub_routing: Option<u64>,
     bad_records: u8,
     bad_limit: u64,
+    /// Skew plan entries (`group → buckets`); empty when splitting is off.
+    /// The plan rides the payload so process-backend workers route records
+    /// exactly as the driver planned.
+    skew_splits: Vec<(u32, u32)>,
 }
 
 impl Codec for BkPayload {
@@ -149,6 +168,7 @@ impl Codec for BkPayload {
         self.length_sub_routing.encode(buf);
         self.bad_records.encode(buf);
         self.bad_limit.encode(buf);
+        self.skew_splits.encode(buf);
     }
 
     fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
@@ -168,6 +188,7 @@ impl Codec for BkPayload {
             length_sub_routing: Codec::decode(r)?,
             bad_records: Codec::decode(r)?,
             bad_limit: Codec::decode(r)?,
+            skew_splits: Codec::decode(r)?,
         })
     }
 }
@@ -180,6 +201,7 @@ impl BkPayload {
         s_path: Option<&str>,
         rs: bool,
         config: &JoinConfig,
+        skew_plan: &SkewPlan,
     ) -> Self {
         let (tokenizer, qgram) = match config.tokenizer {
             TokenizerKind::Word => (0, 0),
@@ -221,6 +243,7 @@ impl BkPayload {
             length_sub_routing: config.length_sub_routing.map(u64::from),
             bad_records,
             bad_limit,
+            skew_splits: skew_plan.entries(),
         }
     }
 
@@ -268,7 +291,12 @@ impl BkPayload {
             EmitMode::Plain,
             self.length_sub_routing.map(|w| w as u32),
         )
-        .bad_records(bad_records))
+        .bad_records(bad_records)
+        .skew(Arc::new(self.skew_plan())))
+    }
+
+    fn skew_plan(&self) -> SkewPlan {
+        SkewPlan::from_entries(self.skew_splits.clone())
     }
 
     fn job(&self, dfs: &Dfs) -> Result<Job<ProjectionMapper, BkReducer>> {
@@ -282,6 +310,7 @@ impl BkPayload {
             self.mapper()?,
             BkReducer::new(self.threshold()?, self.rs != 0),
             self.routing(),
+            &self.skew_plan(),
             &self.pairs,
         ))
     }
@@ -307,6 +336,7 @@ fn run_kernel(
     config: &JoinConfig,
     rs: bool,
     pairs_path: &str,
+    skew_plan: &SkewPlan,
     remote_payload: Option<Vec<u8>>,
     rec: &mut Recovery,
 ) -> Result<PipelineMetrics> {
@@ -318,13 +348,36 @@ fn run_kernel(
             if rec.should_skip(cluster, $name, pairs_path, fp) {
                 metrics.push(Recovery::skipped_job_metrics($name));
             } else {
-                let mut job =
-                    kernel_job($name, inputs, mapper, $reducer, config.routing, pairs_path)
-                        .fingerprint(fp);
+                let mut job = kernel_job(
+                    $name,
+                    inputs,
+                    mapper,
+                    $reducer,
+                    config.routing,
+                    skew_plan,
+                    pairs_path,
+                )
+                .fingerprint(fp);
                 if let Some(payload) = remote_payload {
                     job = job.remote(STAGE2_BK_FACTORY, payload);
                 }
-                metrics.push(cluster.run(job)?);
+                let mut jm = cluster.run(job)?;
+                // Driver-side skew counters: plan size and fan-out, visible
+                // in the run report next to the mapper-side replication
+                // metrics even when no mapper happened to hit a split group.
+                if !skew_plan.is_empty() {
+                    jm.counters
+                        .push(("skew.split_tokens".to_string(), skew_plan.len() as u64));
+                    jm.counters.push((
+                        "skew.split_reduce_keys".to_string(),
+                        skew_plan.total_split_keys(),
+                    ));
+                    jm.counters.push((
+                        "skew.max_buckets".to_string(),
+                        u64::from(skew_plan.max_buckets()),
+                    ));
+                }
+                metrics.push(jm);
             }
         }};
     }
@@ -374,6 +427,15 @@ pub fn run_self_with(
     rec: &mut Recovery,
 ) -> Result<(String, PipelineMetrics)> {
     let pairs_path = format!("{}/ridpairs", work.trim_end_matches('/'));
+    // The skew pre-pass: sample the input, estimate per-group load, decide
+    // which routing groups to split. Deterministic, so a resumed driver
+    // rebuilds the identical plan and committed output stays skippable.
+    let skew_plan = Arc::new(skew::build_plan(
+        cluster.dfs(),
+        &[input],
+        tokens_path,
+        config,
+    )?);
     let mapper = ProjectionMapper::new(
         config.format.clone(),
         config.tokenizer,
@@ -384,12 +446,22 @@ pub fn run_self_with(
         emit_mode(&config.stage2),
         config.length_sub_routing,
     )
-    .bad_records(config.bad_records);
+    .bad_records(config.bad_records)
+    .skew(skew_plan.clone());
     let inputs = text_input(cluster.dfs(), input)?;
     let remote_payload = match config.stage2 {
-        Stage2Algo::Bk => {
-            Some(BkPayload::new(&[input], &pairs_path, tokens_path, None, false, config).to_bytes())
-        }
+        Stage2Algo::Bk => Some(
+            BkPayload::new(
+                &[input],
+                &pairs_path,
+                tokens_path,
+                None,
+                false,
+                config,
+                &skew_plan,
+            )
+            .to_bytes(),
+        ),
         _ => None,
     };
     let metrics = run_kernel(
@@ -400,6 +472,7 @@ pub fn run_self_with(
         config,
         false,
         &pairs_path,
+        &skew_plan,
         remote_payload,
         rec,
     )?;
@@ -439,6 +512,13 @@ pub fn run_rs_with(
     rec: &mut Recovery,
 ) -> Result<(String, PipelineMetrics)> {
     let pairs_path = format!("{}/ridpairs", work.trim_end_matches('/'));
+    // Sample both relations: a group is hot by its combined R+S load.
+    let skew_plan = Arc::new(skew::build_plan(
+        cluster.dfs(),
+        &[r_input, s_input],
+        tokens_path,
+        config,
+    )?);
     let mapper = ProjectionMapper::new(
         config.format.clone(),
         config.tokenizer,
@@ -449,7 +529,8 @@ pub fn run_rs_with(
         emit_mode(&config.stage2),
         config.length_sub_routing,
     )
-    .bad_records(config.bad_records);
+    .bad_records(config.bad_records)
+    .skew(skew_plan.clone());
     let mut inputs = text_input(cluster.dfs(), r_input)?;
     inputs.extend(text_input(cluster.dfs(), s_input)?);
     let remote_payload = match config.stage2 {
@@ -461,6 +542,7 @@ pub fn run_rs_with(
                 Some(s_input),
                 true,
                 config,
+                &skew_plan,
             )
             .to_bytes(),
         ),
@@ -474,6 +556,7 @@ pub fn run_rs_with(
         config,
         true,
         &pairs_path,
+        &skew_plan,
         remote_payload,
         rec,
     )?;

@@ -18,8 +18,9 @@
 //! join attributes.
 
 use fuzzyjoin::{
-    read_joined, rs_join, self_join, BackendKind, Cluster, ClusterConfig, FilterConfig, JoinConfig,
-    Stage1Algo, Stage2Algo, Stage3Algo, Threshold, TokenRouting, TokenizerKind,
+    build_skew_plan, read_joined, rs_join, self_join, BackendKind, Cluster, ClusterConfig,
+    FilterConfig, JoinConfig, SkewConfig, Stage1Algo, Stage2Algo, Stage3Algo, Threshold,
+    TokenRouting, TokenizerKind,
 };
 use proptest::prelude::*;
 use setsim::oracle;
@@ -471,6 +472,172 @@ fn differential_bk_map_blocks_matches_oracle() {
 #[test]
 fn differential_bk_reduce_blocks_matches_oracle() {
     kernel_matrix(kernels()[3]);
+}
+
+/// One skew cell, self-join: the same corpus under skew off and under a
+/// forced-low-threshold adaptive plan must commit **bitwise identical**
+/// rows; the skew-on run additionally holds across all three backends and
+/// against the oracle (with ddmin shrinking on divergence). Returns the
+/// number of groups the plan actually split, so callers can assert the
+/// cell was not vacuous.
+fn check_skew_self_cell(lines: &[String], config: &JoinConfig, label: &str) -> usize {
+    let off_config = JoinConfig {
+        skew: SkewConfig::off(),
+        ..config.clone()
+    };
+    let sim_spec = ClusterSpec {
+        backend: BackendKind::Simulated,
+        ..default_spec()
+    };
+    let off = pipeline_self_on(sim_spec, lines, &off_config)
+        .unwrap_or_else(|e| panic!("{label} [skew off]: pipeline: {e}"));
+    // Skew-on, simulated — on a kept cluster so the plan the run used can
+    // be rebuilt from the committed token order (the plan is a pure
+    // function of inputs, tokens, and config).
+    let c = cluster_on(sim_spec);
+    c.dfs().write_text("/records", lines).unwrap();
+    let outcome = self_join(&c, "/records", "/work", config)
+        .unwrap_or_else(|e| panic!("{label} [skew on]: pipeline: {e}"));
+    let on: Vec<oracle::ResultRow> = read_joined(&c, &outcome.joined_path)
+        .unwrap()
+        .into_iter()
+        .map(|((a, b), (_, _, sim))| (a, b, sim))
+        .collect();
+    assert_eq!(
+        rows_bits(&off),
+        rows_bits(&on),
+        "{label}: splitting changed the committed pairs"
+    );
+    for backend in [BackendKind::Sharded, BackendKind::Process] {
+        let spec = ClusterSpec {
+            backend,
+            ..default_spec()
+        };
+        let rows = pipeline_self_on(spec, lines, config)
+            .unwrap_or_else(|e| panic!("{label} [{backend:?}]: pipeline: {e}"));
+        assert_eq!(
+            rows_bits(&on),
+            rows_bits(&rows),
+            "{label}: {backend:?} backend diverges under splitting"
+        );
+    }
+    report_self_divergence(sim_spec, lines, config, label, &on);
+    build_skew_plan(c.dfs(), &["/records"], &outcome.tokens_path, config)
+        .unwrap()
+        .len()
+}
+
+/// R-S counterpart of [`check_skew_self_cell`].
+fn check_skew_rs_cell(
+    r_lines: &[String],
+    s_lines: &[String],
+    config: &JoinConfig,
+    label: &str,
+) -> usize {
+    let off_config = JoinConfig {
+        skew: SkewConfig::off(),
+        ..config.clone()
+    };
+    let sim_spec = ClusterSpec {
+        backend: BackendKind::Simulated,
+        ..default_spec()
+    };
+    let off = pipeline_rs_on(sim_spec, r_lines, s_lines, &off_config)
+        .unwrap_or_else(|e| panic!("{label} [skew off]: pipeline: {e}"));
+    let c = cluster_on(sim_spec);
+    c.dfs().write_text("/r", r_lines).unwrap();
+    c.dfs().write_text("/s", s_lines).unwrap();
+    let outcome = rs_join(&c, "/r", "/s", "/work", config)
+        .unwrap_or_else(|e| panic!("{label} [skew on]: pipeline: {e}"));
+    let on: Vec<oracle::ResultRow> = read_joined(&c, &outcome.joined_path)
+        .unwrap()
+        .into_iter()
+        .map(|((a, b), (_, _, sim))| (a, b, sim))
+        .collect();
+    assert_eq!(
+        rows_bits(&off),
+        rows_bits(&on),
+        "{label}: splitting changed the committed pairs"
+    );
+    for backend in [BackendKind::Sharded, BackendKind::Process] {
+        let spec = ClusterSpec {
+            backend,
+            ..default_spec()
+        };
+        let rows = pipeline_rs_on(spec, r_lines, s_lines, config)
+            .unwrap_or_else(|e| panic!("{label} [{backend:?}]: pipeline: {e}"));
+        assert_eq!(
+            rows_bits(&on),
+            rows_bits(&rows),
+            "{label}: {backend:?} backend diverges under splitting"
+        );
+    }
+    report_rs_divergence(sim_spec, r_lines, s_lines, config, label, &on);
+    build_skew_plan(c.dfs(), &["/r", "/s"], &outcome.tokens_path, config)
+        .unwrap()
+        .len()
+}
+
+/// The skew matrix for one kernel: routing × length-sub-routing ×
+/// measure × seeds, each cell run skew-off vs forced-low-threshold
+/// adaptive (stride-1 sample, hot at 6 routed records, ≤ 4 buckets) on
+/// all three backends. The aggregate non-vacuity assert proves the forced
+/// plan really split groups somewhere in the matrix — a threshold so low
+/// it never triggers would make every cell trivially pass.
+fn skew_matrix(stage2: Stage2Algo) {
+    let mut split_groups = 0usize;
+    for routing in ROUTINGS {
+        for length_sub_routing in [None, Some(2)] {
+            for threshold in [Threshold::jaccard(0.8), Threshold::overlap(4)] {
+                let config = JoinConfig {
+                    stage2,
+                    routing,
+                    length_sub_routing,
+                    threshold,
+                    skew: SkewConfig::forced(6, 4),
+                    ..JoinConfig::recommended()
+                };
+                let label_base = format!(
+                    "skew {} routing={routing:?} lsr={length_sub_routing:?} t={threshold:?}",
+                    config.combo_name()
+                );
+                for seed in SEEDS {
+                    let lines = datagen::to_lines(&datagen::dblp(80, seed));
+                    split_groups += check_skew_self_cell(
+                        &lines,
+                        &config,
+                        &format!("{label_base} self seed={seed}"),
+                    );
+                }
+                let (r, s) = rs_corpora(SEEDS[0]);
+                split_groups += check_skew_rs_cell(&r, &s, &config, &format!("{label_base} rs"));
+            }
+        }
+    }
+    assert!(
+        split_groups > 0,
+        "forced skew matrix must actually split groups"
+    );
+}
+
+#[test]
+fn differential_skew_bk_is_invisible() {
+    skew_matrix(kernels()[0]);
+}
+
+#[test]
+fn differential_skew_pk_is_invisible() {
+    skew_matrix(kernels()[1]);
+}
+
+#[test]
+fn differential_skew_bk_map_blocks_is_invisible() {
+    skew_matrix(kernels()[2]);
+}
+
+#[test]
+fn differential_skew_bk_reduce_blocks_is_invisible() {
+    skew_matrix(kernels()[3]);
 }
 
 /// Both stage-3 variants must agree with the oracle too (the matrix above

@@ -1,0 +1,448 @@
+//! Skew-adaptive routing test wall: plan invariants, chaos, and
+//! crash/resume with splitting active.
+//!
+//! Three layers:
+//!
+//! 1. **Plan invariants** (proptest): for arbitrary plans and records,
+//!    any two records of a split group share at least one bucket-pair
+//!    key (pair completeness — the property that makes splitting safe),
+//!    replication never exceeds the configured bucket cap, unsplit
+//!    groups pass through routing untouched, and the planner never
+//!    splits a group below the hot threshold.
+//! 2. **Chaos**: the aggressive seeded fault plan composed with forced
+//!    splitting must still commit output bitwise identical to a
+//!    fault-free *unsplit* run — faults and replication may not
+//!    interact to change pairs. The seed comes from `CHAOS_SEED`.
+//! 3. **Crash/resume**: an injected driver crash at every job index
+//!    (both crash kinds) with splitting active resumes to output
+//!    bitwise identical to the unsplit fault-free baseline, with
+//!    committed jobs skipped via their manifests; and because the skew
+//!    config is covered by the stage-2 fingerprint tag, toggling it
+//!    invalidates the kernel stage while the token order is reused.
+//!
+//! `MR_BACKEND` selects the executor (the CI `skew` job sweeps all
+//! three); the hidden `process_worker_entry` test hosts re-spawned
+//! worker processes.
+
+use std::collections::BTreeSet;
+use std::sync::Once;
+
+use fuzzyjoin::{
+    build_skew_plan, read_joined, read_rid_pairs, rs_join, self_join, self_join_resume, Cluster,
+    ClusterConfig, FaultPlan, FilterConfig, JoinConfig, JoinOutcome, SkewConfig, SkewPlan,
+    Stage2Algo, TokenRouting,
+};
+use proptest::prelude::*;
+use setsim::SpaceSaving;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// Injected panics are part of aggressive chaos plans; keep them off
+/// stderr while letting genuine panics through.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected user-code panic") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn cluster_with(faults: Option<FaultPlan>) -> Cluster {
+    let config = ClusterConfig {
+        max_task_attempts: 8,
+        faults,
+        backend: mapreduce::BackendKind::from_env(),
+        ..ClusterConfig::with_nodes(3)
+    };
+    Cluster::new(config, 2048).unwrap()
+}
+
+/// A fresh driver over the SAME DFS as the crashed one, crash points and
+/// one-shot corruption cleared — what a real resume does.
+fn resume_cluster(crashed: &Cluster) -> Cluster {
+    let mut faults = crashed.config().faults.clone();
+    if let Some(p) = faults.as_mut() {
+        p.crash_after = None;
+        p.crash_mid = None;
+        p.corrupt_path = None;
+    }
+    let config = ClusterConfig {
+        faults,
+        ..crashed.config().clone()
+    };
+    Cluster::with_dfs(config, crashed.dfs().clone()).unwrap()
+}
+
+/// The forced skew config every cell here uses: exact (stride-1) sample,
+/// hot at 6 routed records, at most 4 buckets — low enough to really
+/// split groups on the 80-record seeded corpora.
+fn forced_skew() -> SkewConfig {
+    SkewConfig::forced(6, 4)
+}
+
+/// Base config for the chaos/recovery cells: grouped routing concentrates
+/// every record's prefix emissions onto 8 reduce groups, the shape where
+/// hot groups actually form (under Individual routing the prefix tokens
+/// are by construction the *rarest*, so the forced plan would be empty on
+/// these corpora — the differential matrix covers that side).
+fn grouped_config() -> JoinConfig {
+    JoinConfig {
+        routing: TokenRouting::Grouped { groups: 8 },
+        ..JoinConfig::recommended()
+    }
+}
+
+fn write_self_input(cluster: &Cluster) {
+    let lines = datagen::to_lines(&datagen::dblp(80, 11));
+    cluster.dfs().write_text("/records", &lines).unwrap();
+}
+
+fn write_rs_inputs(cluster: &Cluster) {
+    let r = datagen::to_lines(&datagen::dblp(60, 11));
+    // Guarantee overlap: S carries copies of every 4th R record.
+    let mut s = datagen::to_lines(&datagen::citeseerx(40, 1011));
+    for (i, line) in r.iter().enumerate().filter(|(i, _)| i % 4 == 0) {
+        let mut fields: Vec<&str> = line.split('\t').collect();
+        let rid = format!("{}", 10_000 + i);
+        fields[0] = &rid;
+        s.push(fields.join("\t"));
+    }
+    cluster.dfs().write_text("/r", &r).unwrap();
+    cluster.dfs().write_text("/s", &s).unwrap();
+}
+
+/// Everything a run produces that splitting must not be able to change.
+#[derive(Debug, PartialEq)]
+struct RunOutput {
+    rid_pairs: Vec<(u64, u64, f64)>,
+    joined: Vec<(u64, u64, f64)>,
+}
+
+fn collect(cluster: &Cluster, outcome: &JoinOutcome) -> RunOutput {
+    RunOutput {
+        rid_pairs: read_rid_pairs(cluster, &outcome.ridpairs_path).unwrap(),
+        joined: read_joined(cluster, &outcome.joined_path)
+            .unwrap()
+            .into_iter()
+            .map(|((a, b), (_, _, sim))| (a, b, sim))
+            .collect(),
+    }
+}
+
+/// Assert the run's skew plan really split something (rebuilding it from
+/// the committed token order — the plan is a pure function of inputs,
+/// tokens, and config), so the cell is not vacuously passing.
+fn assert_plan_engaged(
+    cluster: &Cluster,
+    inputs: &[&str],
+    outcome: &JoinOutcome,
+    config: &JoinConfig,
+) {
+    let plan = build_skew_plan(cluster.dfs(), inputs, &outcome.tokens_path, config).unwrap();
+    assert!(!plan.is_empty(), "forced skew plan split nothing");
+}
+
+fn kernels() -> [Stage2Algo; 2] {
+    [
+        Stage2Algo::Bk,
+        Stage2Algo::Pk {
+            filters: FilterConfig::ppjoin_plus(),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Chaos with splitting active
+// ---------------------------------------------------------------------------
+
+/// BK and PK, self-join and R-S: aggressive chaos + forced splitting must
+/// stay bitwise identical to the fault-free unsplit baseline (stage-2 RID
+/// pairs are compared as sets via stage 3's dedup — the raw stage-2
+/// stream may differ in duplicate multiplicity, the joined output and the
+/// deduplicated rid-pairs file may not).
+#[test]
+fn chaos_with_forced_splitting_matches_fault_free_unsplit_run() {
+    quiet_injected_panics();
+    let plan = FaultPlan::aggressive(chaos_seed());
+    for stage2 in kernels() {
+        let off = JoinConfig {
+            stage2,
+            ..grouped_config()
+        };
+        let skewed = JoinConfig {
+            skew: forced_skew(),
+            ..off.clone()
+        };
+
+        // Self-join cell.
+        let base_cluster = cluster_with(None);
+        write_self_input(&base_cluster);
+        let base = self_join(&base_cluster, "/records", "/work", &off).unwrap();
+        let baseline = collect(&base_cluster, &base);
+        assert!(!baseline.joined.is_empty(), "vacuous corpus for {stage2:?}");
+
+        let chaos = cluster_with(Some(plan.clone()));
+        write_self_input(&chaos);
+        let outcome = self_join(&chaos, "/records", "/work", &skewed).unwrap();
+        assert_eq!(
+            collect(&chaos, &outcome),
+            baseline,
+            "{stage2:?} chaos + splitting changed the self-join output"
+        );
+        assert!(outcome.task_retries() > 0, "plan must engage ({stage2:?})");
+        assert_plan_engaged(&chaos, &["/records"], &outcome, &skewed);
+
+        // R-S cell.
+        let base_cluster = cluster_with(None);
+        write_rs_inputs(&base_cluster);
+        let base = rs_join(&base_cluster, "/r", "/s", "/work", &off).unwrap();
+        let baseline = collect(&base_cluster, &base);
+        assert!(!baseline.joined.is_empty(), "vacuous R-S corpus");
+
+        let chaos = cluster_with(Some(plan.clone()));
+        write_rs_inputs(&chaos);
+        let outcome = rs_join(&chaos, "/r", "/s", "/work", &skewed).unwrap();
+        assert_eq!(
+            collect(&chaos, &outcome),
+            baseline,
+            "{stage2:?} chaos + splitting changed the R-S output"
+        );
+        assert!(outcome.task_retries() > 0);
+        assert_plan_engaged(&chaos, &["/r", "/s"], &outcome, &skewed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash/resume with splitting active
+// ---------------------------------------------------------------------------
+
+/// Crash at every job index of the 5-job pipeline (both crash kinds) with
+/// splitting active; every resume must converge to the unsplit fault-free
+/// baseline, skipping exactly the committed jobs via their manifests. The
+/// resumed driver rebuilds the identical plan from the surviving token
+/// order (the plan is deterministic and its config is in the stage-2
+/// fingerprint tag), so a committed split stage-2 job validates and skips.
+#[test]
+fn every_crash_point_resumes_bitwise_identical_with_splitting() {
+    let off = grouped_config();
+    let skewed = JoinConfig {
+        skew: forced_skew(),
+        ..off.clone()
+    };
+    let base_cluster = cluster_with(None);
+    write_self_input(&base_cluster);
+    let base = self_join(&base_cluster, "/records", "/work", &off).unwrap();
+    let base_out = collect(&base_cluster, &base);
+    assert!(!base_out.joined.is_empty(), "vacuous corpus");
+    let total_jobs = base.all_jobs().count();
+    assert_eq!(total_jobs, 5, "recommended combo runs 5 jobs");
+
+    for point in 0..total_jobs {
+        for mid in [false, true] {
+            let plan = FaultPlan {
+                crash_after: (!mid).then_some(point),
+                crash_mid: mid.then_some(point),
+                ..FaultPlan::quiet(0)
+            };
+            let crashed = cluster_with(Some(plan));
+            write_self_input(&crashed);
+            let err = self_join(&crashed, "/records", "/work", &skewed).unwrap_err();
+            assert!(err.is_driver_crash(), "point {point} mid={mid}: {err:?}");
+
+            let fresh = resume_cluster(&crashed);
+            let outcome = self_join_resume(&fresh, "/records", "/work", &skewed).unwrap();
+            assert_eq!(
+                collect(&fresh, &outcome),
+                base_out,
+                "resumed split output diverged (point {point}, mid={mid})"
+            );
+            let committed = if mid { point } else { point + 1 };
+            assert!(outcome.recovery.resume);
+            assert_eq!(
+                outcome.recovery.jobs_skipped.len(),
+                committed,
+                "point {point} mid={mid}: {:?}",
+                outcome.recovery
+            );
+            assert_eq!(
+                outcome.recovery.jobs_rerun.len(),
+                total_jobs - committed,
+                "point {point} mid={mid}: {:?}",
+                outcome.recovery
+            );
+            assert_plan_engaged(&fresh, &["/records"], &outcome, &skewed);
+        }
+    }
+}
+
+/// Resuming over a *completed* split run is a no-op — the deterministic
+/// plan revalidates every manifest — while toggling the skew config
+/// invalidates the kernel stage (its fingerprint tag covers the config)
+/// but reuses the skew-independent token order.
+#[test]
+fn toggling_skew_invalidates_the_kernel_but_reuses_the_token_order() {
+    let off = grouped_config();
+    let skewed = JoinConfig {
+        skew: forced_skew(),
+        ..off.clone()
+    };
+    let cluster = cluster_with(None);
+    write_self_input(&cluster);
+    let base = self_join(&cluster, "/records", "/work", &skewed).unwrap();
+    let base_out = collect(&cluster, &base);
+    assert_plan_engaged(&cluster, &["/records"], &base, &skewed);
+
+    // Same config: every manifest validates, nothing re-runs.
+    let fresh = resume_cluster(&cluster);
+    let resumed = self_join_resume(&fresh, "/records", "/work", &skewed).unwrap();
+    assert_eq!(resumed.recovery.jobs_skipped.len(), 5, "no-op resume");
+    assert!(resumed.recovery.jobs_rerun.is_empty());
+    assert_eq!(collect(&fresh, &resumed), base_out);
+
+    // Skew off: the stage-2 tag changes, so the kernel re-runs; stage 1 is
+    // skew-independent and must be reused. The unsplit kernel emits a
+    // different raw duplicate stream, so stage 3's dedup re-runs off the
+    // changed bytes — but the deduplicated output is identical, so the
+    // final assemble job's fingerprint revalidates and it is skipped:
+    // integrity chains on content, not on what ran. The output cannot
+    // change.
+    let fresh = resume_cluster(&cluster);
+    let resumed = self_join_resume(&fresh, "/records", "/work", &off).unwrap();
+    assert_eq!(
+        &resumed.recovery.jobs_skipped[..2],
+        ["stage1-bto-count", "stage1-bto-sort"],
+        "token order is skew-independent and must be reused: {:?}",
+        resumed.recovery
+    );
+    assert!(
+        resumed
+            .recovery
+            .jobs_rerun
+            .iter()
+            .any(|j| j.contains("stage2")),
+        "{:?}",
+        resumed.recovery.jobs_rerun
+    );
+    assert_eq!(
+        collect(&fresh, &resumed),
+        base_out,
+        "toggling skew must not change the committed pairs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Plan invariants (property tests)
+// ---------------------------------------------------------------------------
+
+/// Arbitrary plans: a handful of groups, 2–8 buckets each (duplicate
+/// groups collapse to the last drawn bucket count).
+fn plan_entries() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..1000, 2u32..=8), 1..6).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pair completeness: any two records of a split group share at least
+    /// one bucket-pair key, and each record's replication stays within
+    /// the group's bucket count.
+    #[test]
+    fn split_records_always_share_a_reduce_key(
+        entries in plan_entries(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let plan = SkewPlan::from_entries(entries.clone());
+        for (g, b) in entries {
+            let kx: BTreeSet<u32> = plan.keys_for(g, x).into_iter().collect();
+            let ky: BTreeSet<u32> = plan.keys_for(g, y).into_iter().collect();
+            prop_assert!(
+                kx.intersection(&ky).next().is_some(),
+                "records {x} and {y} of group {g} share no bucket-pair key"
+            );
+            prop_assert!(kx.len() <= b as usize, "replication beyond the bucket count");
+            prop_assert!(!kx.is_empty());
+        }
+    }
+
+    /// Routing: unsplit groups pass through untouched, the emitted key
+    /// count is bounded by |groups| × max replication, and the hot count
+    /// reports exactly the split groups the record hit.
+    #[test]
+    fn routing_bounds_replication_and_passes_cold_groups_through(
+        entries in plan_entries(),
+        groups in prop::collection::btree_set(0u32..2000, 0..12),
+        rid in any::<u64>(),
+    ) {
+        let plan = SkewPlan::from_entries(entries);
+        let (routed, hot) = plan.route(groups.clone(), rid);
+        prop_assert!(
+            routed.len() <= groups.len() * plan.max_buckets().max(1) as usize,
+            "replication exceeded the configured max"
+        );
+        for g in &groups {
+            if plan.buckets_for(*g).is_none() {
+                prop_assert!(routed.contains(g), "cold group {g} was rewritten");
+            }
+        }
+        let expected_hot = groups.iter().filter(|g| plan.buckets_for(**g).is_some()).count();
+        prop_assert_eq!(hot, expected_hot);
+    }
+
+    /// The planner's exact tail cutoff: with the sketch within capacity
+    /// (estimates exact), a group is split iff its load clears the hot
+    /// threshold, and bucket counts respect the configured cap.
+    #[test]
+    fn planner_splits_exactly_the_hot_groups(
+        raw_counts in prop::collection::vec((0u32..64, 1u64..500), 1..32),
+        hot_threshold in 1u64..200,
+        split_max in 2u32..10,
+    ) {
+        let counts: std::collections::BTreeMap<u32, u64> = raw_counts.into_iter().collect();
+        let mut sketch = SpaceSaving::new(counts.len().max(1));
+        for (k, n) in &counts {
+            sketch.add(*k, *n);
+        }
+        let sk = SkewConfig::forced(hot_threshold, split_max);
+        let plan = fuzzyjoin::skew::plan_from_sketch(&sketch, &sk);
+        for (g, b) in plan.entries() {
+            prop_assert!((2..=split_max.max(2)).contains(&b));
+            prop_assert!(counts[&g] >= hot_threshold, "cold group {g} was split");
+        }
+        for (g, n) in &counts {
+            if *n >= hot_threshold {
+                prop_assert!(plan.buckets_for(*g).is_some(), "hot group {g} was missed");
+            }
+        }
+    }
+}
+
+/// Hidden worker entry for `MR_BACKEND=process`: the driver re-spawns this
+/// test binary as worker processes that land here. In a normal test run
+/// the worker env var is unset and this is an instant no-op pass.
+#[test]
+fn process_worker_entry() {
+    fuzzyjoin::register_process_jobs();
+    mapreduce::process_worker_main();
+}

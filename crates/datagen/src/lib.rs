@@ -46,10 +46,14 @@ pub fn dblp(records: usize, seed: u64) -> Vec<DataRecord> {
 /// abstracts), seeded. Uses a different default seed-space so DBLP and
 /// CITESEERX corpora generated with equal seeds still differ.
 pub fn citeseerx(records: usize, seed: u64) -> Vec<DataRecord> {
-    generate(&GeneratorConfig::citeseerx(
-        records,
-        seed ^ 0x5eed_c17e_5eed_c17e,
-    ))
+    generate(&citeseerx_config(records, seed))
+}
+
+/// The [`GeneratorConfig`] behind [`citeseerx`], with the same seed-space
+/// separation — for callers that want to tweak knobs (e.g. the Zipf
+/// exponent) while keeping byte-compatibility at the defaults.
+pub fn citeseerx_config(records: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::citeseerx(records, seed ^ 0x5eed_c17e_5eed_c17e)
 }
 
 /// Serialize records to their text lines.

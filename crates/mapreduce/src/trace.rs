@@ -803,11 +803,17 @@ impl TopK {
             self.items.push((label.to_string(), n));
             return;
         }
+        // Evict the minimum count; ties broken by the *greatest* label so
+        // the surviving set is independent of insertion order (merging the
+        // same per-attempt sketches in any order yields the same result —
+        // `top()` already prefers smaller labels on tied counts, and the
+        // eviction must agree with it or merged heavy-hitter reports drift
+        // across backends and retry schedules).
         let (min_i, min_count) = self
             .items
             .iter()
             .enumerate()
-            .min_by_key(|(_, (_, c))| *c)
+            .min_by(|(_, (la, ca)), (_, (lb, cb))| ca.cmp(cb).then_with(|| lb.cmp(la)))
             .map(|(i, (_, c))| (i, *c))
             .expect("non-empty at capacity");
         self.items[min_i] = (label.to_string(), min_count + n);
@@ -1023,5 +1029,57 @@ mod tests {
         b.add("y", 1);
         a.merge(&b);
         assert_eq!(a.top(1), vec![("x".to_string(), 5)]);
+    }
+
+    /// Regression: eviction on tied counts used to pick the positionally
+    /// first minimum, so merging the same per-attempt sketches in a
+    /// different order (speculative races, backend scheduling) evicted
+    /// different labels and heavy-hitter reports drifted. Ties must break
+    /// by label, deterministically, matching `top()`.
+    #[test]
+    fn topk_tied_eviction_is_order_independent() {
+        // Three capacity-full sketches holding the same labels at tied
+        // counts, filled in different insertion orders.
+        let orders: [[&str; 3]; 3] = [["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]];
+        let results: Vec<Vec<(String, u64)>> = orders
+            .iter()
+            .map(|order| {
+                let mut t = TopK::new(3);
+                for label in order {
+                    t.add(label, 1);
+                }
+                t.add("z", 1); // forces one eviction among the tied minima
+                let mut entries = t.entries().to_vec();
+                entries.sort();
+                entries
+            })
+            .collect();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        // The greatest tied label ("c") is the victim; smaller labels
+        // survive, matching top()'s ascending-label preference on ties.
+        let survivors: Vec<&str> = results[0].iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(survivors, vec!["a", "b", "z"]);
+
+        // The same drift through `merge`: two attempt sketches holding the
+        // same tied labels at different internal positions must evict the
+        // same label when a third sketch is folded in.
+        let mk = |labels: &[&str]| {
+            let mut t = TopK::new(2);
+            for l in labels {
+                t.add(l, 1);
+            }
+            t
+        };
+        let mut left = mk(&["p", "q"]);
+        let mut right = mk(&["q", "p"]);
+        left.merge(&mk(&["w"]));
+        right.merge(&mk(&["w"]));
+        let norm = |t: &TopK| {
+            let mut e = t.entries().to_vec();
+            e.sort();
+            e
+        };
+        assert_eq!(norm(&left), norm(&right));
     }
 }

@@ -49,6 +49,7 @@ pub mod naive;
 pub mod oracle;
 pub mod ppjoin;
 pub mod rs;
+pub mod sketch;
 pub mod suffix;
 pub mod tokenize;
 pub mod verify;
@@ -59,5 +60,6 @@ pub use measure::{SimFunction, Threshold, TokenSet};
 pub use minhash::{lsh_self_join, LshParams, MinHasher};
 pub use naive::Record;
 pub use ppjoin::{FilterConfig, Match, PpjoinIndex};
+pub use sketch::{Estimate, SpaceSaving};
 pub use tokenize::{DedupMode, QGramTokenizer, Tokenizer, WordTokenizer};
 pub use verify::{intersection_size, overlap_at_least, verify_pair};

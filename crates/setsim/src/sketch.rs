@@ -1,0 +1,195 @@
+//! Space-saving frequency sketch for skew detection.
+//!
+//! The stage-2 routing layer needs per-token load estimates cheap enough
+//! to compute on a sample and trustworthy enough to *act* on (splitting a
+//! reduce key replicates records, so a false positive costs real shuffle
+//! bytes). This module implements the space-saving sketch of Metwally,
+//! Agrawal & El Abbadi with the two guarantees the routing loop relies
+//! on:
+//!
+//! * **Overestimate only**: for every tracked key, `count` ≥ the key's
+//!   true frequency, and `count − error` ≤ the true frequency. The
+//!   `error` field is the count the key inherited when it evicted the
+//!   previous minimum, so `count − error` is an exact *lower* bound.
+//! * **No heavy misses**: any key whose true frequency exceeds
+//!   `total / capacity` is guaranteed to be tracked.
+//!
+//! [`SpaceSaving::heavy`] applies the *exact tail cutoff*: a key is
+//! reported hot only when its guaranteed lower bound clears the
+//! threshold, so the sketch never names a cold key hot — the replication
+//! cost of splitting is only ever paid where the load is provably there.
+//!
+//! All iteration orders and evictions are deterministic (ties broken by
+//! key), so the same stream always yields the same sketch regardless of
+//! how the caller batches its `add` calls.
+
+use std::collections::BTreeMap;
+
+/// A tracked key's estimate: an upper-bound `count` and the inherited
+/// `error`, with `count - error` an exact lower bound on the true
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Upper bound on the key's true frequency.
+    pub count: u64,
+    /// Count inherited from the evicted minimum at takeover; 0 while the
+    /// sketch has spare capacity (estimates are then exact).
+    pub error: u64,
+}
+
+impl Estimate {
+    /// Exact lower bound on the key's true frequency.
+    pub fn at_least(&self) -> u64 {
+        self.count.saturating_sub(self.error)
+    }
+}
+
+/// A space-saving sketch over keys of type `K`.
+///
+/// Capacity is fixed at construction; with at most `capacity` distinct
+/// keys every estimate is exact (`error == 0`). Evictions pick the
+/// minimum `count`, ties broken by the **greatest** key, so smaller keys
+/// survive ties — the same deterministic preference [`SpaceSaving::heavy`]
+/// uses when ordering its report.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Ord + Clone> {
+    capacity: usize,
+    items: BTreeMap<K, Estimate>,
+    total: u64,
+}
+
+impl<K: Ord + Clone> SpaceSaving<K> {
+    /// A sketch tracking up to `capacity` keys (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            items: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Sketch capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total weight added so far (the stream length for unit adds).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `n` occurrences of `key`.
+    pub fn add(&mut self, key: K, n: u64) {
+        self.total += n;
+        if let Some(e) = self.items.get_mut(&key) {
+            e.count += n;
+            return;
+        }
+        if self.items.len() < self.capacity {
+            self.items.insert(key, Estimate { count: n, error: 0 });
+            return;
+        }
+        // Evict the minimum count; on ties prefer evicting the greatest
+        // key so the surviving set is deterministic.
+        let victim = self
+            .items
+            .iter()
+            .min_by(|(ka, ea), (kb, eb)| ea.count.cmp(&eb.count).then_with(|| kb.cmp(ka)))
+            .map(|(k, e)| (k.clone(), e.count))
+            .expect("non-empty at capacity");
+        self.items.remove(&victim.0);
+        self.items.insert(
+            key,
+            Estimate {
+                count: victim.1 + n,
+                error: victim.1,
+            },
+        );
+    }
+
+    /// The tracked estimate for `key`, if present.
+    pub fn estimate(&self, key: &K) -> Option<Estimate> {
+        self.items.get(key).copied()
+    }
+
+    /// Every tracked `(key, estimate)` in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, &Estimate)> {
+        self.items.iter()
+    }
+
+    /// Keys whose **guaranteed** frequency (`count − error`) is at least
+    /// `threshold`, with that lower bound, ordered by descending bound and
+    /// then ascending key. The exact tail cutoff: no false positives.
+    pub fn heavy(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut hot: Vec<(K, u64)> = self
+            .items
+            .iter()
+            .filter(|(_, e)| e.at_least() >= threshold.max(1))
+            .map(|(k, e)| (k.clone(), e.at_least()))
+            .collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_within_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for (k, n) in [(1u32, 5u64), (2, 3), (1, 2), (3, 1)] {
+            s.add(k, n);
+        }
+        assert_eq!(s.total(), 11);
+        let e = s.estimate(&1).unwrap();
+        assert_eq!((e.count, e.error), (7, 0));
+        assert_eq!(s.estimate(&9), None);
+        assert_eq!(s.heavy(3), vec![(1, 7), (2, 3)]);
+    }
+
+    #[test]
+    fn bounds_hold_under_eviction() {
+        let mut s = SpaceSaving::new(4);
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        // A skewed stream wider than capacity.
+        for i in 0..600u32 {
+            let k = if i % 3 == 0 { i % 5 } else { i % 40 };
+            s.add(k, 1);
+            *exact.entry(k).or_insert(0) += 1;
+        }
+        assert_eq!(s.total(), 600);
+        for (k, e) in s.entries() {
+            let truth = exact.get(k).copied().unwrap_or(0);
+            assert!(e.count >= truth, "upper bound violated for {k}");
+            assert!(e.at_least() <= truth, "lower bound violated for {k}");
+        }
+        // heavy() never names a key beyond its true frequency.
+        for (k, lb) in s.heavy(10) {
+            assert!(exact[&k] >= lb);
+        }
+    }
+
+    #[test]
+    fn eviction_ties_break_deterministically() {
+        // Fill to capacity with tied counts in two different orders; the
+        // same subsequent add must evict the same key both times.
+        let mut a = SpaceSaving::new(3);
+        for k in [10u32, 20, 30] {
+            a.add(k, 1);
+        }
+        let mut b = SpaceSaving::new(3);
+        for k in [30u32, 10, 20] {
+            b.add(k, 1);
+        }
+        a.add(99, 1);
+        b.add(99, 1);
+        let ka: Vec<u32> = a.entries().map(|(k, _)| *k).collect();
+        let kb: Vec<u32> = b.entries().map(|(k, _)| *k).collect();
+        assert_eq!(ka, kb);
+        // Greatest key among minima (30) is the victim; smaller keys live.
+        assert_eq!(ka, vec![10, 20, 99]);
+    }
+}
